@@ -1,0 +1,336 @@
+//! FastTrack (Flanagan & Freund, PLDI 2009; Section 2.3 of the CLEAN
+//! paper): the full precise detector CLEAN simplifies.
+//!
+//! FastTrack keeps, per location, a last-write *epoch* plus an adaptive
+//! read side: a single read epoch while reads are totally ordered,
+//! inflated to a full read vector clock once concurrent reads appear.
+//! Detecting WAR races requires comparing a write against that full read
+//! vector clock — `n` clock comparisons — which is exactly the cost CLEAN
+//! eliminates by not detecting WAR.
+
+use crate::api::{FoundRace, FullRaceKind, TraceDetector, TraceEvent};
+use crate::hb::HbState;
+use clean_core::{Epoch, EpochLayout, ThreadId, VectorClock};
+use std::collections::HashMap;
+
+/// Adaptive read metadata of one location.
+#[derive(Debug, Clone)]
+enum ReadState {
+    /// All reads so far are totally ordered: remember only the last.
+    Epoch(Epoch),
+    /// Concurrent reads exist: full per-thread read clocks.
+    Clock(VectorClock),
+}
+
+#[derive(Debug, Clone)]
+struct Cell {
+    write: Epoch,
+    read: ReadState,
+}
+
+/// The FastTrack precise detector (WAW + RAW + WAR).
+///
+/// # Examples
+///
+/// ```
+/// use clean_baselines::{FastTrack, TraceDetector, TraceEvent, FullRaceKind, run_detector};
+/// use clean_core::ThreadId;
+///
+/// let mut det = FastTrack::new(2);
+/// // WAR race: CLEAN misses it by design, FastTrack reports it.
+/// let races = run_detector(&mut det, &[
+///     TraceEvent::Read { tid: ThreadId::new(0), addr: 0, size: 1 },
+///     TraceEvent::Write { tid: ThreadId::new(1), addr: 0, size: 1 },
+/// ]);
+/// assert_eq!(races[0].kind, FullRaceKind::War);
+/// ```
+#[derive(Debug)]
+pub struct FastTrack {
+    hb: HbState,
+    cells: HashMap<usize, Cell>,
+    comparisons: u64,
+    read_vc_inflations: u64,
+}
+
+impl FastTrack {
+    /// Creates a detector for traces with up to `num_threads` threads.
+    pub fn new(num_threads: usize) -> Self {
+        FastTrack {
+            hb: HbState::new(num_threads, EpochLayout::paper_default()),
+            cells: HashMap::new(),
+            comparisons: 0,
+            read_vc_inflations: 0,
+        }
+    }
+
+    /// Clock comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Locations whose read metadata was inflated to a full vector clock.
+    pub fn read_vc_inflations(&self) -> u64 {
+        self.read_vc_inflations
+    }
+
+    fn on_read(&mut self, tid: ThreadId, addr: usize) -> Option<FoundRace> {
+        let layout = self.hb.layout();
+        let n = self.hb.num_threads();
+        let my_epoch = self.hb.epoch(tid);
+        let vc_snapshot = self.hb.vc(tid).clone();
+        let cell = self.cells.entry(addr).or_insert_with(|| Cell {
+            write: Epoch::ZERO,
+            read: ReadState::Epoch(Epoch::ZERO),
+        });
+
+        // Write-read race check (single comparison, like CLEAN).
+        self.comparisons += 1;
+        let race = if vc_snapshot.races_with(cell.write) {
+            Some(FoundRace {
+                kind: FullRaceKind::Raw,
+                addr,
+                current: tid,
+                previous: layout.tid(cell.write),
+            })
+        } else {
+            None
+        };
+
+        // Update read metadata (the FastTrack adaptive rules).
+        match &mut cell.read {
+            ReadState::Epoch(e) => {
+                self.comparisons += 1;
+                if *e == Epoch::ZERO || !vc_snapshot.races_with(*e) {
+                    // Previous read happens-before us: stay in epoch mode.
+                    *e = my_epoch;
+                } else {
+                    // Concurrent reads: inflate to a full read clock.
+                    let mut rvc = VectorClock::new(n, layout);
+                    let prev = *e;
+                    rvc.set_clock(layout.tid(prev), layout.clock(prev));
+                    rvc.set_clock(tid, layout.clock(my_epoch));
+                    cell.read = ReadState::Clock(rvc);
+                    self.read_vc_inflations += 1;
+                }
+            }
+            ReadState::Clock(rvc) => {
+                rvc.set_clock(tid, layout.clock(my_epoch));
+            }
+        }
+        race
+    }
+
+    fn on_write(&mut self, tid: ThreadId, addr: usize) -> Option<FoundRace> {
+        let layout = self.hb.layout();
+        let my_epoch = self.hb.epoch(tid);
+        let vc_snapshot = self.hb.vc(tid).clone();
+        let n = self.hb.num_threads();
+        let cell = self.cells.entry(addr).or_insert_with(|| Cell {
+            write: Epoch::ZERO,
+            read: ReadState::Epoch(Epoch::ZERO),
+        });
+
+        // Write-write check (single comparison).
+        self.comparisons += 1;
+        let mut race = if vc_snapshot.races_with(cell.write) {
+            Some(FoundRace {
+                kind: FullRaceKind::Waw,
+                addr,
+                current: tid,
+                previous: layout.tid(cell.write),
+            })
+        } else {
+            None
+        };
+
+        // Read-write (WAR) check — the expensive one.
+        match &cell.read {
+            ReadState::Epoch(e) => {
+                self.comparisons += 1;
+                if *e != Epoch::ZERO && vc_snapshot.races_with(*e) {
+                    race = race.or(Some(FoundRace {
+                        kind: FullRaceKind::War,
+                        addr,
+                        current: tid,
+                        previous: layout.tid(*e),
+                    }));
+                }
+            }
+            ReadState::Clock(rvc) => {
+                // Full O(n) comparison: any read not ≤ our clock races.
+                self.comparisons += n as u64;
+                for i in 0..n {
+                    let rt = ThreadId::new(i as u16);
+                    let e = rvc.element(rt);
+                    if layout.clock(e) != 0 && vc_snapshot.races_with(e) {
+                        race = race.or(Some(FoundRace {
+                            kind: FullRaceKind::War,
+                            addr,
+                            current: tid,
+                            previous: rt,
+                        }));
+                        break;
+                    }
+                }
+            }
+        }
+
+        cell.write = my_epoch;
+        cell.read = ReadState::Epoch(Epoch::ZERO);
+        race
+    }
+}
+
+impl TraceDetector for FastTrack {
+    fn name(&self) -> &'static str {
+        "fasttrack"
+    }
+
+    fn process(&mut self, event: &TraceEvent) -> Vec<FoundRace> {
+        if self.hb.apply_sync(event) {
+            return Vec::new();
+        }
+        let mut races = Vec::new();
+        match *event {
+            TraceEvent::Read { tid, addr, size } => {
+                for a in addr..addr + size {
+                    if let Some(r) = self.on_read(tid, a) {
+                        races.push(r);
+                        break;
+                    }
+                }
+            }
+            TraceEvent::Write { tid, addr, size } => {
+                for a in addr..addr + size {
+                    if let Some(r) = self.on_write(tid, a) {
+                        races.push(r);
+                        break;
+                    }
+                }
+            }
+            _ => unreachable!("sync handled above"),
+        }
+        races
+    }
+
+    fn reset(&mut self) {
+        self.hb.reset();
+        self.cells.clear();
+        self.comparisons = 0;
+        self.read_vc_inflations = 0;
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        let per_cell: usize = self
+            .cells
+            .values()
+            .map(|c| {
+                4 + match &c.read {
+                    ReadState::Epoch(_) => 4,
+                    ReadState::Clock(vc) => vc.len() * 4,
+                }
+            })
+            .sum();
+        self.hb.metadata_bytes() + per_cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::run_detector;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn read(tid: u16, addr: usize) -> TraceEvent {
+        TraceEvent::Read {
+            tid: t(tid),
+            addr,
+            size: 1,
+        }
+    }
+    fn write(tid: u16, addr: usize) -> TraceEvent {
+        TraceEvent::Write {
+            tid: t(tid),
+            addr,
+            size: 1,
+        }
+    }
+
+    #[test]
+    fn detects_all_three_race_kinds() {
+        let mut d = FastTrack::new(3);
+        assert_eq!(
+            run_detector(&mut d, &[write(0, 0), write(1, 0)])[0].kind,
+            FullRaceKind::Waw
+        );
+        d.reset();
+        assert_eq!(
+            run_detector(&mut d, &[write(0, 0), read(1, 0)])[0].kind,
+            FullRaceKind::Raw
+        );
+        d.reset();
+        assert_eq!(
+            run_detector(&mut d, &[read(0, 0), write(1, 0)])[0].kind,
+            FullRaceKind::War
+        );
+    }
+
+    #[test]
+    fn ordered_accesses_race_free() {
+        let mut d = FastTrack::new(2);
+        let races = run_detector(
+            &mut d,
+            &[
+                write(0, 0),
+                TraceEvent::Release { tid: t(0), lock: 1 },
+                TraceEvent::Acquire { tid: t(1), lock: 1 },
+                read(1, 0),
+                write(1, 0),
+            ],
+        );
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_inflate_then_war_detected_against_nonlast_read() {
+        // The shared-read case FastTrack's epochs cannot summarize:
+        // t0 and t1 read concurrently; t1's read is last, but the write
+        // by t2 races with *t0's* read (t2 synchronized only with t1).
+        let mut d = FastTrack::new(3);
+        let races = run_detector(
+            &mut d,
+            &[
+                read(0, 0),
+                read(1, 0),
+                TraceEvent::Release { tid: t(1), lock: 7 },
+                TraceEvent::Acquire { tid: t(2), lock: 7 },
+                write(2, 0),
+            ],
+        );
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, FullRaceKind::War);
+        assert_eq!(races[0].previous, t(0));
+        assert!(d.read_vc_inflations() >= 1);
+    }
+
+    #[test]
+    fn war_costs_n_comparisons_after_inflation() {
+        let mut d = FastTrack::new(8);
+        let _ = run_detector(&mut d, &[read(0, 0), read(1, 0)]);
+        let before = d.comparisons();
+        let _ = d.process(&write(2, 0));
+        // 1 (WAW) + n (read VC scan)
+        assert_eq!(d.comparisons() - before, 1 + 8);
+    }
+
+    #[test]
+    fn same_epoch_reads_stay_compact() {
+        let mut d = FastTrack::new(4);
+        // Same thread reads repeatedly: never inflates.
+        let _ = run_detector(&mut d, &[read(0, 0), read(0, 0), read(0, 0)]);
+        assert_eq!(d.read_vc_inflations(), 0);
+    }
+}

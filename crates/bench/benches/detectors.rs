@@ -1,0 +1,82 @@
+//! Criterion comparison of per-event analysis cost across detector
+//! algorithms: CLEAN (WAW/RAW epochs only) vs FastTrack (full precise)
+//! vs the classic two-vector-clock detector vs the TSan-like imprecise
+//! detector — the Section 7 cost argument in microbenchmark form.
+
+use clean_baselines::{
+    CleanEngine, FastTrack, TraceDetector, TraceEvent, TsanLike, VcFullDetector,
+};
+use clean_core::ThreadId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A lock-disciplined trace with heavy read sharing — the pattern whose
+/// WAR checks cost FastTrack its read vector clocks.
+fn make_trace(events: usize, threads: u16) -> Vec<TraceEvent> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut trace = Vec::with_capacity(events);
+    for _ in 0..events {
+        let tid = ThreadId::new(rng.gen_range(0..threads));
+        let addr = rng.gen_range(0..256usize) * 4;
+        match rng.gen_range(0..10u8) {
+            0 => trace.push(TraceEvent::Acquire {
+                tid,
+                lock: rng.gen_range(0..4),
+            }),
+            1 => trace.push(TraceEvent::Release {
+                tid,
+                lock: rng.gen_range(0..4),
+            }),
+            2..=4 => trace.push(TraceEvent::Write { tid, addr, size: 4 }),
+            _ => trace.push(TraceEvent::Read { tid, addr, size: 4 }),
+        }
+    }
+    trace
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let trace = make_trace(4096, 8);
+    let mut g = c.benchmark_group("trace_detectors");
+    g.bench_function("clean", |b| {
+        let mut d = CleanEngine::new(8);
+        b.iter(|| {
+            d.reset();
+            for e in &trace {
+                black_box(d.process(e));
+            }
+        })
+    });
+    g.bench_function("fasttrack", |b| {
+        let mut d = FastTrack::new(8);
+        b.iter(|| {
+            d.reset();
+            for e in &trace {
+                black_box(d.process(e));
+            }
+        })
+    });
+    g.bench_function("vc_full", |b| {
+        let mut d = VcFullDetector::new(8);
+        b.iter(|| {
+            d.reset();
+            for e in &trace {
+                black_box(d.process(e));
+            }
+        })
+    });
+    g.bench_function("tsan_like", |b| {
+        let mut d = TsanLike::new(8);
+        b.iter(|| {
+            d.reset();
+            for e in &trace {
+                black_box(d.process(e));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 7 — the frequency of shared accesses.
+//!
+//! Shared accesses per second of the baseline (nondeterministic,
+//! undetected) run. The paper's point: software detection cost tracks
+//! this frequency, and lu_cb/lu_ncb — the two worst performers of
+//! Figure 6 — access shared data far more frequently than the rest.
+
+use clean_bench::{env_reps, env_scale, env_threads, measure, Table};
+use clean_runtime::{CleanRuntime, RuntimeConfig};
+use clean_workloads::{race_free_benchmarks, run_benchmark, KernelParams};
+
+fn main() {
+    let threads = env_threads();
+    let scale = env_scale();
+    let reps = env_reps();
+    println!("== Figure 7: shared accesses per second of the baseline run ==");
+    println!("({threads} threads, {scale:?} inputs)\n");
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for b in race_free_benchmarks() {
+        let mut accesses = 0u64;
+        let (d, _) = measure(reps, || {
+            let rt = CleanRuntime::new(
+                RuntimeConfig::baseline().heap_size(1 << 23).max_threads(16),
+            );
+            run_benchmark(b, &rt, &KernelParams::new().threads(threads).scale(scale))
+                .expect("race-free benchmark must complete");
+            accesses = rt.stats().shared_accesses();
+        });
+        rows.push((b.name.to_string(), accesses as f64 / d.as_secs_f64()));
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut t = Table::new(&["benchmark", "shared accesses/s (M)"]);
+    for (name, rate) in &rows {
+        t.row(vec![name.clone(), format!("{:.2}", rate / 1e6)]);
+    }
+    t.print();
+    let top2: Vec<&str> = rows.iter().take(2).map(|(n, _)| n.as_str()).collect();
+    println!(
+        "\npaper shape: lu_cb and lu_ncb highest — measured top-2: {top2:?} ({})",
+        if top2.iter().all(|n| n.starts_with("lu_")) {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
+    );
+}

@@ -1,0 +1,48 @@
+//! Diagnostic: per-kernel wall time under each runtime configuration.
+//! Run with: `cargo run --release -p clean-bench --bin profile_kernels`
+
+use clean_bench::env_threads;
+use clean_runtime::{CleanRuntime, RuntimeConfig};
+use clean_workloads::{run_kernel, KernelKind, KernelParams};
+use std::time::Instant;
+
+fn main() {
+    let threads = env_threads();
+    let kinds = [
+        KernelKind::Stencil,
+        KernelKind::LinAlg,
+        KernelKind::NBody,
+        KernelKind::TaskQueue,
+        KernelKind::Molecular,
+        KernelKind::MonteCarlo,
+        KernelKind::Pipeline,
+        KernelKind::KMeans,
+        KernelKind::Sort,
+        KernelKind::Anneal,
+    ];
+    for k in kinds {
+        for (label, det, ds) in [
+            ("base", false, false),
+            ("det-sync", false, true),
+            ("detect", true, false),
+            ("full", true, true),
+        ] {
+            let rt = CleanRuntime::new(
+                RuntimeConfig::new()
+                    .heap_size(1 << 22)
+                    .max_threads(12)
+                    .detection(det)
+                    .det_sync(ds),
+            );
+            let t0 = Instant::now();
+            let r = run_kernel(k, &rt, &KernelParams::new().threads(threads));
+            let el = t0.elapsed();
+            println!(
+                "{k:?} {label}: {:.1} ms accesses={} ok={}",
+                el.as_secs_f64() * 1e3,
+                rt.stats().shared_accesses(),
+                r.is_ok()
+            );
+        }
+    }
+}

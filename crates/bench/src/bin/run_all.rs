@@ -1,0 +1,44 @@
+//! Runs every experiment of the evaluation in sequence (Section 6),
+//! writing each one's report to stdout. Equivalent to invoking the
+//! individual binaries by hand.
+//!
+//! Run with: `cargo run --release -p clean-bench --bin run_all`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "sec622_detection",
+    "fig6_software_overhead",
+    "fig7_shared_access_freq",
+    "fig8_vectorization",
+    "table1_rollover",
+    "fig9_hw_overhead",
+    "fig10_access_breakdown",
+    "fig11_epoch_size",
+    "ablation_locking",
+    "ablation_llc_size",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current executable path");
+    let dir = me.parent().expect("executable directory");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n######################################################");
+        println!("# {exp}");
+        println!("######################################################\n");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            failures.push(*exp);
+        }
+    }
+    println!("\n======================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

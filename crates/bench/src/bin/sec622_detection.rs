@@ -1,0 +1,99 @@
+//! Section 6.2.2 — "Detected Races and Determinism".
+//!
+//! The paper runs every benchmark 100 times with the simlarge input:
+//! the 17 unmodified (racy) benchmarks *always* end with a race
+//! exception, and the race-free versions never throw and are always
+//! deterministic (same output, same deterministic counters, same shared
+//! access counts).
+//!
+//! This binary repeats both experiments on the workload models. Runs
+//! default to `CLEAN_RUNS=10` per benchmark for time; set `CLEAN_RUNS=100
+//! CLEAN_SCALE=simlarge` for the paper's full protocol.
+
+use clean_bench::{env_runs, env_threads, Table};
+use clean_runtime::{CleanError, CleanRuntime, RuntimeConfig};
+use clean_workloads::{race_free_benchmarks, racy_benchmarks, run_benchmark, KernelParams, Scale};
+
+fn runtime() -> CleanRuntime {
+    CleanRuntime::new(RuntimeConfig::new().heap_size(1 << 23).max_threads(16))
+}
+
+fn main() {
+    let runs = env_runs();
+    let threads = env_threads();
+    let scale = match std::env::var("CLEAN_SCALE").as_deref() {
+        Ok("native") => Scale::Native,
+        Ok("simlarge") => Scale::SimLarge,
+        _ => Scale::SimSmall,
+    };
+    println!("== Section 6.2.2: detected races and determinism ==");
+    println!("({runs} runs per benchmark, {threads} threads; paper: 100 runs, 8 threads, simlarge)\n");
+
+    // Experiment 1: racy (unmodified) benchmarks always raise exceptions.
+    println!("-- racy (unmodified) versions: expect a race exception in EVERY run --");
+    let mut t = Table::new(&["benchmark", "runs", "exceptions", "always?"]);
+    let mut all_always = true;
+    for b in racy_benchmarks() {
+        let mut exceptions = 0;
+        for run in 0..runs {
+            let rt = runtime();
+            let p = KernelParams::new()
+                .threads(threads)
+                .scale(scale)
+                .seed(0x5eed ^ run as u64)
+                .racy(true);
+            let r = run_benchmark(b, &rt, &p);
+            let excepted = matches!(r, Err(CleanError::Race(_)) | Err(CleanError::Poisoned))
+                || rt.first_race().is_some();
+            if excepted {
+                exceptions += 1;
+            }
+        }
+        let always = exceptions == runs;
+        all_always &= always;
+        t.row(vec![
+            b.name.into(),
+            runs.to_string(),
+            exceptions.to_string(),
+            if always { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: all 17 racy benchmarks always end with an exception — reproduced: {}\n",
+        if all_always { "YES" } else { "NO" }
+    );
+
+    // Experiment 2: race-free versions never throw and are deterministic.
+    println!("-- race-free (modified) versions: expect no exception, identical outputs/digests --");
+    let mut t = Table::new(&["benchmark", "runs", "exceptions", "deterministic?"]);
+    let mut all_det = true;
+    for b in race_free_benchmarks() {
+        let mut exceptions = 0;
+        let mut outputs = Vec::new();
+        let mut digests = Vec::new();
+        for _ in 0..runs {
+            let rt = runtime();
+            let p = KernelParams::new().threads(threads).scale(scale);
+            match run_benchmark(b, &rt, &p) {
+                Ok(h) => outputs.push(h),
+                Err(_) => exceptions += 1,
+            }
+            digests.push(rt.stats().digest());
+        }
+        let det = outputs.windows(2).all(|w| w[0] == w[1])
+            && digests.windows(2).all(|w| w[0] == w[1]);
+        all_det &= det && exceptions == 0;
+        t.row(vec![
+            b.name.into(),
+            runs.to_string(),
+            exceptions.to_string(),
+            if det { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: race-free versions never raise and are always deterministic — reproduced: {}",
+        if all_det { "YES" } else { "NO" }
+    );
+}

@@ -1,0 +1,81 @@
+//! Table 1 — the impact of clock rollover (Section 4.5).
+//!
+//! The paper's default epoch layout gives the clock 23 bits; benchmarks
+//! that synchronize heavily (barnes, fmm, radiosity, facesim,
+//! fluidanimate) roll those clocks over and pay occasional deterministic
+//! metadata resets. Against a 28-bit configuration (no rollovers), the
+//! execution-time decrease is at most 2.4%.
+//!
+//! **Scaling substitution:** a 23-bit clock only rolls over after ~8.4M
+//! synchronization operations per thread — the paper's native inputs run
+//! minutes; these models run milliseconds. The "default" configuration
+//! here narrows the clock (`CLEAN_CLOCK_BITS`, default 8) so rollovers
+//! occur at model scale, preserving the experiment's structure: the
+//! sync-heavy benchmarks reset, the rest do not, and the cost is small.
+
+use clean_bench::{env_reps, env_scale, env_threads, fmt_pct, measure, Table};
+use clean_core::EpochLayout;
+use clean_runtime::{CleanRuntime, RuntimeConfig};
+use clean_workloads::{race_free_benchmarks, run_benchmark, KernelParams};
+
+fn main() {
+    let threads = env_threads();
+    let scale = env_scale();
+    let reps = env_reps();
+    let clock_bits: u32 = std::env::var("CLEAN_CLOCK_BITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    println!("== Table 1: clock rollover impact ==");
+    println!(
+        "(default layout scaled to a {clock_bits}-bit clock; wide = 28-bit; {threads} threads, {scale:?})\n"
+    );
+
+    let mut t = Table::new(&[
+        "benchmark",
+        "rollovers",
+        "rollovers/s",
+        "time decrease w/o rollover",
+    ]);
+    let mut any_rollover = Vec::new();
+    for b in race_free_benchmarks() {
+        let mut resets = 0;
+        let (d_default, _) = measure(reps, || {
+            let rt = CleanRuntime::new(
+                RuntimeConfig::new()
+                    .heap_size(1 << 23)
+                    .max_threads(8)
+                    .layout(EpochLayout::with_clock_bits(clock_bits)),
+            );
+            run_benchmark(b, &rt, &KernelParams::new().threads(threads).scale(scale))
+                .expect("race-free benchmark must complete");
+            resets = rt.stats().rollover_resets;
+        });
+        let (d_wide, _) = measure(reps, || {
+            // The 28-bit clock leaves 3 tid bits: at most 8 live threads.
+            let rt = CleanRuntime::new(
+                RuntimeConfig::new()
+                    .heap_size(1 << 23)
+                    .max_threads(8)
+                    .layout(EpochLayout::wide_clock()),
+            );
+            run_benchmark(b, &rt, &KernelParams::new().threads(threads).scale(scale))
+                .expect("race-free benchmark must complete");
+            assert_eq!(rt.stats().rollover_resets, 0, "wide clock must not roll");
+        });
+        if resets > 0 {
+            let decrease = (d_default.as_secs_f64() - d_wide.as_secs_f64())
+                / d_default.as_secs_f64();
+            any_rollover.push(b.name);
+            t.row(vec![
+                b.name.into(),
+                resets.to_string(),
+                format!("{:.1}", resets as f64 / d_default.as_secs_f64()),
+                fmt_pct(decrease.max(0.0)),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nbenchmarks with rollovers: {any_rollover:?}");
+    println!("paper: barnes, fmm, radiosity, facesim, fluidanimate — decrease ≤ 2.4%");
+}

@@ -1,0 +1,394 @@
+//! Epoch representation (Section 2.3 and 4.1/4.5 of the paper).
+//!
+//! An *epoch* is a 32-bit integer packing the identifier of the last thread
+//! to write a memory location together with the scalar clock ("main element"
+//! of that thread's vector clock) at the time of the write:
+//!
+//! ```text
+//!  31          30..clock_bits      clock_bits-1..0
+//! [expanded:1][ tid : tid_bits ][ clock : clock_bits ]
+//! ```
+//!
+//! The paper's default layout (Section 6.2.3) reserves 1 bit for the hardware
+//! *expanded* flag, 8 bits for a reusable thread id and 23 bits for the
+//! clock. The clock width is configurable (23 vs 28 bits) to reproduce the
+//! Table 1 rollover experiment.
+
+use core::fmt;
+
+/// Identifier of a running thread, dense and reusable after join
+/// (Section 4.5: "a thread id can be safely reused once the thread is
+/// joined").
+///
+/// # Examples
+///
+/// ```
+/// use clean_core::ThreadId;
+/// let t = ThreadId::new(3);
+/// assert_eq!(t.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(u16);
+
+impl ThreadId {
+    /// Creates a thread id from a dense index.
+    pub const fn new(index: u16) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the dense index of this thread id.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw 16-bit representation.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<ThreadId> for usize {
+    fn from(t: ThreadId) -> usize {
+        t.index()
+    }
+}
+
+/// The bit layout of an epoch: how many of the 32 bits are devoted to the
+/// thread id and to the scalar clock.
+///
+/// The highest bit is always reserved for the hardware *expanded* flag
+/// (Section 5.3), so `tid_bits + clock_bits == 31`.
+///
+/// # Examples
+///
+/// ```
+/// use clean_core::EpochLayout;
+/// let l = EpochLayout::default(); // 8-bit tid, 23-bit clock
+/// assert_eq!(l.clock_bits(), 23);
+/// assert_eq!(l.max_threads(), 256);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpochLayout {
+    clock_bits: u32,
+}
+
+impl EpochLayout {
+    /// Number of payload bits in an epoch (all but the expanded flag).
+    pub const PAYLOAD_BITS: u32 = 31;
+
+    /// Creates a layout with the given clock width.
+    ///
+    /// The thread-id field receives the remaining `31 - clock_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_bits` is zero, leaves no room for a thread id, or
+    /// exceeds 30.
+    pub fn with_clock_bits(clock_bits: u32) -> Self {
+        assert!(
+            (1..=30).contains(&clock_bits),
+            "clock_bits must be in 1..=30, got {clock_bits}"
+        );
+        EpochLayout { clock_bits }
+    }
+
+    /// The paper's default configuration: 23-bit clock, 8-bit thread id,
+    /// 1 expanded bit (Section 6.2.3).
+    pub const fn paper_default() -> Self {
+        EpochLayout { clock_bits: 23 }
+    }
+
+    /// The wide-clock configuration used in Table 1 to eliminate rollovers:
+    /// 28-bit clock, 3-bit thread id.
+    pub const fn wide_clock() -> Self {
+        EpochLayout { clock_bits: 28 }
+    }
+
+    /// Number of bits devoted to the clock component.
+    pub const fn clock_bits(self) -> u32 {
+        self.clock_bits
+    }
+
+    /// Number of bits devoted to the thread id component.
+    pub const fn tid_bits(self) -> u32 {
+        Self::PAYLOAD_BITS - self.clock_bits
+    }
+
+    /// Largest representable clock value before a rollover is required.
+    pub const fn max_clock(self) -> u32 {
+        (1u32 << self.clock_bits) - 1
+    }
+
+    /// Maximum number of concurrently running threads the layout supports.
+    pub const fn max_threads(self) -> usize {
+        1usize << self.tid_bits()
+    }
+
+    /// Packs a thread id and clock into an epoch.
+    ///
+    /// This is the `EPOCH(tid, clock)` macro of Figure 2. The expanded bit
+    /// is left clear; the software implementation never sets it
+    /// (Section 6.2.3 keeps 1 bit "to accommodate for hardware").
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the tid or clock do not fit the layout.
+    #[inline]
+    pub fn pack(self, tid: ThreadId, clock: u32) -> Epoch {
+        debug_assert!(tid.index() < self.max_threads(), "tid out of range");
+        debug_assert!(clock <= self.max_clock(), "clock out of range");
+        Epoch(((tid.raw() as u32) << self.clock_bits) | clock)
+    }
+
+    /// Extracts the clock component — the `CLOCK(epoch)` macro of Figure 2.
+    #[inline]
+    pub fn clock(self, epoch: Epoch) -> u32 {
+        epoch.0 & self.max_clock()
+    }
+
+    /// Extracts the thread id component — the `TID(epoch)` macro of
+    /// Figure 2.
+    #[inline]
+    pub fn tid(self, epoch: Epoch) -> ThreadId {
+        ThreadId(((epoch.0 & !Epoch::EXPANDED_BIT) >> self.clock_bits) as u16)
+    }
+
+    /// Returns true if incrementing a clock currently at `clock` would
+    /// overflow the representation, i.e. a metadata reset is required
+    /// before the increment (Section 4.5).
+    #[inline]
+    pub fn at_rollover(self, clock: u32) -> bool {
+        clock >= self.max_clock()
+    }
+}
+
+impl Default for EpochLayout {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Debug for EpochLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochLayout")
+            .field("tid_bits", &self.tid_bits())
+            .field("clock_bits", &self.clock_bits)
+            .finish()
+    }
+}
+
+/// A packed (thread id, clock) pair identifying the last write to a memory
+/// location (Section 2.3, "FastTrack").
+///
+/// The all-zero epoch is the initial state of every location and reads as
+/// "written by thread 0 at clock 0", which by construction never races
+/// (every vector clock element starts at or above 0).
+///
+/// Epochs are ordered as raw integers; within the same thread-id field this
+/// coincides with clock order, which is what the Section 4.1 optimization
+/// exploits to compare epochs and vector-clock elements directly.
+///
+/// # Examples
+///
+/// ```
+/// use clean_core::{Epoch, EpochLayout, ThreadId};
+/// let layout = EpochLayout::default();
+/// let e = layout.pack(ThreadId::new(2), 17);
+/// assert_eq!(layout.tid(e), ThreadId::new(2));
+/// assert_eq!(layout.clock(e), 17);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(u32);
+
+impl Epoch {
+    /// Mask of the hardware *expanded* flag (Section 5.3).
+    pub const EXPANDED_BIT: u32 = 1 << 31;
+
+    /// The initial epoch of every never-written location.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// Creates an epoch from its raw 32-bit representation.
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        Epoch(raw)
+    }
+
+    /// Returns the raw 32-bit representation.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns true if the hardware expanded flag is set.
+    #[inline]
+    pub const fn is_expanded(self) -> bool {
+        self.0 & Self::EXPANDED_BIT != 0
+    }
+
+    /// Returns a copy of this epoch with the expanded flag set.
+    #[inline]
+    pub const fn with_expanded(self) -> Self {
+        Epoch(self.0 | Self::EXPANDED_BIT)
+    }
+
+    /// Returns a copy of this epoch with the expanded flag cleared.
+    #[inline]
+    pub const fn without_expanded(self) -> Self {
+        Epoch(self.0 & !Self::EXPANDED_BIT)
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Decode with the default layout for readability; raw value is
+        // included so nondefault layouts remain debuggable.
+        let layout = EpochLayout::paper_default();
+        write!(
+            f,
+            "{}@{}{}(raw={:#x})",
+            layout.clock(*self),
+            layout.tid(*self),
+            if self.is_expanded() { "+X" } else { "" },
+            self.0
+        )
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<Epoch> for u32 {
+    fn from(e: Epoch) -> u32 {
+        e.0
+    }
+}
+
+impl From<u32> for Epoch {
+    fn from(raw: u32) -> Epoch {
+        Epoch(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let layout = EpochLayout::paper_default();
+        for tid in [0u16, 1, 7, 255] {
+            for clock in [0u32, 1, 1000, layout.max_clock()] {
+                let e = layout.pack(ThreadId::new(tid), clock);
+                assert_eq!(layout.tid(e), ThreadId::new(tid));
+                assert_eq!(layout.clock(e), clock);
+                assert!(!e.is_expanded());
+            }
+        }
+    }
+
+    #[test]
+    fn default_layout_matches_paper() {
+        let l = EpochLayout::default();
+        assert_eq!(l.clock_bits(), 23);
+        assert_eq!(l.tid_bits(), 8);
+        assert_eq!(l.max_threads(), 256);
+        assert_eq!(l.max_clock(), (1 << 23) - 1);
+    }
+
+    #[test]
+    fn wide_clock_layout() {
+        let l = EpochLayout::wide_clock();
+        assert_eq!(l.clock_bits(), 28);
+        assert_eq!(l.max_threads(), 8);
+    }
+
+    #[test]
+    fn expanded_bit_roundtrip() {
+        let layout = EpochLayout::paper_default();
+        let e = layout.pack(ThreadId::new(5), 42);
+        let x = e.with_expanded();
+        assert!(x.is_expanded());
+        assert!(!e.is_expanded());
+        assert_eq!(x.without_expanded(), e);
+        // tid/clock extraction must ignore the expanded flag.
+        assert_eq!(layout.tid(x), ThreadId::new(5));
+        assert_eq!(layout.clock(x), 42);
+    }
+
+    #[test]
+    fn same_tid_epochs_order_by_clock() {
+        let layout = EpochLayout::paper_default();
+        let a = layout.pack(ThreadId::new(3), 10);
+        let b = layout.pack(ThreadId::new(3), 11);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn zero_epoch_is_thread0_clock0() {
+        let layout = EpochLayout::paper_default();
+        assert_eq!(layout.tid(Epoch::ZERO), ThreadId::new(0));
+        assert_eq!(layout.clock(Epoch::ZERO), 0);
+    }
+
+    #[test]
+    fn rollover_detection() {
+        let l = EpochLayout::with_clock_bits(4);
+        assert!(!l.at_rollover(14));
+        assert!(l.at_rollover(15));
+        assert!(l.at_rollover(16));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_clock_bits() {
+        let _ = EpochLayout::with_clock_bits(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_31_clock_bits() {
+        let _ = EpochLayout::with_clock_bits(31);
+    }
+
+    #[test]
+    fn hex_formatting_is_nonempty() {
+        let e = Epoch::from_raw(0xdead);
+        assert_eq!(format!("{e:x}"), "dead");
+        assert_eq!(format!("{e:X}"), "DEAD");
+        assert!(!format!("{e:b}").is_empty());
+        assert!(!format!("{e:?}").is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Race exceptions and reports (Section 3.1: "a race exception is thrown if
+//! and only if a WAW or a RAW race occurs, at which point the execution
+//! stops").
+
+use crate::epoch::{Epoch, EpochLayout, ThreadId};
+use core::fmt;
+
+/// The kind of data race CLEAN detects.
+///
+/// WAR races are deliberately absent: CLEAN *chooses* not to detect them
+/// (Section 3.1), which is what removes the need for read vector clocks and
+/// per-access locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceKind {
+    /// Write-after-write: two unordered writes to the same byte.
+    WriteAfterWrite,
+    /// Read-after-write: a read not ordered after the last write.
+    ReadAfterWrite,
+}
+
+impl RaceKind {
+    /// Short conventional name ("WAW" / "RAW").
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            RaceKind::WriteAfterWrite => "WAW",
+            RaceKind::ReadAfterWrite => "RAW",
+        }
+    }
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of memory access being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load from shared memory.
+    Read,
+    /// A store to shared memory.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns true for [`AccessKind::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// The race kind an unordered prior write constitutes for this access.
+    pub const fn race_kind(self) -> RaceKind {
+        match self {
+            AccessKind::Read => RaceKind::ReadAfterWrite,
+            AccessKind::Write => RaceKind::WriteAfterWrite,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// A precise report of a detected WAW or RAW race — the payload of CLEAN's
+/// race exception.
+///
+/// # Examples
+///
+/// ```
+/// use clean_core::{AccessKind, RaceKind, RaceReport, ThreadId, Epoch, EpochLayout};
+/// let layout = EpochLayout::default();
+/// let report = RaceReport {
+///     kind: RaceKind::ReadAfterWrite,
+///     addr: 0x40,
+///     size: 4,
+///     current_tid: ThreadId::new(1),
+///     current_clock: 0,
+///     previous: layout.pack(ThreadId::new(0), 3),
+///     layout,
+/// };
+/// assert_eq!(report.previous_tid(), ThreadId::new(0));
+/// assert!(report.to_string().contains("RAW"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Whether the race is a WAW or a RAW.
+    pub kind: RaceKind,
+    /// Base address of the racy access.
+    pub addr: usize,
+    /// Size in bytes of the racy access.
+    pub size: usize,
+    /// Thread performing the current (second) access.
+    pub current_tid: ThreadId,
+    /// The current thread's scalar clock at the time of the access.
+    pub current_clock: u32,
+    /// Epoch of the previous (racing) write.
+    pub previous: Epoch,
+    /// Layout with which [`previous`](Self::previous) is decoded.
+    pub layout: EpochLayout,
+}
+
+impl RaceReport {
+    /// Thread that performed the previous, racing write.
+    pub fn previous_tid(&self) -> ThreadId {
+        self.layout.tid(self.previous)
+    }
+
+    /// Scalar clock of the previous, racing write.
+    pub fn previous_clock(&self) -> u32 {
+        self.layout.clock(self.previous)
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race at {:#x} (+{}B): {} at clock {} conflicts with write by {} at clock {}",
+            self.kind,
+            self.addr,
+            self.size,
+            self.current_tid,
+            self.current_clock,
+            self.previous_tid(),
+            self.previous_clock(),
+        )
+    }
+}
+
+impl std::error::Error for RaceReport {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_kind_names() {
+        assert_eq!(RaceKind::WriteAfterWrite.as_str(), "WAW");
+        assert_eq!(RaceKind::ReadAfterWrite.as_str(), "RAW");
+        assert_eq!(RaceKind::WriteAfterWrite.to_string(), "WAW");
+    }
+
+    #[test]
+    fn access_kind_maps_to_race_kind() {
+        assert_eq!(AccessKind::Read.race_kind(), RaceKind::ReadAfterWrite);
+        assert_eq!(AccessKind::Write.race_kind(), RaceKind::WriteAfterWrite);
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Write.is_read());
+    }
+
+    #[test]
+    fn report_decodes_previous_epoch() {
+        let layout = EpochLayout::paper_default();
+        let r = RaceReport {
+            kind: RaceKind::WriteAfterWrite,
+            addr: 0x100,
+            size: 8,
+            current_tid: ThreadId::new(2),
+            current_clock: 5,
+            previous: layout.pack(ThreadId::new(7), 9),
+            layout,
+        };
+        assert_eq!(r.previous_tid(), ThreadId::new(7));
+        assert_eq!(r.previous_clock(), 9);
+        let s = r.to_string();
+        assert!(s.contains("WAW"), "{s}");
+        assert!(s.contains("0x100"), "{s}");
+        assert!(s.contains("T2"), "{s}");
+        assert!(s.contains("T7"), "{s}");
+    }
+}

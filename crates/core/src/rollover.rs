@@ -1,0 +1,278 @@
+//! Deterministic clock-rollover handling (Section 4.5).
+//!
+//! The clock component of a fixed-size epoch is finite; when a thread's
+//! scalar clock is about to overflow, CLEAN brings the execution to a halt
+//! at the next *globally deterministic execution point* — when every
+//! running thread is trying to execute a synchronization operation (or has
+//! finished). At that point all epochs and vector clocks are reset and the
+//! execution resumes. Because resets happen at deterministic points and
+//! only at SFR boundaries, per-phase SFR isolation, write-atomicity and
+//! determinism compose into whole-execution guarantees.
+//!
+//! [`RolloverCoordinator`] implements the rendezvous: threads register on
+//! start, deregister on exit, and call [`RolloverCoordinator::sync_point`]
+//! on every synchronization operation. When a reset has been requested the
+//! call parks the thread; the last thread to park performs the global reset
+//! (shadow memory, lock clocks) and every participant resets its own vector
+//! clock before resuming.
+
+use crate::clock::VectorClock;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[derive(Debug)]
+struct RendezvousState {
+    /// Threads currently registered as running.
+    active: usize,
+    /// Threads currently parked waiting for the reset.
+    parked: usize,
+    /// Completed reset phases; parking threads wait for this to advance.
+    phase: u64,
+}
+
+/// Coordinates globally deterministic metadata resets (Section 4.5).
+///
+/// # Examples
+///
+/// ```
+/// use clean_core::{EpochLayout, RolloverCoordinator, VectorClock};
+/// let coord = RolloverCoordinator::new();
+/// coord.register_thread();
+/// let mut vc = VectorClock::new(1, EpochLayout::default());
+/// vc.increment(clean_core::ThreadId::new(0)).unwrap();
+/// coord.request_reset();
+/// // Single thread: the sync point performs the reset immediately.
+/// coord.sync_point(&mut vc, || { /* reset shadow + lock clocks here */ });
+/// assert_eq!(vc.clock_of(clean_core::ThreadId::new(0)), 0);
+/// assert_eq!(coord.resets_performed(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RolloverCoordinator {
+    reset_requested: AtomicBool,
+    resets: AtomicU64,
+    state: Mutex<RendezvousState>,
+    cv: Condvar,
+}
+
+impl RolloverCoordinator {
+    /// Creates a coordinator with no registered threads.
+    pub fn new() -> Self {
+        RolloverCoordinator {
+            reset_requested: AtomicBool::new(false),
+            resets: AtomicU64::new(0),
+            state: Mutex::new(RendezvousState {
+                active: 0,
+                parked: 0,
+                phase: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a newly started thread as a rendezvous participant.
+    pub fn register_thread(&self) {
+        self.state.lock().active += 1;
+    }
+
+    /// Deregisters a finishing thread.
+    ///
+    /// A finished thread counts as "trying to synchronize forever", so if a
+    /// reset is pending and everyone else is already parked, deregistering
+    /// completes the rendezvous (the *last parker* performs no global reset
+    /// here — it is woken and performs it; see `sync_point`).
+    pub fn deregister_thread(&self) {
+        let mut st = self.state.lock();
+        debug_assert!(st.active > 0, "deregister without register");
+        st.active -= 1;
+        // If the remaining parked threads now constitute everyone, wake one
+        // of them to act as the reset performer.
+        if self.reset_requested.load(Ordering::Acquire) && st.parked == st.active && st.parked > 0
+        {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Number of currently registered threads.
+    pub fn active_threads(&self) -> usize {
+        self.state.lock().active
+    }
+
+    /// Requests a deterministic reset at the next global sync point.
+    /// Called by a thread whose clock is about to roll over.
+    pub fn request_reset(&self) {
+        self.reset_requested.store(true, Ordering::Release);
+    }
+
+    /// Returns true if a reset is pending.
+    pub fn reset_pending(&self) -> bool {
+        self.reset_requested.load(Ordering::Acquire)
+    }
+
+    /// Number of deterministic resets performed so far (Table 1's
+    /// "# Rollovers" measurement).
+    pub fn resets_performed(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
+
+    /// Synchronization-point hook: returns immediately when no reset is
+    /// pending (one atomic load — the common case), otherwise parks the
+    /// calling thread until all active threads have parked, performs the
+    /// reset, and resumes everyone.
+    ///
+    /// `global_reset` is executed exactly once per reset (by the last
+    /// thread to arrive) and must clear the shadow memory and all lock
+    /// vector clocks. Every participant's own `vc` is reset here.
+    pub fn sync_point<F: FnOnce()>(&self, vc: &mut VectorClock, global_reset: F) {
+        if !self.reset_requested.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = self.state.lock();
+        // Re-check under the lock: the reset may have completed while we
+        // were acquiring it.
+        if !self.reset_requested.load(Ordering::Acquire) {
+            return;
+        }
+        st.parked += 1;
+        if st.parked == st.active {
+            // Everyone is at a deterministic point: perform the reset.
+            global_reset();
+            vc.reset();
+            self.reset_requested.store(false, Ordering::Release);
+            self.resets.fetch_add(1, Ordering::Relaxed);
+            st.parked = 0;
+            st.phase += 1;
+            self.cv.notify_all();
+        } else {
+            let phase = st.phase;
+            loop {
+                // Another thread may have deregistered, making us the last
+                // parker; in that case we must perform the reset ourselves.
+                if self.reset_requested.load(Ordering::Acquire) && st.parked == st.active {
+                    global_reset();
+                    vc.reset();
+                    self.reset_requested.store(false, Ordering::Release);
+                    self.resets.fetch_add(1, Ordering::Relaxed);
+                    st.parked = 0;
+                    st.phase += 1;
+                    self.cv.notify_all();
+                    return;
+                }
+                if st.phase != phase {
+                    vc.reset();
+                    return;
+                }
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+impl Default for RolloverCoordinator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::{EpochLayout, ThreadId};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn vc() -> VectorClock {
+        let mut v = VectorClock::new(4, EpochLayout::paper_default());
+        v.increment(ThreadId::new(0)).unwrap();
+        v
+    }
+
+    #[test]
+    fn sync_point_is_noop_without_request() {
+        let c = RolloverCoordinator::new();
+        c.register_thread();
+        let mut v = vc();
+        c.sync_point(&mut v, || panic!("must not reset"));
+        assert_eq!(v.clock_of(ThreadId::new(0)), 1, "vc untouched");
+        assert_eq!(c.resets_performed(), 0);
+    }
+
+    #[test]
+    fn single_thread_resets_immediately() {
+        let c = RolloverCoordinator::new();
+        c.register_thread();
+        c.request_reset();
+        let mut v = vc();
+        let ran = AtomicUsize::new(0);
+        c.sync_point(&mut v, || {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        assert_eq!(v.clock_of(ThreadId::new(0)), 0);
+        assert_eq!(c.resets_performed(), 1);
+        assert!(!c.reset_pending());
+    }
+
+    #[test]
+    fn multi_thread_rendezvous_runs_reset_once() {
+        let c = Arc::new(RolloverCoordinator::new());
+        let ran = Arc::new(AtomicUsize::new(0));
+        let n = 8;
+        for _ in 0..n {
+            c.register_thread();
+        }
+        c.request_reset();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let c = Arc::clone(&c);
+            let ran = Arc::clone(&ran);
+            handles.push(std::thread::spawn(move || {
+                let mut v = vc();
+                c.sync_point(&mut v, || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(v.clock_of(ThreadId::new(0)), 0, "every vc reset");
+                c.deregister_thread();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "global reset exactly once");
+        assert_eq!(c.resets_performed(), 1);
+        assert_eq!(c.active_threads(), 0);
+    }
+
+    #[test]
+    fn deregister_completes_pending_rendezvous() {
+        let c = Arc::new(RolloverCoordinator::new());
+        c.register_thread(); // the parker
+        c.register_thread(); // the finisher
+        c.request_reset();
+        let parker = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                let mut v = vc();
+                c.sync_point(&mut v, || {});
+                v.clock_of(ThreadId::new(0))
+            })
+        };
+        // Give the parker time to park, then finish the other thread.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        c.deregister_thread();
+        let clock = parker.join().unwrap();
+        assert_eq!(clock, 0);
+        assert_eq!(c.resets_performed(), 1);
+    }
+
+    #[test]
+    fn consecutive_resets_count() {
+        let c = RolloverCoordinator::new();
+        c.register_thread();
+        let mut v = vc();
+        for i in 1..=3 {
+            c.request_reset();
+            c.sync_point(&mut v, || {});
+            assert_eq!(c.resets_performed(), i);
+        }
+    }
+}

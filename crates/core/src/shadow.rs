@@ -1,0 +1,498 @@
+//! The epoch table — CLEAN's shadow memory (Sections 4.2 and 4.5).
+//!
+//! The paper reserves a fixed region of the address space holding one
+//! 32-bit epoch per byte of program data, at `epochs_base_address + 4x`.
+//! Because the layout is fixed the `EPOCH_ADDRESS` computation is a single
+//! shift, and because only touched pages are ever materialized the physical
+//! footprint is proportional to the *accessed* shared data.
+//!
+//! This module reproduces both properties:
+//!
+//! * [`ShadowMemory`] is a lazily-populated page table: pages are allocated
+//!   on first write, so untouched regions cost nothing (Section 4.2).
+//! * Deterministic resets (Section 4.5) are O(1): instead of zeroing the
+//!   region, a global generation counter is bumped; pages whose generation
+//!   is stale read as zero — the software analogue of remapping epoch pages
+//!   to the kernel's copy-on-write zero page.
+
+use crate::epoch::Epoch;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Number of epochs per shadow page. 4096 epochs = 16 KiB of metadata
+/// covering 4 KiB of data, mirroring an OS page of program data.
+pub const PAGE_EPOCHS: usize = 4096;
+
+struct Page {
+    /// Generation this page's contents belong to. If it lags the global
+    /// generation the page logically holds all-zero epochs.
+    generation: AtomicU64,
+    /// Guards the stale→fresh transition so exactly one thread clears.
+    refresh: Mutex<()>,
+    epochs: Box<[AtomicU32]>,
+}
+
+impl Page {
+    fn new(generation: u64) -> Self {
+        let epochs = (0..PAGE_EPOCHS).map(|_| AtomicU32::new(0)).collect();
+        Page {
+            generation: AtomicU64::new(generation),
+            refresh: Mutex::new(()),
+            epochs,
+        }
+    }
+
+    /// Makes the page's contents valid for `global_gen`, clearing them if
+    /// they belong to an older generation.
+    fn freshen(&self, global_gen: u64) {
+        if self.generation.load(Ordering::Acquire) == global_gen {
+            return;
+        }
+        let _g = self.refresh.lock();
+        if self.generation.load(Ordering::Acquire) == global_gen {
+            return;
+        }
+        for e in self.epochs.iter() {
+            e.store(0, Ordering::Relaxed);
+        }
+        self.generation.store(global_gen, Ordering::Release);
+    }
+}
+
+/// Statistics about shadow-memory usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShadowStats {
+    /// Pages materialized so far (physical footprint ∝ accessed data).
+    pub pages_allocated: usize,
+    /// Deterministic resets performed (Section 4.5).
+    pub resets: u64,
+}
+
+/// The fixed-layout epoch table: one epoch per data byte, lazily allocated,
+/// with O(1) deterministic reset.
+///
+/// Addresses are byte offsets into the program's shared data space.
+/// All operations are thread-safe; epoch loads and stores are individually
+/// atomic, and [`compare_exchange`](ShadowMemory::compare_exchange) provides
+/// the CAS publish required for WAW atomicity (Section 4.3).
+///
+/// # Examples
+///
+/// ```
+/// use clean_core::{Epoch, ShadowMemory};
+/// let shadow = ShadowMemory::new(1 << 20);
+/// assert_eq!(shadow.load(0x1234), Epoch::ZERO);
+/// shadow.store(0x1234, Epoch::from_raw(7));
+/// assert_eq!(shadow.load(0x1234), Epoch::from_raw(7));
+/// shadow.reset();
+/// assert_eq!(shadow.load(0x1234), Epoch::ZERO);
+/// ```
+pub struct ShadowMemory {
+    pages: Box<[OnceLock<Page>]>,
+    generation: AtomicU64,
+    pages_allocated: AtomicUsize,
+    resets: AtomicU64,
+    size: usize,
+}
+
+impl ShadowMemory {
+    /// Creates a shadow region covering `data_size` bytes of program data.
+    ///
+    /// Only the page *directory* is allocated eagerly (one slot per 4 KiB of
+    /// data); epoch pages themselves appear on first write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_size` is zero.
+    pub fn new(data_size: usize) -> Self {
+        assert!(data_size > 0, "shadow region must cover at least one byte");
+        let n_pages = data_size.div_ceil(PAGE_EPOCHS);
+        let pages = (0..n_pages).map(|_| OnceLock::new()).collect();
+        ShadowMemory {
+            pages,
+            generation: AtomicU64::new(0),
+            pages_allocated: AtomicUsize::new(0),
+            resets: AtomicU64::new(0),
+            size: data_size,
+        }
+    }
+
+    /// Size of the covered data region in bytes.
+    pub fn data_size(&self) -> usize {
+        self.size
+    }
+
+    /// Current reset generation (bumped by [`reset`](Self::reset)).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn split(&self, addr: usize) -> (usize, usize) {
+        debug_assert!(addr < self.size, "address {addr:#x} out of shadow range");
+        (addr / PAGE_EPOCHS, addr % PAGE_EPOCHS)
+    }
+
+    /// Loads the epoch of data byte `addr` (the `EPOCH_ADDRESS` dereference
+    /// of Figure 2, line 2).
+    ///
+    /// Never allocates: unmaterialized or stale pages read as
+    /// [`Epoch::ZERO`].
+    #[inline]
+    pub fn load(&self, addr: usize) -> Epoch {
+        let (p, o) = self.split(addr);
+        match self.pages[p].get() {
+            Some(page) => {
+                let gen = self.generation.load(Ordering::Acquire);
+                if page.generation.load(Ordering::Acquire) == gen {
+                    Epoch::from_raw(page.epochs[o].load(Ordering::Acquire))
+                } else {
+                    Epoch::ZERO
+                }
+            }
+            None => Epoch::ZERO,
+        }
+    }
+
+    fn page_for_write(&self, p: usize) -> &Page {
+        let gen = self.generation.load(Ordering::Acquire);
+        let page = self.pages[p].get_or_init(|| {
+            self.pages_allocated.fetch_add(1, Ordering::Relaxed);
+            Page::new(gen)
+        });
+        page.freshen(gen);
+        page
+    }
+
+    /// Stores `epoch` for data byte `addr`, materializing the page if
+    /// needed (Figure 2, line 6 without the atomicity guard).
+    #[inline]
+    pub fn store(&self, addr: usize, epoch: Epoch) {
+        let (p, o) = self.split(addr);
+        self.page_for_write(p).epochs[o].store(epoch.raw(), Ordering::Release);
+    }
+
+    /// Atomically publishes `new` for data byte `addr` only if the current
+    /// epoch still equals `expected` — the CAS of Section 4.3 that makes
+    /// concurrent WAW checks sound without locks.
+    ///
+    /// # Errors
+    ///
+    /// On contention returns the epoch actually found, which the caller
+    /// interprets as a concurrently published racy write.
+    #[inline]
+    pub fn compare_exchange(&self, addr: usize, expected: Epoch, new: Epoch) -> Result<(), Epoch> {
+        let (p, o) = self.split(addr);
+        self.page_for_write(p).epochs[o]
+            .compare_exchange(
+                expected.raw(),
+                new.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(Epoch::from_raw)
+    }
+
+    /// Loads the epochs of `len` consecutive data bytes into `out`.
+    ///
+    /// Models the vector load of Section 4.4 (e.g. one AVX load of 8
+    /// epochs); the copy is not atomic across elements, exactly like the
+    /// hardware it stands in for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < len`.
+    pub fn load_range(&self, addr: usize, len: usize, out: &mut [Epoch]) {
+        assert!(out.len() >= len, "output buffer too small");
+        for (i, slot) in out.iter_mut().take(len).enumerate() {
+            *slot = self.load(addr + i);
+        }
+    }
+
+    /// Returns true if all `len` bytes starting at `addr` currently carry
+    /// the same epoch — the common case (>99.7% of accesses in every
+    /// benchmark, Section 6.2.3) that enables the single-comparison fast
+    /// path of Section 4.4.
+    ///
+    /// When the range lies within one shadow page the page is resolved
+    /// once and the epochs compared back-to-back — the software analogue
+    /// of one vector load plus one vector compare.
+    pub fn range_uniform(&self, addr: usize, len: usize) -> Option<Epoch> {
+        debug_assert!(len > 0);
+        let (p, o) = self.split(addr);
+        if o + len <= PAGE_EPOCHS {
+            // Single-page fast path: one directory lookup, one generation
+            // check, then a tight compare loop.
+            return match self.pages[p].get() {
+                Some(page)
+                    if page.generation.load(Ordering::Acquire)
+                        == self.generation.load(Ordering::Acquire) =>
+                {
+                    let first = page.epochs[o].load(Ordering::Acquire);
+                    for i in 1..len {
+                        if page.epochs[o + i].load(Ordering::Acquire) != first {
+                            return None;
+                        }
+                    }
+                    Some(Epoch::from_raw(first))
+                }
+                // Unmaterialized or stale page: the whole range reads zero.
+                _ => Some(Epoch::ZERO),
+            };
+        }
+        let first = self.load(addr);
+        for i in 1..len {
+            if self.load(addr + i) != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+
+    /// Atomically publishes `new` over `[addr, addr+len)` where every
+    /// epoch is expected to still equal `expected` (the wide-CAS publish
+    /// of Section 4.4).
+    ///
+    /// # Errors
+    ///
+    /// On the first mismatch returns the offending address and the epoch
+    /// found there; earlier bytes remain updated (exactly like a sequence
+    /// of hardware wide-CAS operations interrupted by a conflict — the
+    /// caller reports the race and the execution stops).
+    pub fn compare_exchange_range(
+        &self,
+        addr: usize,
+        len: usize,
+        expected: Epoch,
+        new: Epoch,
+    ) -> Result<(), (usize, Epoch)> {
+        debug_assert!(len > 0);
+        let (p, o) = self.split(addr);
+        if o + len <= PAGE_EPOCHS {
+            let page = self.page_for_write(p);
+            for i in 0..len {
+                if let Err(found) = page.epochs[o + i].compare_exchange(
+                    expected.raw(),
+                    new.raw(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    return Err((addr + i, Epoch::from_raw(found)));
+                }
+            }
+            return Ok(());
+        }
+        for i in 0..len {
+            self.compare_exchange(addr + i, expected, new)
+                .map_err(|found| (addr + i, found))?;
+        }
+        Ok(())
+    }
+
+    /// Deterministic O(1) metadata reset (Section 4.5): all epochs revert
+    /// to zero by bumping the generation, the analogue of remapping shadow
+    /// pages to the copy-on-write zero page.
+    ///
+    /// Callers must guarantee quiescence (no concurrent checks) — the
+    /// runtime does so by parking every thread at a globally deterministic
+    /// execution point first.
+    pub fn reset(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.resets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Usage statistics.
+    pub fn stats(&self) -> ShadowStats {
+        ShadowStats {
+            pages_allocated: self.pages_allocated.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShadowMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowMemory")
+            .field("data_size", &self.size)
+            .field("generation", &self.generation())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_shadow_reads_zero() {
+        let s = ShadowMemory::new(64 * 1024);
+        for addr in [0usize, 1, 4095, 4096, 65535] {
+            assert_eq!(s.load(addr), Epoch::ZERO);
+        }
+        assert_eq!(s.stats().pages_allocated, 0, "loads must not allocate");
+    }
+
+    #[test]
+    fn store_then_load() {
+        let s = ShadowMemory::new(8192);
+        s.store(5000, Epoch::from_raw(42));
+        assert_eq!(s.load(5000), Epoch::from_raw(42));
+        assert_eq!(s.load(5001), Epoch::ZERO);
+        assert_eq!(s.stats().pages_allocated, 1);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let s = ShadowMemory::new(4096);
+        assert!(s.compare_exchange(10, Epoch::ZERO, Epoch::from_raw(1)).is_ok());
+        let err = s
+            .compare_exchange(10, Epoch::ZERO, Epoch::from_raw(2))
+            .unwrap_err();
+        assert_eq!(err, Epoch::from_raw(1));
+        assert_eq!(s.load(10), Epoch::from_raw(1));
+    }
+
+    #[test]
+    fn reset_is_logical_zeroing() {
+        let s = ShadowMemory::new(4096 * 3);
+        s.store(0, Epoch::from_raw(9));
+        s.store(9000, Epoch::from_raw(11));
+        s.reset();
+        assert_eq!(s.load(0), Epoch::ZERO);
+        assert_eq!(s.load(9000), Epoch::ZERO);
+        assert_eq!(s.stats().resets, 1);
+        // Writing after a reset works on the freshened page.
+        s.store(0, Epoch::from_raw(3));
+        assert_eq!(s.load(0), Epoch::from_raw(3));
+        assert_eq!(s.load(1), Epoch::ZERO);
+    }
+
+    #[test]
+    fn cas_after_reset_sees_zero() {
+        let s = ShadowMemory::new(4096);
+        s.store(7, Epoch::from_raw(5));
+        s.reset();
+        // The old value is logically gone; CAS against ZERO must succeed.
+        assert!(s.compare_exchange(7, Epoch::ZERO, Epoch::from_raw(6)).is_ok());
+        assert_eq!(s.load(7), Epoch::from_raw(6));
+    }
+
+    #[test]
+    fn range_uniform_detects_mixed_epochs() {
+        let s = ShadowMemory::new(4096);
+        for i in 0..8 {
+            s.store(100 + i, Epoch::from_raw(4));
+        }
+        assert_eq!(s.range_uniform(100, 8), Some(Epoch::from_raw(4)));
+        s.store(103, Epoch::from_raw(5));
+        assert_eq!(s.range_uniform(100, 8), None);
+        assert_eq!(s.range_uniform(104, 4), Some(Epoch::from_raw(4)));
+    }
+
+    #[test]
+    fn load_range_copies() {
+        let s = ShadowMemory::new(4096);
+        s.store(0, Epoch::from_raw(1));
+        s.store(2, Epoch::from_raw(3));
+        let mut buf = [Epoch::ZERO; 4];
+        s.load_range(0, 4, &mut buf);
+        assert_eq!(buf[0], Epoch::from_raw(1));
+        assert_eq!(buf[1], Epoch::ZERO);
+        assert_eq!(buf[2], Epoch::from_raw(3));
+    }
+
+    #[test]
+    fn spans_page_boundary() {
+        let s = ShadowMemory::new(PAGE_EPOCHS * 2);
+        let base = PAGE_EPOCHS - 2;
+        for i in 0..4 {
+            s.store(base + i, Epoch::from_raw(7));
+        }
+        assert_eq!(s.range_uniform(base, 4), Some(Epoch::from_raw(7)));
+        assert_eq!(s.stats().pages_allocated, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_size() {
+        let _ = ShadowMemory::new(0);
+    }
+
+    #[test]
+    fn concurrent_cas_publishes_exactly_one() {
+        let s = Arc::new(ShadowMemory::new(4096));
+        let mut handles = Vec::new();
+        for t in 1..=8u32 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                s.compare_exchange(0, Epoch::ZERO, Epoch::from_raw(t)).is_ok()
+            }));
+        }
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|ok| *ok)
+            .count();
+        assert_eq!(wins, 1, "exactly one CAS may publish");
+    }
+
+    #[test]
+    fn range_uniform_on_unmaterialized_page_is_zero() {
+        let s = ShadowMemory::new(PAGE_EPOCHS * 2);
+        assert_eq!(s.range_uniform(100, 8), Some(Epoch::ZERO));
+        assert_eq!(s.stats().pages_allocated, 0, "no allocation on reads");
+    }
+
+    #[test]
+    fn range_uniform_after_reset_is_zero() {
+        let s = ShadowMemory::new(4096);
+        for i in 0..8 {
+            s.store(64 + i, Epoch::from_raw(9));
+        }
+        s.reset();
+        assert_eq!(s.range_uniform(64, 8), Some(Epoch::ZERO));
+    }
+
+    #[test]
+    fn cas_range_single_page() {
+        let s = ShadowMemory::new(4096);
+        s.compare_exchange_range(16, 8, Epoch::ZERO, Epoch::from_raw(5))
+            .unwrap();
+        assert_eq!(s.range_uniform(16, 8), Some(Epoch::from_raw(5)));
+        // Mismatch reports the offending address.
+        s.store(19, Epoch::from_raw(7));
+        let (at, found) = s
+            .compare_exchange_range(16, 8, Epoch::from_raw(5), Epoch::from_raw(6))
+            .unwrap_err();
+        assert_eq!(at, 19);
+        assert_eq!(found, Epoch::from_raw(7));
+        // Bytes before the conflict were updated (wide-CAS sequence).
+        assert_eq!(s.load(16), Epoch::from_raw(6));
+        assert_eq!(s.load(18), Epoch::from_raw(6));
+        assert_eq!(s.load(20), Epoch::from_raw(5));
+    }
+
+    #[test]
+    fn cas_range_across_pages() {
+        let s = ShadowMemory::new(PAGE_EPOCHS * 2);
+        let base = PAGE_EPOCHS - 3;
+        s.compare_exchange_range(base, 6, Epoch::ZERO, Epoch::from_raw(4))
+            .unwrap();
+        assert_eq!(s.range_uniform(base, 6), Some(Epoch::from_raw(4)));
+        assert_eq!(s.stats().pages_allocated, 2);
+    }
+
+    #[test]
+    fn generation_visible() {
+        let s = ShadowMemory::new(4096);
+        assert_eq!(s.generation(), 0);
+        s.reset();
+        s.reset();
+        assert_eq!(s.generation(), 2);
+        assert!(!format!("{s:?}").is_empty());
+    }
+}

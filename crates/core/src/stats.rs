@@ -1,0 +1,137 @@
+//! Detection statistics — the measured quantities behind Figures 7, 8
+//! and 10 of the paper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters accumulated by the detector.
+///
+/// All counters are monotone and updated with relaxed atomics; a snapshot
+/// taken while threads run is approximate but each final value (after the
+/// program quiesces) is exact.
+#[derive(Debug, Default)]
+pub struct DetectorStats {
+    /// Shared read accesses checked.
+    pub reads_checked: AtomicU64,
+    /// Shared write accesses checked.
+    pub writes_checked: AtomicU64,
+    /// Total data bytes covered by checked accesses.
+    pub bytes_checked: AtomicU64,
+    /// Multi-byte accesses whose epochs were all equal, resolved with the
+    /// single-comparison fast path of Section 4.4.
+    pub uniform_fast_path: AtomicU64,
+    /// Multi-byte accesses that fell back to per-byte checks.
+    pub per_byte_slow_path: AtomicU64,
+    /// Epoch updates published (Figure 2, line 6).
+    pub epoch_updates: AtomicU64,
+    /// Write checks that skipped the update because the epoch was already
+    /// current (Figure 2, line 5 `epoch != newEpoch` false).
+    pub update_skipped: AtomicU64,
+    /// CAS publications that failed, i.e. WAW races caught by the
+    /// Section 4.3 atomicity mechanism rather than the clock comparison.
+    pub cas_conflicts: AtomicU64,
+    /// Races reported.
+    pub races_reported: AtomicU64,
+}
+
+/// A plain-value snapshot of [`DetectorStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Shared read accesses checked.
+    pub reads_checked: u64,
+    /// Shared write accesses checked.
+    pub writes_checked: u64,
+    /// Total data bytes covered by checked accesses.
+    pub bytes_checked: u64,
+    /// Accesses resolved by the uniform-epoch fast path.
+    pub uniform_fast_path: u64,
+    /// Accesses that required per-byte checks.
+    pub per_byte_slow_path: u64,
+    /// Epoch updates published.
+    pub epoch_updates: u64,
+    /// Redundant updates skipped.
+    pub update_skipped: u64,
+    /// CAS conflicts (concurrent WAW captures).
+    pub cas_conflicts: u64,
+    /// Races reported.
+    pub races_reported: u64,
+}
+
+impl StatsSnapshot {
+    /// Total accesses checked.
+    pub fn total_checked(&self) -> u64 {
+        self.reads_checked + self.writes_checked
+    }
+
+    /// Fraction of multi-byte accesses resolved by the fast path
+    /// (the ">99.7%" quantity of Section 6.2.3).
+    pub fn fast_path_fraction(&self) -> f64 {
+        let total = self.uniform_fast_path + self.per_byte_slow_path;
+        if total == 0 {
+            return 1.0;
+        }
+        self.uniform_fast_path as f64 / total as f64
+    }
+}
+
+impl DetectorStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads_checked: self.reads_checked.load(Ordering::Relaxed),
+            writes_checked: self.writes_checked.load(Ordering::Relaxed),
+            bytes_checked: self.bytes_checked.load(Ordering::Relaxed),
+            uniform_fast_path: self.uniform_fast_path.load(Ordering::Relaxed),
+            per_byte_slow_path: self.per_byte_slow_path.load(Ordering::Relaxed),
+            epoch_updates: self.epoch_updates.load(Ordering::Relaxed),
+            update_skipped: self.update_skipped.load(Ordering::Relaxed),
+            cas_conflicts: self.cas_conflicts.load(Ordering::Relaxed),
+            races_reported: self.races_reported.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = DetectorStats::new();
+        DetectorStats::bump(&s.reads_checked);
+        DetectorStats::bump(&s.reads_checked);
+        DetectorStats::bump(&s.writes_checked);
+        DetectorStats::add(&s.bytes_checked, 12);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads_checked, 2);
+        assert_eq!(snap.writes_checked, 1);
+        assert_eq!(snap.bytes_checked, 12);
+        assert_eq!(snap.total_checked(), 3);
+    }
+
+    #[test]
+    fn fast_path_fraction_edges() {
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.fast_path_fraction(), 1.0);
+        let snap = StatsSnapshot {
+            uniform_fast_path: 997,
+            per_byte_slow_path: 3,
+            ..Default::default()
+        };
+        assert!((snap.fast_path_fraction() - 0.997).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! A serialized record of a monitored execution's events.
+//!
+//! Race-detection engines (the `clean-baselines` crate) analyze these
+//! streams offline, and the CLEAN runtime can record one during a live
+//! execution (`RuntimeConfig::record_trace`), enabling cross-validation:
+//! the online detector's verdict must agree with the offline engines'
+//! verdict on the recorded interleaving.
+
+use crate::epoch::ThreadId;
+
+/// Identifier of a lock in a trace.
+pub type LockId = u32;
+
+/// One event of a monitored execution, in a global serialization order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `tid` reads `size` bytes at `addr`.
+    Read {
+        /// Accessing thread.
+        tid: ThreadId,
+        /// Byte address.
+        addr: usize,
+        /// Access width in bytes.
+        size: usize,
+    },
+    /// `tid` writes `size` bytes at `addr`.
+    Write {
+        /// Accessing thread.
+        tid: ThreadId,
+        /// Byte address.
+        addr: usize,
+        /// Access width in bytes.
+        size: usize,
+    },
+    /// `tid` acquires `lock`.
+    Acquire {
+        /// Acquiring thread.
+        tid: ThreadId,
+        /// The lock.
+        lock: LockId,
+    },
+    /// `tid` releases `lock`.
+    Release {
+        /// Releasing thread.
+        tid: ThreadId,
+        /// The lock.
+        lock: LockId,
+    },
+    /// `parent` creates `child`.
+    Fork {
+        /// Creating thread.
+        parent: ThreadId,
+        /// Created thread.
+        child: ThreadId,
+    },
+    /// `parent` joins `child`.
+    Join {
+        /// Joining thread.
+        parent: ThreadId,
+        /// Joined (finished) thread.
+        child: ThreadId,
+    },
+}
+
+impl TraceEvent {
+    /// The thread performing this event (the parent, for fork/join).
+    pub fn tid(&self) -> ThreadId {
+        match *self {
+            TraceEvent::Read { tid, .. }
+            | TraceEvent::Write { tid, .. }
+            | TraceEvent::Acquire { tid, .. }
+            | TraceEvent::Release { tid, .. } => tid,
+            TraceEvent::Fork { parent, .. } | TraceEvent::Join { parent, .. } => parent,
+        }
+    }
+
+    /// Returns true for memory (read/write) events.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, TraceEvent::Read { .. } | TraceEvent::Write { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_extraction() {
+        let t = ThreadId::new(3);
+        assert_eq!(
+            TraceEvent::Read {
+                tid: t,
+                addr: 0,
+                size: 1
+            }
+            .tid(),
+            t
+        );
+        assert_eq!(
+            TraceEvent::Fork {
+                parent: t,
+                child: ThreadId::new(4)
+            }
+            .tid(),
+            t
+        );
+    }
+
+    #[test]
+    fn memory_classification() {
+        let t = ThreadId::new(0);
+        assert!(TraceEvent::Write {
+            tid: t,
+            addr: 0,
+            size: 4
+        }
+        .is_memory());
+        assert!(!TraceEvent::Acquire { tid: t, lock: 0 }.is_memory());
+    }
+}

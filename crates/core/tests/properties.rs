@@ -1,0 +1,171 @@
+//! Property-based tests of the core invariants: vector-clock algebra,
+//! epoch packing, shadow-memory consistency against a model, and
+//! vectorized/non-vectorized detector equivalence.
+
+use clean_core::{
+    CleanDetector, DetectorConfig, Epoch, EpochLayout, ShadowMemory, ThreadId, VectorClock,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const N: usize = 4;
+
+fn arb_vc() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..1000, N).prop_map(|clocks| {
+        let mut vc = VectorClock::new(N, EpochLayout::paper_default());
+        for (i, c) in clocks.into_iter().enumerate() {
+            vc.set_clock(ThreadId::new(i as u16), c);
+        }
+        vc
+    })
+}
+
+proptest! {
+    #[test]
+    fn epoch_pack_roundtrip(tid in 0u16..=255, clock in 0u32..(1 << 23)) {
+        let layout = EpochLayout::paper_default();
+        let e = layout.pack(ThreadId::new(tid), clock);
+        prop_assert_eq!(layout.tid(e), ThreadId::new(tid));
+        prop_assert_eq!(layout.clock(e), clock);
+    }
+
+    #[test]
+    fn epoch_roundtrip_any_layout(bits in 1u32..=30, tid_seed in 0u32..u32::MAX, clock_seed in 0u32..u32::MAX) {
+        let layout = EpochLayout::with_clock_bits(bits);
+        let tid = ThreadId::new((tid_seed as usize % layout.max_threads()) as u16);
+        let clock = clock_seed % (layout.max_clock() + 1);
+        let e = layout.pack(tid, clock);
+        prop_assert_eq!(layout.tid(e), tid);
+        prop_assert_eq!(layout.clock(e), clock);
+    }
+
+    #[test]
+    fn join_is_commutative(a in arb_vc(), b in arb_vc()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn join_is_associative(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn join_is_idempotent_and_upper_bound(a in arb_vc(), b in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&b);
+        let mut jj = j.clone();
+        jj.join(&b);
+        prop_assert_eq!(&j, &jj);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn races_with_iff_clock_exceeds_element(vc in arb_vc(), tid in 0u16..(N as u16), clock in 0u32..1000) {
+        let layout = EpochLayout::paper_default();
+        let e = layout.pack(ThreadId::new(tid), clock);
+        let races = vc.races_with(e);
+        prop_assert_eq!(races, clock > vc.clock_of(ThreadId::new(tid)));
+    }
+
+    #[test]
+    fn join_absorbs_write_epochs(mut reader in arb_vc(), writer in arb_vc(), tid in 0u16..(N as u16)) {
+        // After joining the writer's clock, none of the writer's epochs race.
+        let e = writer.write_epoch(ThreadId::new(tid));
+        reader.join(&writer);
+        prop_assert!(!reader.races_with(e));
+    }
+
+    #[test]
+    fn shadow_matches_hashmap_model(
+        ops in proptest::collection::vec(
+            (0usize..8192, 0u32..5000, prop::bool::ANY), 1..200),
+    ) {
+        let shadow = ShadowMemory::new(8192);
+        let mut model: HashMap<usize, u32> = HashMap::new();
+        for (addr, val, use_cas) in ops {
+            if use_cas {
+                let cur = *model.get(&addr).unwrap_or(&0);
+                let ok = shadow
+                    .compare_exchange(addr, Epoch::from_raw(cur), Epoch::from_raw(val))
+                    .is_ok();
+                prop_assert!(ok, "model-matched CAS must succeed");
+                model.insert(addr, val);
+            } else {
+                shadow.store(addr, Epoch::from_raw(val));
+                model.insert(addr, val);
+            }
+            prop_assert_eq!(shadow.load(addr).raw(), model[&addr]);
+        }
+    }
+
+    #[test]
+    fn shadow_reset_clears_everything(
+        addrs in proptest::collection::vec(0usize..4096, 1..50),
+    ) {
+        let shadow = ShadowMemory::new(4096);
+        for (i, a) in addrs.iter().enumerate() {
+            shadow.store(*a, Epoch::from_raw(i as u32 + 1));
+        }
+        shadow.reset();
+        for a in &addrs {
+            prop_assert_eq!(shadow.load(*a), Epoch::ZERO);
+        }
+    }
+
+    /// Vectorized and per-byte detectors must return identical verdicts on
+    /// any sequential access script with synchronization modelled by
+    /// explicit vector-clock joins.
+    #[test]
+    fn vectorized_equals_scalar_detection(
+        script in proptest::collection::vec(
+            (0u16..(N as u16), 0usize..128, 1usize..=8, prop::bool::ANY, prop::bool::ANY),
+            1..120),
+    ) {
+        let det_v = CleanDetector::new(256, DetectorConfig::new().vectorized(true));
+        let det_s = CleanDetector::new(256, DetectorConfig::new().vectorized(false));
+        let layout = EpochLayout::paper_default();
+        let mut vcs: Vec<VectorClock> =
+            (0..N).map(|_| VectorClock::new(N, layout)).collect();
+        for (i, vc) in vcs.iter_mut().enumerate() {
+            vc.increment(ThreadId::new(i as u16)).unwrap();
+        }
+        let mut global = VectorClock::new(N, layout);
+        for (tid, addr, size, is_write, sync_first) in script {
+            let t = ThreadId::new(tid);
+            let i = tid as usize;
+            if sync_first {
+                // Model a global lock: release-acquire through `global`.
+                global.join(&vcs[i]);
+                vcs[i].join(&global);
+                vcs[i].increment(t).unwrap();
+            }
+            let addr = addr.min(256 - size);
+            let (rv, rs) = if is_write {
+                (det_v.check_write(&vcs[i], t, addr, size),
+                 det_s.check_write(&vcs[i], t, addr, size))
+            } else {
+                (det_v.check_read(&vcs[i], t, addr, size),
+                 det_s.check_read(&vcs[i], t, addr, size))
+            };
+            prop_assert_eq!(rv.is_err(), rs.is_err(),
+                "verdict mismatch at {:?} addr {} size {}", t, addr, size);
+            if rv.is_err() {
+                // Both stopped: a real execution would end here; stop the
+                // script like the race exception would.
+                break;
+            }
+        }
+    }
+}

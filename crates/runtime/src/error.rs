@@ -1,0 +1,116 @@
+//! Error types of the CLEAN runtime.
+
+use clean_core::RaceReport;
+use core::fmt;
+
+/// Errors surfaced by CLEAN runtime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CleanError {
+    /// The CLEAN race exception: a WAW or RAW race was detected on this
+    /// access. The execution is stopped (all threads are poisoned).
+    Race(RaceReport),
+    /// Another thread raised the race exception; this thread must unwind.
+    /// The globally first race is available from
+    /// [`CleanRuntime::first_race`](crate::CleanRuntime::first_race).
+    Poisoned,
+    /// The shared heap is exhausted.
+    OutOfMemory {
+        /// Bytes requested by the failed allocation.
+        requested: usize,
+        /// Bytes remaining in the heap.
+        available: usize,
+    },
+    /// No free deterministic thread ids remain.
+    ThreadLimit {
+        /// The configured maximum number of live threads.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for CleanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleanError::Race(r) => write!(f, "race exception: {r}"),
+            CleanError::Poisoned => {
+                write!(f, "execution stopped by a race exception in another thread")
+            }
+            CleanError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "shared heap exhausted: requested {requested} bytes, {available} available"
+            ),
+            CleanError::ThreadLimit { capacity } => {
+                write!(f, "thread limit reached: {capacity} ids are live")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CleanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CleanError::Race(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<RaceReport> for CleanError {
+    fn from(r: RaceReport) -> Self {
+        CleanError::Race(r)
+    }
+}
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, CleanError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clean_core::{EpochLayout, RaceKind, ThreadId};
+
+    fn report() -> RaceReport {
+        let layout = EpochLayout::paper_default();
+        RaceReport {
+            kind: RaceKind::ReadAfterWrite,
+            addr: 4,
+            size: 4,
+            current_tid: ThreadId::new(1),
+            current_clock: 2,
+            previous: layout.pack(ThreadId::new(0), 3),
+            layout,
+        }
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(CleanError::Race(report()).to_string().contains("RAW"));
+        assert!(CleanError::Poisoned.to_string().contains("stopped"));
+        assert!(CleanError::OutOfMemory {
+            requested: 10,
+            available: 4
+        }
+        .to_string()
+        .contains("10"));
+        assert!(CleanError::ThreadLimit { capacity: 8 }
+            .to_string()
+            .contains('8'));
+    }
+
+    #[test]
+    fn race_error_exposes_source() {
+        use std::error::Error;
+        let e = CleanError::Race(report());
+        assert!(e.source().is_some());
+        assert!(CleanError::Poisoned.source().is_none());
+    }
+
+    #[test]
+    fn from_report() {
+        let e: CleanError = report().into();
+        assert!(matches!(e, CleanError::Race(_)));
+    }
+}

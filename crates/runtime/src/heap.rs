@@ -1,0 +1,259 @@
+//! The shared heap — the "potentially shared program data" that CLEAN
+//! monitors.
+//!
+//! The paper instruments every access the compiler cannot prove private
+//! (Section 4.1). In this library-level reproduction, shared data lives in
+//! an explicit byte-addressed heap and programs access it through the
+//! checked accessors of [`ThreadCtx`](crate::ThreadCtx); everything else
+//! (Rust locals) plays the role of provably-private registers and stack
+//! slots.
+//!
+//! Data bytes are stored as relaxed atomics: CLEAN deliberately allows
+//! WAR-racy executions to complete, so the underlying storage must remain
+//! well-defined under concurrent access. Relaxed atomic bytes compile to
+//! plain loads/stores on x86, mirroring the paper's setting.
+
+use crate::error::CleanError;
+use crate::scalar::Scalar;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// A typed view of a contiguous region of the shared heap.
+///
+/// The handle is a plain (base, length) descriptor — copying it does not
+/// copy data, and all element accesses go through a
+/// [`ThreadCtx`](crate::ThreadCtx) so they are race-checked.
+#[derive(Debug)]
+pub struct SharedArray<T: Scalar> {
+    base: usize,
+    len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls: `derive` would needlessly bound T.
+impl<T: Scalar> Clone for SharedArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Scalar> Copy for SharedArray<T> {}
+
+impl<T: Scalar> SharedArray<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of the first element in the shared heap.
+    pub fn base_addr(&self) -> usize {
+        self.base
+    }
+
+    /// Byte address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> usize {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.base + i * T::SIZE
+    }
+
+    /// A sub-view of elements `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > len`.
+    pub fn slice(&self, from: usize, to: usize) -> SharedArray<T> {
+        assert!(from <= to && to <= self.len, "invalid slice {from}..{to}");
+        SharedArray {
+            base: self.base + from * T::SIZE,
+            len: to - from,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// The byte-addressed shared heap: backing storage plus a bump allocator.
+pub struct SharedHeap {
+    data: Box<[AtomicU8]>,
+    cursor: AtomicUsize,
+}
+
+impl SharedHeap {
+    /// Creates a heap of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "heap must have nonzero size");
+        SharedHeap {
+            data: (0..size).map(|_| AtomicU8::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total heap size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Allocates `bytes` bytes aligned to `align` (zero-initialized; the
+    /// heap is never reused, like the paper's monitored malloc regions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CleanError::OutOfMemory`] when the heap is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&self, bytes: usize, align: usize) -> Result<usize, CleanError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        loop {
+            let cur = self.cursor.load(Ordering::Relaxed);
+            let base = (cur + align - 1) & !(align - 1);
+            let end = base.saturating_add(bytes);
+            if end > self.data.len() {
+                return Err(CleanError::OutOfMemory {
+                    requested: bytes,
+                    available: self.data.len().saturating_sub(base),
+                });
+            }
+            if self
+                .cursor
+                .compare_exchange(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(base);
+            }
+        }
+    }
+
+    /// Allocates a typed array of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CleanError::OutOfMemory`] when the heap is exhausted.
+    pub fn alloc_array<T: Scalar>(&self, len: usize) -> Result<SharedArray<T>, CleanError> {
+        let base = self.alloc(len * T::SIZE, T::SIZE.max(1))?;
+        Ok(SharedArray {
+            base,
+            len,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Raw unchecked byte load (used by the runtime's checked accessors;
+    /// not race-checked by itself).
+    #[inline]
+    pub(crate) fn load_byte(&self, addr: usize) -> u8 {
+        self.data[addr].load(Ordering::Relaxed)
+    }
+
+    /// Raw unchecked byte store.
+    #[inline]
+    pub(crate) fn store_byte(&self, addr: usize, v: u8) {
+        self.data[addr].store(v, Ordering::Relaxed);
+    }
+
+    /// Loads `buf.len()` bytes starting at `addr`.
+    pub(crate) fn load_bytes(&self, addr: usize, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.load_byte(addr + i);
+        }
+    }
+
+    /// Stores `buf` starting at `addr`.
+    pub(crate) fn store_bytes(&self, addr: usize, buf: &[u8]) {
+        for (i, b) in buf.iter().enumerate() {
+            self.store_byte(addr + i, *b);
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedHeap")
+            .field("size", &self.size())
+            .field("used", &self.used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let h = SharedHeap::new(1024);
+        let a = h.alloc(3, 1).unwrap();
+        let b = h.alloc(8, 8).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b % 8, 0);
+        assert!(b >= 3);
+    }
+
+    #[test]
+    fn alloc_array_sizes() {
+        let h = SharedHeap::new(1024);
+        let a: SharedArray<u32> = h.alloc_array(10).unwrap();
+        assert_eq!(a.len(), 10);
+        assert!(!a.is_empty());
+        assert_eq!(a.addr_of(1) - a.addr_of(0), 4);
+        assert_eq!(a.base_addr() % 4, 0);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let h = SharedHeap::new(16);
+        assert!(h.alloc(12, 1).is_ok());
+        let err = h.alloc(8, 1).unwrap_err();
+        assert!(matches!(err, CleanError::OutOfMemory { requested: 8, .. }));
+    }
+
+    #[test]
+    fn slice_views() {
+        let h = SharedHeap::new(1024);
+        let a: SharedArray<u64> = h.alloc_array(8).unwrap();
+        let s = a.slice(2, 5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.addr_of(0), a.addr_of(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn addr_of_out_of_bounds_panics() {
+        let h = SharedHeap::new(64);
+        let a: SharedArray<u8> = h.alloc_array(4).unwrap();
+        let _ = a.addr_of(4);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let h = SharedHeap::new(64);
+        h.store_bytes(10, &[1, 2, 3]);
+        let mut buf = [0u8; 3];
+        h.load_bytes(10, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let h = SharedHeap::new(8);
+        assert_eq!(h.load_byte(7), 0);
+    }
+}

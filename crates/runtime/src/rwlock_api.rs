@@ -1,0 +1,234 @@
+//! Reader-writer locks for monitored threads, with the precise two-clock
+//! happens-before model: a *write clock* published by write-unlocks and
+//! absorbed by every acquire, and a *read-release clock* published by
+//! read-unlocks and absorbed only by write-acquires. Read-acquires never
+//! absorb other readers' clocks, so reader-reader ordering is never
+//! fabricated — over-synchronizing there would mask real races.
+//!
+//! Recorded traces encode the same model with two pseudo-lock ids (see
+//! [`CleanRwLock`]), so the offline engines reconstruct identical
+//! happens-before.
+
+use crate::error::{CleanError, Result};
+use crate::runtime::{poll_runtime, CleanRuntime, ThreadCtx};
+use clean_core::{LockId, TraceEvent, VectorClock};
+use clean_sync::DetRwLock;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Plain-path state: 0 = free, `u32::MAX` = writer, otherwise reader
+/// count.
+const WRITER: u32 = u32::MAX;
+
+/// A reader-writer lock usable from monitored threads via
+/// [`ThreadCtx::read_lock`] / [`ThreadCtx::write_lock`] and their
+/// unlock counterparts.
+pub struct CleanRwLock {
+    det: DetRwLock,
+    plain: AtomicU32,
+    /// Published by write-unlocks; absorbed by every acquire.
+    write_vc: Arc<Mutex<VectorClock>>,
+    /// Published by read-unlocks; absorbed by write-acquires only.
+    read_vc: Arc<Mutex<VectorClock>>,
+    /// Trace id of the write clock.
+    id_w: LockId,
+    /// Trace id of the read-release clock.
+    id_r: LockId,
+}
+
+impl CleanRwLock {
+    /// (read, write) acquisitions under deterministic synchronization.
+    pub fn acquisitions(&self) -> (u64, u64) {
+        self.det.acquisitions()
+    }
+
+    /// The (write-clock, read-clock) trace ids.
+    pub fn ids(&self) -> (LockId, LockId) {
+        (self.id_w, self.id_r)
+    }
+}
+
+impl std::fmt::Debug for CleanRwLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CleanRwLock")
+            .field("readers", &self.det.reader_count())
+            .field("writer", &self.det.writer())
+            .finish()
+    }
+}
+
+impl CleanRuntime {
+    /// Creates a reader-writer lock whose clocks participate in
+    /// deterministic resets.
+    pub fn create_rwlock(&self) -> Arc<CleanRwLock> {
+        let cfg = self.config();
+        let write_vc = Arc::new(Mutex::new(VectorClock::new(cfg.max_threads, cfg.layout)));
+        let read_vc = Arc::new(Mutex::new(VectorClock::new(cfg.max_threads, cfg.layout)));
+        let (w, r) = (Arc::clone(&write_vc), Arc::clone(&read_vc));
+        self.inner().register_reset_hook(Box::new(move || {
+            w.lock().reset();
+            r.lock().reset();
+        }));
+        Arc::new(CleanRwLock {
+            det: DetRwLock::new(),
+            plain: AtomicU32::new(0),
+            write_vc,
+            read_vc,
+            id_w: self.inner().alloc_lock_id(),
+            id_r: self.inner().alloc_lock_id(),
+        })
+    }
+}
+
+impl ThreadCtx {
+    /// Acquires `l` in shared mode: joins the lock's write clock (all
+    /// prior write-unlocks happen-before this reader).
+    ///
+    /// # Errors
+    ///
+    /// [`CleanError::Poisoned`] if the execution stopped while waiting.
+    pub fn read_lock(&mut self, l: &CleanRwLock) -> Result<()> {
+        self.check_poison()?;
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        {
+            let ThreadCtx { rt, vc, det, .. } = self;
+            match det.as_mut() {
+                Some(h) => {
+                    let rt2 = Arc::clone(rt);
+                    l.det
+                        .read_lock(h, || poll_runtime(&rt2, vc))
+                        .map_err(|_| CleanError::Poisoned)?;
+                }
+                None => loop {
+                    let cur = l.plain.load(Ordering::Acquire);
+                    if cur != WRITER
+                        && l.plain
+                            .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        break;
+                    }
+                    if poll_runtime(rt, vc) {
+                        return Err(CleanError::Poisoned);
+                    }
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                },
+            }
+        }
+        if self.rt.detector.is_some() {
+            let wvc = l.write_vc.lock();
+            self.vc.join(&wvc);
+        }
+        self.rt.record(TraceEvent::Acquire {
+            tid: self.tid,
+            lock: l.id_w,
+        });
+        Ok(())
+    }
+
+    /// Releases a shared hold: publishes this thread's clock into the
+    /// lock's read-release clock (absorbed by the next write-acquire).
+    pub fn read_unlock(&mut self, l: &CleanRwLock) -> Result<()> {
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        self.rt.record(TraceEvent::Release {
+            tid: self.tid,
+            lock: l.id_r,
+        });
+        if self.rt.detector.is_some() {
+            l.read_vc.lock().join(&self.vc);
+            self.increment_own();
+        }
+        match self.det.as_mut() {
+            Some(h) => l.det.read_unlock(h),
+            None => {
+                let prev = l.plain.fetch_sub(1, Ordering::AcqRel);
+                assert!(prev != 0 && prev != WRITER, "read_unlock without hold");
+            }
+        }
+        Ok(())
+    }
+
+    /// Acquires `l` exclusively: joins both the write clock and the
+    /// read-release clock (all prior readers and writers happen-before
+    /// this writer).
+    ///
+    /// # Errors
+    ///
+    /// [`CleanError::Poisoned`] if the execution stopped while waiting.
+    pub fn write_lock(&mut self, l: &CleanRwLock) -> Result<()> {
+        self.check_poison()?;
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        {
+            let ThreadCtx { rt, vc, det, .. } = self;
+            match det.as_mut() {
+                Some(h) => {
+                    let rt2 = Arc::clone(rt);
+                    l.det
+                        .write_lock(h, || poll_runtime(&rt2, vc))
+                        .map_err(|_| CleanError::Poisoned)?;
+                }
+                None => {
+                    while l
+                        .plain
+                        .compare_exchange(0, WRITER, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        if poll_runtime(rt, vc) {
+                            return Err(CleanError::Poisoned);
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        if self.rt.detector.is_some() {
+            {
+                let wvc = l.write_vc.lock();
+                self.vc.join(&wvc);
+            }
+            {
+                let rvc = l.read_vc.lock();
+                self.vc.join(&rvc);
+            }
+        }
+        self.rt.record(TraceEvent::Acquire {
+            tid: self.tid,
+            lock: l.id_w,
+        });
+        self.rt.record(TraceEvent::Acquire {
+            tid: self.tid,
+            lock: l.id_r,
+        });
+        Ok(())
+    }
+
+    /// Releases the exclusive hold: publishes this thread's clock into
+    /// the lock's write clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics (under det-sync) if this thread does not hold the write
+    /// lock.
+    pub fn write_unlock(&mut self, l: &CleanRwLock) -> Result<()> {
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        self.rt.record(TraceEvent::Release {
+            tid: self.tid,
+            lock: l.id_w,
+        });
+        if self.rt.detector.is_some() {
+            l.write_vc.lock().join(&self.vc);
+            self.increment_own();
+        }
+        match self.det.as_mut() {
+            Some(h) => l.det.write_unlock(h),
+            None => {
+                let prev = l.plain.swap(0, Ordering::AcqRel);
+                assert_eq!(prev, WRITER, "write_unlock without exclusive hold");
+            }
+        }
+        Ok(())
+    }
+}

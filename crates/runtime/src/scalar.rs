@@ -1,0 +1,94 @@
+//! Plain-old-data scalars that can live in the shared heap.
+
+mod private {
+    pub trait Sealed {}
+}
+
+/// A fixed-size plain-old-data scalar storable in CLEAN's shared heap.
+///
+/// All accesses go through little-endian byte encoding, matching the
+/// byte-granular metadata the detector maintains (Section 3.2: checks are
+/// performed "at the finest granularity at which a program may access
+/// memory, i.e., for each byte").
+///
+/// This trait is sealed; it is implemented for the integer and float
+/// primitives up to 8 bytes.
+pub trait Scalar: Copy + Send + Sync + 'static + private::Sealed {
+    /// Size of the encoded value in bytes (1, 2, 4 or 8).
+    const SIZE: usize;
+
+    /// Encodes `self` into `out[..Self::SIZE]` (little-endian).
+    fn encode(self, out: &mut [u8]);
+
+    /// Decodes a value from `buf[..Self::SIZE]` (little-endian).
+    fn decode(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl private::Sealed for $t {}
+        impl Scalar for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn encode(self, out: &mut [u8]) {
+                out[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn decode(buf: &[u8]) -> Self {
+                let mut b = [0u8; std::mem::size_of::<$t>()];
+                b.copy_from_slice(&buf[..Self::SIZE]);
+                <$t>::from_le_bytes(b)
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = [0u8; 8];
+        v.encode(&mut buf);
+        assert_eq!(T::decode(&buf), v);
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip(0xabu8);
+        roundtrip(0xdeadu16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(0xdead_beef_cafe_f00du64);
+        roundtrip(-7i8);
+        roundtrip(-31000i16);
+        roundtrip(-2_000_000_000i32);
+        roundtrip(i64::MIN);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn float_roundtrips() {
+        roundtrip(3.5f32);
+        roundtrip(-0.1f64);
+        roundtrip(f64::INFINITY);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(<u8 as Scalar>::SIZE, 1);
+        assert_eq!(<u16 as Scalar>::SIZE, 2);
+        assert_eq!(<f32 as Scalar>::SIZE, 4);
+        assert_eq!(<u64 as Scalar>::SIZE, 8);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut buf = [0u8; 4];
+        0x0403_0201u32.encode(&mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,401 @@
+//! Synchronization objects of the CLEAN runtime: Pthread-like mutexes,
+//! barriers and condition variables that (i) order deterministically via
+//! Kendo when enabled, and (ii) carry vector clocks so the detector tracks
+//! happens-before across them (Section 3.2: thread and lock clocks are
+//! "updated on synchronization and thread create/join operations as in
+//! standard race detectors").
+
+use crate::error::{CleanError, Result};
+use crate::runtime::{poll_runtime, CleanRuntime, ThreadCtx};
+use clean_core::{LockId, TraceEvent, VectorClock};
+use clean_sync::{DetBarrier, DetCondvar, DetMutex};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A mutex usable from monitored threads via [`ThreadCtx::lock`] /
+/// [`ThreadCtx::unlock`].
+///
+/// Carries a vector clock that propagates happens-before from the
+/// releasing to the acquiring thread. With deterministic synchronization
+/// enabled the acquisition order is the same in every execution.
+pub struct CleanMutex {
+    det: DetMutex,
+    plain: AtomicBool,
+    vc: Arc<Mutex<VectorClock>>,
+    id: LockId,
+}
+
+impl CleanMutex {
+    /// Number of deterministic acquisitions (diagnostic; meaningful when
+    /// det-sync is enabled).
+    pub fn acquisitions(&self) -> u64 {
+        self.det.acquisitions()
+    }
+
+    /// The lock's id in recorded traces.
+    pub fn id(&self) -> LockId {
+        self.id
+    }
+}
+
+impl std::fmt::Debug for CleanMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CleanMutex")
+            .field("det", &self.det)
+            .finish()
+    }
+}
+
+/// A cyclic barrier usable from monitored threads via
+/// [`ThreadCtx::barrier_wait`].
+pub struct CleanBarrier {
+    det: DetBarrier,
+    parties: usize,
+    id: LockId,
+    plain_state: Mutex<(usize, u64)>,
+    plain_gen: AtomicU64,
+    /// (accumulator, arrival count) of the in-progress episode.
+    arrivals: Arc<Mutex<(VectorClock, usize)>>,
+    /// Release clock of the last completed episode.
+    release: Arc<Mutex<VectorClock>>,
+}
+
+impl CleanBarrier {
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Completed episodes (under det-sync; diagnostic).
+    pub fn generations(&self) -> u64 {
+        self.det.generations().max(self.plain_gen.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for CleanBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CleanBarrier")
+            .field("parties", &self.parties)
+            .finish()
+    }
+}
+
+/// A condition variable usable from monitored threads via
+/// [`ThreadCtx::cond_wait`] / [`ThreadCtx::cond_signal`] /
+/// [`ThreadCtx::cond_broadcast`].
+pub struct CleanCondvar {
+    det: DetCondvar,
+    plain: Mutex<VecDeque<Arc<AtomicBool>>>,
+}
+
+impl std::fmt::Debug for CleanCondvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CleanCondvar")
+            .field("waiters", &self.det.waiter_count())
+            .finish()
+    }
+}
+
+impl CleanRuntime {
+    /// Creates a mutex whose clock participates in deterministic resets.
+    pub fn create_mutex(&self) -> Arc<CleanMutex> {
+        let cfg = self.config();
+        let vc = Arc::new(Mutex::new(VectorClock::new(cfg.max_threads, cfg.layout)));
+        let hook_vc = Arc::clone(&vc);
+        self.inner()
+            .register_reset_hook(Box::new(move || hook_vc.lock().reset()));
+        Arc::new(CleanMutex {
+            det: DetMutex::new(),
+            plain: AtomicBool::new(false),
+            vc,
+            id: self.inner().alloc_lock_id(),
+        })
+    }
+
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn create_barrier(&self, parties: usize) -> Arc<CleanBarrier> {
+        let cfg = self.config();
+        let arrivals = Arc::new(Mutex::new((
+            VectorClock::new(cfg.max_threads, cfg.layout),
+            0usize,
+        )));
+        let release = Arc::new(Mutex::new(VectorClock::new(cfg.max_threads, cfg.layout)));
+        let (a, r) = (Arc::clone(&arrivals), Arc::clone(&release));
+        self.inner().register_reset_hook(Box::new(move || {
+            a.lock().0.reset();
+            r.lock().reset();
+        }));
+        Arc::new(CleanBarrier {
+            det: DetBarrier::new(parties),
+            parties,
+            id: self.inner().alloc_lock_id(),
+            plain_state: Mutex::new((0, 0)),
+            plain_gen: AtomicU64::new(0),
+            arrivals,
+            release,
+        })
+    }
+
+    /// Creates a condition variable.
+    pub fn create_condvar(&self) -> Arc<CleanCondvar> {
+        Arc::new(CleanCondvar {
+            det: DetCondvar::new(),
+            plain: Mutex::new(VecDeque::new()),
+        })
+    }
+}
+
+impl ThreadCtx {
+    /// Acquires `m`, joining the lock's vector clock into this thread's
+    /// (the happens-before acquire edge).
+    ///
+    /// # Errors
+    ///
+    /// [`CleanError::Poisoned`] if the execution stopped while waiting.
+    pub fn lock(&mut self, m: &CleanMutex) -> Result<()> {
+        self.check_poison()?;
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        {
+            let ThreadCtx { rt, vc, det, .. } = self;
+            match det.as_mut() {
+                Some(h) => {
+                    let rt2 = Arc::clone(rt);
+                    m.det
+                        .lock(h, || poll_runtime(&rt2, vc))
+                        .map_err(|_| CleanError::Poisoned)?;
+                }
+                None => {
+                    while m
+                        .plain
+                        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        if poll_runtime(rt, vc) {
+                            return Err(CleanError::Poisoned);
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        if self.rt.detector.is_some() {
+            let lock_vc = m.vc.lock();
+            self.vc.join(&lock_vc);
+        }
+        self.rt.record(TraceEvent::Acquire {
+            tid: self.tid,
+            lock: m.id,
+        });
+        Ok(())
+    }
+
+    /// Releases `m`, publishing this thread's vector clock into the lock
+    /// (the happens-before release edge) and starting a new SFR.
+    ///
+    /// # Panics
+    ///
+    /// Panics (under det-sync) if this thread does not hold `m`.
+    pub fn unlock(&mut self, m: &CleanMutex) -> Result<()> {
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        self.rt.record(TraceEvent::Release {
+            tid: self.tid,
+            lock: m.id,
+        });
+        if self.rt.detector.is_some() {
+            m.vc.lock().join(&self.vc);
+            self.increment_own();
+        }
+        match self.det.as_mut() {
+            Some(h) => m.det.unlock(h),
+            None => m.plain.store(false, Ordering::Release),
+        }
+        Ok(())
+    }
+
+    /// Waits at barrier `b`; all participants leave with the join of all
+    /// arrival clocks (every pre-barrier write happens-before every
+    /// post-barrier access). Returns `true` for one leader per episode.
+    ///
+    /// # Errors
+    ///
+    /// [`CleanError::Poisoned`] if the execution stopped while waiting.
+    pub fn barrier_wait(&mut self, b: &CleanBarrier) -> Result<bool> {
+        self.check_poison()?;
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        // Trace encoding of all-to-all ordering: every arrival releases
+        // the barrier's pseudo-lock, every departure acquires it; the
+        // physical barrier guarantees all releases precede all acquires.
+        self.rt.record(TraceEvent::Release {
+            tid: self.tid,
+            lock: b.id,
+        });
+        if self.rt.detector.is_some() {
+            let mut arr = b.arrivals.lock();
+            arr.0.join(&self.vc);
+            arr.1 += 1;
+            if arr.1 == b.parties {
+                // Last vc-arriver finalizes the episode's release clock
+                // before anyone can pass the physical barrier.
+                let mut rel = b.release.lock();
+                rel.clone_from(&arr.0);
+                arr.1 = 0;
+                arr.0.reset();
+            }
+        }
+        let leader;
+        {
+            let ThreadCtx { rt, vc, det, .. } = self;
+            match det.as_mut() {
+                Some(h) => {
+                    let rt2 = Arc::clone(rt);
+                    leader = b
+                        .det
+                        .wait(h, || poll_runtime(&rt2, vc))
+                        .map_err(|_| CleanError::Poisoned)?;
+                }
+                None => {
+                    let my_gen;
+                    let mut lead = false;
+                    {
+                        let mut st = b.plain_state.lock();
+                        my_gen = st.1;
+                        st.0 += 1;
+                        if st.0 == b.parties {
+                            st.0 = 0;
+                            st.1 += 1;
+                            b.plain_gen.store(st.1, Ordering::SeqCst);
+                            lead = true;
+                        }
+                    }
+                    if !lead {
+                        while b.plain_gen.load(Ordering::SeqCst) == my_gen {
+                            if poll_runtime(rt, vc) {
+                                return Err(CleanError::Poisoned);
+                            }
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                    }
+                    leader = lead;
+                }
+            }
+        }
+        if self.rt.detector.is_some() {
+            {
+                let rel = b.release.lock();
+                self.vc.join(&rel);
+            }
+            self.increment_own();
+        }
+        self.rt.record(TraceEvent::Acquire {
+            tid: self.tid,
+            lock: b.id,
+        });
+        Ok(leader)
+    }
+
+    /// Releases `m`, waits for a signal on `cv`, then re-acquires `m`.
+    ///
+    /// The caller must hold `m` and should re-check its predicate in a
+    /// loop, as with Pthread condition variables.
+    ///
+    /// # Errors
+    ///
+    /// [`CleanError::Poisoned`] if the execution stopped while waiting —
+    /// in that case `m` is **not** re-acquired.
+    pub fn cond_wait(&mut self, cv: &CleanCondvar, m: &CleanMutex) -> Result<()> {
+        self.check_poison()?;
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        self.rt.record(TraceEvent::Release {
+            tid: self.tid,
+            lock: m.id,
+        });
+        // Release edge into the mutex before physically releasing it.
+        if self.rt.detector.is_some() {
+            m.vc.lock().join(&self.vc);
+            self.increment_own();
+        }
+        {
+            let ThreadCtx { rt, vc, det, .. } = self;
+            match det.as_mut() {
+                Some(h) => {
+                    let rt2 = Arc::clone(rt);
+                    cv.det
+                        .wait(&m.det, h, || poll_runtime(&rt2, vc))
+                        .map_err(|_| CleanError::Poisoned)?;
+                }
+                None => {
+                    let ticket = Arc::new(AtomicBool::new(false));
+                    cv.plain.lock().push_back(Arc::clone(&ticket));
+                    m.plain.store(false, Ordering::Release);
+                    while !ticket.load(Ordering::Acquire) {
+                        if poll_runtime(rt, vc) {
+                            return Err(CleanError::Poisoned);
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                    // Re-acquire.
+                    while m
+                        .plain
+                        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        if poll_runtime(rt, vc) {
+                            return Err(CleanError::Poisoned);
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        // Acquire edge from the mutex (the signaller's release reached it).
+        if self.rt.detector.is_some() {
+            let lock_vc = m.vc.lock();
+            self.vc.join(&lock_vc);
+        }
+        self.rt.record(TraceEvent::Acquire {
+            tid: self.tid,
+            lock: m.id,
+        });
+        Ok(())
+    }
+
+    /// Wakes one waiter of `cv` (the deterministic one under det-sync).
+    /// Must be called while holding the associated mutex.
+    pub fn cond_signal(&mut self, cv: &CleanCondvar) -> Result<()> {
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        match self.det.as_mut() {
+            Some(h) => cv.det.signal(h),
+            None => {
+                if let Some(t) = cv.plain.lock().pop_front() {
+                    t.store(true, Ordering::Release);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Wakes all waiters of `cv`. Must be called while holding the
+    /// associated mutex.
+    pub fn cond_broadcast(&mut self, cv: &CleanCondvar) -> Result<()> {
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        match self.det.as_mut() {
+            Some(h) => cv.det.broadcast(h),
+            None => {
+                for t in cv.plain.lock().drain(..) {
+                    t.store(true, Ordering::Release);
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,138 @@
+//! Tests of the execution trace recorder (`RuntimeConfig::record_trace`).
+
+use clean_core::TraceEvent;
+use clean_runtime::{CleanRuntime, RuntimeConfig};
+
+fn rt() -> CleanRuntime {
+    CleanRuntime::new(
+        RuntimeConfig::new()
+            .heap_size(1 << 16)
+            .max_threads(8)
+            .record_trace(true),
+    )
+}
+
+#[test]
+fn recording_disabled_by_default() {
+    let rt = CleanRuntime::new(RuntimeConfig::new().heap_size(4096).max_threads(2));
+    rt.run(|_| Ok(())).unwrap();
+    assert!(rt.recorded_trace().is_none());
+}
+
+#[test]
+fn accesses_and_sync_events_are_recorded_in_order() {
+    let rt = rt();
+    let a = rt.alloc_array::<u32>(4).unwrap();
+    let m = rt.create_mutex();
+    rt.run(|ctx| {
+        ctx.write(&a, 0, 1u32)?;
+        ctx.lock(&m)?;
+        ctx.read(&a, 0)?;
+        ctx.unlock(&m)?;
+        Ok(())
+    })
+    .unwrap();
+    let t = rt.recorded_trace().unwrap();
+    let kinds: Vec<&str> = t
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Write { .. } => "w",
+            TraceEvent::Read { .. } => "r",
+            TraceEvent::Acquire { .. } => "a",
+            TraceEvent::Release { .. } => "rel",
+            TraceEvent::Fork { .. } => "f",
+            TraceEvent::Join { .. } => "j",
+        })
+        .collect();
+    assert_eq!(kinds, vec!["w", "a", "r", "rel"]);
+    match (t[0], t[2]) {
+        (TraceEvent::Write { addr: wa, size: 4, .. }, TraceEvent::Read { addr: ra, size: 4, .. }) => {
+            assert_eq!(wa, ra);
+            assert_eq!(wa, a.addr_of(0));
+        }
+        other => panic!("unexpected events {other:?}"),
+    }
+}
+
+#[test]
+fn fork_and_join_are_recorded() {
+    let rt = rt();
+    let root_events = rt
+        .run(|ctx| {
+            let child = ctx.spawn(|_| Ok(()))?;
+            let child_tid = child.tid();
+            ctx.join(child)??;
+            Ok(child_tid)
+        })
+        .unwrap();
+    let t = rt.recorded_trace().unwrap();
+    assert!(t.iter().any(|e| matches!(e, TraceEvent::Fork { child, .. } if *child == root_events)));
+    assert!(t.iter().any(|e| matches!(e, TraceEvent::Join { child, .. } if *child == root_events)));
+    // Fork precedes join.
+    let fork_pos = t.iter().position(|e| matches!(e, TraceEvent::Fork { .. })).unwrap();
+    let join_pos = t.iter().position(|e| matches!(e, TraceEvent::Join { .. })).unwrap();
+    assert!(fork_pos < join_pos);
+}
+
+#[test]
+fn barrier_encodes_release_then_acquire() {
+    let rt = rt();
+    let b = rt.create_barrier(2);
+    rt.run(|ctx| {
+        let b2 = b.clone();
+        let child = ctx.spawn(move |c| {
+            c.barrier_wait(&b2)?;
+            Ok(())
+        })?;
+        ctx.barrier_wait(&b)?;
+        ctx.join(child)??;
+        Ok(())
+    })
+    .unwrap();
+    let t = rt.recorded_trace().unwrap();
+    let releases: Vec<usize> = t
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, TraceEvent::Release { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let acquires: Vec<usize> = t
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, TraceEvent::Acquire { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(releases.len(), 2, "one release per arrival");
+    assert_eq!(acquires.len(), 2, "one acquire per departure");
+    assert!(
+        releases.iter().max() < acquires.iter().min(),
+        "all arrivals precede all departures: {t:?}"
+    );
+}
+
+#[test]
+fn racy_execution_records_the_racing_accesses() {
+    let rt = rt();
+    let x = rt.alloc_array::<u32>(1).unwrap();
+    let _ = rt.run(|ctx| {
+        let child = ctx.spawn(move |c| c.write(&x, 0, 1u32))?;
+        let _ = ctx.write(&x, 0, 2u32);
+        let _ = ctx.join(child)?;
+        Ok(())
+    });
+    assert!(rt.first_race().is_some());
+    let t = rt.recorded_trace().unwrap();
+    let writes = t
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Write { addr, .. } if *addr == x.addr_of(0)))
+        .count();
+    assert!(writes >= 1, "at least the first racy write is recorded");
+}
+
+#[test]
+fn distinct_locks_get_distinct_ids() {
+    let rt = rt();
+    let m1 = rt.create_mutex();
+    let m2 = rt.create_mutex();
+    assert_ne!(m1.id(), m2.id());
+}

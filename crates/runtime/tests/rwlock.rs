@@ -1,0 +1,244 @@
+//! Behavioural tests of [`CleanRwLock`]: sharing, exclusion, the
+//! two-clock happens-before model, determinism, and race detection
+//! through misuse.
+
+use clean_core::RaceKind;
+use clean_runtime::{CleanError, CleanRuntime, RuntimeConfig};
+
+fn rt() -> CleanRuntime {
+    CleanRuntime::new(RuntimeConfig::new().heap_size(1 << 16).max_threads(8))
+}
+
+#[test]
+fn readers_share_and_see_writer_updates() {
+    let rt = rt();
+    let data = rt.alloc_array::<u64>(4).unwrap();
+    let l = rt.create_rwlock();
+    rt.run(|ctx| {
+        // Root writes under the write lock.
+        ctx.write_lock(&l)?;
+        for i in 0..4 {
+            ctx.write(&data, i, (i as u64 + 1) * 10)?;
+        }
+        ctx.write_unlock(&l)?;
+        // Many concurrent readers.
+        let mut kids = Vec::new();
+        for _ in 0..4 {
+            let l = l.clone();
+            kids.push(ctx.spawn(move |c| {
+                c.read_lock(&l)?;
+                let mut s = 0u64;
+                for i in 0..4 {
+                    s += c.read(&data, i)?;
+                }
+                c.read_unlock(&l)?;
+                Ok(s)
+            })?);
+        }
+        for k in kids {
+            assert_eq!(ctx.join(k)??, 100);
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none());
+    let (reads, writes) = l.acquisitions();
+    assert_eq!((reads, writes), (4, 1));
+}
+
+#[test]
+fn writer_after_readers_is_ordered() {
+    // Readers read; a writer then overwrites: the read-release clock must
+    // order the writer after every reader (no exception, sound hb).
+    let rt = rt();
+    let data = rt.alloc_array::<u32>(1).unwrap();
+    let l = rt.create_rwlock();
+    rt.run(|ctx| {
+        ctx.write_lock(&l)?;
+        ctx.write(&data, 0, 7u32)?;
+        ctx.write_unlock(&l)?;
+        let mut kids = Vec::new();
+        for _ in 0..3 {
+            let l = l.clone();
+            kids.push(ctx.spawn(move |c| {
+                c.read_lock(&l)?;
+                let v = c.read(&data, 0)?;
+                c.read_unlock(&l)?;
+                Ok(v)
+            })?);
+        }
+        // Writer contends while readers run.
+        let lw = l.clone();
+        let w = ctx.spawn(move |c| {
+            c.write_lock(&lw)?;
+            c.write(&data, 0, 9u32)?;
+            c.write_unlock(&lw)?;
+            Ok(())
+        })?;
+        for k in kids {
+            let v = ctx.join(k)??;
+            assert!(v == 7 || v == 9);
+        }
+        ctx.join(w)??;
+        Ok(())
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none(), "{:?}", rt.first_race());
+}
+
+#[test]
+fn unprotected_write_against_readers_is_detected() {
+    // A writer that skips the lock: its write races with reader loads
+    // (RAW when the read follows) or other writes (WAW).
+    let rt = rt();
+    let data = rt.alloc_array::<u32>(1).unwrap();
+    let l = rt.create_rwlock();
+    let result = rt.run(|ctx| {
+        ctx.write_lock(&l)?;
+        ctx.write(&data, 0, 1u32)?;
+        ctx.write_unlock(&l)?;
+        let rogue = ctx.spawn(move |c| c.write(&data, 0, 2u32))?;
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let l2 = l.clone();
+        let reader = ctx.spawn(move |c| {
+            c.read_lock(&l2)?;
+            let v = c.read(&data, 0)?;
+            c.read_unlock(&l2)?;
+            Ok(v)
+        })?;
+        let _ = ctx.join(reader)?;
+        let _ = ctx.join(rogue)?;
+        Ok(())
+    });
+    match result {
+        Err(CleanError::Race(r)) => assert!(matches!(
+            r.kind,
+            RaceKind::ReadAfterWrite | RaceKind::WriteAfterWrite
+        )),
+        other => panic!("expected a race exception, got {other:?}"),
+    }
+}
+
+#[test]
+fn reader_reader_ordering_is_not_fabricated() {
+    // Reader A writes its own scratch cell *before* taking the read lock;
+    // reader B reads that cell after its own read-unlock. If read-acquires
+    // wrongly absorbed other readers' clocks, this real RAW race would be
+    // masked. It must be reported.
+    let rt = rt();
+    let scratch = rt.alloc_array::<u32>(1).unwrap();
+    let shared = rt.alloc_array::<u32>(1).unwrap();
+    let l = rt.create_rwlock();
+    let result = rt.run(|ctx| {
+        let la = l.clone();
+        let a = ctx.spawn(move |c| {
+            c.write(&scratch, 0, 5u32)?; // unprotected
+            c.read_lock(&la)?;
+            let v = c.read(&shared, 0)?;
+            c.read_unlock(&la)?;
+            Ok(v)
+        })?;
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let lb = l.clone();
+        let b = ctx.spawn(move |c| {
+            c.read_lock(&lb)?;
+            let v = c.read(&shared, 0)?;
+            c.read_unlock(&lb)?;
+            let s = c.read(&scratch, 0)?; // races with A's write
+            Ok(v + s)
+        })?;
+        let _ = ctx.join(a)?;
+        let _ = ctx.join(b)?;
+        Ok(())
+    });
+    match result {
+        Err(CleanError::Race(r)) => assert_eq!(r.kind, RaceKind::ReadAfterWrite),
+        other => panic!("reader-reader hb must not mask the race: {other:?}"),
+    }
+}
+
+#[test]
+fn rwlock_execution_is_deterministic() {
+    let once = || {
+        let rt = rt();
+        let data = rt.alloc_array::<u64>(8).unwrap();
+        let l = rt.create_rwlock();
+        let out = rt
+            .run(|ctx| {
+                let mut kids = Vec::new();
+                for t in 0..4u64 {
+                    let l = l.clone();
+                    kids.push(ctx.spawn(move |c| {
+                        let mut acc = 0u64;
+                        for i in 0..20 {
+                            if (t + i) % 4 == 0 {
+                                c.write_lock(&l)?;
+                                let v = c.read(&data, (i % 8) as usize)?;
+                                c.write(&data, (i % 8) as usize, v + t + 1)?;
+                                c.write_unlock(&l)?;
+                            } else {
+                                c.read_lock(&l)?;
+                                acc += c.read(&data, (i % 8) as usize)?;
+                                c.read_unlock(&l)?;
+                            }
+                            c.tick(2);
+                        }
+                        Ok(acc)
+                    })?);
+                }
+                let mut h = 0u64;
+                for k in kids {
+                    h = h.wrapping_mul(31).wrapping_add(ctx.join(k)??);
+                }
+                Ok(h)
+            })
+            .unwrap();
+        (out, rt.stats().digest())
+    };
+    let (o1, d1) = once();
+    let (o2, d2) = once();
+    assert_eq!(o1, o2);
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn recorded_rwlock_trace_cross_validates() {
+    use clean_baselines::{run_detector, CleanEngine};
+    let rt = CleanRuntime::new(
+        RuntimeConfig::new()
+            .heap_size(1 << 16)
+            .max_threads(8)
+            .record_trace(true),
+    );
+    let data = rt.alloc_array::<u64>(2).unwrap();
+    let l = rt.create_rwlock();
+    rt.run(|ctx| {
+        ctx.write_lock(&l)?;
+        ctx.write(&data, 0, 3u64)?;
+        ctx.write_unlock(&l)?;
+        let mut kids = Vec::new();
+        for _ in 0..2 {
+            let l = l.clone();
+            kids.push(ctx.spawn(move |c| {
+                c.read_lock(&l)?;
+                let v = c.read(&data, 0)?;
+                c.read_unlock(&l)?;
+                Ok(v)
+            })?);
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        // A writer ordered behind the readers via the read-release clock.
+        ctx.write_lock(&l)?;
+        ctx.write(&data, 0, 4u64)?;
+        ctx.write_unlock(&l)?;
+        Ok(())
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none());
+    let trace = rt.recorded_trace().unwrap();
+    let mut engine = CleanEngine::new(8);
+    let races = run_detector(&mut engine, &trace);
+    assert!(races.is_empty(), "offline replay must agree: {races:?}");
+}

@@ -1,0 +1,488 @@
+//! Behavioural tests of the CLEAN execution model (Section 3.1):
+//! exceptions iff WAW/RAW, WAR-racy executions complete, exception-free
+//! executions are deterministic, rollover resets preserve the guarantees.
+
+use clean_core::{EpochLayout, RaceKind};
+use clean_runtime::{CleanError, CleanRuntime, RuntimeConfig};
+
+fn small_cfg() -> RuntimeConfig {
+    RuntimeConfig::new().heap_size(1 << 16).max_threads(8)
+}
+
+#[test]
+fn sequential_program_never_races() {
+    let rt = CleanRuntime::new(small_cfg());
+    let a = rt.alloc_array::<u32>(64).unwrap();
+    let sum = rt
+        .run(|ctx| {
+            for i in 0..64 {
+                ctx.write(&a, i, i as u32)?;
+            }
+            let mut s = 0u32;
+            for i in 0..64 {
+                s += ctx.read(&a, i)?;
+            }
+            Ok(s)
+        })
+        .unwrap();
+    assert_eq!(sum, (0..64).sum::<u32>());
+    assert!(rt.first_race().is_none());
+}
+
+#[test]
+fn unordered_writes_raise_waw() {
+    let rt = CleanRuntime::new(small_cfg());
+    let x = rt.alloc_array::<u64>(1).unwrap();
+    let result = rt.run(|ctx| {
+        let t = ctx.spawn(move |c| c.write(&x, 0, 7u64))?;
+        let mine = ctx.write(&x, 0, 9u64);
+        let theirs = ctx.join(t)?;
+        // At least one of the two writes must have been stopped.
+        if mine.is_ok() && theirs.is_ok() {
+            panic!("both unordered writes succeeded");
+        }
+        Ok(())
+    });
+    let race = match result {
+        Err(CleanError::Race(r)) => r,
+        other => panic!("expected race exception, got {other:?}"),
+    };
+    assert_eq!(race.kind, RaceKind::WriteAfterWrite);
+    assert_eq!(race.addr, x.addr_of(0));
+}
+
+#[test]
+fn unordered_read_of_write_raises_raw() {
+    // Force the read to physically follow the write so the race resolves
+    // as RAW (the paper: "if this race resolves as a RAW, a race exception
+    // is thrown").
+    let rt = CleanRuntime::new(small_cfg());
+    let x = rt.alloc_array::<u32>(1).unwrap();
+    let flag = rt.alloc_array::<u32>(1).unwrap();
+    let result = rt.run(|ctx| {
+        let t = ctx.spawn(move |c| {
+            c.write(&x, 0, 5u32)?; // racy write
+            Ok(())
+        })?;
+        // Busy-wait on the *epoch side effect* is not observable; just
+        // join-free delay via repeated private work, then read.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let r = ctx.read(&x, 0);
+        let _ = ctx.join(t)?;
+        let _ = ctx.read(&flag, 0); // keep flag used
+        r.map(|_| ())
+    });
+    match result {
+        Err(CleanError::Race(r)) => assert_eq!(r.kind, RaceKind::ReadAfterWrite),
+        other => panic!("expected RAW race, got {other:?}"),
+    }
+}
+
+#[test]
+fn war_race_completes_without_exception() {
+    // Thread A reads x, thread B later writes x, unordered: a WAR race
+    // that CLEAN deliberately does not detect (Section 3.1). Order the
+    // *physical* timing so the read precedes the write.
+    let rt = CleanRuntime::new(small_cfg());
+    let x = rt.alloc_array::<u32>(1).unwrap();
+    let result = rt.run(|ctx| {
+        let r = ctx.read(&x, 0)?; // root reads first (x still 0)
+        let t = ctx.spawn(move |c| {
+            c.write(&x, 0, 1u32) // unordered with the root's read: WAR
+        })?;
+        ctx.join(t)??;
+        Ok(r)
+    });
+    assert_eq!(result.unwrap(), 0);
+    assert!(rt.first_race().is_none());
+}
+
+#[test]
+fn lock_ordering_prevents_false_positives() {
+    let rt = CleanRuntime::new(small_cfg());
+    let x = rt.alloc_array::<u64>(4).unwrap();
+    let m = rt.create_mutex();
+    rt.run(|ctx| {
+        let mut kids = Vec::new();
+        for t in 0..4 {
+            let m = m.clone();
+            kids.push(ctx.spawn(move |c| {
+                for _ in 0..50 {
+                    c.lock(&m)?;
+                    let v = c.read(&x, t % 4)?;
+                    c.write(&x, t % 4, v + 1)?;
+                    c.unlock(&m)?;
+                    c.tick(1);
+                }
+                Ok(())
+            })?);
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        ctx.lock(&m)?;
+        let total = (0..4).map(|i| ctx.read(&x, i).unwrap()).sum::<u64>();
+        ctx.unlock(&m)?;
+        assert_eq!(total, 200);
+        Ok(())
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none());
+}
+
+#[test]
+fn barrier_orders_phases() {
+    let rt = CleanRuntime::new(small_cfg());
+    let grid = rt.alloc_array::<u32>(8).unwrap();
+    let b = rt.create_barrier(4);
+    rt.run(|ctx| {
+        let mut kids = Vec::new();
+        for t in 0..4usize {
+            let b = b.clone();
+            kids.push(ctx.spawn(move |c| {
+                // Phase 1: each thread writes its own pair of cells.
+                c.write(&grid, 2 * t, t as u32)?;
+                c.write(&grid, 2 * t + 1, t as u32)?;
+                c.barrier_wait(&b)?;
+                // Phase 2: each thread reads its neighbour's cells.
+                let n = (t + 1) % 4;
+                let v = c.read(&grid, 2 * n)? + c.read(&grid, 2 * n + 1)?;
+                Ok(v)
+            })?);
+        }
+        let mut total = 0;
+        for k in kids {
+            total += ctx.join(k)??;
+        }
+        assert_eq!(total, 12, "2 * (0+1+2+3)");
+        Ok(())
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none());
+}
+
+#[test]
+fn missing_barrier_is_detected() {
+    // Same phase structure but no barrier: phase-2 reads race with
+    // phase-1 writes of the neighbour.
+    let rt = CleanRuntime::new(small_cfg());
+    let grid = rt.alloc_array::<u32>(8).unwrap();
+    let result = rt.run(|ctx| {
+        let mut kids = Vec::new();
+        for t in 0..4usize {
+            kids.push(ctx.spawn(move |c| {
+                c.write(&grid, 2 * t, t as u32)?;
+                std::thread::sleep(std::time::Duration::from_millis(10 + 5 * t as u64));
+                let n = (t + 1) % 4;
+                c.read(&grid, 2 * n)
+            })?);
+        }
+        for k in kids {
+            let _ = ctx.join(k)?;
+        }
+        Ok(())
+    });
+    assert!(
+        matches!(result, Err(CleanError::Race(_))),
+        "expected a race exception, got {result:?}"
+    );
+}
+
+#[test]
+fn poison_stops_all_threads() {
+    let rt = CleanRuntime::new(small_cfg());
+    let x = rt.alloc_array::<u32>(2).unwrap();
+    let result = rt.run(|ctx| {
+        let t = ctx.spawn(move |c| {
+            // Lots of innocent accesses to private cell 1.
+            for i in 0.. {
+                match c.write(&x, 1, i as u32) {
+                    Ok(()) => {}
+                    Err(e) => return Err(e), // poisoned by the root's race
+                }
+                if i > 5_000_000 {
+                    break;
+                }
+            }
+            Ok(())
+        })?;
+        // Trigger a race on cell 0 against a second child.
+        let t2 = ctx.spawn(move |c| c.write(&x, 0, 1u32))?;
+        let _ = ctx.write(&x, 0, 2u32);
+        let r1 = ctx.join(t)?;
+        let r2 = ctx.join(t2)?;
+        let _ = (r1, r2);
+        Ok(())
+    });
+    assert!(matches!(result, Err(CleanError::Race(_))));
+}
+
+#[test]
+fn deterministic_runs_have_equal_digests() {
+    let run_once = || {
+        let rt = CleanRuntime::new(small_cfg());
+        let a = rt.alloc_array::<u64>(16).unwrap();
+        let m = rt.create_mutex();
+        let out = rt
+            .run(|ctx| {
+                let mut kids = Vec::new();
+                for t in 0..4u64 {
+                    let m = m.clone();
+                    kids.push(ctx.spawn(move |c| {
+                        for i in 0..40 {
+                            c.lock(&m)?;
+                            let v = c.read(&a, (t as usize + i) % 16)?;
+                            c.write(&a, (t as usize + i) % 16, v.wrapping_mul(3) + t + 1)?;
+                            c.unlock(&m)?;
+                            c.tick(3);
+                        }
+                        Ok(())
+                    })?);
+                }
+                for k in kids {
+                    ctx.join(k)??;
+                }
+                let mut h = 0u64;
+                for i in 0..16 {
+                    h = h.wrapping_mul(31).wrapping_add(ctx.read(&a, i)?);
+                }
+                Ok(h)
+            })
+            .unwrap();
+        (out, rt.stats().digest())
+    };
+    let (o1, d1) = run_once();
+    for _ in 0..4 {
+        let (o2, d2) = run_once();
+        assert_eq!(o1, o2, "program output must be deterministic");
+        assert_eq!(d1, d2, "execution digest must be deterministic");
+    }
+}
+
+#[test]
+fn nondeterministic_lock_order_changes_results_without_det_sync() {
+    // Sanity check of the experiment *methodology*: with det_sync off the
+    // program below is race-free but its result depends on lock order, so
+    // across many runs we expect (though cannot guarantee) variation.
+    // We only assert that every run is race-free.
+    for _ in 0..5 {
+        let rt = CleanRuntime::new(small_cfg().det_sync(false));
+        let a = rt.alloc_array::<u64>(1).unwrap();
+        let m = rt.create_mutex();
+        rt.run(|ctx| {
+            let mut kids = Vec::new();
+            for t in 1..=3u64 {
+                let m = m.clone();
+                kids.push(ctx.spawn(move |c| {
+                    c.lock(&m)?;
+                    let v = c.read(&a, 0)?;
+                    c.write(&a, 0, v * 10 + t)?;
+                    c.unlock(&m)?;
+                    Ok(())
+                })?);
+            }
+            for k in kids {
+                ctx.join(k)??;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert!(rt.first_race().is_none());
+    }
+}
+
+#[test]
+fn clock_rollover_reset_preserves_correctness() {
+    // A 6-bit clock rolls over every 64 sync operations; this program
+    // performs hundreds, forcing many deterministic resets.
+    let cfg = RuntimeConfig::new()
+        .heap_size(1 << 14)
+        .max_threads(4)
+        .layout(EpochLayout::with_clock_bits(6));
+    let run_once = || {
+        let rt = CleanRuntime::new(cfg);
+        let a = rt.alloc_array::<u32>(8).unwrap();
+        let m = rt.create_mutex();
+        let out = rt
+            .run(|ctx| {
+                let mut kids = Vec::new();
+                for t in 0..3u32 {
+                    let m = m.clone();
+                    kids.push(ctx.spawn(move |c| {
+                        for i in 0..100 {
+                            c.lock(&m)?;
+                            let v = c.read(&a, (t as usize + i) % 8)?;
+                            c.write(&a, (t as usize + i) % 8, v + t + 1)?;
+                            c.unlock(&m)?;
+                        }
+                        Ok(())
+                    })?);
+                }
+                for k in kids {
+                    ctx.join(k)??;
+                }
+                let mut s = 0u32;
+                for i in 0..8 {
+                    s += ctx.read(&a, i)?;
+                }
+                Ok(s)
+            })
+            .unwrap();
+        (out, rt.stats().rollover_resets, rt.stats().digest())
+    };
+    let (o1, resets, d1) = run_once();
+    assert!(resets > 0, "expected rollover resets with a 6-bit clock");
+    assert_eq!(o1, 100 * (1 + 2 + 3), "lock-protected increments all land");
+    let (o2, _, d2) = run_once();
+    assert_eq!(o1, o2, "deterministic across runs despite resets");
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn thread_id_reuse_does_not_confuse_epochs() {
+    let rt = CleanRuntime::new(small_cfg().max_threads(3));
+    let x = rt.alloc_array::<u32>(1).unwrap();
+    rt.run(|ctx| {
+        // Generation 1: a child writes x and is joined.
+        let t = ctx.spawn(move |c| c.write(&x, 0, 1u32))?;
+        ctx.join(t)??;
+        // Generation 2: a new child (reusing the id) writes x again; the
+        // parent joined generation 1, so without the retired-clock rule
+        // this write would alias the old epoch and be missed.
+        let t = ctx.spawn(move |c| c.write(&x, 0, 2u32))?;
+        ctx.join(t)??;
+        // The parent read is ordered after both via joins: no race.
+        let v = ctx.read(&x, 0)?;
+        assert_eq!(v, 2);
+        Ok(())
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none());
+}
+
+#[test]
+fn unjoined_sibling_write_after_id_reuse_is_caught() {
+    let rt = CleanRuntime::new(small_cfg().max_threads(4));
+    let x = rt.alloc_array::<u32>(1).unwrap();
+    let result = rt.run(|ctx| {
+        // Child A writes x, is joined (id freed).
+        let a = ctx.spawn(move |c| c.write(&x, 0, 1u32))?;
+        ctx.join(a)??;
+        // Child B reuses A's id and writes x; the root then reads x
+        // without joining B: must be a RAW race even though the root's
+        // clock for that id covers A's write.
+        let b = ctx.spawn(move |c| c.write(&x, 0, 2u32))?;
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let r = ctx.read(&x, 0);
+        let _ = ctx.join(b)?;
+        r.map(|_| ())
+    });
+    match result {
+        Err(CleanError::Race(r)) => assert_eq!(r.kind, RaceKind::ReadAfterWrite),
+        other => panic!("expected RAW race, got {other:?}"),
+    }
+}
+
+#[test]
+fn condvar_pipeline_is_race_free() {
+    let rt = CleanRuntime::new(small_cfg());
+    let q = rt.alloc_array::<u32>(4).unwrap(); // [head, tail, cap, sum]
+    let buf = rt.alloc_array::<u32>(8).unwrap();
+    let m = rt.create_mutex();
+    let cv = rt.create_condvar();
+    rt.run(|ctx| {
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let consumer = ctx.spawn(move |c| {
+            let mut got = 0u32;
+            let mut sum = 0u32;
+            while got < 20 {
+                c.lock(&m2)?;
+                while c.read(&q, 0)? == c.read(&q, 1)? {
+                    c.cond_wait(&cv2, &m2)?;
+                }
+                let head = c.read(&q, 0)?;
+                sum += c.read(&buf, (head % 8) as usize)?;
+                c.write(&q, 0, head + 1)?;
+                c.cond_signal(&cv2)?;
+                c.unlock(&m2)?;
+                got += 1;
+            }
+            Ok(sum)
+        })?;
+        // Producer (root).
+        for i in 0..20u32 {
+            ctx.lock(&m)?;
+            while ctx.read(&q, 1)? - ctx.read(&q, 0)? == 8 {
+                ctx.cond_wait(&cv, &m)?;
+            }
+            let tail = ctx.read(&q, 1)?;
+            ctx.write(&buf, (tail % 8) as usize, i)?;
+            ctx.write(&q, 1, tail + 1)?;
+            ctx.cond_signal(&cv)?;
+            ctx.unlock(&m)?;
+        }
+        let sum = ctx.join(consumer)??;
+        assert_eq!(sum, (0..20).sum::<u32>());
+        Ok(())
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none());
+}
+
+#[test]
+fn stats_count_accesses() {
+    let rt = CleanRuntime::new(small_cfg());
+    let a = rt.alloc_array::<u32>(4).unwrap();
+    rt.run(|ctx| {
+        for i in 0..4 {
+            ctx.write(&a, i, 1u32)?;
+        }
+        for i in 0..4 {
+            ctx.read(&a, i)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let s = rt.stats();
+    assert_eq!(s.shared_writes, 4);
+    assert_eq!(s.shared_reads, 4);
+    assert_eq!(s.shared_accesses(), 8);
+    let d = s.detector.expect("detection enabled");
+    assert_eq!(d.writes_checked, 4);
+    assert_eq!(d.reads_checked, 4);
+}
+
+#[test]
+fn detection_off_still_computes() {
+    let rt = CleanRuntime::new(small_cfg().detection(false).det_sync(false));
+    let a = rt.alloc_array::<u32>(1).unwrap();
+    let v = rt
+        .run(|ctx| {
+            ctx.write(&a, 0, 41)?;
+            Ok(ctx.read(&a, 0)? + 1)
+        })
+        .unwrap();
+    assert_eq!(v, 42);
+    assert!(rt.stats().detector.is_none());
+}
+
+#[test]
+fn out_of_memory_reported() {
+    let rt = CleanRuntime::new(small_cfg().heap_size(64));
+    assert!(rt.alloc_array::<u64>(4).is_ok());
+    let err = rt.alloc_array::<u64>(8).unwrap_err();
+    assert!(matches!(err, CleanError::OutOfMemory { .. }));
+}
+
+#[test]
+fn thread_limit_reported() {
+    let rt = CleanRuntime::new(small_cfg().max_threads(2));
+    let result = rt.run(|ctx| {
+        let t1 = ctx.spawn(|_| Ok(()))?; // uses the second id
+        let err = ctx.spawn(|_| Ok(())).unwrap_err();
+        assert!(matches!(err, CleanError::ThreadLimit { capacity: 2 }));
+        ctx.join(t1)??;
+        Ok(())
+    });
+    result.unwrap();
+}

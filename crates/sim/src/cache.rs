@@ -1,0 +1,206 @@
+//! Set-associative LRU caches — the building block of the paper's
+//! simulated memory hierarchy (Section 6.3.1: private 8-way 64 KB L1,
+//! private 8-way 256 KB L2, shared 16-way 16 MB L3, all with 64 B lines).
+
+/// Cache line size in bytes (64 B throughout the paper).
+pub const LINE_SIZE: u64 = 64;
+
+/// Returns the line-aligned address containing `addr`.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(LINE_SIZE - 1)
+}
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// The paper's L1: 8-way, 64 KB.
+    pub const fn l1() -> Self {
+        CacheConfig {
+            size: 64 * 1024,
+            assoc: 8,
+        }
+    }
+
+    /// The paper's L2: 8-way, 256 KB.
+    pub const fn l2() -> Self {
+        CacheConfig {
+            size: 256 * 1024,
+            assoc: 8,
+        }
+    }
+
+    /// The paper's L3: 16-way, 16 MB.
+    pub const fn l3() -> Self {
+        CacheConfig {
+            size: 16 * 1024 * 1024,
+            assoc: 16,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size / (LINE_SIZE as usize) / self.assoc
+    }
+}
+
+/// A set-associative cache with true-LRU replacement, tracking line
+/// presence only (a latency model; data contents live elsewhere).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    assoc: usize,
+    n_sets: usize,
+    /// Per set: resident line addresses, most-recently-used last.
+    sets: Vec<Vec<u64>>,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields no sets.
+    pub fn new(config: CacheConfig) -> Self {
+        let n_sets = config.sets();
+        assert!(n_sets > 0, "cache too small for its associativity");
+        Cache {
+            assoc: config.assoc,
+            n_sets,
+            sets: vec![Vec::new(); n_sets],
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        ((line / LINE_SIZE) % self.n_sets as u64) as usize
+    }
+
+    /// Looks up `line`; on hit, refreshes LRU and returns true.
+    pub fn access(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.push(l);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns true if `line` is resident (no LRU update).
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].contains(&line)
+    }
+
+    /// Inserts `line` (MRU), evicting the LRU line if the set is full.
+    /// Returns the evicted line, if any.
+    pub fn insert(&mut self, line: u64) -> Option<u64> {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.push(l);
+            return None;
+        }
+        let evicted = if set.len() == self.assoc {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push(line);
+        evicted
+    }
+
+    /// Removes `line` if resident (coherence invalidation).
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(CacheConfig {
+            size: 4 * LINE_SIZE as usize,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::l1().sets(), 128);
+        assert_eq!(CacheConfig::l2().sets(), 512);
+        assert_eq!(CacheConfig::l3().sets(), 16384);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        c.insert(0);
+        assert!(c.access(0));
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny();
+        // Lines 0, 128, 256 map to set 0 (2 sets => stride 128).
+        c.insert(0);
+        c.insert(128);
+        c.access(0); // 0 becomes MRU; 128 is LRU
+        let evicted = c.insert(256);
+        assert_eq!(evicted, Some(128));
+        assert!(c.contains(0));
+        assert!(c.contains(256));
+    }
+
+    #[test]
+    fn reinsert_refreshes_no_eviction() {
+        let mut c = tiny();
+        c.insert(0);
+        c.insert(128);
+        assert_eq!(c.insert(0), None, "already resident");
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(64);
+        assert!(c.invalidate(64));
+        assert!(!c.contains(64));
+        assert!(!c.invalidate(64));
+    }
+
+    #[test]
+    fn line_of_masks() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(130), 128);
+    }
+}

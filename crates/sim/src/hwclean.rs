@@ -1,0 +1,514 @@
+//! The CLEAN hardware race-check unit (Section 5).
+//!
+//! On each potentially shared access the unit, *in parallel with the data
+//! access*: computes the epoch address (assuming the compact layout),
+//! loads the epoch(s) through the regular memory hierarchy, runs the
+//! Figure 4 check (sameThread/sameEpoch fast path, otherwise a vector
+//! clock element load and comparison), updates epochs on writes, and
+//! transitions lines from compact (one epoch per 4 data bytes) to
+//! expanded (one epoch per byte) representation when a sub-group byte
+//! gets a different epoch (Section 5.3).
+//!
+//! Only the latency in excess of the data access is exposed to the core
+//! (Section 5.4).
+
+use crate::cache::{LINE_SIZE};
+use crate::mem::MemorySystem;
+use clean_core::{Epoch, EpochLayout, ThreadId, VectorClock};
+use std::collections::{HashMap, HashSet};
+
+/// Start of the metadata region in the simulated address space — far above
+/// any program data, like the paper's dedicated epoch area (Figure 5).
+pub const META_BASE: u64 = 1 << 40;
+
+/// Start of the expanded-region epoch lines (Figure 5b).
+pub const EXPANDED_BASE: u64 = 1 << 41;
+
+/// Start of the in-memory thread vector clocks (Figure 5a).
+pub const VC_BASE: u64 = 1 << 42;
+
+/// Metadata organization under evaluation (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochMode {
+    /// CLEAN: 32-bit epochs, compact lines (1 epoch / 4 bytes) expanded on
+    /// demand to 1 epoch / byte (Section 5.3).
+    CleanCompact,
+    /// Hypothetical 1-byte epochs, 1 per data byte, no compaction — the
+    /// upper bound of Figure 11.
+    Fixed1B,
+    /// 4-byte epochs, 1 per data byte, no compaction — the cache-pressure
+    /// heavy design of Figure 11.
+    Fixed4B,
+}
+
+/// How an access was resolved by the check unit (Figure 10's categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckClass {
+    /// Stack access: no check needed.
+    Private,
+    /// Resolved by the Figure 4b fast path (sameThread, and for writes
+    /// sameEpoch).
+    Fast,
+    /// Needed an in-memory vector-clock element load and comparison.
+    VcLoad,
+    /// Needed an epoch update (write by the same thread at a new clock).
+    Update,
+    /// Needed both the VC load and the update.
+    VcLoadUpdate,
+    /// Triggered a compact→expanded line transition.
+    Expand,
+}
+
+/// Access-classification and latency statistics of the check unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HwStats {
+    /// Private (stack) accesses.
+    pub private: u64,
+    /// Fast-path resolutions.
+    pub fast: u64,
+    /// VC-load resolutions.
+    pub vc_load: u64,
+    /// Update resolutions.
+    pub update: u64,
+    /// VC-load-and-update resolutions.
+    pub vc_load_update: u64,
+    /// Line expansions.
+    pub expand: u64,
+    /// Checked accesses whose line was compact.
+    pub compact_accesses: u64,
+    /// Checked accesses whose line was expanded.
+    pub expanded_accesses: u64,
+    /// Races detected (zero on the race-free evaluation traces).
+    pub races: u64,
+    /// Epoch-address miscalculation penalties paid (Section 5.3).
+    pub miscalculations: u64,
+    /// Total check cycles exposed to cores (stall beyond data latency).
+    pub exposed_cycles: u64,
+}
+
+impl HwStats {
+    /// All checked (non-private) accesses.
+    pub fn checked(&self) -> u64 {
+        self.fast + self.vc_load + self.update + self.vc_load_update + self.expand
+    }
+
+    /// All accesses including private.
+    pub fn total(&self) -> u64 {
+        self.private + self.checked()
+    }
+
+    /// Fraction of all accesses resolved by the fast path.
+    pub fn fast_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        self.fast as f64 / self.total() as f64
+    }
+
+    /// Fraction resolved without any check work (private) or by the fast
+    /// path — the paper's "quickly checked 90% of all memory accesses".
+    pub fn quick_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.private + self.fast) as f64 / self.total() as f64
+    }
+}
+
+/// The hardware race-check unit state.
+#[derive(Debug)]
+pub struct HwClean {
+    mode: EpochMode,
+    layout: EpochLayout,
+    /// Per-core (= per-thread) vector clocks, software-maintained.
+    vcs: Vec<VectorClock>,
+    /// Semantic epoch value per data byte (the *contents* of the epoch
+    /// memory; its *placement* is what mode/compaction decide).
+    epochs: HashMap<u64, Epoch>,
+    /// Data lines currently in expanded state (CleanCompact mode).
+    expanded: HashSet<u64>,
+    stats: HwStats,
+}
+
+impl HwClean {
+    /// Creates a check unit for `cores` single-threaded cores.
+    pub fn new(cores: usize, mode: EpochMode) -> Self {
+        let layout = EpochLayout::paper_default();
+        let mut vcs = Vec::with_capacity(cores);
+        for i in 0..cores {
+            let mut vc = VectorClock::new(cores, layout);
+            vc.increment(ThreadId::new(i as u16)).expect("clock 1 fits");
+            vcs.push(vc);
+        }
+        HwClean {
+            mode,
+            layout,
+            vcs,
+            epochs: HashMap::new(),
+            expanded: HashSet::new(),
+            stats: HwStats::default(),
+        }
+    }
+
+    /// The metadata organization in use.
+    pub fn mode(&self) -> EpochMode {
+        self.mode
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HwStats {
+        self.stats
+    }
+
+    fn epoch_at(&self, addr: u64) -> Epoch {
+        self.epochs.get(&addr).copied().unwrap_or(Epoch::ZERO)
+    }
+
+    /// Metadata lines that must be touched to *load* the epochs of
+    /// `[addr, addr+size)`, under the line-state assumption the hardware
+    /// makes (always compact first, Section 5.3).
+    fn epoch_lines(&self, addr: u64, size: u8) -> Vec<u64> {
+        let mut lines = Vec::with_capacity(2);
+        match self.mode {
+            EpochMode::Fixed1B => {
+                let lo = META_BASE + addr;
+                let hi = META_BASE + addr + u64::from(size) - 1;
+                lines.push(lo / LINE_SIZE * LINE_SIZE);
+                if hi / LINE_SIZE != lo / LINE_SIZE {
+                    lines.push(hi / LINE_SIZE * LINE_SIZE);
+                }
+            }
+            EpochMode::Fixed4B => {
+                let lo = META_BASE + addr * 4;
+                let hi = META_BASE + (addr + u64::from(size)) * 4 - 1;
+                let mut l = lo / LINE_SIZE * LINE_SIZE;
+                while l <= hi {
+                    lines.push(l);
+                    l += LINE_SIZE;
+                }
+            }
+            EpochMode::CleanCompact => {
+                // One compact line per data line: the hardware always
+                // computes this address first.
+                let first = addr / LINE_SIZE;
+                let last = (addr + u64::from(size) - 1) / LINE_SIZE;
+                for dl in first..=last {
+                    lines.push(META_BASE + dl * LINE_SIZE);
+                }
+            }
+        }
+        lines
+    }
+
+    /// Handles a barrier episode: all participating cores' clocks join
+    /// (every pre-barrier access happens-before every post-barrier one)
+    /// and each enters a new SFR. The machine calls this once per global
+    /// [`SimEvent::Sync`](crate::SimEvent::Sync) release; the 100-cycle
+    /// software VC-maintenance latency is charged by the machine.
+    pub fn on_barrier(&mut self) {
+        let mut all = VectorClock::new(self.vcs.len(), self.layout);
+        for vc in &self.vcs {
+            all.join(vc);
+        }
+        for (i, vc) in self.vcs.iter_mut().enumerate() {
+            vc.join(&all);
+            vc.increment(ThreadId::new(i as u16))
+                .expect("simulated clocks stay small");
+        }
+    }
+
+    /// Runs the race check for a shared access, mutating the caches via
+    /// `mem` for every metadata access, and returns the check latency
+    /// (to be overlapped with `data_latency` by the caller).
+    pub fn check(
+        &mut self,
+        mem: &mut MemorySystem,
+        core: usize,
+        addr: u64,
+        size: u8,
+        write: bool,
+    ) -> u32 {
+        debug_assert!(size >= 1);
+        let tid = ThreadId::new(core as u16);
+        let new_epoch = self.vcs[core].element(tid);
+        let data_line = addr / LINE_SIZE;
+        let is_expanded =
+            self.mode == EpochMode::CleanCompact && self.expanded.contains(&data_line);
+
+        // 1. Load the epoch line(s); the compact-assumption address first.
+        let mut latency = 0u32;
+        for l in self.epoch_lines(addr, size) {
+            latency += mem.access_line(core, l, false).0;
+        }
+
+        // 2. Expanded-line address miscalculation penalty (CleanCompact):
+        //    epochs for bytes beyond the first 16 live in extra lines.
+        if is_expanded {
+            self.stats.miscalculations += 1;
+            let seg_first = (addr % LINE_SIZE) / 16;
+            let seg_last = ((addr + u64::from(size) - 1) % LINE_SIZE) / 16;
+            latency += 1; // reinterpret the loaded epoch
+            for seg in seg_first..=seg_last {
+                if seg == 0 {
+                    continue; // reuses the compact-slot line already loaded
+                }
+                let l = EXPANDED_BASE + data_line * 3 * LINE_SIZE + (seg - 1) * LINE_SIZE;
+                latency += mem.access_line(core, l, false).0;
+            }
+        }
+
+        // 3. The Figure 4 check on the semantic epochs.
+        let addrs: Vec<u64> = (addr..addr + u64::from(size)).collect();
+        let same_thread = addrs
+            .iter()
+            .all(|a| self.layout.tid(self.epoch_at(*a)) == tid);
+        let same_epoch = addrs.iter().all(|a| self.epoch_at(*a) == new_epoch);
+
+        let mut class;
+        if same_thread && (!write || same_epoch) {
+            class = CheckClass::Fast;
+        } else {
+            let mut needs_vc = false;
+            if !same_thread {
+                needs_vc = true;
+                // Load the needed VC element(s) of this thread from memory.
+                let owners: HashSet<u16> = addrs
+                    .iter()
+                    .map(|a| self.layout.tid(self.epoch_at(*a)).raw())
+                    .filter(|&t| t != tid.raw())
+                    .collect();
+                for owner in &owners {
+                    let vaddr =
+                        VC_BASE + (core as u64) * 1024 + u64::from(*owner) * 4;
+                    latency += mem.access_line(core, vaddr / LINE_SIZE * LINE_SIZE, false).0;
+                }
+                // The comparison itself: race if the saved write does not
+                // happen-before us.
+                for a in &addrs {
+                    let e = self.epoch_at(*a);
+                    if self.vcs[core].races_with(e) {
+                        self.stats.races += 1;
+                        break;
+                    }
+                }
+            }
+            let needs_update = write && !same_epoch;
+            class = match (needs_vc, needs_update) {
+                (true, true) => CheckClass::VcLoadUpdate,
+                (true, false) => CheckClass::VcLoad,
+                (false, true) => CheckClass::Update,
+                (false, false) => CheckClass::Fast,
+            };
+
+            if needs_update {
+                // Does this write force a compact→expanded transition?
+                if self.mode == EpochMode::CleanCompact && !is_expanded {
+                    let group_first = addr / 4;
+                    let group_last = (addr + u64::from(size) - 1) / 4;
+                    let mut must_expand = false;
+                    for g in group_first..=group_last {
+                        let fully_covered =
+                            g * 4 >= addr && (g + 1) * 4 <= addr + u64::from(size);
+                        if fully_covered {
+                            continue;
+                        }
+                        // Partially covered group: uncovered bytes keep
+                        // their old epoch; if that differs from the new
+                        // one, the group can no longer share one epoch.
+                        let differs = (g * 4..(g + 1) * 4)
+                            .filter(|a| !(addr..addr + u64::from(size)).contains(a))
+                            .any(|a| self.epoch_at(a) != new_epoch);
+                        if differs {
+                            must_expand = true;
+                            break;
+                        }
+                    }
+                    if must_expand {
+                        class = CheckClass::Expand;
+                        self.stats.expand += 1;
+                        self.expanded.insert(data_line);
+                        // Stretch: 1 cycle plus writing 4 full metadata
+                        // lines (Section 6.3.1). Full-line writes allocate
+                        // without fetching, so they cost store cycles, not
+                        // miss latencies; the lines become cache-resident.
+                        latency += 1 + 4;
+                        mem.access_line(core, META_BASE + data_line * LINE_SIZE, true);
+                        for seg in 1..4u64 {
+                            let l = EXPANDED_BASE
+                                + data_line * 3 * LINE_SIZE
+                                + (seg - 1) * LINE_SIZE;
+                            mem.access_line(core, l, true);
+                        }
+                    }
+                }
+                if class != CheckClass::Expand {
+                    // Plain epoch store into the already-resident line(s).
+                    latency += 1;
+                    for l in self.epoch_lines(addr, size) {
+                        mem.access_line(core, l, true);
+                    }
+                }
+                for a in &addrs {
+                    self.epochs.insert(*a, new_epoch);
+                }
+            }
+        }
+
+        // 4. Bookkeeping.
+        match class {
+            CheckClass::Fast => self.stats.fast += 1,
+            CheckClass::VcLoad => self.stats.vc_load += 1,
+            CheckClass::Update => self.stats.update += 1,
+            CheckClass::VcLoadUpdate => self.stats.vc_load_update += 1,
+            CheckClass::Expand => self.stats.expand += 0, // counted above
+            CheckClass::Private => unreachable!("private handled by caller"),
+        }
+        if self.mode == EpochMode::CleanCompact {
+            if self.expanded.contains(&data_line) {
+                self.stats.expanded_accesses += 1;
+            } else {
+                self.stats.compact_accesses += 1;
+            }
+        } else {
+            // Fixed modes: 1B behaves like all-compact (1:1 metadata),
+            // 4B like all-expanded (4:1).
+            if self.mode == EpochMode::Fixed1B {
+                self.stats.compact_accesses += 1;
+            } else {
+                self.stats.expanded_accesses += 1;
+            }
+        }
+        latency
+    }
+
+    /// Records a private access (no check work).
+    pub fn note_private(&mut self) {
+        self.stats.private += 1;
+    }
+
+    /// Adds exposed stall cycles to the statistics.
+    pub fn note_exposed(&mut self, cycles: u32) {
+        self.stats.exposed_cycles += u64::from(cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Latencies;
+
+    fn setup(mode: EpochMode) -> (HwClean, MemorySystem) {
+        (HwClean::new(2, mode), MemorySystem::new(2, Latencies::paper()))
+    }
+
+    #[test]
+    fn first_write_is_update_then_fast() {
+        let (mut hw, mut mem) = setup(EpochMode::CleanCompact);
+        hw.check(&mut mem, 0, 0, 4, true);
+        let s = hw.stats();
+        assert_eq!(s.update, 1);
+        // Same thread, same epoch: fast.
+        hw.check(&mut mem, 0, 0, 4, true);
+        hw.check(&mut mem, 0, 0, 4, false);
+        assert_eq!(hw.stats().fast, 2);
+    }
+
+    #[test]
+    fn cross_thread_read_takes_vc_load() {
+        let (mut hw, mut mem) = setup(EpochMode::CleanCompact);
+        hw.check(&mut mem, 0, 0, 4, true);
+        hw.on_barrier(); // hb transfer: no race
+        hw.check(&mut mem, 1, 0, 4, false);
+        let s = hw.stats();
+        assert_eq!(s.vc_load, 1);
+        assert_eq!(s.races, 0);
+    }
+
+    #[test]
+    fn unsynchronized_cross_thread_write_races() {
+        let (mut hw, mut mem) = setup(EpochMode::CleanCompact);
+        hw.check(&mut mem, 0, 0, 4, true);
+        hw.check(&mut mem, 1, 0, 4, true);
+        let s = hw.stats();
+        assert_eq!(s.races, 1);
+        assert_eq!(s.vc_load_update, 1);
+    }
+
+    #[test]
+    fn aligned_word_writes_keep_lines_compact() {
+        let (mut hw, mut mem) = setup(EpochMode::CleanCompact);
+        for i in 0..16 {
+            hw.check(&mut mem, 0, i * 4, 4, true);
+        }
+        assert_eq!(hw.stats().expand, 0);
+        assert_eq!(hw.stats().expanded_accesses, 0);
+    }
+
+    #[test]
+    fn byte_write_by_other_thread_expands() {
+        let (mut hw, mut mem) = setup(EpochMode::CleanCompact);
+        hw.check(&mut mem, 0, 0, 4, true); // t0 owns group 0
+        hw.on_barrier();
+        hw.check(&mut mem, 1, 1, 1, true); // t1 writes byte 1 only
+        let s = hw.stats();
+        assert_eq!(s.expand, 1);
+        assert!(s.miscalculations == 0, "expansion is on the write itself");
+        // Subsequent access to the line pays the miscalculation penalty.
+        hw.check(&mut mem, 1, 0, 1, false);
+        assert!(hw.stats().miscalculations >= 1);
+        assert!(hw.stats().expanded_accesses >= 1);
+    }
+
+    #[test]
+    fn byte_write_of_uniform_group_by_same_epoch_stays_compact() {
+        let (mut hw, mut mem) = setup(EpochMode::CleanCompact);
+        hw.check(&mut mem, 0, 0, 4, true);
+        // Same thread, same epoch, sub-word write: covered bytes already
+        // carry the epoch; fast path, no expansion.
+        hw.check(&mut mem, 0, 2, 1, true);
+        assert_eq!(hw.stats().expand, 0);
+        assert_eq!(hw.stats().fast, 1);
+    }
+
+    #[test]
+    fn fixed_modes_classify_compactness() {
+        let (mut hw, mut mem) = setup(EpochMode::Fixed1B);
+        hw.check(&mut mem, 0, 0, 4, true);
+        assert_eq!(hw.stats().compact_accesses, 1);
+        let (mut hw, mut mem) = setup(EpochMode::Fixed4B);
+        hw.check(&mut mem, 0, 0, 4, true);
+        assert_eq!(hw.stats().expanded_accesses, 1);
+    }
+
+    #[test]
+    fn fixed4b_touches_more_metadata_lines() {
+        let (mut hw4, mut mem4) = setup(EpochMode::Fixed4B);
+        let (mut hw1, mut mem1) = setup(EpochMode::Fixed1B);
+        // A 64-byte-spanning sweep: 4B epochs need 4 metadata lines per
+        // data line, 1B epochs just one.
+        for i in 0..8 {
+            hw4.check(&mut mem4, 0, i * 8, 8, true);
+            hw1.check(&mut mem1, 0, i * 8, 8, true);
+        }
+        // Same number of accesses, but a 4x larger metadata footprint:
+        // more cold misses reach memory.
+        assert!(
+            mem4.stats().memory_accesses > mem1.stats().memory_accesses,
+            "4B epochs must miss more: {:?} vs {:?}",
+            mem4.stats(),
+            mem1.stats()
+        );
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let (mut hw, mut mem) = setup(EpochMode::CleanCompact);
+        hw.note_private();
+        hw.check(&mut mem, 0, 0, 4, true);
+        hw.check(&mut mem, 0, 0, 4, false);
+        let s = hw.stats();
+        assert_eq!(s.total(), 3);
+        assert!(s.quick_fraction() > 0.6);
+        assert!(s.fast_fraction() > 0.3);
+    }
+}

@@ -1,0 +1,384 @@
+//! The simulated multiprocessor (Section 6.3.1): simple in-order cores
+//! (fixed 1-cycle non-memory instructions), a realistic 3-level memory
+//! hierarchy, and optionally the CLEAN hardware race-check unit running in
+//! parallel with every shared access.
+
+use crate::hwclean::{EpochMode, HwClean, HwStats};
+use crate::mem::{HierarchyConfig, Latencies, MemStats, MemorySystem};
+use crate::trace::{ProgramTrace, SimEvent};
+
+/// Machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of cores (the paper models 8).
+    pub cores: usize,
+    /// Memory latencies.
+    pub latencies: Latencies,
+    /// Cache geometry (paper defaults; shrink the L3 for the
+    /// cache-sensitivity ablation).
+    pub hierarchy: HierarchyConfig,
+    /// Hardware race detection, if enabled, with its metadata mode.
+    pub detection: Option<EpochMode>,
+    /// Extra cycles per synchronization operation when detection is on
+    /// (software vector-clock maintenance; 100 in the paper).
+    pub sync_overhead: u32,
+}
+
+impl MachineConfig {
+    /// The paper's 8-core machine without race detection (the
+    /// normalization baseline of Figure 9).
+    pub fn baseline() -> Self {
+        MachineConfig {
+            cores: 8,
+            latencies: Latencies::paper(),
+            hierarchy: HierarchyConfig::paper(),
+            detection: None,
+            sync_overhead: 100,
+        }
+    }
+
+    /// The paper's machine with CLEAN hardware detection.
+    pub fn with_detection(mode: EpochMode) -> Self {
+        MachineConfig {
+            detection: Some(mode),
+            ..Self::baseline()
+        }
+    }
+}
+
+/// Result of simulating one program.
+#[derive(Debug, Clone)]
+pub struct MachineResult {
+    /// Execution time: the maximum core cycle count.
+    pub cycles: u64,
+    /// Per-core cycle counts.
+    pub per_core: Vec<u64>,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Check-unit statistics (when detection was enabled).
+    pub hw: Option<HwStats>,
+}
+
+/// The trace-driven multicore simulator.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    mem: MemorySystem,
+    hw: Option<HwClean>,
+    cycles: Vec<u64>,
+    waiting: Vec<bool>,
+}
+
+impl Machine {
+    /// Builds a machine.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine {
+            mem: MemorySystem::with_hierarchy(config.cores, config.latencies, config.hierarchy),
+            hw: config.detection.map(|m| HwClean::new(config.cores, m)),
+            cycles: vec![0; config.cores],
+            waiting: vec![false; config.cores],
+            config,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+
+    /// Runs a program to completion and returns the result.
+    ///
+    /// Cores are interleaved in cycle order (the core with the smallest
+    /// local clock executes its next event), which deterministically
+    /// approximates concurrent execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has more threads than the machine has cores.
+    pub fn run(&mut self, program: &ProgramTrace) -> MachineResult {
+        assert!(
+            program.num_threads() <= self.config.cores,
+            "{} threads exceed {} cores",
+            program.num_threads(),
+            self.config.cores
+        );
+        let mut pc = vec![0usize; program.num_threads()];
+        loop {
+            // Pick the runnable core with the smallest local clock.
+            let next = (0..program.num_threads())
+                .filter(|&c| pc[c] < program.threads[c].events.len() && !self.waiting[c])
+                .min_by_key(|&c| (self.cycles[c], c));
+            match next {
+                Some(core) => {
+                    let event = program.threads[core].events[pc[core]];
+                    pc[core] += 1;
+                    self.step(core, event);
+                }
+                None => {
+                    // No runnable core: either done or a barrier episode
+                    // completes (every unfinished core is waiting).
+                    if !self.waiting.iter().any(|w| *w) {
+                        break;
+                    }
+                    self.release_barrier();
+                }
+            }
+        }
+        MachineResult {
+            cycles: self.cycles.iter().copied().max().unwrap_or(0),
+            per_core: self.cycles.clone(),
+            mem: self.mem.stats(),
+            hw: self.hw.as_ref().map(|h| h.stats()),
+        }
+    }
+
+    fn step(&mut self, core: usize, event: SimEvent) {
+        match event {
+            SimEvent::Compute(n) => {
+                self.cycles[core] += u64::from(n);
+            }
+            SimEvent::Read {
+                addr,
+                size,
+                private,
+            } => self.mem_access(core, addr, size, false, private),
+            SimEvent::Write {
+                addr,
+                size,
+                private,
+            } => self.mem_access(core, addr, size, true, private),
+            SimEvent::Sync => {
+                // Arrive at the global barrier; the core blocks until all
+                // unfinished cores arrive (see release_barrier).
+                self.waiting[core] = true;
+            }
+        }
+    }
+
+    /// Completes a barrier episode: all waiting cores resume at the
+    /// latest arrival time plus the synchronization cost (20 cycles base;
+    /// +`sync_overhead` for software vector-clock maintenance when
+    /// detection is on — Section 6.3.1).
+    fn release_barrier(&mut self) {
+        let release = self
+            .waiting
+            .iter()
+            .zip(&self.cycles)
+            .filter(|(w, _)| **w)
+            .map(|(_, c)| *c)
+            .max()
+            .unwrap_or(0);
+        let cost = 20 + if self.hw.is_some() {
+            u64::from(self.config.sync_overhead)
+        } else {
+            0
+        };
+        if let Some(hw) = self.hw.as_mut() {
+            hw.on_barrier();
+        }
+        for c in 0..self.config.cores {
+            if self.waiting[c] {
+                self.waiting[c] = false;
+                self.cycles[c] = release + cost;
+            }
+        }
+    }
+
+    fn mem_access(&mut self, core: usize, addr: u64, size: u8, write: bool, private: bool) {
+        let size = size.max(1);
+        let data_latency = self.mem.access(core, addr, size, write);
+        let total = match self.hw.as_mut() {
+            Some(hw) if !private => {
+                // The check proceeds in parallel with the data access;
+                // only the excess is exposed (Section 5.4).
+                let check_latency = hw.check(&mut self.mem, core, addr, size, write);
+                let exposed = check_latency.saturating_sub(data_latency);
+                hw.note_exposed(exposed);
+                data_latency + exposed
+            }
+            Some(hw) => {
+                hw.note_private();
+                data_latency
+            }
+            None => data_latency,
+        };
+        self.cycles[core] += u64::from(total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_trace(n_access: usize, stride: u64, size: u8) -> ProgramTrace {
+        let mut p = ProgramTrace::with_threads(1);
+        for i in 0..n_access {
+            p.threads[0].push(SimEvent::Compute(2));
+            p.threads[0].push(SimEvent::Write {
+                addr: i as u64 * stride,
+                size,
+                private: false,
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn empty_program_takes_no_cycles() {
+        let mut m = Machine::new(MachineConfig::baseline());
+        let r = m.run(&ProgramTrace::with_threads(2));
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn compute_only_counts_cycles() {
+        let mut m = Machine::new(MachineConfig::baseline());
+        let mut p = ProgramTrace::with_threads(2);
+        p.threads[0].push(SimEvent::Compute(100));
+        p.threads[1].push(SimEvent::Compute(250));
+        let r = m.run(&p);
+        assert_eq!(r.per_core[0], 100);
+        assert_eq!(r.per_core[1], 250);
+        assert_eq!(r.cycles, 250);
+    }
+
+    #[test]
+    fn detection_adds_overhead() {
+        let p = seq_trace(2000, 8, 8);
+        let base = Machine::new(MachineConfig::baseline()).run(&p);
+        let det = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
+        assert!(det.cycles >= base.cycles);
+        let hw = det.hw.unwrap();
+        assert_eq!(hw.total(), 2000);
+        assert_eq!(hw.races, 0, "single-thread traces are race-free");
+    }
+
+    #[test]
+    fn private_accesses_skip_checks() {
+        let mut p = ProgramTrace::with_threads(1);
+        for i in 0..100 {
+            p.threads[0].push(SimEvent::Read {
+                addr: i * 4,
+                size: 4,
+                private: true,
+            });
+        }
+        let r = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
+        let hw = r.hw.unwrap();
+        assert_eq!(hw.private, 100);
+        assert_eq!(hw.checked(), 0);
+    }
+
+    #[test]
+    fn sync_costs_more_under_detection() {
+        let mut p = ProgramTrace::with_threads(1);
+        for _ in 0..10 {
+            p.threads[0].push(SimEvent::Sync);
+        }
+        let base = Machine::new(MachineConfig::baseline()).run(&p);
+        let det = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
+        assert_eq!(base.cycles, 200);
+        assert_eq!(det.cycles, 1200);
+    }
+
+    #[test]
+    fn barrier_aligns_cores() {
+        let mut p = ProgramTrace::with_threads(2);
+        p.threads[0].push(SimEvent::Compute(50));
+        p.threads[0].push(SimEvent::Sync);
+        p.threads[0].push(SimEvent::Compute(5));
+        p.threads[1].push(SimEvent::Compute(500));
+        p.threads[1].push(SimEvent::Sync);
+        let r = Machine::new(MachineConfig::baseline()).run(&p);
+        // Both resume at 500 + 20; core 0 adds 5 more.
+        assert_eq!(r.per_core[0], 525);
+        assert_eq!(r.per_core[1], 520);
+    }
+
+    #[test]
+    fn repeated_same_thread_access_is_mostly_fast() {
+        // Small working set, rewritten repeatedly by one thread at the
+        // same clock: after the first pass all checks are fast.
+        let mut p = ProgramTrace::with_threads(1);
+        for _pass in 0..10 {
+            for i in 0..64u64 {
+                p.threads[0].push(SimEvent::Write {
+                    addr: i * 4,
+                    size: 4,
+                    private: false,
+                });
+            }
+        }
+        let r = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
+        let hw = r.hw.unwrap();
+        assert!(hw.fast as f64 / hw.total() as f64 > 0.85, "{hw:?}");
+    }
+
+    #[test]
+    fn fixed4b_slower_than_clean_on_large_working_set() {
+        // A working set near LLC capacity, traversed twice: with CLEAN's
+        // compact metadata (1:1) data+epochs strain the 16 MB L3; with
+        // 4-byte-per-byte epochs (4:1) they overflow it and the reuse pass
+        // misses to memory — the ocean/radix effect of Figure 11.
+        let lines = 120_000u64; // ~7.3 MB of data
+        let mut p = ProgramTrace::with_threads(1);
+        for _pass in 0..2 {
+            for i in 0..lines {
+                p.threads[0].push(SimEvent::Write {
+                    addr: i * 64,
+                    size: 8,
+                    private: false,
+                });
+            }
+        }
+        let clean =
+            Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
+        let fixed4 = Machine::new(MachineConfig::with_detection(EpochMode::Fixed4B)).run(&p);
+        assert!(
+            fixed4.cycles > clean.cycles,
+            "4B epochs without compaction must be slower: {} vs {}",
+            fixed4.cycles,
+            clean.cycles
+        );
+        assert!(
+            fixed4.mem.llc_miss_rate() > clean.mem.llc_miss_rate(),
+            "metadata pressure must raise the LLC miss rate"
+        );
+    }
+
+    #[test]
+    fn cross_thread_race_detected_in_sim() {
+        let mut p = ProgramTrace::with_threads(2);
+        p.threads[0].push(SimEvent::Write {
+            addr: 0,
+            size: 4,
+            private: false,
+        });
+        p.threads[1].push(SimEvent::Write {
+            addr: 0,
+            size: 4,
+            private: false,
+        });
+        let r = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
+        assert_eq!(r.hw.unwrap().races, 1);
+    }
+
+    #[test]
+    fn sync_transfers_hb_in_sim() {
+        let mut p = ProgramTrace::with_threads(2);
+        p.threads[0].push(SimEvent::Write {
+            addr: 0,
+            size: 4,
+            private: false,
+        });
+        p.threads[0].push(SimEvent::Sync);
+        p.threads[1].push(SimEvent::Sync);
+        p.threads[1].push(SimEvent::Read {
+            addr: 0,
+            size: 4,
+            private: false,
+        });
+        let r = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
+        assert_eq!(r.hw.unwrap().races, 0);
+    }
+}

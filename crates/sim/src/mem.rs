@@ -1,0 +1,305 @@
+//! The simulated memory system: per-core private L1/L2, shared L3, MESI
+//!-style invalidation, with the paper's access latencies (Section 6.3.1):
+//! L1 hit 1, local L2 hit 10, remote L2 hit 15, L3 hit 35, L3 miss 120
+//! cycles.
+
+use crate::cache::{line_of, Cache, CacheConfig, LINE_SIZE};
+
+/// Access latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// L1 hit.
+    pub l1: u32,
+    /// Local (own) L2 hit.
+    pub l2_local: u32,
+    /// Remote (another core's private cache) hit.
+    pub l2_remote: u32,
+    /// Shared L3 hit.
+    pub l3: u32,
+    /// L3 miss (memory).
+    pub memory: u32,
+}
+
+impl Latencies {
+    /// The paper's latencies.
+    pub const fn paper() -> Self {
+        Latencies {
+            l1: 1,
+            l2_local: 10,
+            l2_remote: 15,
+            l3: 35,
+            memory: 120,
+        }
+    }
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Where an access was satisfied (for statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Own L1.
+    L1,
+    /// Own L2.
+    L2Local,
+    /// Another core's private cache.
+    L2Remote,
+    /// Shared L3.
+    L3,
+    /// Memory.
+    Memory,
+}
+
+/// Aggregate memory-system statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Line accesses satisfied per level.
+    pub l1_hits: u64,
+    /// Own-L2 hits.
+    pub l2_local_hits: u64,
+    /// Remote private-cache hits.
+    pub l2_remote_hits: u64,
+    /// L3 hits.
+    pub l3_hits: u64,
+    /// Memory accesses (LLC misses).
+    pub memory_accesses: u64,
+    /// Coherence invalidations performed.
+    pub invalidations: u64,
+}
+
+impl MemStats {
+    /// Total line accesses.
+    pub fn total(&self) -> u64 {
+        self.l1_hits + self.l2_local_hits + self.l2_remote_hits + self.l3_hits + self.memory_accesses
+    }
+
+    /// LLC (L3) miss rate over all line accesses.
+    pub fn llc_miss_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.memory_accesses as f64 / t as f64
+        }
+    }
+}
+
+/// Geometry of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Private L1 geometry.
+    pub l1: CacheConfig,
+    /// Private L2 geometry.
+    pub l2: CacheConfig,
+    /// Shared L3 geometry.
+    pub l3: CacheConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's hierarchy (Section 6.3.1).
+    pub const fn paper() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            l3: CacheConfig::l3(),
+        }
+    }
+
+    /// The paper's hierarchy with a different shared-LLC capacity (the
+    /// cache-sensitivity ablation knob).
+    pub fn with_l3_size(mut self, bytes: usize) -> Self {
+        self.l3 = CacheConfig {
+            size: bytes,
+            assoc: self.l3.assoc,
+        };
+        self
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The full memory hierarchy of the simulated multiprocessor.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Cache,
+    lat: Latencies,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Builds the paper's hierarchy for `cores` cores.
+    pub fn new(cores: usize, lat: Latencies) -> Self {
+        Self::with_hierarchy(cores, lat, HierarchyConfig::paper())
+    }
+
+    /// Builds a hierarchy with explicit geometry.
+    pub fn with_hierarchy(cores: usize, lat: Latencies, h: HierarchyConfig) -> Self {
+        MemorySystem {
+            l1: (0..cores).map(|_| Cache::new(h.l1)).collect(),
+            l2: (0..cores).map(|_| Cache::new(h.l2)).collect(),
+            l3: Cache::new(h.l3),
+            lat,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Performs one line access by `core`, returning (latency, level).
+    /// Writes invalidate all other private copies (MESI upgrade).
+    pub fn access_line(&mut self, core: usize, line: u64, write: bool) -> (u32, HitLevel) {
+        let (lat, level) = if self.l1[core].access(line) {
+            self.stats.l1_hits += 1;
+            (self.lat.l1, HitLevel::L1)
+        } else if self.l2[core].access(line) {
+            self.l1[core].insert(line);
+            self.stats.l2_local_hits += 1;
+            (self.lat.l2_local, HitLevel::L2Local)
+        } else if self.remote_has(core, line) {
+            self.fill(core, line);
+            self.stats.l2_remote_hits += 1;
+            (self.lat.l2_remote, HitLevel::L2Remote)
+        } else if self.l3.access(line) {
+            self.fill_private(core, line);
+            self.stats.l3_hits += 1;
+            (self.lat.l3, HitLevel::L3)
+        } else {
+            self.fill(core, line);
+            self.stats.memory_accesses += 1;
+            (self.lat.memory, HitLevel::Memory)
+        };
+        if write {
+            self.invalidate_others(core, line);
+        }
+        (lat, level)
+    }
+
+    /// Performs a data access of `size` bytes at `addr`, charging each
+    /// touched line sequentially (accesses rarely span lines).
+    pub fn access(&mut self, core: usize, addr: u64, size: u8, write: bool) -> u32 {
+        let first = line_of(addr);
+        let last = line_of(addr + u64::from(size.max(1)) - 1);
+        let mut total = 0;
+        let mut line = first;
+        loop {
+            total += self.access_line(core, line, write).0;
+            if line == last {
+                break;
+            }
+            line += LINE_SIZE;
+        }
+        total
+    }
+
+    fn remote_has(&self, core: usize, line: u64) -> bool {
+        (0..self.cores())
+            .any(|c| c != core && (self.l1[c].contains(line) || self.l2[c].contains(line)))
+    }
+
+    fn fill_private(&mut self, core: usize, line: u64) {
+        self.l2[core].insert(line);
+        self.l1[core].insert(line);
+    }
+
+    fn fill(&mut self, core: usize, line: u64) {
+        self.l3.insert(line);
+        self.fill_private(core, line);
+    }
+
+    fn invalidate_others(&mut self, core: usize, line: u64) {
+        for c in 0..self.cores() {
+            if c == core {
+                continue;
+            }
+            if self.l1[c].invalidate(line) | self.l2[c].invalidate(line) {
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hits() {
+        let mut m = MemorySystem::new(2, Latencies::paper());
+        let (lat, lvl) = m.access_line(0, 0, false);
+        assert_eq!((lat, lvl), (120, HitLevel::Memory));
+        let (lat, lvl) = m.access_line(0, 0, false);
+        assert_eq!((lat, lvl), (1, HitLevel::L1));
+    }
+
+    #[test]
+    fn remote_hit_after_other_core_touch() {
+        let mut m = MemorySystem::new(2, Latencies::paper());
+        m.access_line(0, 64, false);
+        let (lat, lvl) = m.access_line(1, 64, false);
+        assert_eq!(lvl, HitLevel::L2Remote);
+        assert_eq!(lat, 15);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let mut m = MemorySystem::new(2, Latencies::paper());
+        m.access_line(0, 0, false);
+        m.access_line(1, 0, false); // both have it
+        m.access_line(1, 0, true); // core 1 writes: invalidates core 0
+        assert!(m.stats().invalidations >= 1);
+        // Core 0's next access cannot be an L1 hit.
+        let (_, lvl) = m.access_line(0, 0, false);
+        assert_ne!(lvl, HitLevel::L1);
+    }
+
+    #[test]
+    fn l3_hit_after_private_eviction() {
+        let mut m = MemorySystem::new(1, Latencies::paper());
+        // Touch enough distinct lines mapping everywhere to evict line 0
+        // from L1+L2 (L2 is 256KB => 4096 lines), then re-access.
+        m.access_line(0, 0, false);
+        for i in 1..10_000u64 {
+            m.access_line(0, i * LINE_SIZE, false);
+        }
+        let (lat, lvl) = m.access_line(0, 0, false);
+        assert_eq!(lvl, HitLevel::L3);
+        assert_eq!(lat, 35);
+    }
+
+    #[test]
+    fn multi_line_access_charges_both() {
+        let mut m = MemorySystem::new(1, Latencies::paper());
+        let lat = m.access(0, 60, 8, false); // spans lines 0 and 64
+        assert_eq!(lat, 240);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = MemorySystem::new(1, Latencies::paper());
+        m.access_line(0, 0, false);
+        m.access_line(0, 0, false);
+        let s = m.stats();
+        assert_eq!(s.memory_accesses, 1);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.total(), 2);
+        assert!(s.llc_miss_rate() > 0.0);
+    }
+}

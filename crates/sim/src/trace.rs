@@ -1,0 +1,163 @@
+//! Simulator traces: per-thread event streams consumed by the
+//! [`Machine`](crate::Machine), mirroring the paper's Pin-generated traces
+//! (Section 6.3.1). Shared accesses are "approximated by Pin as non-stack
+//! accesses"; here each event carries an explicit `private` flag with the
+//! same meaning.
+
+/// One instruction-stream event of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// `n` cycles of non-memory instructions (1 cycle each on the paper's
+    /// simple cores).
+    Compute(u32),
+    /// A load of `size` bytes at `addr`. `private` marks stack accesses
+    /// that need no race check.
+    Read {
+        /// Byte address.
+        addr: u64,
+        /// Access width in bytes (1–8).
+        size: u8,
+        /// Stack (race-check-free) access.
+        private: bool,
+    },
+    /// A store of `size` bytes at `addr`.
+    Write {
+        /// Byte address.
+        addr: u64,
+        /// Access width in bytes (1–8).
+        size: u8,
+        /// Stack (race-check-free) access.
+        private: bool,
+    },
+    /// A synchronization operation (lock, barrier episode, …): costs 100
+    /// extra cycles under detection for software vector-clock maintenance
+    /// (Section 6.3.1) and transfers happens-before.
+    Sync,
+}
+
+/// The event stream of one simulated thread.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTrace {
+    /// Events in program order.
+    pub events: Vec<SimEvent>,
+}
+
+impl ThreadTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: SimEvent) {
+        self.events.push(e);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns true if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total instruction count (computes expand to their cycle count).
+    pub fn instructions(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                SimEvent::Compute(n) => u64::from(*n),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Number of shared (non-private) memory accesses.
+    pub fn shared_accesses(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    SimEvent::Read { private: false, .. } | SimEvent::Write { private: false, .. }
+                )
+            })
+            .count() as u64
+    }
+}
+
+/// A whole program: one trace per core/thread.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramTrace {
+    /// Per-thread traces; index = core = thread id.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl ProgramTrace {
+    /// Creates a program with `n` empty threads.
+    pub fn with_threads(n: usize) -> Self {
+        ProgramTrace {
+            threads: vec![ThreadTrace::new(); n],
+        }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total shared accesses across threads.
+    pub fn shared_accesses(&self) -> u64 {
+        self.threads.iter().map(|t| t.shared_accesses()).sum()
+    }
+
+    /// Total instructions across threads.
+    pub fn instructions(&self) -> u64 {
+        self.threads.iter().map(|t| t.instructions()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_counters() {
+        let mut t = ThreadTrace::new();
+        assert!(t.is_empty());
+        t.push(SimEvent::Compute(10));
+        t.push(SimEvent::Read {
+            addr: 0,
+            size: 4,
+            private: false,
+        });
+        t.push(SimEvent::Write {
+            addr: 64,
+            size: 8,
+            private: true,
+        });
+        t.push(SimEvent::Sync);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.instructions(), 13);
+        assert_eq!(t.shared_accesses(), 1);
+    }
+
+    #[test]
+    fn program_aggregates() {
+        let mut p = ProgramTrace::with_threads(2);
+        p.threads[0].push(SimEvent::Read {
+            addr: 0,
+            size: 4,
+            private: false,
+        });
+        p.threads[1].push(SimEvent::Write {
+            addr: 0,
+            size: 4,
+            private: false,
+        });
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.shared_accesses(), 2);
+    }
+}

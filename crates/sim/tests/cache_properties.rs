@@ -1,0 +1,142 @@
+//! Property-based tests of the cache model against a reference
+//! implementation, and of memory-system invariants.
+
+use clean_sim::{Cache, CacheConfig, Latencies, MemorySystem, LINE_SIZE};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A straightforward reference LRU cache.
+#[derive(Debug, Clone)]
+struct ModelCache {
+    assoc: usize,
+    sets: Vec<VecDeque<u64>>,
+}
+
+impl ModelCache {
+    fn new(cfg: CacheConfig) -> Self {
+        ModelCache {
+            assoc: cfg.assoc,
+            sets: vec![VecDeque::new(); cfg.sets()],
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        ((line / LINE_SIZE) % self.sets.len() as u64) as usize
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        if let Some(pos) = self.sets[s].iter().position(|&l| l == line) {
+            let l = self.sets[s].remove(pos).unwrap();
+            self.sets[s].push_back(l);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, line: u64) -> Option<u64> {
+        let s = self.set_of(line);
+        if let Some(pos) = self.sets[s].iter().position(|&l| l == line) {
+            let l = self.sets[s].remove(pos).unwrap();
+            self.sets[s].push_back(l);
+            return None;
+        }
+        let evicted = if self.sets[s].len() == self.assoc {
+            self.sets[s].pop_front()
+        } else {
+            None
+        };
+        self.sets[s].push_back(line);
+        evicted
+    }
+
+    fn invalidate(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        if let Some(pos) = self.sets[s].iter().position(|&l| l == line) {
+            self.sets[s].remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(u64),
+    Insert(u64),
+    Invalidate(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // 16 lines over a tiny cache: plenty of conflict pressure.
+    let line = (0u64..16).prop_map(|l| l * LINE_SIZE);
+    prop_oneof![
+        line.clone().prop_map(Op::Access),
+        line.clone().prop_map(Op::Insert),
+        line.prop_map(Op::Invalidate),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let cfg = CacheConfig { size: 4 * LINE_SIZE as usize, assoc: 2 };
+        let mut cache = Cache::new(cfg);
+        let mut model = ModelCache::new(cfg);
+        for op in ops {
+            match op {
+                Op::Access(l) => prop_assert_eq!(cache.access(l), model.access(l)),
+                Op::Insert(l) => prop_assert_eq!(cache.insert(l), model.insert(l)),
+                Op::Invalidate(l) => prop_assert_eq!(cache.invalidate(l), model.invalidate(l)),
+            }
+            prop_assert_eq!(
+                cache.resident(),
+                model.sets.iter().map(|s| s.len()).sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_matches_hit_level(
+        accesses in proptest::collection::vec((0usize..2, 0u64..64, prop::bool::ANY), 1..150),
+    ) {
+        let lat = Latencies::paper();
+        let mut m = MemorySystem::new(2, lat);
+        for (core, line_idx, write) in accesses {
+            let (latency, level) = m.access_line(core, line_idx * LINE_SIZE, write);
+            let expected = match level {
+                clean_sim::HitLevel::L1 => lat.l1,
+                clean_sim::HitLevel::L2Local => lat.l2_local,
+                clean_sim::HitLevel::L2Remote => lat.l2_remote,
+                clean_sim::HitLevel::L3 => lat.l3,
+                clean_sim::HitLevel::Memory => lat.memory,
+            };
+            prop_assert_eq!(latency, expected);
+            // Immediately re-reading always hits L1 (the fill is complete).
+            let (relat, relevel) = m.access_line(core, line_idx * LINE_SIZE, false);
+            prop_assert_eq!(relevel, clean_sim::HitLevel::L1);
+            prop_assert_eq!(relat, lat.l1);
+        }
+    }
+
+    #[test]
+    fn writes_make_other_cores_miss_l1(
+        lines in proptest::collection::vec(0u64..32, 1..60),
+    ) {
+        let mut m = MemorySystem::new(2, Latencies::paper());
+        for l in lines {
+            let line = l * LINE_SIZE;
+            m.access_line(0, line, false);
+            m.access_line(1, line, true); // invalidates core 0
+            let (_, level) = m.access_line(0, line, false);
+            prop_assert_ne!(level, clean_sim::HitLevel::Memory,
+                "line is somewhere in the hierarchy");
+            // Core 0 cannot L1-hit right after an invalidation; it refills.
+            let (_, level2) = m.access_line(0, line, false);
+            prop_assert_eq!(level2, clean_sim::HitLevel::L1);
+            let _ = level;
+        }
+    }
+}

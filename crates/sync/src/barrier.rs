@@ -1,0 +1,216 @@
+//! Deterministic barrier.
+//!
+//! Arrival order at a barrier does not affect its outcome, but the
+//! deterministic counters of the participants must leave the barrier at a
+//! deterministic value: every participant resumes at
+//! `max(arrival counters) + 1`, which depends only on program progress.
+//! While waiting, participants are excluded from turn arbitration so they
+//! cannot stall other threads' turns.
+
+use crate::kendo::{Aborted, DetHandle};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug)]
+struct BarrierState {
+    /// Arrival stamps (counter, tid) of the current generation.
+    arrived: Vec<(u64, clean_core::ThreadId)>,
+    /// Completed generations.
+    generation: u64,
+}
+
+/// A deterministic cyclic barrier for a fixed set of participants.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use clean_core::ThreadId;
+/// use clean_sync::{DetBarrier, Kendo};
+///
+/// let kendo = Arc::new(Kendo::new(2));
+/// let b = Arc::new(DetBarrier::new(2));
+/// let mut threads = Vec::new();
+/// for t in 0..2u16 {
+///     let mut h = kendo.register(ThreadId::new(t), u64::from(t)); // register before spawn
+///     let b = Arc::clone(&b);
+///     threads.push(std::thread::spawn(move || {
+///         b.wait(&mut h, || false).unwrap();
+///         h.counter()
+///     }));
+/// }
+/// let counters: Vec<u64> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+/// assert_eq!(counters[0], counters[1], "deterministic release time");
+/// ```
+#[derive(Debug)]
+pub struct DetBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    /// Release counter of the last completed generation.
+    release_counter: AtomicU64,
+    /// Generation counter mirrored atomically for spin-waiting.
+    generation: AtomicU64,
+}
+
+impl DetBarrier {
+    /// Creates a barrier for `parties` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        DetBarrier {
+            parties,
+            state: Mutex::new(BarrierState {
+                arrived: Vec::with_capacity(parties),
+                generation: 0,
+            }),
+            release_counter: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Completed barrier episodes.
+    pub fn generations(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Waits at the barrier; returns `true` for exactly one participant
+    /// per episode (the last arriver), mirroring
+    /// `std::sync::Barrier::wait`'s leader flag.
+    ///
+    /// `poll` is invoked while spinning; the CLEAN runtime services
+    /// metadata-reset rendezvous through it and observes shutdown
+    /// (returning `true` aborts the wait).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] when `poll` requests an abort; the thread's
+    /// arrival is withdrawn so remaining participants are not corrupted
+    /// (they will themselves abort, since an abort only happens on global
+    /// shutdown).
+    pub fn wait<F: FnMut() -> bool>(
+        &self,
+        handle: &mut DetHandle,
+        mut poll: F,
+    ) -> Result<bool, Aborted> {
+        let my_generation;
+        {
+            let mut st = self.state.lock();
+            my_generation = st.generation;
+            st.arrived.push((handle.counter(), handle.tid()));
+            if st.arrived.len() == self.parties {
+                // Last arriver: compute the deterministic release time and
+                // republish every excluded participant at it *before*
+                // opening the barrier, so no other thread can overtake a
+                // participant that has not yet noticed the release.
+                let release = st.arrived.iter().map(|(c, _)| *c).max().unwrap_or(0) + 1;
+                for (_, tid) in st.arrived.drain(..) {
+                    if tid != handle.tid() {
+                        handle.kendo().publish_on_behalf(tid, release);
+                    }
+                }
+                st.generation += 1;
+                self.release_counter.store(release, Ordering::SeqCst);
+                self.generation.store(st.generation, Ordering::SeqCst);
+                drop(st);
+                handle.advance_to(release);
+                return Ok(true);
+            }
+            // Not last: exclude from turn arbitration while blocked.
+            handle.exclude();
+        }
+        while self.generation.load(Ordering::SeqCst) == my_generation {
+            if poll() {
+                // Withdraw the arrival (unless the episode completed
+                // concurrently, in which case finish it normally).
+                let mut st = self.state.lock();
+                if st.generation != my_generation {
+                    drop(st);
+                    handle.include(self.release_counter.load(Ordering::SeqCst));
+                    return Ok(false);
+                }
+                st.arrived.retain(|(_, t)| *t != handle.tid());
+                drop(st);
+                handle.include(handle.counter());
+                return Err(Aborted);
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        handle.include(self.release_counter.load(Ordering::SeqCst));
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kendo::Kendo;
+    use clean_core::ThreadId;
+    use std::sync::Arc;
+
+    #[test]
+    fn all_resume_at_same_counter() {
+        let k = Arc::new(Kendo::new(4));
+        let b = Arc::new(DetBarrier::new(4));
+        let mut joins = Vec::new();
+        for t in 0..4u16 {
+            let mut h = k.register(ThreadId::new(t), (t as u64) * 10);
+            let b = Arc::clone(&b);
+            joins.push(std::thread::spawn(move || {
+                let leader = b.wait(&mut h, || false).unwrap();
+                (leader, h.counter())
+            }));
+        }
+        let results: Vec<(bool, u64)> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let leaders = results.iter().filter(|(l, _)| *l).count();
+        assert_eq!(leaders, 1, "exactly one leader");
+        let release = results[0].1;
+        assert_eq!(release, 31, "max(0,10,20,30)+1");
+        assert!(results.iter().all(|(_, c)| *c == release));
+        assert_eq!(b.generations(), 1);
+    }
+
+    #[test]
+    fn barrier_is_cyclic() {
+        let k = Arc::new(Kendo::new(2));
+        let b = Arc::new(DetBarrier::new(2));
+        let mut joins = Vec::new();
+        for t in 0..2u16 {
+            let mut h = k.register(ThreadId::new(t), 0);
+            let b = Arc::clone(&b);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    b.wait(&mut h, || false).unwrap();
+                    h.tick(1);
+                }
+                h.counter()
+            }));
+        }
+        let finals: Vec<u64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert_eq!(finals[0], finals[1]);
+        assert_eq!(b.generations(), 50);
+    }
+
+    #[test]
+    fn single_party_barrier_is_immediate() {
+        let k = Arc::new(Kendo::new(1));
+        let mut h = k.register(ThreadId::new(0), 7);
+        let b = DetBarrier::new(1);
+        assert!(b.wait(&mut h, || false).unwrap());
+        assert_eq!(h.counter(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parties_panics() {
+        let _ = DetBarrier::new(0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # clean-sync
+//!
+//! Deterministic synchronization for CLEAN (Sections 2.4 and 3.3 of the
+//! paper), implementing the Kendo weak-determinism algorithm: each thread
+//! maintains a deterministic counter driven only by program progress, and
+//! a synchronization operation is granted only to the thread whose counter
+//! is the global minimum (tid-tie-broken). Because grant order depends on
+//! counters and not on physical timing, the happens-before relation of a
+//! race-free (or WAR-only-racy) program is the same in every execution —
+//! which is what upgrades CLEAN's exception-free runs to full determinism.
+//!
+//! Provided primitives:
+//!
+//! * [`Kendo`] / [`DetHandle`] — the counter table and per-thread clock,
+//! * [`DetMutex`] — deterministic lock with logically-timed release,
+//! * [`DetRwLock`] — deterministic reader-writer lock,
+//! * [`DetBarrier`] — deterministic cyclic barrier,
+//! * [`DetCondvar`] — deterministic condition variable,
+//! * [`ThreadRegistry`] — deterministic, reusable thread-id allocation.
+//!
+//! All blocking operations spin (the paper's own implementation spins when
+//! threads ≤ processors) and accept a `poll` callback invoked on every
+//! iteration; the CLEAN runtime uses it to service deterministic
+//! metadata-reset rendezvous (Section 4.5) without deadlock.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod barrier;
+mod condvar;
+mod kendo;
+mod mutex;
+mod registry;
+mod rwlock;
+
+pub use barrier::DetBarrier;
+pub use condvar::DetCondvar;
+pub use kendo::{Aborted, DetHandle, Kendo, EXCLUDED};
+pub use mutex::{DetMutex, DetStamp};
+pub use registry::{ThreadLimitError, ThreadRegistry};
+pub use rwlock::DetRwLock;

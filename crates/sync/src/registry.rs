@@ -1,0 +1,189 @@
+//! Deterministic thread-id allocation (Section 3.3: "the thread creation
+//! routine must be modified ... to ensure that thread ids are
+//! deterministic", and Section 4.5: ids are reused after join).
+//!
+//! The registry always hands out the smallest free id. Provided creation
+//! and join are themselves deterministic events (the CLEAN runtime makes
+//! them so via Kendo turns), the id assigned to each logical thread is the
+//! same in every execution.
+
+use clean_core::ThreadId;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error returned when the registry has no free thread ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadLimitError {
+    /// The registry's fixed capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for ThreadLimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thread limit reached: all {} thread ids are live",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for ThreadLimitError {}
+
+#[derive(Debug)]
+struct RegistryState {
+    free: BTreeSet<u16>,
+    live: usize,
+    total_created: u64,
+}
+
+/// Allocator of dense, reusable, deterministic thread ids.
+///
+/// # Examples
+///
+/// ```
+/// use clean_sync::ThreadRegistry;
+/// let reg = ThreadRegistry::new(4);
+/// let a = reg.allocate()?;
+/// let b = reg.allocate()?;
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(b.index(), 1);
+/// reg.release(a);
+/// assert_eq!(reg.allocate()?.index(), 0, "smallest free id is reused");
+/// # Ok::<(), clean_sync::ThreadLimitError>(())
+/// ```
+pub struct ThreadRegistry {
+    capacity: usize,
+    state: Mutex<RegistryState>,
+}
+
+impl ThreadRegistry {
+    /// Creates a registry with `capacity` thread ids (the epoch layout's
+    /// `max_threads`, e.g. 256 for the paper's 8-bit tid field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds `u16::MAX + 1`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(capacity <= (u16::MAX as usize) + 1, "capacity too large");
+        ThreadRegistry {
+            capacity,
+            state: Mutex::new(RegistryState {
+                free: (0..capacity as u16).collect(),
+                live: 0,
+                total_created: 0,
+            }),
+        }
+    }
+
+    /// Fixed id capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of ids currently live.
+    pub fn live(&self) -> usize {
+        self.state.lock().live
+    }
+
+    /// Total allocations performed (deterministic under deterministic
+    /// spawning; used by the determinism experiments).
+    pub fn total_created(&self) -> u64 {
+        self.state.lock().total_created
+    }
+
+    /// Allocates the smallest free thread id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadLimitError`] when all ids are live.
+    pub fn allocate(&self) -> Result<ThreadId, ThreadLimitError> {
+        let mut st = self.state.lock();
+        match st.free.iter().next().copied() {
+            Some(id) => {
+                st.free.remove(&id);
+                st.live += 1;
+                st.total_created += 1;
+                Ok(ThreadId::new(id))
+            }
+            None => Err(ThreadLimitError {
+                capacity: self.capacity,
+            }),
+        }
+    }
+
+    /// Returns `tid` to the free pool (on join — Section 4.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not currently live.
+    pub fn release(&self, tid: ThreadId) {
+        let mut st = self.state.lock();
+        assert!(
+            (tid.index() as u16) < self.capacity as u16 && !st.free.contains(&tid.raw()),
+            "releasing non-live thread id {tid}"
+        );
+        st.free.insert(tid.raw());
+        st.live -= 1;
+    }
+}
+
+impl fmt::Debug for ThreadRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadRegistry")
+            .field("capacity", &self.capacity)
+            .field("live", &self.live())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_dense_ids() {
+        let r = ThreadRegistry::new(8);
+        for i in 0..8 {
+            assert_eq!(r.allocate().unwrap().index(), i);
+        }
+        assert_eq!(r.live(), 8);
+        assert_eq!(r.allocate().unwrap_err().capacity, 8);
+    }
+
+    #[test]
+    fn reuses_smallest_free_id() {
+        let r = ThreadRegistry::new(4);
+        let ids: Vec<ThreadId> = (0..4).map(|_| r.allocate().unwrap()).collect();
+        r.release(ids[2]);
+        r.release(ids[0]);
+        assert_eq!(r.allocate().unwrap().index(), 0);
+        assert_eq!(r.allocate().unwrap().index(), 2);
+    }
+
+    #[test]
+    fn total_created_counts_all() {
+        let r = ThreadRegistry::new(2);
+        let a = r.allocate().unwrap();
+        r.release(a);
+        let _ = r.allocate().unwrap();
+        assert_eq!(r.total_created(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_release_panics() {
+        let r = ThreadRegistry::new(2);
+        let a = r.allocate().unwrap();
+        r.release(a);
+        r.release(a);
+    }
+
+    #[test]
+    fn limit_error_displays() {
+        let e = ThreadLimitError { capacity: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,303 @@
+//! Deterministic reader-writer lock.
+//!
+//! Extends the [`DetMutex`](crate::DetMutex) protocol to shared/exclusive
+//! modes. Every acquisition happens on the acquirer's deterministic turn
+//! and is gated on *logical* availability:
+//!
+//! * a **reader** may enter when no writer holds the lock and the last
+//!   write release is logically earlier than the reader's timestamp;
+//! * a **writer** may enter when nobody holds the lock and *every*
+//!   release (read or write) is logically earlier than its timestamp.
+//!
+//! The same argument as for the deterministic mutex applies: a thread
+//! only attempts an acquisition while globally minimal, at which point
+//! any logically-earlier release has already physically happened (its
+//! releaser's counter is ≥ the attempt time), so the outcome of each
+//! attempt is a function of deterministic timestamps only.
+
+use crate::kendo::{Aborted, DetHandle};
+use crate::mutex::DetStamp;
+use clean_core::ThreadId;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Default)]
+struct RwState {
+    writer: Option<ThreadId>,
+    readers: BTreeSet<u16>,
+    last_write_release: Option<DetStamp>,
+    /// Maximum (lexicographic) release stamp over all read releases.
+    last_read_release: Option<DetStamp>,
+    write_acquisitions: u64,
+    read_acquisitions: u64,
+}
+
+/// A deterministic reader-writer lock (ordering only; the CLEAN runtime
+/// layers the two-clock happens-before model on top).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use clean_core::ThreadId;
+/// use clean_sync::{DetRwLock, Kendo};
+///
+/// let kendo = Arc::new(Kendo::new(2));
+/// let mut a = kendo.register(ThreadId::new(0), 0);
+/// let mut b = kendo.register(ThreadId::new(1), 0);
+/// let l = DetRwLock::new();
+/// l.read_lock(&mut a, || false).unwrap();
+/// l.read_lock(&mut b, || false).unwrap(); // readers share
+/// assert_eq!(l.reader_count(), 2);
+/// l.read_unlock(&mut a);
+/// l.read_unlock(&mut b);
+/// l.write_lock(&mut a, || false).unwrap();
+/// l.write_unlock(&mut a);
+/// ```
+#[derive(Debug, Default)]
+pub struct DetRwLock {
+    state: Mutex<RwState>,
+}
+
+impl DetRwLock {
+    /// Creates an unlocked reader-writer lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of current readers.
+    pub fn reader_count(&self) -> usize {
+        self.state.lock().readers.len()
+    }
+
+    /// Current writer, if any.
+    pub fn writer(&self) -> Option<ThreadId> {
+        self.state.lock().writer
+    }
+
+    /// (read, write) acquisition counts (diagnostic).
+    pub fn acquisitions(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.read_acquisitions, st.write_acquisitions)
+    }
+
+    fn try_read(&self, stamp: DetStamp) -> bool {
+        let mut st = self.state.lock();
+        if st.writer.is_some() {
+            return false;
+        }
+        if let Some(rel) = st.last_write_release {
+            if rel >= stamp {
+                return false; // the write logically still holds at `stamp`
+            }
+        }
+        st.readers.insert(stamp.1.raw());
+        st.read_acquisitions += 1;
+        true
+    }
+
+    fn try_write(&self, stamp: DetStamp) -> bool {
+        let mut st = self.state.lock();
+        if st.writer.is_some() || !st.readers.is_empty() {
+            return false;
+        }
+        for rel in [st.last_write_release, st.last_read_release].into_iter().flatten() {
+            if rel >= stamp {
+                return false;
+            }
+        }
+        st.writer = Some(stamp.1);
+        st.write_acquisitions += 1;
+        true
+    }
+
+    /// Acquires the lock in shared (read) mode on the caller's turn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] when `poll` requests an abort.
+    pub fn read_lock<F: FnMut() -> bool>(
+        &self,
+        handle: &mut DetHandle,
+        mut poll: F,
+    ) -> Result<(), Aborted> {
+        loop {
+            handle.wait_for_turn(&mut poll)?;
+            if self.try_read((handle.counter(), handle.tid())) {
+                handle.advance();
+                return Ok(());
+            }
+            handle.advance();
+            if poll() {
+                return Err(Aborted);
+            }
+        }
+    }
+
+    /// Releases a shared hold, stamping the read release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller does not hold a read lock.
+    pub fn read_unlock(&self, handle: &mut DetHandle) {
+        {
+            let mut st = self.state.lock();
+            assert!(
+                st.readers.remove(&handle.tid().raw()),
+                "read_unlock by non-reader {}",
+                handle.tid()
+            );
+            let stamp = (handle.counter(), handle.tid());
+            if st.last_read_release.is_none_or(|r| r < stamp) {
+                st.last_read_release = Some(stamp);
+            }
+        }
+        handle.advance();
+    }
+
+    /// Acquires the lock in exclusive (write) mode on the caller's turn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Aborted`] when `poll` requests an abort.
+    pub fn write_lock<F: FnMut() -> bool>(
+        &self,
+        handle: &mut DetHandle,
+        mut poll: F,
+    ) -> Result<(), Aborted> {
+        loop {
+            handle.wait_for_turn(&mut poll)?;
+            if self.try_write((handle.counter(), handle.tid())) {
+                handle.advance();
+                return Ok(());
+            }
+            handle.advance();
+            if poll() {
+                return Err(Aborted);
+            }
+        }
+    }
+
+    /// Releases the exclusive hold, stamping the write release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller does not hold the write lock.
+    pub fn write_unlock(&self, handle: &mut DetHandle) {
+        {
+            let mut st = self.state.lock();
+            assert_eq!(
+                st.writer,
+                Some(handle.tid()),
+                "write_unlock by non-writer {}",
+                handle.tid()
+            );
+            st.writer = None;
+            st.last_write_release = Some((handle.counter(), handle.tid()));
+        }
+        handle.advance();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kendo::Kendo;
+    use std::sync::Arc;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let k = Arc::new(Kendo::new(3));
+        let mut a = k.register(ThreadId::new(0), 0);
+        let mut b = k.register(ThreadId::new(1), 0);
+        let l = DetRwLock::new();
+        l.read_lock(&mut a, || false).unwrap();
+        l.read_lock(&mut b, || false).unwrap();
+        assert_eq!(l.reader_count(), 2);
+        assert!(!l.try_write((100, ThreadId::new(2))), "readers block writers");
+        l.read_unlock(&mut a);
+        l.read_unlock(&mut b);
+        l.write_lock(&mut a, || false).unwrap();
+        assert_eq!(l.writer(), Some(ThreadId::new(0)));
+        assert!(!l.try_read((100, ThreadId::new(1))), "writer blocks readers");
+        l.write_unlock(&mut a);
+        assert_eq!(l.acquisitions(), (2, 1));
+    }
+
+    #[test]
+    fn logically_late_write_release_blocks_early_reader() {
+        let l = DetRwLock::new();
+        assert!(l.try_write((50, ThreadId::new(1))));
+        {
+            let mut st = l.state.lock();
+            st.writer = None;
+            st.last_write_release = Some((50, ThreadId::new(1)));
+        }
+        assert!(!l.try_read((10, ThreadId::new(0))), "write at 50 covers t=10");
+        assert!(l.try_read((51, ThreadId::new(0))));
+    }
+
+    #[test]
+    fn logically_late_read_release_blocks_early_writer_only() {
+        let l = DetRwLock::new();
+        assert!(l.try_read((40, ThreadId::new(0))));
+        {
+            let mut st = l.state.lock();
+            st.readers.clear();
+            st.last_read_release = Some((40, ThreadId::new(0)));
+        }
+        // A writer at t=10 must not pass the read that logically spans it...
+        assert!(!l.try_write((10, ThreadId::new(1))));
+        // ...but another reader may (readers never exclude readers).
+        assert!(l.try_read((10, ThreadId::new(1))));
+        assert!({
+            let mut st = l.state.lock();
+            st.readers.clear();
+            true
+        });
+        assert!(l.try_write((41, ThreadId::new(1))));
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_unlock_without_hold_panics() {
+        let k = Arc::new(Kendo::new(1));
+        let mut h = k.register(ThreadId::new(0), 0);
+        let l = DetRwLock::new();
+        l.read_unlock(&mut h);
+    }
+
+    #[test]
+    #[should_panic]
+    fn write_unlock_by_non_writer_panics() {
+        let k = Arc::new(Kendo::new(2));
+        let mut a = k.register(ThreadId::new(0), 0);
+        let mut b = k.register(ThreadId::new(1), 0);
+        let l = DetRwLock::new();
+        l.write_lock(&mut a, || false).unwrap();
+        l.write_unlock(&mut b);
+    }
+
+    #[test]
+    fn writer_waits_for_reader_deterministically() {
+        for _ in 0..10 {
+            let k = Arc::new(Kendo::new(2));
+            let mut r = k.register(ThreadId::new(0), 0);
+            let mut w = k.register(ThreadId::new(1), 5);
+            let l = Arc::new(DetRwLock::new());
+            let l2 = Arc::clone(&l);
+            let reader = std::thread::spawn(move || {
+                l2.read_lock(&mut r, || false).unwrap();
+                r.tick(20); // hold across the writer's attempts
+                l2.read_unlock(&mut r);
+                r.counter()
+            });
+            l.write_lock(&mut w, || false).unwrap();
+            l.write_unlock(&mut w);
+            let final_reader = reader.join().unwrap();
+            // Reader acquired at t=0 (turn before the writer's 5); writer
+            // must have entered only after the read release.
+            assert!(w.counter() > final_reader - 1);
+        }
+    }
+}

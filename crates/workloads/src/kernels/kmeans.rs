@@ -1,0 +1,111 @@
+//! Iterative clustering — the structure of streamcluster: each iteration
+//! threads assign their slice of points to the nearest centre,
+//! accumulating per-thread partial sums in disjoint areas; behind a
+//! barrier the root thread folds the partials into new centres; a second
+//! barrier republishes them to everyone.
+
+use super::{compute, mix, racy_probe, KernelRng};
+use crate::params::KernelParams;
+use clean_runtime::{CleanRuntime, Result};
+
+const K: usize = 4;
+const DIM: usize = 2;
+
+pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
+    let points = 60 * p.scale.factor();
+    let iters = 2 + p.scale.factor() / 2;
+    let threads = p.threads.min(points);
+    let data = rt.alloc_array::<f64>(points * DIM)?;
+    let centres = rt.alloc_array::<f64>(K * DIM)?;
+    // Per-thread partials: [thread][k][dim] sums plus [thread][k] counts.
+    let partial = rt.alloc_array::<f64>(threads * K * DIM)?;
+    let counts = rt.alloc_array::<u32>(threads * K)?;
+    let probe = rt.alloc_array::<u32>(1)?;
+    let barrier = rt.create_barrier(threads + 1); // workers + root
+    let cpa = p.compute_per_access;
+    let params = *p;
+
+    rt.run(|ctx| {
+        let mut rng = KernelRng::new(params.seed);
+        for i in 0..points * DIM {
+            ctx.write(&data, i, (rng.below(1000) as f64) / 10.0)?;
+        }
+        for k in 0..K * DIM {
+            ctx.write(&centres, k, (rng.below(1000) as f64) / 10.0)?;
+        }
+        let per = points.div_ceil(threads);
+        let mut kids = Vec::new();
+        for t in 0..threads {
+            let barrier = barrier.clone();
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, t)?;
+                let lo = t * per;
+                let hi = ((t + 1) * per).min(points);
+                for _ in 0..iters {
+                    // Zero own partials (own area: race-free).
+                    for k in 0..K {
+                        for d in 0..DIM {
+                            c.write(&partial, (t * K + k) * DIM + d, 0.0f64)?;
+                        }
+                        c.write(&counts, t * K + k, 0u32)?;
+                    }
+                    for i in lo..hi {
+                        let mut best = 0usize;
+                        let mut best_d = f64::INFINITY;
+                        for k in 0..K {
+                            let mut dist = 0.0;
+                            for d in 0..DIM {
+                                let diff =
+                                    c.read(&data, i * DIM + d)? - c.read(&centres, k * DIM + d)?;
+                                dist += diff * diff;
+                            }
+                            if dist < best_d {
+                                best_d = dist;
+                                best = k;
+                            }
+                        }
+                        for d in 0..DIM {
+                            let v = c.read(&partial, (t * K + best) * DIM + d)?;
+                            let x = c.read(&data, i * DIM + d)?;
+                            c.write(&partial, (t * K + best) * DIM + d, v + x)?;
+                        }
+                        let n = c.read(&counts, t * K + best)?;
+                        c.write(&counts, t * K + best, n + 1)?;
+                        compute(c, cpa);
+                    }
+                    c.barrier_wait(&barrier)?; // root reduces
+                    c.barrier_wait(&barrier)?; // centres republished
+                }
+                Ok(())
+            })?);
+        }
+        // Root performs the reductions between the two barriers.
+        for _ in 0..iters {
+            ctx.barrier_wait(&barrier)?;
+            for k in 0..K {
+                let mut n = 0u32;
+                let mut sums = [0.0f64; DIM];
+                for t in 0..threads {
+                    n += ctx.read(&counts, t * K + k)?;
+                    for (d, s) in sums.iter_mut().enumerate() {
+                        *s += ctx.read(&partial, (t * K + k) * DIM + d)?;
+                    }
+                }
+                if n > 0 {
+                    for (d, s) in sums.iter().enumerate() {
+                        ctx.write(&centres, k * DIM + d, s / f64::from(n))?;
+                    }
+                }
+            }
+            ctx.barrier_wait(&barrier)?;
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        let mut out = 0u64;
+        for k in 0..K * DIM {
+            out = mix(out, ctx.read(&centres, k)?.to_bits());
+        }
+        Ok(out)
+    })
+}

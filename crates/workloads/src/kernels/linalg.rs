@@ -1,0 +1,81 @@
+//! Dense linear algebra — the structure of lu_cb/lu_ncb, cholesky and
+//! fft: Gaussian elimination where each step's pivot row (produced by its
+//! owner) is consumed by all threads updating their own trailing rows,
+//! with barriers between steps. The dominant cost is shared loads/stores
+//! with very little private compute, which is why the lu codes show the
+//! highest shared-access frequency in Figure 7.
+
+use super::{compute, mix, racy_probe};
+use crate::params::KernelParams;
+use clean_runtime::{CleanRuntime, Result};
+
+pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
+    let n = 16 + 6 * p.scale.factor(); // matrix side
+    let threads = p.threads.min(n);
+    let a = rt.alloc_array::<f64>(n * n)?;
+    let probe = rt.alloc_array::<u32>(1)?;
+    let barrier = rt.create_barrier(threads);
+    let cpa = p.compute_per_access;
+    let seed = p.seed;
+    let params = *p;
+
+    rt.run(|ctx| {
+        // Diagonally dominant matrix so elimination is stable.
+        for i in 0..n {
+            for j in 0..n {
+                let v = if i == j {
+                    (n as f64) * 2.0
+                } else {
+                    (((i * 31 + j * 17) as u64 ^ seed) % 97) as f64 / 97.0
+                };
+                ctx.write(&a, i * n + j, v)?;
+            }
+        }
+        let mut kids = Vec::new();
+        for t in 0..threads {
+            let barrier = barrier.clone();
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, t)?;
+                c.barrier_wait(&barrier)?; // probe before the first pivot
+                for k in 0..n - 1 {
+                    // The pivot row's owner scales it.
+                    if k % threads == t {
+                        let pivot = c.read(&a, k * n + k)?;
+                        for j in k + 1..n {
+                            let v = c.read(&a, k * n + j)?;
+                            c.write(&a, k * n + j, v / pivot)?;
+                        }
+                    }
+                    c.barrier_wait(&barrier)?;
+                    // All threads update their own trailing rows. The lu
+                    // codes are almost pure shared traffic (cpa 1); the
+                    // compute-heavy members of this family (fft butterfly
+                    // twiddles, cholesky supernode math) pay per-element
+                    // private work too.
+                    for i in (k + 1..n).filter(|i| i % threads == t) {
+                        let lik = c.read(&a, i * n + k)?;
+                        for j in k + 1..n {
+                            let akj = c.read(&a, k * n + j)?;
+                            let v = c.read(&a, i * n + j)?;
+                            c.write(&a, i * n + j, v - lik * akj)?;
+                            if cpa >= 8 {
+                                compute(c, cpa / 4);
+                            }
+                        }
+                        compute(c, cpa);
+                    }
+                    c.barrier_wait(&barrier)?;
+                }
+                Ok(())
+            })?);
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        let mut out = 0u64;
+        for i in 0..n {
+            out = mix(out, ctx.read(&a, i * n + i)?.to_bits());
+        }
+        Ok(out)
+    })
+}

@@ -1,0 +1,245 @@
+//! Runnable multithreaded kernels modelling the parallel structure of the
+//! SPLASH-2/PARSEC benchmarks, written against the CLEAN runtime API
+//! (every shared access goes through the checked accessors — the
+//! library-level analogue of the paper's compiler instrumentation).
+//!
+//! Each family captures one parallelization idiom of the suites:
+//! barrier-phased grids (ocean/fluidanimate/facesim), dense linear algebra
+//! (lu/cholesky/fft), n-body force computation (barnes/fmm), dynamic task
+//! queues (raytrace/volrend/radiosity/bodytrack), per-bucket-locked
+//! molecular dynamics (water), embarrassingly parallel Monte Carlo
+//! (blackscholes/swaptions), bounded-queue pipelines (dedup/ferret/vips/
+//! x264), iterative clustering (streamcluster), radix sort (radix), and
+//! lock-free-style annealing (canneal).
+//!
+//! Every kernel is data-race-free by construction; passing
+//! `KernelParams::racy(true)` runs the "unmodified" version, which
+//! additionally performs the benchmark's seeded unsynchronized accesses
+//! (Section 6.2.2's experiment requires every racy benchmark to end with
+//! a race exception).
+
+mod anneal;
+mod kmeans;
+mod linalg;
+mod molecular;
+mod montecarlo;
+mod nbody;
+mod pipeline;
+mod sort;
+mod stencil;
+mod taskqueue;
+
+use crate::params::KernelParams;
+use clean_runtime::{CleanRuntime, Result, SharedArray, ThreadCtx};
+
+/// The kernel families used to model the 26 benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Barrier-phased grid relaxation (ocean_cp/ncp, fluidanimate, facesim).
+    Stencil,
+    /// Dense linear algebra: blocked LU elimination (lu_cb/ncb, cholesky, fft).
+    LinAlg,
+    /// N-body force computation (barnes, fmm).
+    NBody,
+    /// Dynamic task queue (raytrace, volrend, radiosity, bodytrack,
+    /// parsec_raytrace).
+    TaskQueue,
+    /// Per-bucket-locked molecular dynamics (water_nsquared, water_spatial).
+    Molecular,
+    /// Embarrassingly parallel Monte Carlo (blackscholes, swaptions).
+    MonteCarlo,
+    /// Bounded-queue pipeline with byte-granular payloads (dedup, ferret,
+    /// vips, x264).
+    Pipeline,
+    /// Iterative clustering (streamcluster).
+    KMeans,
+    /// Parallel radix sort (radix).
+    Sort,
+    /// Lock-ordered (or, racy, lock-free) element swapping (canneal).
+    Anneal,
+}
+
+/// Runs a kernel on `rt` and returns its deterministic output hash.
+///
+/// # Errors
+///
+/// Propagates race exceptions ([`clean_runtime::CleanError::Race`] /
+/// `Poisoned`) and allocation failures.
+pub fn run_kernel(kind: KernelKind, rt: &CleanRuntime, params: &KernelParams) -> Result<u64> {
+    match kind {
+        KernelKind::Stencil => stencil::run(rt, params),
+        KernelKind::LinAlg => linalg::run(rt, params),
+        KernelKind::NBody => nbody::run(rt, params),
+        KernelKind::TaskQueue => taskqueue::run(rt, params),
+        KernelKind::Molecular => molecular::run(rt, params),
+        KernelKind::MonteCarlo => montecarlo::run(rt, params),
+        KernelKind::Pipeline => pipeline::run(rt, params),
+        KernelKind::KMeans => kmeans::run(rt, params),
+        KernelKind::Sort => sort::run(rt, params),
+        KernelKind::Anneal => anneal::run(rt, params),
+    }
+}
+
+/// Deterministic local busywork standing in for a benchmark's private
+/// (uninstrumented) computation, advancing the Kendo counter like the
+/// paper's basic-block instrumentation.
+#[inline]
+pub(crate) fn compute(ctx: &mut ThreadCtx, n: u32) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..n {
+        acc = acc
+            .rotate_left(13)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            .wrapping_add(u64::from(i));
+    }
+    ctx.tick(u64::from(n.max(1)));
+    std::hint::black_box(acc)
+}
+
+/// Mixes a value into a deterministic output hash.
+#[inline]
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v)
+        .wrapping_mul(0x100_0000_01b3)
+        .rotate_left(17)
+        .wrapping_add(0x9e37_79b9)
+}
+
+/// A tiny deterministic PRNG for kernels (xorshift64*).
+#[derive(Debug, Clone)]
+pub(crate) struct KernelRng(u64);
+
+impl KernelRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        KernelRng(seed | 1)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// Performs `boost` lock-protected increments of a shared counter —
+/// the synchronization-rate model (each benchmark's profile maps its
+/// sync intensity to a boost; see `run_benchmark`).
+pub(crate) fn sync_work(
+    ctx: &mut ThreadCtx,
+    lock: &clean_runtime::CleanMutex,
+    cell: &SharedArray<u32>,
+    boost: u32,
+) -> Result<()> {
+    for _ in 0..boost {
+        ctx.lock(lock)?;
+        let v = ctx.read(cell, 0)?;
+        ctx.write(cell, 0, v.wrapping_add(1))?;
+        ctx.unlock(lock)?;
+    }
+    Ok(())
+}
+
+/// The seeded racy probe of the "unmodified" benchmark versions: every
+/// worker stores its id to the same cell with no ordering — a guaranteed
+/// WAW race between any two workers, detected in every schedule (WAW
+/// detection is symmetric: whichever write checks second sees the other's
+/// unordered epoch, and concurrent checks are caught by the CAS publish).
+pub(crate) fn racy_probe(
+    ctx: &mut ThreadCtx,
+    cell: &SharedArray<u32>,
+    params: &KernelParams,
+    worker: usize,
+) -> Result<()> {
+    if params.racy {
+        ctx.write(cell, 0, worker as u32)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Scale;
+    use clean_runtime::{CleanError, RuntimeConfig};
+
+    fn rt() -> CleanRuntime {
+        CleanRuntime::new(RuntimeConfig::new().heap_size(1 << 22).max_threads(12))
+    }
+
+    const ALL: &[KernelKind] = &[
+        KernelKind::Stencil,
+        KernelKind::LinAlg,
+        KernelKind::NBody,
+        KernelKind::TaskQueue,
+        KernelKind::Molecular,
+        KernelKind::MonteCarlo,
+        KernelKind::Pipeline,
+        KernelKind::KMeans,
+        KernelKind::Sort,
+        KernelKind::Anneal,
+    ];
+
+    #[test]
+    fn all_kernels_run_race_free() {
+        for &k in ALL {
+            let rt = rt();
+            let p = KernelParams::new().threads(4).scale(Scale::SimSmall);
+            let out = run_kernel(k, &rt, &p);
+            assert!(out.is_ok(), "{k:?}: {out:?}");
+            assert!(rt.first_race().is_none(), "{k:?} raced: {:?}", rt.first_race());
+        }
+    }
+
+    #[test]
+    fn all_kernels_detect_injected_races() {
+        for &k in ALL {
+            let rt = rt();
+            let p = KernelParams::new().threads(4).racy(true);
+            let out = run_kernel(k, &rt, &p);
+            assert!(
+                matches!(out, Err(CleanError::Race(_)) | Err(CleanError::Poisoned)),
+                "{k:?} must raise a race exception, got {out:?}"
+            );
+            assert!(rt.first_race().is_some(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic_under_det_sync() {
+        for &k in ALL {
+            let once = || {
+                let rt = rt();
+                let p = KernelParams::new().threads(4);
+                let out = run_kernel(k, &rt, &p).unwrap();
+                (out, rt.stats().digest())
+            };
+            let (o1, d1) = once();
+            let (o2, d2) = once();
+            assert_eq!(o1, o2, "{k:?} output differs across runs");
+            assert_eq!(d1, d2, "{k:?} digest differs across runs");
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = KernelRng::new(7);
+        let mut b = KernelRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert!(a.below(10) < 10);
+    }
+
+    #[test]
+    fn mix_depends_on_input() {
+        assert_ne!(mix(0, 1), mix(0, 2));
+        assert_ne!(mix(1, 0), mix(2, 0));
+    }
+}

@@ -1,0 +1,71 @@
+//! Embarrassingly parallel Monte Carlo pricing — the structure of
+//! blackscholes and swaptions: threads price disjoint option slices with
+//! heavy private computation and only write their own output cells, plus
+//! one final lock-protected reduction. Shared-access frequency is the
+//! lowest of all families (the right-hand tail of Figure 7).
+
+use super::{compute, mix, racy_probe, KernelRng};
+use crate::params::KernelParams;
+use clean_runtime::{CleanRuntime, Result};
+
+pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
+    let options = 16 * p.scale.factor();
+    let paths = 20;
+    let threads = p.threads.min(options);
+    let inputs = rt.alloc_array::<f64>(options * 2)?;
+    let prices = rt.alloc_array::<f64>(options)?;
+    let total = rt.alloc_array::<f64>(1)?;
+    let probe = rt.alloc_array::<u32>(1)?;
+    let rlock = rt.create_mutex();
+    let cpa = p.compute_per_access;
+    let params = *p;
+
+    rt.run(|ctx| {
+        let mut rng = KernelRng::new(params.seed);
+        for i in 0..options {
+            ctx.write(&inputs, i * 2, (rng.below(200) as f64) / 2.0 + 50.0)?;
+            ctx.write(&inputs, i * 2 + 1, (rng.below(100) as f64) / 200.0 + 0.05)?;
+        }
+        ctx.write(&total, 0, 0.0f64)?;
+        let per = options.div_ceil(threads);
+        let mut kids = Vec::new();
+        for t in 0..threads {
+            let rlock = rlock.clone();
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, t)?;
+                let lo = t * per;
+                let hi = ((t + 1) * per).min(options);
+                let mut local_sum = 0.0f64;
+                let mut rng = KernelRng::new(params.seed ^ (t as u64) << 32);
+                for i in lo..hi {
+                    let spot = c.read(&inputs, i * 2)?;
+                    let vol = c.read(&inputs, i * 2 + 1)?;
+                    let mut acc = 0.0f64;
+                    for _ in 0..paths {
+                        // Private path simulation: lots of uninstrumented
+                        // local work per shared access.
+                        let z = (rng.below(2001) as f64 - 1000.0) / 1000.0;
+                        acc += (spot * (1.0 + vol * z)).max(0.0);
+                        compute(c, cpa * 4);
+                    }
+                    let price = acc / paths as f64;
+                    c.write(&prices, i, price)?;
+                    local_sum += price;
+                }
+                c.lock(&rlock)?;
+                let s = c.read(&total, 0)?;
+                c.write(&total, 0, s + local_sum)?;
+                c.unlock(&rlock)?;
+                Ok(())
+            })?);
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        let mut out = ctx.read(&total, 0)?.to_bits();
+        for i in (0..options).step_by(3) {
+            out = mix(out, ctx.read(&prices, i)?.to_bits());
+        }
+        Ok(out)
+    })
+}

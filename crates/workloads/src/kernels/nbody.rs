@@ -1,0 +1,97 @@
+//! N-body force computation — the structure of barnes and fmm: every
+//! iteration all threads read all body positions (produced last iteration
+//! behind a barrier), compute forces for their own partition, integrate
+//! their own bodies, and meet at a barrier. A lock-protected global
+//! energy accumulator models the tree/cell locks of the originals, giving
+//! these benchmarks their high synchronization rate (Table 1 lists barnes
+//! and fmm among the rollover-prone, sync-heavy codes).
+
+use super::{compute, mix, racy_probe, sync_work};
+use crate::params::KernelParams;
+use clean_runtime::{CleanRuntime, Result};
+
+pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
+    let bodies = 32 + 12 * p.scale.factor();
+    let iters = 1 + p.scale.factor();
+    let threads = p.threads.min(bodies);
+    let pos = rt.alloc_array::<f64>(bodies * 2)?;
+    let vel = rt.alloc_array::<f64>(bodies * 2)?;
+    let energy = rt.alloc_array::<f64>(1)?;
+    let probe = rt.alloc_array::<u32>(1)?;
+    let counter = rt.alloc_array::<u32>(1)?;
+    let barrier = rt.create_barrier(threads);
+    let elock = rt.create_mutex();
+    let slock = rt.create_mutex();
+    let cpa = p.compute_per_access;
+    let seed = p.seed;
+    let params = *p;
+
+    rt.run(|ctx| {
+        for i in 0..bodies {
+            let r = (i as u64).wrapping_mul(seed | 3);
+            ctx.write(&pos, i * 2, ((r % 1000) as f64) / 100.0)?;
+            ctx.write(&pos, i * 2 + 1, (((r >> 10) % 1000) as f64) / 100.0)?;
+            ctx.write(&vel, i * 2, 0.0f64)?;
+            ctx.write(&vel, i * 2 + 1, 0.0f64)?;
+        }
+        ctx.write(&energy, 0, 0.0f64)?;
+        let per = bodies.div_ceil(threads);
+        let mut kids = Vec::new();
+        for t in 0..threads {
+            let (barrier, elock) = (barrier.clone(), elock.clone());
+            let slock = slock.clone();
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, t)?;
+                let lo = t * per;
+                let hi = ((t + 1) * per).min(bodies);
+                for _ in 0..iters {
+                    let mut local_e = 0.0f64;
+                    for i in lo..hi {
+                        sync_work(c, &slock, &counter, params.sync_boost)?;
+                        let (xi, yi) = (c.read(&pos, i * 2)?, c.read(&pos, i * 2 + 1)?);
+                        let mut fx = 0.0;
+                        let mut fy = 0.0;
+                        for j in 0..bodies {
+                            if j == i {
+                                continue;
+                            }
+                            let dx = c.read(&pos, j * 2)? - xi;
+                            let dy = c.read(&pos, j * 2 + 1)? - yi;
+                            let d2 = dx * dx + dy * dy + 0.1;
+                            fx += dx / d2;
+                            fy += dy / d2;
+                        }
+                        local_e += fx * fx + fy * fy;
+                        let (vx, vy) = (c.read(&vel, i * 2)?, c.read(&vel, i * 2 + 1)?);
+                        c.write(&vel, i * 2, vx + fx * 0.01)?;
+                        c.write(&vel, i * 2 + 1, vy + fy * 0.01)?;
+                        compute(c, cpa);
+                    }
+                    // The lock-protected global accumulator (tree locks).
+                    c.lock(&elock)?;
+                    let e = c.read(&energy, 0)?;
+                    c.write(&energy, 0, e + local_e)?;
+                    c.unlock(&elock)?;
+                    // Wait for all force updates before integrating.
+                    c.barrier_wait(&barrier)?;
+                    for i in lo..hi {
+                        let (x, y) = (c.read(&pos, i * 2)?, c.read(&pos, i * 2 + 1)?);
+                        let (vx, vy) = (c.read(&vel, i * 2)?, c.read(&vel, i * 2 + 1)?);
+                        c.write(&pos, i * 2, x + vx)?;
+                        c.write(&pos, i * 2 + 1, y + vy)?;
+                    }
+                    c.barrier_wait(&barrier)?;
+                }
+                Ok(())
+            })?);
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        let mut out = ctx.read(&energy, 0)?.to_bits();
+        for i in (0..bodies * 2).step_by(5) {
+            out = mix(out, ctx.read(&pos, i)?.to_bits());
+        }
+        Ok(out)
+    })
+}

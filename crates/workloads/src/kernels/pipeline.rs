@@ -1,0 +1,168 @@
+//! Bounded-queue software pipeline — the structure of dedup, ferret, vips
+//! and x264: a producer stage chunks a byte stream, worker stages
+//! transform chunks **byte by byte** (dedup "operates on a single byte
+//! granularity", which is what drives its expanded-line metadata in
+//! Figure 10), and a consumer stage folds the output into a hash. Stages
+//! communicate through mutex+condvar bounded queues, and the thread
+//! imbalance inherent to pipelines is what makes deterministic counters
+//! imprecise for these codes (Section 6.2.3).
+
+use super::{mix, racy_probe};
+use crate::params::KernelParams;
+use clean_runtime::{CleanBarrier, CleanCondvar, CleanMutex, CleanRuntime, Result, SharedArray, ThreadCtx};
+use std::sync::Arc;
+
+const QUEUE_CAP: u32 = 4;
+const CHUNK: usize = 32;
+
+/// A bounded queue of chunk indices: [head, tail] counters plus a ring of
+/// chunk ids, all in shared memory, protected by one mutex + condvar.
+#[derive(Clone)]
+struct Queue {
+    state: SharedArray<u32>, // [head, tail]
+    ring: SharedArray<u32>,
+    lock: Arc<CleanMutex>,
+    cv: Arc<CleanCondvar>,
+}
+
+impl Queue {
+    fn new(rt: &CleanRuntime) -> Result<Self> {
+        Ok(Queue {
+            state: rt.alloc_array(2)?,
+            ring: rt.alloc_array(QUEUE_CAP as usize)?,
+            lock: rt.create_mutex(),
+            cv: rt.create_condvar(),
+        })
+    }
+
+    fn push(&self, c: &mut ThreadCtx, item: u32) -> Result<()> {
+        c.lock(&self.lock)?;
+        while c.read(&self.state, 1)? - c.read(&self.state, 0)? == QUEUE_CAP {
+            c.cond_wait(&self.cv, &self.lock)?;
+        }
+        let tail = c.read(&self.state, 1)?;
+        c.write(&self.ring, (tail % QUEUE_CAP) as usize, item)?;
+        c.write(&self.state, 1, tail + 1)?;
+        c.cond_broadcast(&self.cv)?;
+        c.unlock(&self.lock)?;
+        Ok(())
+    }
+
+    fn pop(&self, c: &mut ThreadCtx) -> Result<u32> {
+        c.lock(&self.lock)?;
+        while c.read(&self.state, 0)? == c.read(&self.state, 1)? {
+            c.cond_wait(&self.cv, &self.lock)?;
+        }
+        let head = c.read(&self.state, 0)?;
+        let item = c.read(&self.ring, (head % QUEUE_CAP) as usize)?;
+        c.write(&self.state, 0, head + 1)?;
+        c.cond_broadcast(&self.cv)?;
+        c.unlock(&self.lock)?;
+        Ok(item)
+    }
+}
+
+pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
+    let chunks = 8 * p.scale.factor();
+    let workers = p.threads.saturating_sub(2).max(1);
+    let input = rt.alloc_array::<u8>(chunks * CHUNK)?;
+    let output = rt.alloc_array::<u8>(chunks * CHUNK)?;
+    let probe = rt.alloc_array::<u32>(1)?;
+    let work_q = Queue::new(rt)?;
+    let done_q = Queue::new(rt)?;
+    // Participants: producer + workers + consumer + the root thread.
+    let start = rt.create_barrier(workers + 3);
+    let params = *p;
+    let seed = p.seed;
+
+    rt.run(|ctx| {
+        const STOP: u32 = u32::MAX;
+        let mut kids = Vec::new();
+        // Producer: fill chunks byte by byte and enqueue them.
+        {
+            let (q, start): (Queue, Arc<CleanBarrier>) = (work_q.clone(), start.clone());
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, 0)?;
+                c.barrier_wait(&start)?;
+                for chunk in 0..chunks {
+                    for b in 0..CHUNK {
+                        let v = ((chunk * CHUNK + b) as u64 ^ seed) as u8;
+                        c.write(&input, chunk * CHUNK + b, v)?;
+                    }
+                    q.push(c, chunk as u32)?;
+                }
+                for _ in 0..workers {
+                    q.push(c, STOP)?;
+                }
+                Ok(0u64)
+            })?);
+        }
+        // Workers: byte-granular transform of each chunk.
+        for w in 0..workers {
+            let (wq, dq, start) = (work_q.clone(), done_q.clone(), start.clone());
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, w + 1)?;
+                c.barrier_wait(&start)?;
+                let mut handled = 0u64;
+                loop {
+                    let chunk = wq.pop(c)?;
+                    if chunk == STOP {
+                        dq.push(c, STOP)?;
+                        break;
+                    }
+                    let base = chunk as usize * CHUNK;
+                    let mut prev = 0u8;
+                    for b in 0..CHUNK {
+                        let v = c.read(&input, base + b)?;
+                        let t = v.wrapping_add(prev).rotate_left(3);
+                        // Single-byte stores: the dedup pattern that forces
+                        // expanded metadata lines in hardware CLEAN.
+                        c.write(&output, base + b, t)?;
+                        prev = t;
+                    }
+                    dq.push(c, chunk)?;
+                    handled += 1;
+                }
+                Ok(handled)
+            })?);
+        }
+        // Consumer: fold finished chunks.
+        let consumer = {
+            let (dq, start) = (done_q.clone(), start.clone());
+            ctx.spawn(move |c| {
+                c.barrier_wait(&start)?;
+                let mut stops = 0;
+                let mut h = 0u64;
+                let mut seen = 0u64;
+                while stops < workers {
+                    let chunk = dq.pop(c)?;
+                    if chunk == STOP {
+                        stops += 1;
+                        continue;
+                    }
+                    let base = chunk as usize * CHUNK;
+                    let mut ch = 0u64;
+                    for b in 0..CHUNK {
+                        ch = mix(ch, u64::from(c.read(&output, base + b)?));
+                    }
+                    // Fold order-independently: completion order varies
+                    // without deterministic synchronization.
+                    h ^= mix(u64::from(chunk), ch);
+                    seen += 1;
+                }
+                Ok(mix(h, seen))
+            })?
+        };
+        ctx.barrier_wait(&start)?;
+        let mut total_handled = 0u64;
+        let mut iter = kids.into_iter();
+        let producer = iter.next().expect("producer present");
+        ctx.join(producer)??;
+        for k in iter {
+            total_handled += ctx.join(k)??;
+        }
+        let h = ctx.join(consumer)??;
+        assert_eq!(total_handled, chunks as u64);
+        Ok(h)
+    })
+}

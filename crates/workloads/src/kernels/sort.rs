@@ -1,0 +1,100 @@
+//! Parallel radix sort — the structure of radix: per-digit passes of
+//! (i) per-thread histogramming of an owned key slice, (ii) a root prefix
+//! sum assigning each thread disjoint output ranges, (iii) a scatter into
+//! those ranges. Barriers separate the phases; the scatter's all-to-all
+//! permutation is what gives radix its LLC pressure in the paper.
+
+use super::{compute, mix, racy_probe, KernelRng};
+use crate::params::KernelParams;
+use clean_runtime::{CleanRuntime, Result};
+
+const RADIX: usize = 16; // 4-bit digits
+const PASSES: usize = 2;
+
+pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
+    let n = 200 * p.scale.factor();
+    let threads = p.threads.min(n);
+    let keys = rt.alloc_array::<u32>(n)?;
+    let temp = rt.alloc_array::<u32>(n)?;
+    // hist[thread][digit]; offsets[thread][digit].
+    let hist = rt.alloc_array::<u32>(threads * RADIX)?;
+    let offsets = rt.alloc_array::<u32>(threads * RADIX)?;
+    let probe = rt.alloc_array::<u32>(1)?;
+    let barrier = rt.create_barrier(threads + 1);
+    let cpa = p.compute_per_access;
+    let params = *p;
+
+    rt.run(|ctx| {
+        let mut rng = KernelRng::new(params.seed);
+        for i in 0..n {
+            ctx.write(&keys, i, (rng.next_u64() & 0xff) as u32)?;
+        }
+        let per = n.div_ceil(threads);
+        let mut kids = Vec::new();
+        for t in 0..threads {
+            let barrier = barrier.clone();
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, t)?;
+                let lo = t * per;
+                let hi = ((t + 1) * per).min(n);
+                for pass in 0..PASSES {
+                    let shift = pass * 4;
+                    let (src, dst) = if pass % 2 == 0 { (keys, temp) } else { (temp, keys) };
+                    // Histogram own slice into own counters.
+                    for d in 0..RADIX {
+                        c.write(&hist, t * RADIX + d, 0u32)?;
+                    }
+                    for i in lo..hi {
+                        let k = c.read(&src, i)?;
+                        let d = ((k >> shift) as usize) % RADIX;
+                        let v = c.read(&hist, t * RADIX + d)?;
+                        c.write(&hist, t * RADIX + d, v + 1)?;
+                        compute(c, cpa);
+                    }
+                    c.barrier_wait(&barrier)?; // root prefix-sums
+                    c.barrier_wait(&barrier)?; // offsets published
+                    // Scatter into the disjoint ranges the root assigned.
+                    let mut cursor = [0u32; RADIX];
+                    for (d, cur) in cursor.iter_mut().enumerate() {
+                        *cur = c.read(&offsets, t * RADIX + d)?;
+                    }
+                    for i in lo..hi {
+                        let k = c.read(&src, i)?;
+                        let d = ((k >> shift) as usize) % RADIX;
+                        c.write(&dst, cursor[d] as usize, k)?;
+                        cursor[d] += 1;
+                    }
+                    c.barrier_wait(&barrier)?; // pass complete
+                }
+                Ok(())
+            })?);
+        }
+        // Root: prefix sums between the barriers of each pass.
+        for _ in 0..PASSES {
+            ctx.barrier_wait(&barrier)?;
+            let mut running = 0u32;
+            for d in 0..RADIX {
+                for t in 0..threads {
+                    ctx.write(&offsets, t * RADIX + d, running)?;
+                    running += ctx.read(&hist, t * RADIX + d)?;
+                }
+            }
+            debug_assert_eq!(running as usize, n);
+            ctx.barrier_wait(&barrier)?;
+            ctx.barrier_wait(&barrier)?;
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        // PASSES is even, so the sorted data is back in `keys`.
+        let mut out = 0u64;
+        let mut prev = 0u32;
+        for i in 0..n {
+            let k = ctx.read(&keys, i)?;
+            assert!(k >= prev, "output must be sorted");
+            prev = k;
+            out = mix(out, u64::from(k));
+        }
+        Ok(out)
+    })
+}

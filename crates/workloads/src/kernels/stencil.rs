@@ -1,0 +1,74 @@
+//! Barrier-phased grid relaxation — the structure of ocean_cp/ocean_ncp,
+//! fluidanimate and facesim: threads own row blocks of a 2-D grid and
+//! alternate compute phases (reading the previous grid, including
+//! neighbours' boundary rows) with global barriers.
+
+use super::{compute, mix, racy_probe, sync_work};
+use crate::params::KernelParams;
+use clean_runtime::{CleanRuntime, Result};
+
+pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
+    let n = 24 + 4 * p.scale.factor(); // grid side
+    let iters = 2 * p.scale.factor();
+    let threads = p.threads.min(n);
+    let src = rt.alloc_array::<f64>(n * n)?;
+    let dst = rt.alloc_array::<f64>(n * n)?;
+    let probe = rt.alloc_array::<u32>(1)?;
+    let counter = rt.alloc_array::<u32>(1)?;
+    let barrier = rt.create_barrier(threads);
+    let slock = rt.create_mutex();
+    let cpa = p.compute_per_access;
+    let seed = p.seed;
+    let params = *p;
+
+    rt.run(|ctx| {
+        // Root initializes the grid (ordered before workers via spawn).
+        for i in 0..n * n {
+            let v = ((i as u64).wrapping_mul(seed | 1) % 1000) as f64 / 10.0;
+            ctx.write(&src, i, v)?;
+            ctx.write(&dst, i, 0.0f64)?;
+        }
+        let rows_per = n.div_ceil(threads);
+        let mut kids = Vec::new();
+        for t in 0..threads {
+            let barrier = barrier.clone();
+            let slock = slock.clone();
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, t)?;
+                let lo = t * rows_per;
+                let hi = ((t + 1) * rows_per).min(n);
+                let mut h = 0u64;
+                for it in 0..iters {
+                    // Even iterations read src/write dst; odd the reverse.
+                    let (from, to) = if it.is_multiple_of(2) { (src, dst) } else { (dst, src) };
+                    for r in lo..hi {
+                        sync_work(c, &slock, &counter, params.sync_boost)?;
+                        for col in 0..n {
+                            let centre = c.read(&from, r * n + col)?;
+                            let up = if r > 0 { c.read(&from, (r - 1) * n + col)? } else { centre };
+                            let down = if r + 1 < n { c.read(&from, (r + 1) * n + col)? } else { centre };
+                            let left = if col > 0 { c.read(&from, r * n + col - 1)? } else { centre };
+                            let right = if col + 1 < n { c.read(&from, r * n + col + 1)? } else { centre };
+                            let v = 0.2 * (centre + up + down + left + right);
+                            c.write(&to, r * n + col, v)?;
+                            compute(c, cpa);
+                        }
+                    }
+                    c.barrier_wait(&barrier)?;
+                    h = mix(h, it as u64);
+                }
+                Ok(h)
+            })?);
+        }
+        let mut out = 0u64;
+        for k in kids {
+            out = mix(out, ctx.join(k)??);
+        }
+        // Root reads the final grid after joining every writer.
+        let finals = if iters.is_multiple_of(2) { src } else { dst };
+        for i in (0..n * n).step_by(7) {
+            out = mix(out, ctx.read(&finals, i)?.to_bits());
+        }
+        Ok(out)
+    })
+}

@@ -1,0 +1,78 @@
+//! Dynamic task queue — the structure of raytrace, volrend, radiosity and
+//! bodytrack: workers repeatedly grab the next task index from a
+//! lock-protected counter and render/process it into a private result
+//! slot. Task *assignment* is timing-dependent, so without deterministic
+//! synchronization different runs assign tasks differently — exactly the
+//! class of program Kendo makes repeatable.
+
+use super::{compute, mix, racy_probe, sync_work, KernelRng};
+use crate::params::KernelParams;
+use clean_runtime::{CleanRuntime, Result};
+
+pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
+    let tasks = 40 * p.scale.factor();
+    let work_per_task = 24;
+    let threads = p.threads;
+    let input = rt.alloc_array::<u32>(tasks * 4)?;
+    let results = rt.alloc_array::<u64>(tasks)?;
+    let next = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(1)?;
+    let counter = rt.alloc_array::<u32>(1)?;
+    let qlock = rt.create_mutex();
+    let slock = rt.create_mutex();
+    let cpa = p.compute_per_access;
+    let params = *p;
+
+    rt.run(|ctx| {
+        let mut rng = KernelRng::new(params.seed);
+        for i in 0..tasks * 4 {
+            ctx.write(&input, i, rng.next_u64() as u32)?;
+        }
+        ctx.write(&next, 0, 0u32)?;
+        let mut kids = Vec::new();
+        for t in 0..threads {
+            let (qlock, slock) = (qlock.clone(), slock.clone());
+            kids.push(ctx.spawn(move |c| {
+                racy_probe(c, &probe, &params, t)?;
+                let mut processed = 0u64;
+                loop {
+                    // Grab the next task deterministically (under Kendo).
+                    c.lock(&qlock)?;
+                    let mine = c.read(&next, 0)?;
+                    if (mine as usize) < tasks {
+                        c.write(&next, 0, mine + 1)?;
+                    }
+                    c.unlock(&qlock)?;
+                    let mine = mine as usize;
+                    if mine >= tasks {
+                        break;
+                    }
+                    // Process: read the descriptor, trace "rays", write the
+                    // result slot (owned by this task; readers are ordered
+                    // behind the final joins).
+                    sync_work(c, &slock, &counter, params.sync_boost)?;
+                    let mut acc = 0u64;
+                    for k in 0..4 {
+                        acc = mix(acc, u64::from(c.read(&input, mine * 4 + k)?));
+                    }
+                    for r in 0..work_per_task {
+                        acc = mix(acc, compute(c, cpa) ^ r as u64);
+                    }
+                    c.write(&results, mine, acc)?;
+                    processed += 1;
+                }
+                Ok(processed)
+            })?);
+        }
+        let mut total = 0u64;
+        for k in kids {
+            total += ctx.join(k)??;
+        }
+        assert_eq!(total, tasks as u64, "every task processed exactly once");
+        let mut out = 0u64;
+        for i in 0..tasks {
+            out = mix(out, ctx.read(&results, i)?);
+        }
+        Ok(out)
+    })
+}

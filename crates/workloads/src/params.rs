@@ -1,0 +1,131 @@
+//! Kernel run parameters: problem scale (the paper's native / simlarge /
+//! simsmall inputs), thread count, and race injection for the unmodified
+//! ("racy") benchmark versions.
+
+/// Input scale, mirroring the paper's use of PARSEC input sets: `native`
+/// for the software measurements (Section 6.2), `simlarge` for the
+/// detection/determinism experiments (Section 6.2.2), `simsmall` for the
+/// simulator (Section 6.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Largest input (software performance runs).
+    Native,
+    /// Medium input (detection/determinism runs).
+    SimLarge,
+    /// Small input (simulator runs).
+    SimSmall,
+}
+
+impl Scale {
+    /// A size multiplier applied to each kernel's base problem size.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Native => 8,
+            Scale::SimLarge => 3,
+            Scale::SimSmall => 1,
+        }
+    }
+}
+
+/// Parameters of one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelParams {
+    /// Worker threads (the paper runs 8).
+    pub threads: usize,
+    /// Input scale.
+    pub scale: Scale,
+    /// Seed for the kernel's internal data generation.
+    pub seed: u64,
+    /// Run the unmodified, racy version (injects the benchmark's seeded
+    /// WAW/RAW races) instead of the data-race-free one.
+    pub racy: bool,
+    /// Private compute per shared access (models each benchmark's
+    /// compute-to-communication ratio; lower = more shared-access-bound,
+    /// like lu_cb/lu_ncb in Figure 7).
+    pub compute_per_access: u32,
+    /// Extra lock-protected operations per work unit, modelling each
+    /// benchmark's synchronization rate (drives the Figure 6 det-sync
+    /// overhead of fmm/radiosity/fluidanimate and the Table 1 rollover
+    /// selectivity).
+    pub sync_boost: u32,
+}
+
+impl KernelParams {
+    /// Default: 8 race-free threads at simsmall scale.
+    pub fn new() -> Self {
+        KernelParams {
+            threads: 8,
+            scale: Scale::SimSmall,
+            seed: 0x5eed,
+            racy: false,
+            compute_per_access: 8,
+            sync_boost: 0,
+        }
+    }
+
+    /// Sets the thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Sets the input scale.
+    pub fn scale(mut self, s: Scale) -> Self {
+        self.scale = s;
+        self
+    }
+
+    /// Sets the data seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Enables race injection (the unmodified benchmark version).
+    pub fn racy(mut self, on: bool) -> Self {
+        self.racy = on;
+        self
+    }
+
+    /// Sets the compute-per-access weight.
+    pub fn compute_per_access(mut self, n: u32) -> Self {
+        self.compute_per_access = n;
+        self
+    }
+
+    /// Sets the synchronization-rate boost.
+    pub fn sync_boost(mut self, n: u32) -> Self {
+        self.sync_boost = n;
+        self
+    }
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors_ordered() {
+        assert!(Scale::Native.factor() > Scale::SimLarge.factor());
+        assert!(Scale::SimLarge.factor() > Scale::SimSmall.factor());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let p = KernelParams::new()
+            .threads(4)
+            .scale(Scale::Native)
+            .seed(7)
+            .racy(true)
+            .compute_per_access(2);
+        assert_eq!(p.threads, 4);
+        assert!(p.racy);
+        assert_eq!(p.compute_per_access, 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! The 26 SPLASH-2 and PARSEC benchmark models (Section 6.1 of the paper:
+//! all Pthread benchmarks of both suites, excluding only `freqmine`).
+//!
+//! Each profile maps a benchmark to (i) one of this crate's runnable
+//! kernel families, (ii) the characteristics that drive the software
+//! experiments (shared-access intensity — the Figure 7 shape — and
+//! synchronization rate), and (iii) the parameters that drive simulator
+//! trace generation (working-set size, access-size mix, sharing pattern —
+//! the Figures 9–11 shapes). Values are calibrated against the paper's
+//! reported behaviour: lu_cb/lu_ncb have the highest shared-access
+//! frequency, dedup is byte-granular (expanded-line heavy), the ocean
+//! codes and radix are LLC-pressure heavy, and barnes/fmm/radiosity/
+//! facesim/fluidanimate roll their 23-bit clocks over (Table 1).
+
+use crate::kernels::KernelKind;
+
+/// Benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPLASH-2 (Woo et al., ISCA 1995).
+    Splash2,
+    /// PARSEC (Bienia, 2011).
+    Parsec,
+}
+
+/// Synchronization intensity of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncRate {
+    /// Rare synchronization (embarrassingly parallel).
+    Low,
+    /// Moderate synchronization.
+    Medium,
+    /// Frequent synchronization (fmm, radiosity, fluidanimate — the
+    /// benchmarks whose det-sync overhead is visible in Figure 6).
+    High,
+}
+
+/// Static description of one benchmark model.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchProfile {
+    /// Benchmark name as in the paper's figures.
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// The unmodified version contains data races (17 of 26 do).
+    pub racy: bool,
+    /// Uses a lock-free synchronization strategy with too many races to
+    /// remove — excluded from the race-free experiments (canneal).
+    pub lockfree: bool,
+    /// Kernel family that models the benchmark's parallel structure.
+    pub kernel: KernelKind,
+    /// Private compute per shared access in the *software* kernels
+    /// (lower ⇒ higher shared-access frequency; the Figure 7 knob —
+    /// the lu codes are nearly pure shared traffic, everything else does
+    /// real private work between accesses).
+    pub compute_per_access: u32,
+    /// Compute cycles per shared access in *simulator* traces (the
+    /// Figure 9–11 machine has 1-cycle ALU ops, so this is calibrated
+    /// separately from the software busywork loop).
+    pub sim_compute: u32,
+    /// Synchronization intensity.
+    pub sync_rate: SyncRate,
+    /// Simulator working set in 64-byte lines.
+    pub working_set_lines: u64,
+    /// Fraction of shared accesses that are ≥4 bytes (paper: >91.9% on
+    /// average; dedup much lower).
+    pub multibyte_fraction: f64,
+    /// Fraction of byte-granular writes at sub-word offsets (drives
+    /// compact→expanded transitions; dedup-dominated).
+    pub byte_granular_fraction: f64,
+    /// Fraction of accesses to data last written by another thread
+    /// (defeats the sameThread fast path; drives VC loads).
+    pub migratory_fraction: f64,
+    /// Fraction of private (stack) accesses in the instruction stream.
+    pub private_fraction: f64,
+    /// Rolls 23-bit clocks over on native inputs (Table 1).
+    pub rollover_prone: bool,
+}
+
+macro_rules! profile {
+    ($name:literal, $suite:ident, racy=$racy:literal, lockfree=$lf:literal,
+     $kernel:ident, cpa=$cpa:literal, sim=$sim:literal, sync=$sync:ident, ws=$ws:literal,
+     multi=$multi:literal, bytes=$bytes:literal, migr=$migr:literal,
+     priv=$priv:literal, roll=$roll:literal) => {
+        BenchProfile {
+            name: $name,
+            suite: Suite::$suite,
+            racy: $racy,
+            lockfree: $lf,
+            kernel: KernelKind::$kernel,
+            compute_per_access: $cpa,
+            sim_compute: $sim,
+            sync_rate: SyncRate::$sync,
+            working_set_lines: $ws,
+            multibyte_fraction: $multi,
+            byte_granular_fraction: $bytes,
+            migratory_fraction: $migr,
+            private_fraction: $priv,
+            rollover_prone: $roll,
+        }
+    };
+}
+
+/// All 26 benchmarks (freqmine excluded, as in the paper).
+pub const BENCHMARKS: &[BenchProfile] = &[
+    // ---- SPLASH-2 (14) ----
+    profile!("barnes", Splash2, racy=true, lockfree=false, NBody, cpa=25, sim=10, sync=Medium,
+             ws=9000, multi=0.95, bytes=0.00, migr=0.25, priv=0.55, roll=true),
+    profile!("cholesky", Splash2, racy=true, lockfree=false, LinAlg, cpa=14, sim=6, sync=Medium,
+             ws=14000, multi=0.96, bytes=0.00, migr=0.20, priv=0.45, roll=false),
+    profile!("fft", Splash2, racy=false, lockfree=false, LinAlg, cpa=30, sim=25, sync=Low,
+             ws=22000, multi=0.97, bytes=0.00, migr=0.40, priv=0.40, roll=false),
+    profile!("fmm", Splash2, racy=true, lockfree=false, NBody, cpa=30, sim=11, sync=High,
+             ws=10000, multi=0.95, bytes=0.00, migr=0.22, priv=0.55, roll=true),
+    profile!("lu_cb", Splash2, racy=false, lockfree=false, LinAlg, cpa=1, sim=1, sync=Medium,
+             ws=16000, multi=0.98, bytes=0.00, migr=0.15, priv=0.20, roll=false),
+    profile!("lu_ncb", Splash2, racy=false, lockfree=false, LinAlg, cpa=1, sim=1, sync=Medium,
+             ws=16000, multi=0.98, bytes=0.00, migr=0.30, priv=0.20, roll=false),
+    profile!("ocean_cp", Splash2, racy=true, lockfree=false, Stencil, cpa=60, sim=20, sync=Medium,
+             ws=120000, multi=0.97, bytes=0.00, migr=0.12, priv=0.35, roll=false),
+    profile!("ocean_ncp", Splash2, racy=true, lockfree=false, Stencil, cpa=60, sim=20, sync=Medium,
+             ws=150000, multi=0.97, bytes=0.00, migr=0.12, priv=0.35, roll=false),
+    profile!("radiosity", Splash2, racy=true, lockfree=false, TaskQueue, cpa=25, sim=9, sync=High,
+             ws=7000, multi=0.94, bytes=0.01, migr=0.30, priv=0.55, roll=true),
+    profile!("radix", Splash2, racy=false, lockfree=false, Sort, cpa=8, sim=3, sync=Medium,
+             ws=130000, multi=0.96, bytes=0.00, migr=0.45, priv=0.25, roll=false),
+    profile!("raytrace", Splash2, racy=true, lockfree=false, TaskQueue, cpa=35, sim=12, sync=Medium,
+             ws=12000, multi=0.94, bytes=0.00, migr=0.18, priv=0.60, roll=false),
+    profile!("volrend", Splash2, racy=true, lockfree=false, TaskQueue, cpa=30, sim=10, sync=Medium,
+             ws=8000, multi=0.92, bytes=0.02, migr=0.20, priv=0.60, roll=false),
+    profile!("water_nsquared", Splash2, racy=true, lockfree=false, Molecular, cpa=25, sim=9, sync=Medium,
+             ws=6000, multi=0.96, bytes=0.00, migr=0.20, priv=0.55, roll=false),
+    profile!("water_spatial", Splash2, racy=true, lockfree=false, Molecular, cpa=25, sim=9, sync=Medium,
+             ws=6500, multi=0.96, bytes=0.00, migr=0.18, priv=0.55, roll=false),
+    // ---- PARSEC (12) ----
+    profile!("blackscholes", Parsec, racy=false, lockfree=false, MonteCarlo, cpa=60, sim=14, sync=Low,
+             ws=5000, multi=0.98, bytes=0.00, migr=0.05, priv=0.65, roll=false),
+    profile!("bodytrack", Parsec, racy=false, lockfree=false, TaskQueue, cpa=25, sim=8, sync=Medium,
+             ws=9000, multi=0.93, bytes=0.02, migr=0.25, priv=0.55, roll=false),
+    profile!("canneal", Parsec, racy=true, lockfree=true, Anneal, cpa=15, sim=6, sync=Low,
+             ws=90000, multi=0.92, bytes=0.01, migr=0.50, priv=0.40, roll=false),
+    profile!("dedup", Parsec, racy=true, lockfree=false, Pipeline, cpa=12, sim=5, sync=Medium,
+             ws=30000, multi=0.45, bytes=0.50, migr=0.45, priv=0.35, roll=false),
+    profile!("facesim", Parsec, racy=false, lockfree=false, Stencil, cpa=60, sim=25, sync=Medium,
+             ws=60000, multi=0.96, bytes=0.00, migr=0.12, priv=0.45, roll=true),
+    profile!("ferret", Parsec, racy=true, lockfree=false, Pipeline, cpa=25, sim=9, sync=Medium,
+             ws=15000, multi=0.90, bytes=0.05, migr=0.40, priv=0.55, roll=false),
+    profile!("fluidanimate", Parsec, racy=true, lockfree=false, Stencil, cpa=40, sim=6, sync=High,
+             ws=40000, multi=0.95, bytes=0.00, migr=0.15, priv=0.45, roll=true),
+    profile!("parsec_raytrace", Parsec, racy=false, lockfree=false, TaskQueue, cpa=35, sim=12, sync=Low,
+             ws=25000, multi=0.95, bytes=0.00, migr=0.15, priv=0.60, roll=false),
+    profile!("streamcluster", Parsec, racy=true, lockfree=false, KMeans, cpa=14, sim=5, sync=Medium,
+             ws=20000, multi=0.97, bytes=0.00, migr=0.30, priv=0.35, roll=false),
+    profile!("swaptions", Parsec, racy=false, lockfree=false, MonteCarlo, cpa=60, sim=13, sync=Low,
+             ws=4000, multi=0.97, bytes=0.00, migr=0.05, priv=0.65, roll=false),
+    profile!("vips", Parsec, racy=true, lockfree=false, Pipeline, cpa=25, sim=8, sync=Medium,
+             ws=18000, multi=0.90, bytes=0.04, migr=0.35, priv=0.55, roll=false),
+    profile!("x264", Parsec, racy=true, lockfree=false, Pipeline, cpa=20, sim=7, sync=Medium,
+             ws=22000, multi=0.88, bytes=0.05, migr=0.35, priv=0.50, roll=false),
+];
+
+/// Looks a profile up by name.
+pub fn benchmark(name: &str) -> Option<&'static BenchProfile> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+/// The benchmarks with a race-free ("modified") version: everything but
+/// the lock-free canneal (Section 6.1).
+pub fn race_free_benchmarks() -> impl Iterator<Item = &'static BenchProfile> {
+    BENCHMARKS.iter().filter(|b| !b.lockfree)
+}
+
+/// The 17 benchmarks whose unmodified version contains races.
+pub fn racy_benchmarks() -> impl Iterator<Item = &'static BenchProfile> {
+    BENCHMARKS.iter().filter(|b| b.racy)
+}
+
+/// The benchmarks used in the simulator experiments: everything except
+/// facesim (omitted in Section 6.3.1 for simulation time) and canneal
+/// (no race-free version to trace).
+pub fn simulated_benchmarks() -> impl Iterator<Item = &'static BenchProfile> {
+    BENCHMARKS
+        .iter()
+        .filter(|b| b.name != "facesim" && !b.lockfree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_benchmarks() {
+        assert_eq!(BENCHMARKS.len(), 26);
+        assert_eq!(
+            BENCHMARKS.iter().filter(|b| b.suite == Suite::Splash2).count(),
+            14
+        );
+        assert_eq!(
+            BENCHMARKS.iter().filter(|b| b.suite == Suite::Parsec).count(),
+            12
+        );
+    }
+
+    #[test]
+    fn seventeen_racy() {
+        assert_eq!(racy_benchmarks().count(), 17);
+    }
+
+    #[test]
+    fn canneal_is_the_only_lockfree() {
+        let lf: Vec<_> = BENCHMARKS.iter().filter(|b| b.lockfree).collect();
+        assert_eq!(lf.len(), 1);
+        assert_eq!(lf[0].name, "canneal");
+    }
+
+    #[test]
+    fn five_rollover_prone_matching_table1() {
+        let names: Vec<_> = BENCHMARKS
+            .iter()
+            .filter(|b| b.rollover_prone)
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(
+            names,
+            ["barnes", "fmm", "radiosity", "facesim", "fluidanimate"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("dedup").is_some());
+        assert!(benchmark("freqmine").is_none(), "excluded in the paper");
+    }
+
+    #[test]
+    fn lu_is_most_access_bound() {
+        let min = BENCHMARKS
+            .iter()
+            .min_by_key(|b| b.compute_per_access)
+            .unwrap();
+        assert!(min.name.starts_with("lu_"));
+    }
+
+    #[test]
+    fn dedup_is_byte_granular() {
+        let d = benchmark("dedup").unwrap();
+        assert!(d.byte_granular_fraction > 0.2);
+        assert!(d.multibyte_fraction < 0.6);
+        for b in BENCHMARKS.iter().filter(|b| b.name != "dedup") {
+            assert!(b.byte_granular_fraction < d.byte_granular_fraction);
+        }
+    }
+
+    #[test]
+    fn simulated_set_omits_facesim_and_canneal() {
+        let names: Vec<_> = simulated_benchmarks().map(|b| b.name).collect();
+        assert!(!names.contains(&"facesim"));
+        assert!(!names.contains(&"canneal"));
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        for b in BENCHMARKS {
+            for f in [
+                b.multibyte_fraction,
+                b.byte_granular_fraction,
+                b.migratory_fraction,
+                b.private_fraction,
+            ] {
+                assert!((0.0..=1.0).contains(&f), "{}: {f}", b.name);
+            }
+        }
+    }
+}

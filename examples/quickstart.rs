@@ -1,0 +1,82 @@
+//! Quickstart: catch a data race as a first-class exception.
+//!
+//! Two threads update a shared counter. The buggy version forgets the
+//! lock: CLEAN stops the execution at the first WAW/RAW race and reports
+//! exactly which threads collided where. The fixed version completes —
+//! and, thanks to deterministic synchronization, produces the same result
+//! on every run.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use clean::runtime::{CleanError, CleanRuntime, RuntimeConfig, SharedArray};
+
+fn buggy(rt: &CleanRuntime, counter: SharedArray<u64>) -> Result<u64, CleanError> {
+    rt.run(|ctx| {
+        let mut kids = Vec::new();
+        for _ in 0..2 {
+            kids.push(ctx.spawn(move |c| {
+                for _ in 0..100 {
+                    let v = c.read(&counter, 0)?; // racy read-modify-write
+                    c.write(&counter, 0, v + 1)?;
+                }
+                Ok(())
+            })?);
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        ctx.read(&counter, 0)
+    })
+}
+
+fn fixed(rt: &CleanRuntime, counter: SharedArray<u64>) -> Result<u64, CleanError> {
+    let lock = rt.create_mutex();
+    rt.run(|ctx| {
+        let mut kids = Vec::new();
+        for _ in 0..2 {
+            let lock = lock.clone();
+            kids.push(ctx.spawn(move |c| {
+                for _ in 0..100 {
+                    c.lock(&lock)?;
+                    let v = c.read(&counter, 0)?;
+                    c.write(&counter, 0, v + 1)?;
+                    c.unlock(&lock)?;
+                }
+                Ok(())
+            })?);
+        }
+        for k in kids {
+            ctx.join(k)??;
+        }
+        ctx.lock(&lock)?;
+        let v = ctx.read(&counter, 0)?;
+        ctx.unlock(&lock)?;
+        Ok(v)
+    })
+}
+
+fn main() -> Result<(), CleanError> {
+    println!("--- buggy version (no lock) ---");
+    let rt = CleanRuntime::new(RuntimeConfig::new().heap_size(4096).max_threads(4));
+    let counter = rt.alloc_array::<u64>(1)?;
+    match buggy(&rt, counter) {
+        Err(CleanError::Race(report)) => {
+            println!("race exception: {report}");
+            println!("(the execution was stopped at the FIRST race — no silent corruption)");
+        }
+        other => println!("unexpected: {other:?} (first race: {:?})", rt.first_race()),
+    }
+
+    println!("\n--- fixed version (lock-protected) ---");
+    for run in 1..=3 {
+        let rt = CleanRuntime::new(RuntimeConfig::new().heap_size(4096).max_threads(4));
+        let counter = rt.alloc_array::<u64>(1)?;
+        let total = fixed(&rt, counter)?;
+        println!(
+            "run {run}: total = {total}, execution digest = {:#018x}",
+            rt.stats().digest()
+        );
+    }
+    println!("(identical digests: exception-free executions are deterministic)");
+    Ok(())
+}

@@ -1,0 +1,263 @@
+//! Cross-crate integration tests: the CLEAN execution model exercised
+//! end-to-end through the facade crate — runtime + workloads + baselines
+//! + simulator agreeing with each other.
+
+use clean::baselines::{
+    run_detector, CleanEngine, FastTrack, FullRaceKind, TraceEvent, TsanLike, VcFullDetector,
+};
+use clean::core::{RaceKind, ThreadId};
+use clean::runtime::{CleanError, CleanRuntime, RuntimeConfig};
+use clean::sim::{EpochMode, Machine, MachineConfig};
+use clean::workloads::{
+    benchmark, generate_trace, run_benchmark, KernelParams, TraceGenConfig, BENCHMARKS,
+};
+
+fn rt() -> CleanRuntime {
+    CleanRuntime::new(RuntimeConfig::new().heap_size(1 << 22).max_threads(12))
+}
+
+#[test]
+fn racy_benchmark_always_raises_across_runs() {
+    let b = benchmark("barnes").unwrap();
+    for run in 0..5 {
+        let rt = rt();
+        let p = KernelParams::new().threads(3).racy(true).seed(run);
+        let r = run_benchmark(b, &rt, &p);
+        assert!(
+            matches!(r, Err(CleanError::Race(_)) | Err(CleanError::Poisoned)),
+            "run {run}: {r:?}"
+        );
+        let race = rt.first_race().expect("race recorded");
+        assert!(matches!(
+            race.kind,
+            RaceKind::WriteAfterWrite | RaceKind::ReadAfterWrite
+        ));
+    }
+}
+
+#[test]
+fn race_free_benchmark_is_deterministic_end_to_end() {
+    let b = benchmark("streamcluster").unwrap();
+    let once = || {
+        let rt = rt();
+        let out = run_benchmark(b, &rt, &KernelParams::new().threads(3)).unwrap();
+        (out, rt.stats().digest())
+    };
+    let (o1, d1) = once();
+    let (o2, d2) = once();
+    assert_eq!(o1, o2);
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn software_and_trace_engines_agree_on_verdicts() {
+    // The same logical scenario expressed for the runtime and as a trace:
+    // both CLEAN implementations must agree (race), and FastTrack too.
+    let t0 = ThreadId::new(0);
+    let t1 = ThreadId::new(1);
+    let trace = vec![
+        TraceEvent::Fork {
+            parent: t0,
+            child: t1,
+        },
+        TraceEvent::Write {
+            tid: t1,
+            addr: 0,
+            size: 4,
+        },
+        TraceEvent::Write {
+            tid: t0,
+            addr: 0,
+            size: 4,
+        },
+    ];
+    let mut engine = CleanEngine::new(2);
+    let engine_races = run_detector(&mut engine, &trace);
+    assert_eq!(engine_races.len(), 1);
+    assert_eq!(engine_races[0].kind, FullRaceKind::Waw);
+
+    let mut ft = FastTrack::new(2);
+    assert!(!run_detector(&mut ft, &trace).is_empty());
+
+    let rt = rt();
+    let x = rt.alloc_array::<u32>(1).unwrap();
+    let result = rt.run(|ctx| {
+        let child = ctx.spawn(move |c| c.write(&x, 0, 1u32))?;
+        let mine = ctx.write(&x, 0, 2u32);
+        let theirs = ctx.join(child)?;
+        assert!(mine.is_err() || theirs.is_err());
+        Ok(())
+    });
+    assert!(matches!(result, Err(CleanError::Race(_))));
+}
+
+#[test]
+fn clean_misses_war_that_full_detectors_catch() {
+    let t0 = ThreadId::new(0);
+    let t1 = ThreadId::new(1);
+    let trace = vec![
+        TraceEvent::Read {
+            tid: t0,
+            addr: 8,
+            size: 4,
+        },
+        TraceEvent::Write {
+            tid: t1,
+            addr: 8,
+            size: 4,
+        },
+    ];
+    let mut clean = CleanEngine::new(2);
+    let mut ft = FastTrack::new(2);
+    let mut vc = VcFullDetector::new(2);
+    assert!(run_detector(&mut clean, &trace).is_empty(), "WAR skipped");
+    assert_eq!(
+        run_detector(&mut ft, &trace)[0].kind,
+        FullRaceKind::War
+    );
+    assert_eq!(
+        run_detector(&mut vc, &trace)[0].kind,
+        FullRaceKind::War
+    );
+}
+
+#[test]
+fn clean_catches_what_tsan_evicts() {
+    // Fill a TSan shadow granule so the first write's record is evicted;
+    // CLEAN's fixed-layout epochs never forget.
+    let mut trace = vec![TraceEvent::Write {
+        tid: ThreadId::new(0),
+        addr: 0,
+        size: 1,
+    }];
+    for i in 1..=4 {
+        trace.push(TraceEvent::Write {
+            tid: ThreadId::new(1),
+            addr: i,
+            size: 1,
+        });
+    }
+    trace.push(TraceEvent::Write {
+        tid: ThreadId::new(2),
+        addr: 0,
+        size: 1,
+    });
+    let mut tsan = TsanLike::new(3);
+    let tsan_races = run_detector(&mut tsan, &trace);
+    assert!(
+        tsan_races
+            .iter()
+            .all(|r| r.previous != ThreadId::new(0)),
+        "tsan evicted the record"
+    );
+    let mut clean = CleanEngine::new(3);
+    let clean_races = run_detector(&mut clean, &trace);
+    assert!(clean_races
+        .iter()
+        .any(|r| r.previous == ThreadId::new(0) && r.current == ThreadId::new(2)));
+}
+
+#[test]
+fn every_benchmark_profile_generates_a_runnable_trace() {
+    let cfg = TraceGenConfig {
+        threads: 4,
+        accesses_per_thread: 300,
+        seed: 3,
+    };
+    for b in BENCHMARKS {
+        let trace = generate_trace(b, &cfg);
+        assert_eq!(trace.num_threads(), 4, "{}", b.name);
+        assert!(trace.shared_accesses() > 0, "{}", b.name);
+        let r = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&trace);
+        assert_eq!(r.hw.unwrap().races, 0, "{} trace must be race-free", b.name);
+        assert!(r.cycles > 0);
+    }
+}
+
+#[test]
+fn hardware_detection_overhead_is_moderate() {
+    let b = benchmark("blackscholes").unwrap();
+    let cfg = TraceGenConfig {
+        threads: 4,
+        accesses_per_thread: 2_000,
+        seed: 9,
+    };
+    let trace = generate_trace(b, &cfg);
+    let base = Machine::new(MachineConfig::baseline()).run(&trace);
+    let det = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&trace);
+    let slowdown = det.cycles as f64 / base.cycles as f64;
+    assert!(slowdown < 2.0, "hardware CLEAN should be cheap: {slowdown}");
+    // Software CLEAN on the same benchmark costs far more per access —
+    // that relationship is the heart of the paper.
+}
+
+#[test]
+fn recorded_traces_cross_validate_with_offline_engines() {
+    // Run real kernels with trace recording; the offline CLEAN engine and
+    // FastTrack must agree with the online verdict on the *recorded*
+    // interleaving.
+    for (name, racy) in [
+        ("streamcluster", false),
+        ("barnes", false),
+        ("radix", false),
+        ("water_nsquared", true),
+    ] {
+        let b = benchmark(name).unwrap();
+        let rt = CleanRuntime::new(
+            RuntimeConfig::new()
+                .heap_size(1 << 22)
+                .max_threads(12)
+                .record_trace(true),
+        );
+        let result = run_benchmark(b, &rt, &KernelParams::new().threads(3).racy(racy));
+        let trace = rt.recorded_trace().expect("recording enabled");
+        assert!(!trace.is_empty(), "{name}");
+        let online_raced = rt.first_race().is_some();
+        assert_eq!(online_raced, racy, "{name}: unexpected verdict {result:?}");
+
+        let mut engine = CleanEngine::new(12);
+        let offline = run_detector(&mut engine, &trace);
+        assert_eq!(
+            online_raced,
+            !offline.is_empty(),
+            "{name}: online and offline CLEAN disagree ({} offline races)",
+            offline.len()
+        );
+        let mut ft = FastTrack::new(12);
+        let ft_races = run_detector(&mut ft, &trace);
+        if online_raced {
+            assert!(!ft_races.is_empty(), "{name}: FastTrack missed the race");
+        }
+    }
+}
+
+#[test]
+fn war_racy_execution_completes_deterministically() {
+    // A WAR-racy but WAW/RAW-free program: CLEAN lets it complete and the
+    // results are deterministic under Kendo.
+    let once = || {
+        let rt = rt();
+        let x = rt.alloc_array::<u32>(4).unwrap();
+        let out = rt
+            .run(|ctx| {
+                for i in 0..4 {
+                    ctx.write(&x, i, i as u32 + 10)?;
+                }
+                // Root reads early; the child writes later (WAR when the
+                // child's write physically follows — either way no
+                // exception because reads never update metadata).
+                let r0 = ctx.read(&x, 0)?;
+                let child = ctx.spawn(move |c| {
+                    c.tick(50);
+                    c.write(&x, 0, 99u32)
+                })?;
+                ctx.join(child)??;
+                let r1 = ctx.read(&x, 0)?;
+                Ok(u64::from(r0) << 32 | u64::from(r1))
+            })
+            .unwrap();
+        assert!(rt.first_race().is_none());
+        out
+    };
+    assert_eq!(once(), once());
+}
