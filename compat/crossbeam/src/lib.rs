@@ -1,0 +1,99 @@
+//! Offline stand-in for the `crossbeam` crate (the subset this
+//! workspace uses: scoped threads).
+//!
+//! The container has no crates.io access, so the workspace replaces
+//! external dependencies with API-compatible shims (see
+//! `compat/README.md`). This one maps `crossbeam::thread::scope` onto
+//! [`std::thread::scope`], preserving crossbeam's signature quirks:
+//! the entry closure and each spawned closure receive a `&Scope`
+//! (allowing nested spawns), and `scope` returns a
+//! [`std::thread::Result`] that is `Err` if the entry closure panics.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle for spawning threads tied to an enclosing [`scope`].
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned in a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so
+        /// it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Creates a scope within which all spawned threads are joined
+    /// before `scope` returns. Unjoined panicking children propagate
+    /// their panic (as in `std`); a panic in `f` itself is caught and
+    /// returned as `Err`, matching crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicU32::new(0);
+        let counter = &counter;
+        let sum = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 60);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_passed_scope() {
+        let out = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7u8).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn entry_panic_becomes_err() {
+        let r = crate::thread::scope(|_| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

@@ -33,7 +33,7 @@ impl fmt::Display for FullRaceKind {
 }
 
 /// A race reported by a baseline detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FoundRace {
     /// The race class.
     pub kind: FullRaceKind,

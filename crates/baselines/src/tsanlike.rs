@@ -235,7 +235,9 @@ mod tests {
         // CLEAN (and FastTrack) catch it.
         let mut clean = crate::clean_engine::CleanEngine::new(3);
         let races = run_detector(&mut clean, &trace);
-        assert!(races.iter().any(|r| r.previous == t(0) && r.current == t(2)));
+        assert!(races
+            .iter()
+            .any(|r| r.previous == t(0) && r.current == t(2)));
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! algorithms: CLEAN (WAW/RAW epochs only) vs FastTrack (full precise)
 //! vs the classic two-vector-clock detector vs the TSan-like imprecise
 //! detector — the Section 7 cost argument in microbenchmark form.
+//!
+//! Two inputs: a synthetic lock-disciplined trace, and a recorded racy
+//! dedup execution pulled from the persistent trace store
+//! (`CLEAN_TRACE_DIR`) — recorded once, replayed on every run.
 
 use clean_baselines::{
     CleanEngine, FastTrack, TraceDetector, TraceEvent, TsanLike, VcFullDetector,
 };
+use clean_bench::cached_kernel_trace;
 use clean_core::ThreadId;
+use clean_trace::{required_threads, RecordOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -78,5 +84,35 @@ fn bench_detectors(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_detectors);
+/// Same comparison over a real recorded execution: the stored racy dedup
+/// trace (byte-granular accesses, pipeline synchronization).
+fn bench_detectors_stored(c: &mut Criterion) {
+    let trace = cached_kernel_trace(
+        "dedup",
+        &RecordOptions {
+            threads: 4,
+            racy: true,
+            seed: 7,
+        },
+    );
+    let threads = required_threads(&trace);
+    let mut g = c.benchmark_group("trace_detectors_stored_dedup");
+    let mut run = |name: &str, d: &mut dyn TraceDetector| {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                d.reset();
+                for e in &trace {
+                    black_box(d.process(e));
+                }
+            })
+        });
+    };
+    run("clean", &mut CleanEngine::new(threads));
+    run("fasttrack", &mut FastTrack::new(threads));
+    run("vc_full", &mut VcFullDetector::new(threads));
+    run("tsan_like", &mut TsanLike::new(threads));
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_detectors_stored);
 criterion_main!(benches);

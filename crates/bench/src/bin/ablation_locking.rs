@@ -39,9 +39,8 @@ fn main() {
         };
         let base = {
             let (d, _) = measure(reps, || {
-                let rt = CleanRuntime::new(
-                    RuntimeConfig::baseline().heap_size(1 << 23).max_threads(16),
-                );
+                let rt =
+                    CleanRuntime::new(RuntimeConfig::baseline().heap_size(1 << 23).max_threads(16));
                 run_benchmark(b, &rt, &KernelParams::new().threads(threads).scale(scale))
                     .expect("race-free benchmark must complete");
             });

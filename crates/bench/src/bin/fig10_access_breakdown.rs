@@ -21,7 +21,14 @@ fn main() {
     println!("== Figure 10: breakdown of memory accesses under hardware CLEAN ==\n");
 
     let mut t = Table::new(&[
-        "benchmark", "private", "fast", "VC load", "update", "VC+upd", "expand", "compact",
+        "benchmark",
+        "private",
+        "fast",
+        "VC load",
+        "update",
+        "VC+upd",
+        "expand",
+        "compact",
         "expanded",
     ]);
     let (mut fasts, mut quicks, mut compacts) = (Vec::new(), Vec::new(), Vec::new());
@@ -52,12 +59,20 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\naverages: fast {}, quick (private+fast) {}, compact {}",
-        fmt_pct(mean(&fasts)), fmt_pct(mean(&quicks)), fmt_pct(mean(&compacts)));
+    println!(
+        "\naverages: fast {}, quick (private+fast) {}, compact {}",
+        fmt_pct(mean(&fasts)),
+        fmt_pct(mean(&quicks)),
+        fmt_pct(mean(&compacts))
+    );
     println!("paper: fast 54.2%, quick ~90%, compact-or-private 94.3%; dedup mostly expanded");
     println!(
         "dedup expanded-line accesses: {} ({})",
         fmt_pct(dedup_expanded),
-        if dedup_expanded > 0.5 { "reproduced" } else { "NOT reproduced" }
+        if dedup_expanded > 0.5 {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -40,7 +40,9 @@ fn main() {
     let scale = env_scale();
     let reps = env_reps();
     println!("== Figure 6: software-only CLEAN slowdown (normalized to nondeterministic run) ==");
-    println!("({threads} threads, {scale:?} inputs, best of {reps} runs; paper: 8 threads, native)\n");
+    println!(
+        "({threads} threads, {scale:?} inputs, best of {reps} runs; paper: 8 threads, native)\n"
+    );
 
     let mut t = Table::new(&["benchmark", "base(ms)", "det-sync", "detection", "CLEAN"]);
     let (mut ds, mut det, mut full) = (Vec::new(), Vec::new(), Vec::new());

@@ -20,9 +20,8 @@ fn main() {
     for b in race_free_benchmarks() {
         let mut accesses = 0u64;
         let (d, _) = measure(reps, || {
-            let rt = CleanRuntime::new(
-                RuntimeConfig::baseline().heap_size(1 << 23).max_threads(16),
-            );
+            let rt =
+                CleanRuntime::new(RuntimeConfig::baseline().heap_size(1 << 23).max_threads(16));
             run_benchmark(b, &rt, &KernelParams::new().threads(threads).scale(scale))
                 .expect("race-free benchmark must complete");
             accesses = rt.stats().shared_accesses();

@@ -11,7 +11,13 @@ use clean_bench::{env_reps, env_scale, env_threads, fmt_pct, fmt_x, geomean, mea
 use clean_runtime::{CleanRuntime, RuntimeConfig};
 use clean_workloads::{race_free_benchmarks, run_benchmark, BenchProfile, KernelParams, Scale};
 
-fn timed(b: &BenchProfile, threads: usize, scale: Scale, reps: usize, cfg: RuntimeConfig) -> (f64, f64) {
+fn timed(
+    b: &BenchProfile,
+    threads: usize,
+    scale: Scale,
+    reps: usize,
+    cfg: RuntimeConfig,
+) -> (f64, f64) {
     let mut uniform_frac = 1.0;
     let (d, _) = measure(reps, || {
         let rt = CleanRuntime::new(cfg);
@@ -31,7 +37,13 @@ fn main() {
     println!("== Figure 8: impact of the Section 4.4 vectorization ==");
     println!("({threads} threads, {scale:?} inputs)\n");
 
-    let mut t = Table::new(&["benchmark", "no-vec", "vectorized", "gain", "uniform-epochs"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "no-vec",
+        "vectorized",
+        "gain",
+        "uniform-epochs",
+    ]);
     let (mut novec, mut vec_) = (Vec::new(), Vec::new());
     for b in race_free_benchmarks() {
         let base = RuntimeConfig::baseline().heap_size(1 << 23).max_threads(16);

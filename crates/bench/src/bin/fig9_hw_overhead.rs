@@ -27,8 +27,7 @@ fn main() {
     for b in simulated_benchmarks() {
         let trace = generate_trace(b, &cfg);
         let base = Machine::new(MachineConfig::baseline()).run(&trace);
-        let det =
-            Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&trace);
+        let det = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&trace);
         let over = det.cycles as f64 / base.cycles as f64 - 1.0;
         slowdowns.push(over);
         if over > worst.1 {

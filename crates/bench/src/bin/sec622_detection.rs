@@ -27,7 +27,9 @@ fn main() {
         _ => Scale::SimSmall,
     };
     println!("== Section 6.2.2: detected races and determinism ==");
-    println!("({runs} runs per benchmark, {threads} threads; paper: 100 runs, 8 threads, simlarge)\n");
+    println!(
+        "({runs} runs per benchmark, {threads} threads; paper: 100 runs, 8 threads, simlarge)\n"
+    );
 
     // Experiment 1: racy (unmodified) benchmarks always raise exceptions.
     println!("-- racy (unmodified) versions: expect a race exception in EVERY run --");
@@ -81,8 +83,8 @@ fn main() {
             }
             digests.push(rt.stats().digest());
         }
-        let det = outputs.windows(2).all(|w| w[0] == w[1])
-            && digests.windows(2).all(|w| w[0] == w[1]);
+        let det =
+            outputs.windows(2).all(|w| w[0] == w[1]) && digests.windows(2).all(|w| w[0] == w[1]);
         all_det &= det && exceptions == 0;
         t.row(vec![
             b.name.into(),

@@ -64,8 +64,8 @@ fn main() {
             assert_eq!(rt.stats().rollover_resets, 0, "wide clock must not roll");
         });
         if resets > 0 {
-            let decrease = (d_default.as_secs_f64() - d_wide.as_secs_f64())
-                / d_default.as_secs_f64();
+            let decrease =
+                (d_default.as_secs_f64() - d_wide.as_secs_f64()) / d_default.as_secs_f64();
             any_rollover.push(b.name);
             t.row(vec![
                 b.name.into(),

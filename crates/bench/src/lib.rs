@@ -19,11 +19,16 @@
 //! (`native`/`simlarge`/`simsmall`, default `simsmall`), `CLEAN_REPS`
 //! (timed repetitions, default 2), `CLEAN_RUNS` (Sec 6.2.2 repetitions,
 //! default 10; the paper uses 100), `CLEAN_SIM_ACCESSES` (simulated
-//! shared accesses per thread, default 12000).
+//! shared accesses per thread, default 12000), `CLEAN_TRACE_DIR` (the
+//! persistent trace store experiments record into and replay from,
+//! default `target/traces`).
 
 #![warn(missing_docs)]
 
+use clean_core::TraceEvent;
+use clean_trace::{read_trace, record_kernel_trace, RecordOptions};
 use clean_workloads::Scale;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Reads the worker-thread count (`CLEAN_THREADS`, default 4).
@@ -69,6 +74,47 @@ pub fn env_sim_accesses() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(40_000)
+}
+
+/// The persistent trace store directory (`CLEAN_TRACE_DIR`, default
+/// `target/traces` under the workspace root, regardless of the working
+/// directory cargo hands test and bench binaries).
+pub fn trace_dir() -> PathBuf {
+    std::env::var_os("CLEAN_TRACE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/traces"))
+}
+
+/// Returns the stored execution trace of workload `name`, recording it
+/// into the trace store on first use and replaying the stored file on
+/// every later run — experiments re-analyze one fixed interleaving
+/// instead of regenerating it. A missing or unreadable (truncated,
+/// corrupted) store entry is transparently re-recorded.
+///
+/// # Panics
+///
+/// Panics if the workload is unknown or the store is not writable.
+pub fn cached_kernel_trace(name: &str, opts: &RecordOptions) -> Vec<TraceEvent> {
+    cached_kernel_trace_in(&trace_dir(), name, opts)
+}
+
+/// [`cached_kernel_trace`] against an explicit store directory.
+///
+/// # Panics
+///
+/// Panics if the workload is unknown or the store is not writable.
+pub fn cached_kernel_trace_in(dir: &Path, name: &str, opts: &RecordOptions) -> Vec<TraceEvent> {
+    let racy = if opts.racy { "-racy" } else { "" };
+    let path = dir.join(format!(
+        "{name}-t{}-s{}{racy}.cltr",
+        opts.threads, opts.seed
+    ));
+    if let Ok(events) = read_trace(&path) {
+        return events;
+    }
+    std::fs::create_dir_all(dir).expect("create trace store directory");
+    record_kernel_trace(name, &path, opts).expect("record workload trace");
+    read_trace(&path).expect("read back freshly recorded trace")
 }
 
 /// Times `f` over `reps` repetitions and returns the minimum duration and
@@ -177,6 +223,30 @@ pub fn fmt_pct(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cached_trace_records_once_and_replays() {
+        let dir = std::env::temp_dir().join(format!("clean-bench-store-{}", std::process::id()));
+        let opts = RecordOptions {
+            threads: 2,
+            racy: true,
+            seed: 5,
+        };
+        let first = cached_kernel_trace_in(&dir, "dedup", &opts);
+        assert!(!first.is_empty());
+        let stored = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(stored, 1);
+        // Second call must replay the stored file, not re-record.
+        let again = cached_kernel_trace_in(&dir, "dedup", &opts);
+        assert_eq!(first, again);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // A corrupted store entry is re-recorded transparently.
+        let entry = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap();
+        std::fs::write(entry.path(), b"CLTR\x01garbage").unwrap();
+        let healed = cached_kernel_trace_in(&dir, "dedup", &opts);
+        assert_eq!(first, healed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn geomean_of_powers() {

@@ -132,7 +132,11 @@ impl VectorClock {
     /// different layouts.
     pub fn join(&mut self, other: &VectorClock) {
         assert_eq!(self.layout, other.layout, "layout mismatch in join");
-        assert_eq!(self.elems.len(), other.elems.len(), "length mismatch in join");
+        assert_eq!(
+            self.elems.len(),
+            other.elems.len(),
+            "length mismatch in join"
+        );
         for (a, b) in self.elems.iter_mut().zip(other.elems.iter()) {
             // Same index ⇒ same tid bits, so raw comparison orders clocks.
             if *b > *a {
@@ -145,7 +149,10 @@ impl VectorClock {
     /// element of `self` is ≤ its counterpart in `other`.
     pub fn le(&self, other: &VectorClock) -> bool {
         assert_eq!(self.elems.len(), other.elems.len(), "length mismatch in le");
-        self.elems.iter().zip(other.elems.iter()).all(|(a, b)| a <= b)
+        self.elems
+            .iter()
+            .zip(other.elems.iter())
+            .all(|(a, b)| a <= b)
     }
 
     /// Sets the element for `tid` to exactly `clock`.
@@ -281,9 +288,7 @@ mod tests {
         let layout = EpochLayout::paper_default();
         let mut writer = vc(2);
         writer.increment(ThreadId::new(1)).unwrap();
-        let e = layout
-            .pack(ThreadId::new(1), 1)
-            .with_expanded();
+        let e = layout.pack(ThreadId::new(1), 1).with_expanded();
         let mut synced = vc(2);
         synced.join(&writer);
         assert!(!synced.races_with(e));

@@ -488,10 +488,7 @@ mod tests {
     #[test]
     fn non_vectorized_matches_vectorized_verdicts() {
         for vectorized in [false, true] {
-            let det = CleanDetector::new(
-                4096,
-                DetectorConfig::new().vectorized(vectorized),
-            );
+            let det = CleanDetector::new(4096, DetectorConfig::new().vectorized(vectorized));
             let layout = det.layout();
             let mut vc0 = VectorClock::new(2, layout);
             let vc1 = VectorClock::new(2, layout);

@@ -70,4 +70,4 @@ pub use report::{AccessKind, RaceKind, RaceReport};
 pub use rollover::RolloverCoordinator;
 pub use shadow::{ShadowMemory, ShadowStats, PAGE_EPOCHS};
 pub use stats::{DetectorStats, StatsSnapshot};
-pub use trace_event::{LockId, TraceEvent};
+pub use trace_event::{EventSink, LockId, TraceEvent};

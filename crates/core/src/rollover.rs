@@ -86,8 +86,7 @@ impl RolloverCoordinator {
         st.active -= 1;
         // If the remaining parked threads now constitute everyone, wake one
         // of them to act as the reset performer.
-        if self.reset_requested.load(Ordering::Acquire) && st.parked == st.active && st.parked > 0
-        {
+        if self.reset_requested.load(Ordering::Acquire) && st.parked == st.active && st.parked > 0 {
             self.cv.notify_all();
         }
     }

@@ -348,7 +348,9 @@ mod tests {
     #[test]
     fn cas_success_and_failure() {
         let s = ShadowMemory::new(4096);
-        assert!(s.compare_exchange(10, Epoch::ZERO, Epoch::from_raw(1)).is_ok());
+        assert!(s
+            .compare_exchange(10, Epoch::ZERO, Epoch::from_raw(1))
+            .is_ok());
         let err = s
             .compare_exchange(10, Epoch::ZERO, Epoch::from_raw(2))
             .unwrap_err();
@@ -377,7 +379,9 @@ mod tests {
         s.store(7, Epoch::from_raw(5));
         s.reset();
         // The old value is logically gone; CAS against ZERO must succeed.
-        assert!(s.compare_exchange(7, Epoch::ZERO, Epoch::from_raw(6)).is_ok());
+        assert!(s
+            .compare_exchange(7, Epoch::ZERO, Epoch::from_raw(6))
+            .is_ok());
         assert_eq!(s.load(7), Epoch::from_raw(6));
     }
 
@@ -429,7 +433,8 @@ mod tests {
         for t in 1..=8u32 {
             let s = Arc::clone(&s);
             handles.push(std::thread::spawn(move || {
-                s.compare_exchange(0, Epoch::ZERO, Epoch::from_raw(t)).is_ok()
+                s.compare_exchange(0, Epoch::ZERO, Epoch::from_raw(t))
+                    .is_ok()
             }));
         }
         let wins = handles

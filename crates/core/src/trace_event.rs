@@ -80,6 +80,33 @@ impl TraceEvent {
     }
 }
 
+/// A streaming consumer of execution events.
+///
+/// The CLEAN runtime forwards every recorded [`TraceEvent`] to a sink as
+/// it happens, so executions of unbounded length can be captured (e.g. to
+/// disk) without the unbounded in-memory `Vec` that
+/// `RuntimeConfig::record_trace` otherwise accumulates. Implementations
+/// must be thread-safe: monitored threads call [`record_event`] concurrently
+/// in an order consistent with the execution's serialization.
+///
+/// [`record_event`]: EventSink::record_event
+pub trait EventSink: Send + Sync {
+    /// Consumes one event of the monitored execution.
+    fn record_event(&self, event: &TraceEvent);
+}
+
+impl<S: EventSink + ?Sized> EventSink for std::sync::Arc<S> {
+    fn record_event(&self, event: &TraceEvent) {
+        (**self).record_event(event);
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for Box<S> {
+    fn record_event(&self, event: &TraceEvent) {
+        (**self).record_event(event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,12 +6,12 @@ use crate::error::{CleanError, Result};
 use crate::heap::{SharedArray, SharedHeap};
 use crate::scalar::Scalar;
 use clean_core::{
-    CleanDetector, DetectorConfig, LockId, RaceReport, RolloverCoordinator, ThreadId, TraceEvent,
-    VectorClock,
+    CleanDetector, DetectorConfig, EventSink, LockId, RaceReport, RolloverCoordinator, ThreadId,
+    TraceEvent, VectorClock,
 };
-use std::sync::atomic::AtomicU32;
 use clean_sync::{DetHandle, Kendo, ThreadRegistry};
 use parking_lot::Mutex;
+use std::sync::atomic::AtomicU32;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -38,10 +38,20 @@ pub(crate) struct RuntimeInner {
     pub(crate) sync_ops: AtomicU64,
     finished_counter_sum: AtomicU64,
     finished_threads: AtomicU64,
-    /// Execution event log (when `record_trace` is on).
-    trace: Option<Mutex<Vec<TraceEvent>>>,
+    /// Execution event log (when `record_trace` is on or a sink was
+    /// attached).
+    trace: Option<TraceLog>,
     /// Allocator of lock/barrier ids for trace recording.
     next_lock_id: AtomicU32,
+}
+
+/// Destination of recorded execution events: either the in-memory log of
+/// `RuntimeConfig::record_trace` (bounded-length test executions) or a
+/// streaming [`EventSink`] (e.g. a `clean-trace` file writer) that can
+/// absorb executions of unbounded length.
+pub(crate) enum TraceLog {
+    Memory(Mutex<Vec<TraceEvent>>),
+    Sink(Box<dyn EventSink>),
 }
 
 impl RuntimeInner {
@@ -88,8 +98,10 @@ impl RuntimeInner {
     /// Appends an event to the execution log, if recording.
     #[inline]
     pub(crate) fn record(&self, event: TraceEvent) {
-        if let Some(t) = &self.trace {
-            t.lock().push(event);
+        match &self.trace {
+            Some(TraceLog::Memory(t)) => t.lock().push(event),
+            Some(TraceLog::Sink(s)) => s.record_event(&event),
+            None => {}
         }
     }
 
@@ -194,6 +206,27 @@ impl CleanRuntime {
     ///
     /// Panics if `max_threads` exceeds the epoch layout's thread capacity.
     pub fn new(config: RuntimeConfig) -> Self {
+        let trace = config
+            .record_trace
+            .then(|| TraceLog::Memory(Mutex::new(Vec::new())));
+        Self::build(config, trace)
+    }
+
+    /// Creates a runtime that streams every recorded execution event into
+    /// `sink` instead of accumulating an in-memory log — the to-disk
+    /// recording mode (pair with a `clean-trace` file sink). Implies
+    /// recording regardless of `config.record_trace`;
+    /// [`recorded_trace`](Self::recorded_trace) returns `None` in this
+    /// mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads` exceeds the epoch layout's thread capacity.
+    pub fn with_trace_sink(config: RuntimeConfig, sink: Box<dyn EventSink>) -> Self {
+        Self::build(config, Some(TraceLog::Sink(sink)))
+    }
+
+    fn build(config: RuntimeConfig, trace: Option<TraceLog>) -> Self {
         assert!(
             config.max_threads <= config.layout.max_threads(),
             "max_threads {} exceeds epoch layout capacity {}",
@@ -225,7 +258,7 @@ impl CleanRuntime {
                 sync_ops: AtomicU64::new(0),
                 finished_counter_sum: AtomicU64::new(0),
                 finished_threads: AtomicU64::new(0),
-                trace: config.record_trace.then(|| Mutex::new(Vec::new())),
+                trace,
                 next_lock_id: AtomicU32::new(0),
                 config,
             }),
@@ -253,9 +286,14 @@ impl CleanRuntime {
 
     /// The recorded execution trace, if `record_trace` was enabled —
     /// a serialization of every shared access and synchronization event,
-    /// consumable by the `clean-baselines` analysis engines.
+    /// consumable by the `clean-baselines` analysis engines. `None` when
+    /// recording streams to an [`EventSink`]
+    /// (see [`with_trace_sink`](Self::with_trace_sink)).
     pub fn recorded_trace(&self) -> Option<Vec<TraceEvent>> {
-        self.inner.trace.as_ref().map(|t| t.lock().clone())
+        match &self.inner.trace {
+            Some(TraceLog::Memory(t)) => Some(t.lock().clone()),
+            _ => None,
+        }
     }
 
     /// Execution statistics so far.
@@ -382,7 +420,9 @@ impl<R> JoinHandle<R> {
 
 impl<R> std::fmt::Debug for JoinHandle<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JoinHandle").field("tid", &self.tid).finish()
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish()
     }
 }
 
@@ -752,8 +792,7 @@ impl ThreadCtx {
                 // Exit protocol: record the final state, hand off to a
                 // waiting parent under the lock, then disappear.
                 child_ctx.flush_counters();
-                let final_counter =
-                    child_ctx.det.as_ref().map(|d| d.counter()).unwrap_or(0);
+                let final_counter = child_ctx.det.as_ref().map(|d| d.counter()).unwrap_or(0);
                 let generation = child_ctx
                     .rt
                     .detector
@@ -769,9 +808,7 @@ impl ThreadCtx {
                         generation,
                     });
                     js.finished = true;
-                    if let (Some(ptid), Some(d)) =
-                        (js.parent_waiting, child_ctx.det.as_ref())
-                    {
+                    if let (Some(ptid), Some(d)) = (js.parent_waiting, child_ctx.det.as_ref()) {
                         // Make the parent visible at (a lower bound of) its
                         // resume time before we vanish.
                         d.kendo().publish_on_behalf(ptid, final_counter + 1);

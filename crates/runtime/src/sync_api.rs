@@ -70,7 +70,9 @@ impl CleanBarrier {
 
     /// Completed episodes (under det-sync; diagnostic).
     pub fn generations(&self) -> u64 {
-        self.det.generations().max(self.plain_gen.load(Ordering::Relaxed))
+        self.det
+            .generations()
+            .max(self.plain_gen.load(Ordering::Relaxed))
     }
 }
 

@@ -46,7 +46,14 @@ fn accesses_and_sync_events_are_recorded_in_order() {
         .collect();
     assert_eq!(kinds, vec!["w", "a", "r", "rel"]);
     match (t[0], t[2]) {
-        (TraceEvent::Write { addr: wa, size: 4, .. }, TraceEvent::Read { addr: ra, size: 4, .. }) => {
+        (
+            TraceEvent::Write {
+                addr: wa, size: 4, ..
+            },
+            TraceEvent::Read {
+                addr: ra, size: 4, ..
+            },
+        ) => {
             assert_eq!(wa, ra);
             assert_eq!(wa, a.addr_of(0));
         }
@@ -66,11 +73,21 @@ fn fork_and_join_are_recorded() {
         })
         .unwrap();
     let t = rt.recorded_trace().unwrap();
-    assert!(t.iter().any(|e| matches!(e, TraceEvent::Fork { child, .. } if *child == root_events)));
-    assert!(t.iter().any(|e| matches!(e, TraceEvent::Join { child, .. } if *child == root_events)));
+    assert!(t
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Fork { child, .. } if *child == root_events)));
+    assert!(t
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Join { child, .. } if *child == root_events)));
     // Fork precedes join.
-    let fork_pos = t.iter().position(|e| matches!(e, TraceEvent::Fork { .. })).unwrap();
-    let join_pos = t.iter().position(|e| matches!(e, TraceEvent::Join { .. })).unwrap();
+    let fork_pos = t
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Fork { .. }))
+        .unwrap();
+    let join_pos = t
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Join { .. }))
+        .unwrap();
     assert!(fork_pos < join_pos);
 }
 

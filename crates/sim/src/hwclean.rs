@@ -12,7 +12,7 @@
 //! Only the latency in excess of the data access is exposed to the core
 //! (Section 5.4).
 
-use crate::cache::{LINE_SIZE};
+use crate::cache::LINE_SIZE;
 use crate::mem::MemorySystem;
 use clean_core::{Epoch, EpochLayout, ThreadId, VectorClock};
 use std::collections::{HashMap, HashSet};
@@ -278,9 +278,10 @@ impl HwClean {
                     .filter(|&t| t != tid.raw())
                     .collect();
                 for owner in &owners {
-                    let vaddr =
-                        VC_BASE + (core as u64) * 1024 + u64::from(*owner) * 4;
-                    latency += mem.access_line(core, vaddr / LINE_SIZE * LINE_SIZE, false).0;
+                    let vaddr = VC_BASE + (core as u64) * 1024 + u64::from(*owner) * 4;
+                    latency += mem
+                        .access_line(core, vaddr / LINE_SIZE * LINE_SIZE, false)
+                        .0;
                 }
                 // The comparison itself: race if the saved write does not
                 // happen-before us.
@@ -307,8 +308,7 @@ impl HwClean {
                     let group_last = (addr + u64::from(size) - 1) / 4;
                     let mut must_expand = false;
                     for g in group_first..=group_last {
-                        let fully_covered =
-                            g * 4 >= addr && (g + 1) * 4 <= addr + u64::from(size);
+                        let fully_covered = g * 4 >= addr && (g + 1) * 4 <= addr + u64::from(size);
                         if fully_covered {
                             continue;
                         }
@@ -334,9 +334,8 @@ impl HwClean {
                         latency += 1 + 4;
                         mem.access_line(core, META_BASE + data_line * LINE_SIZE, true);
                         for seg in 1..4u64 {
-                            let l = EXPANDED_BASE
-                                + data_line * 3 * LINE_SIZE
-                                + (seg - 1) * LINE_SIZE;
+                            let l =
+                                EXPANDED_BASE + data_line * 3 * LINE_SIZE + (seg - 1) * LINE_SIZE;
                             mem.access_line(core, l, true);
                         }
                     }
@@ -398,7 +397,10 @@ mod tests {
     use crate::mem::Latencies;
 
     fn setup(mode: EpochMode) -> (HwClean, MemorySystem) {
-        (HwClean::new(2, mode), MemorySystem::new(2, Latencies::paper()))
+        (
+            HwClean::new(2, mode),
+            MemorySystem::new(2, Latencies::paper()),
+        )
     }
 
     #[test]

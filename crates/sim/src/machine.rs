@@ -168,11 +168,12 @@ impl Machine {
             .map(|(_, c)| *c)
             .max()
             .unwrap_or(0);
-        let cost = 20 + if self.hw.is_some() {
-            u64::from(self.config.sync_overhead)
-        } else {
-            0
-        };
+        let cost = 20
+            + if self.hw.is_some() {
+                u64::from(self.config.sync_overhead)
+            } else {
+                0
+            };
         if let Some(hw) = self.hw.as_mut() {
             hw.on_barrier();
         }
@@ -331,8 +332,7 @@ mod tests {
                 });
             }
         }
-        let clean =
-            Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
+        let clean = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
         let fixed4 = Machine::new(MachineConfig::with_detection(EpochMode::Fixed4B)).run(&p);
         assert!(
             fixed4.cycles > clean.cycles,

@@ -74,7 +74,11 @@ pub struct MemStats {
 impl MemStats {
     /// Total line accesses.
     pub fn total(&self) -> u64 {
-        self.l1_hits + self.l2_local_hits + self.l2_remote_hits + self.l3_hits + self.memory_accesses
+        self.l1_hits
+            + self.l2_local_hits
+            + self.l2_remote_hits
+            + self.l3_hits
+            + self.memory_accesses
     }
 
     /// LLC (L3) miss rate over all line accesses.

@@ -68,8 +68,14 @@ fn detection_slowdown_ordering_across_modes() {
         .run(&p)
         .cycles;
     assert!(base <= m1, "detection cannot speed things up");
-    assert!(m1 <= mc + mc / 10, "1B epochs ~upper-bound CLEAN ({m1} vs {mc})");
-    assert!(mc <= m4, "compaction must not lose to 4B epochs ({mc} vs {m4})");
+    assert!(
+        m1 <= mc + mc / 10,
+        "1B epochs ~upper-bound CLEAN ({m1} vs {mc})"
+    );
+    assert!(
+        mc <= m4,
+        "compaction must not lose to 4B epochs ({mc} vs {m4})"
+    );
 }
 
 #[test]
@@ -102,7 +108,10 @@ fn byte_granular_writes_expand_and_slow_down() {
     let r = Machine::new(MachineConfig::with_detection(EpochMode::CleanCompact)).run(&p);
     let hw = r.hw.unwrap();
     assert_eq!(hw.races, 0);
-    assert!(hw.expand >= 200, "byte writes by another thread expand: {hw:?}");
+    assert!(
+        hw.expand >= 200,
+        "byte writes by another thread expand: {hw:?}"
+    );
     assert!(hw.expanded_accesses > 0);
 }
 

@@ -114,7 +114,11 @@ impl DetMutex {
     ///
     /// Returns [`Aborted`] when `poll` requests an abort; the mutex is
     /// *not* held in that case.
-    pub fn lock<F: FnMut() -> bool>(&self, handle: &mut DetHandle, mut poll: F) -> Result<(), Aborted> {
+    pub fn lock<F: FnMut() -> bool>(
+        &self,
+        handle: &mut DetHandle,
+        mut poll: F,
+    ) -> Result<(), Aborted> {
         loop {
             handle.wait_for_turn(&mut poll)?;
             if self.try_acquire((handle.counter(), handle.tid())) {

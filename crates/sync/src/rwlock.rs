@@ -101,7 +101,10 @@ impl DetRwLock {
         if st.writer.is_some() || !st.readers.is_empty() {
             return false;
         }
-        for rel in [st.last_write_release, st.last_read_release].into_iter().flatten() {
+        for rel in [st.last_write_release, st.last_read_release]
+            .into_iter()
+            .flatten()
+        {
             if rel >= stamp {
                 return false;
             }
@@ -214,12 +217,18 @@ mod tests {
         l.read_lock(&mut a, || false).unwrap();
         l.read_lock(&mut b, || false).unwrap();
         assert_eq!(l.reader_count(), 2);
-        assert!(!l.try_write((100, ThreadId::new(2))), "readers block writers");
+        assert!(
+            !l.try_write((100, ThreadId::new(2))),
+            "readers block writers"
+        );
         l.read_unlock(&mut a);
         l.read_unlock(&mut b);
         l.write_lock(&mut a, || false).unwrap();
         assert_eq!(l.writer(), Some(ThreadId::new(0)));
-        assert!(!l.try_read((100, ThreadId::new(1))), "writer blocks readers");
+        assert!(
+            !l.try_read((100, ThreadId::new(1))),
+            "writer blocks readers"
+        );
         l.write_unlock(&mut a);
         assert_eq!(l.acquisitions(), (2, 1));
     }
@@ -233,7 +242,10 @@ mod tests {
             st.writer = None;
             st.last_write_release = Some((50, ThreadId::new(1)));
         }
-        assert!(!l.try_read((10, ThreadId::new(0))), "write at 50 covers t=10");
+        assert!(
+            !l.try_read((10, ThreadId::new(0))),
+            "write at 50 covers t=10"
+        );
         assert!(l.try_read((51, ThreadId::new(0))));
     }
 

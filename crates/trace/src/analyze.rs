@@ -1,0 +1,351 @@
+//! Offline race analysis over stored traces: engine selection,
+//! sequential replay, and the address-sharded parallel replay.
+//!
+//! # Why address sharding is exact
+//!
+//! Every analysis engine ([`TraceDetector`]) separates its state into
+//! two disjoint halves:
+//!
+//! * **Synchronization state** (thread/lock vector clocks): mutated
+//!   *only* by sync events (acquire/release/fork/join), never by memory
+//!   events.
+//! * **Per-location metadata** (epochs, read/write clocks, shadow
+//!   cells): mutated *only* by memory events touching that location.
+//!
+//! So a worker that replays the *full* synchronization skeleton but only
+//! the memory events landing in its own address shard has, at every
+//! event index, exactly the sequential detector's state restricted to
+//! its shard — sharded and sequential replay agree race-for-race.
+//! Shards are [`SHARD_GRANULE`]-byte address granules assigned
+//! round-robin; the granule is a multiple of every engine's internal
+//! granularity (TSan-like shadow cells use 8-byte granules), so no
+//! engine's location state straddles two shards. A memory event is
+//! clipped to the byte ranges its shard owns; each engine reports at
+//! most one race per event (the first racy byte in address order), so
+//! the merge keeps, per event index, the race with the lowest address —
+//! reproducing the sequential "first racy byte" exactly.
+//!
+//! One caveat, checked empirically by the agreement tests: FastTrack
+//! stops updating an access's remaining bytes after its first racy byte,
+//! so an access that both *straddles a shard boundary* and *races in a
+//! lower shard* could leave higher-shard bytes updated where sequential
+//! replay left them alone. The workloads' racy accesses are aligned
+//! word-size probes inside one granule, where the semantics coincide.
+
+use clean_baselines::{
+    run_detector, CleanEngine, FastTrack, FoundRace, TraceDetector, TsanLike, VcFullDetector,
+};
+use clean_core::TraceEvent;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Address-shard granule in bytes. A multiple of the TSan-like engine's
+/// 8-byte shadow granule so per-location state never crosses shards.
+pub const SHARD_GRANULE: usize = 64;
+
+/// Selectable offline analysis engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The CLEAN per-byte epoch engine (WAW/RAW only).
+    Clean,
+    /// FastTrack with adaptive read metadata (full WAW/RAW/WAR).
+    FastTrack,
+    /// Two-vector-clock reference detector (full, expensive).
+    VcFull,
+    /// TSan-like bounded shadow-cell detector (full, approximate).
+    Tsan,
+}
+
+impl EngineKind {
+    /// Every engine, in the order the CLI's `--engine all` reports.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Clean,
+        EngineKind::FastTrack,
+        EngineKind::VcFull,
+        EngineKind::Tsan,
+    ];
+
+    /// The engine's CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Clean => "clean",
+            EngineKind::FastTrack => "fasttrack",
+            EngineKind::VcFull => "vcfull",
+            EngineKind::Tsan => "tsan",
+        }
+    }
+
+    /// Parses a CLI engine name.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        Self::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Instantiates the engine for `threads` analysis threads.
+    pub fn build(&self, threads: usize) -> Box<dyn TraceDetector + Send> {
+        match self {
+            EngineKind::Clean => Box::new(CleanEngine::new(threads)),
+            EngineKind::FastTrack => Box::new(FastTrack::new(threads)),
+            EngineKind::VcFull => Box::new(VcFullDetector::new(threads)),
+            EngineKind::Tsan => Box::new(TsanLike::new(threads)),
+        }
+    }
+
+    /// Whether the engine detects WAR races (CLEAN deliberately does
+    /// not — Section 3.2).
+    pub fn detects_war(&self) -> bool {
+        !matches!(self, EngineKind::Clean)
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of analysis thread slots a trace needs (highest thread id
+/// observed, plus one).
+pub fn required_threads(events: &[TraceEvent]) -> usize {
+    let mut max = 0u16;
+    for e in events {
+        max = max.max(e.tid().raw());
+        if let TraceEvent::Fork { child, .. } | TraceEvent::Join { child, .. } = e {
+            max = max.max(child.raw());
+        }
+    }
+    usize::from(max) + 1
+}
+
+/// Cuts a trace into synchronization-free segments: maximal runs of
+/// memory events, delimited by sync (acquire/release/fork/join) events.
+/// Sync events belong to no segment. Empty segments are not reported.
+pub fn sync_free_segments(events: &[TraceEvent]) -> Vec<Range<usize>> {
+    let mut segments = Vec::new();
+    let mut start = None;
+    for (i, e) in events.iter().enumerate() {
+        if e.is_memory() {
+            start.get_or_insert(i);
+        } else if let Some(s) = start.take() {
+            segments.push(s..i);
+        }
+    }
+    if let Some(s) = start {
+        segments.push(s..events.len());
+    }
+    segments
+}
+
+/// Replays a trace through one engine sequentially.
+pub fn replay_sequential(events: &[TraceEvent], kind: EngineKind) -> Vec<FoundRace> {
+    let mut det = kind.build(required_threads(events));
+    run_detector(&mut *det, events)
+}
+
+/// Byte sub-ranges of `[addr, addr + size)` owned by `shard` (of
+/// `shards`), as maximal runs of consecutive owned granules.
+fn owned_runs(addr: usize, size: usize, shard: usize, shards: usize) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let first = addr / SHARD_GRANULE;
+    let last = (addr + size - 1) / SHARD_GRANULE;
+    let mut g = first;
+    while g <= last {
+        if g % shards == shard {
+            // Extend over consecutive owned granules (only possible
+            // when shards == 1, but stay general).
+            let mut end = g;
+            while end < last && (end + 1) % shards == shard {
+                end += 1;
+            }
+            let lo = addr.max(g * SHARD_GRANULE);
+            let hi = (addr + size).min((end + 1) * SHARD_GRANULE);
+            runs.push((lo, hi - lo));
+            g = end + 1;
+        } else {
+            g += 1;
+        }
+    }
+    runs
+}
+
+/// Replays a trace through one engine with memory events sharded by
+/// address range across `shards` scoped worker threads, merging the
+/// per-shard race sets back into the sequential verdict (see the module
+/// docs for the agreement argument).
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or a worker thread panics.
+pub fn replay_sharded(events: &[TraceEvent], kind: EngineKind, shards: usize) -> Vec<FoundRace> {
+    assert!(shards > 0, "need at least one shard");
+    if shards == 1 {
+        return replay_sequential(events, kind);
+    }
+    let threads = required_threads(events);
+    let segments = sync_free_segments(events);
+    let per_shard: Vec<Vec<(usize, FoundRace)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let segments = &segments;
+                scope.spawn(move |_| shard_worker(events, segments, kind, threads, shard, shards))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+    .expect("analysis scope panicked");
+
+    // Per event index every engine reports at most one race — the first
+    // racy byte in address order — so the merged verdict keeps the
+    // lowest-address race of each event.
+    let mut merged: BTreeMap<usize, FoundRace> = BTreeMap::new();
+    for (idx, race) in per_shard.into_iter().flatten() {
+        merged
+            .entry(idx)
+            .and_modify(|r| {
+                if race.addr < r.addr {
+                    *r = race;
+                }
+            })
+            .or_insert(race);
+    }
+    merged.into_values().collect()
+}
+
+/// One shard's replay: full sync skeleton, clipped memory events.
+fn shard_worker(
+    events: &[TraceEvent],
+    segments: &[Range<usize>],
+    kind: EngineKind,
+    threads: usize,
+    shard: usize,
+    shards: usize,
+) -> Vec<(usize, FoundRace)> {
+    let mut det = kind.build(threads);
+    let mut found = Vec::new();
+    // Alternate between sync gaps (replayed verbatim — the skeleton
+    // every worker shares) and synchronization-free segments (memory
+    // events, clipped to the shard's owned address ranges).
+    let mut next = 0usize;
+    let replay_sync_gap = |det: &mut Box<dyn TraceDetector + Send>,
+                           found: &mut Vec<(usize, FoundRace)>,
+                           range: Range<usize>| {
+        for idx in range {
+            for race in det.process(&events[idx]) {
+                found.push((idx, race));
+            }
+        }
+    };
+    for seg in segments {
+        replay_sync_gap(&mut det, &mut found, next..seg.start);
+        for idx in seg.clone() {
+            let (tid, addr, size, is_read) = match events[idx] {
+                TraceEvent::Read { tid, addr, size } => (tid, addr, size, true),
+                TraceEvent::Write { tid, addr, size } => (tid, addr, size, false),
+                ref other => unreachable!("sync event {other:?} inside an SFR segment"),
+            };
+            for (a, s) in owned_runs(addr, size, shard, shards) {
+                let clipped = if is_read {
+                    TraceEvent::Read {
+                        tid,
+                        addr: a,
+                        size: s,
+                    }
+                } else {
+                    TraceEvent::Write {
+                        tid,
+                        addr: a,
+                        size: s,
+                    }
+                };
+                for race in det.process(&clipped) {
+                    found.push((idx, race));
+                }
+            }
+        }
+        next = seg.end;
+    }
+    replay_sync_gap(&mut det, &mut found, next..events.len());
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clean_core::ThreadId;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn w(tid: u16, addr: usize, size: usize) -> TraceEvent {
+        TraceEvent::Write {
+            tid: t(tid),
+            addr,
+            size,
+        }
+    }
+
+    #[test]
+    fn owned_runs_partition_the_range() {
+        // Every byte of any range must be owned by exactly one shard.
+        for shards in 1..=5 {
+            for (addr, size) in [(0, 1), (63, 2), (100, 300), (4096, 64), (7, 777)] {
+                let mut owners = vec![0u32; size];
+                for shard in 0..shards {
+                    for (a, s) in owned_runs(addr, size, shard, shards) {
+                        assert!(a >= addr && a + s <= addr + size);
+                        for b in a..a + s {
+                            owners[b - addr] += 1;
+                        }
+                    }
+                }
+                assert!(
+                    owners.iter().all(|&c| c == 1),
+                    "{shards} shards, {addr}+{size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segments_split_on_sync() {
+        let events = vec![
+            w(0, 0, 4),
+            w(0, 4, 4),
+            TraceEvent::Acquire { tid: t(0), lock: 1 },
+            w(1, 8, 4),
+            TraceEvent::Release { tid: t(0), lock: 1 },
+        ];
+        assert_eq!(sync_free_segments(&events), vec![0..2, 3..4]);
+        assert_eq!(sync_free_segments(&[]), Vec::<Range<usize>>::new());
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_simple_race() {
+        // Two unordered threads write the same word: a WAW every engine
+        // must find, at the same address, sharded or not.
+        let events = vec![w(0, 128, 4), w(1, 128, 4)];
+        for kind in EngineKind::ALL {
+            let seq = replay_sequential(&events, kind);
+            assert!(!seq.is_empty(), "{kind} missed the WAW");
+            for shards in [1, 2, 3, 8] {
+                assert_eq!(
+                    replay_sharded(&events, kind, shards),
+                    seq,
+                    "{kind}/{shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn required_threads_counts_forked_children() {
+        let events = vec![TraceEvent::Fork {
+            parent: t(0),
+            child: t(7),
+        }];
+        assert_eq!(required_threads(&events), 8);
+    }
+}

@@ -1,0 +1,276 @@
+//! `clean-analyze` — record, inspect and replay persistent CLEAN traces.
+//!
+//! ```text
+//! clean-analyze record --workload <name> [--racy] [--sim] [--threads N] [--seed N] --out <file>
+//! clean-analyze stats  <file>
+//! clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N] <file>
+//! clean-analyze diff   [--shards N] <file>
+//! ```
+
+use clean_baselines::{FoundRace, FullRaceKind};
+use clean_trace::{
+    read_trace, record_kernel_trace, record_sim_trace, replay_sharded, EngineKind, RecordOptions,
+    TraceStats,
+};
+use clean_workloads::TraceGenConfig;
+use std::collections::HashSet;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+clean-analyze — persistent trace store & offline race analysis for CLEAN
+
+USAGE:
+  clean-analyze record --workload <name> [--racy] [--sim] [--threads N] [--seed N] --out <file>
+      Run a workload kernel (or generate its simulator trace with --sim)
+      and stream the event trace to <file>.
+  clean-analyze stats <file>
+      Event, thread, lock, access-width and SFR-segment statistics.
+  clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N] <file>
+      Replay the trace through one engine (or all), sharded across N
+      worker threads (default: available parallelism).
+  clean-analyze diff [--shards N] <file>
+      Cross-engine verdict comparison (e.g. the WAR races CLEAN skips).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value of `--flag value` out of `args`, removing both.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pulls a boolean `--flag` out of `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad {what}: {v:?}"))
+}
+
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn cmd_record(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let workload = take_value(&mut args, "--workload")?.ok_or("record needs --workload <name>")?;
+    let out = take_value(&mut args, "--out")?.ok_or("record needs --out <file>")?;
+    let racy = take_flag(&mut args, "--racy");
+    let sim = take_flag(&mut args, "--sim");
+    let threads = match take_value(&mut args, "--threads")? {
+        Some(v) => parse_num(&v, "--threads")?,
+        None => 4,
+    };
+    let seed = match take_value(&mut args, "--seed")? {
+        Some(v) => parse_num(&v, "--seed")?,
+        None => 1u64,
+    };
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let start = Instant::now();
+    let summary = if sim {
+        if racy {
+            return Err("--sim traces are race-free by construction; drop --racy".into());
+        }
+        let cfg = TraceGenConfig {
+            threads,
+            seed,
+            ..TraceGenConfig::default()
+        };
+        record_sim_trace(&workload, &out, &cfg).map_err(|e| e.to_string())?
+    } else {
+        let opts = RecordOptions {
+            threads,
+            racy,
+            seed,
+        };
+        record_kernel_trace(&workload, &out, &opts).map_err(|e| e.to_string())?
+    };
+    println!(
+        "recorded {} events to {} ({} bytes, {:.2} B/event, {} chunks) in {:.2?}",
+        summary.events,
+        out,
+        summary.bytes,
+        summary.bytes_per_event(),
+        summary.chunks,
+        start.elapsed(),
+    );
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("stats takes exactly one trace file".into());
+    };
+    let events = read_trace(path).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).ok();
+    print!("{}", TraceStats::from_events(&events).render(bytes));
+    Ok(())
+}
+
+fn engines_from_arg(arg: Option<String>) -> Result<Vec<EngineKind>, String> {
+    match arg.as_deref() {
+        None | Some("all") => Ok(EngineKind::ALL.to_vec()),
+        Some(name) => EngineKind::parse(name)
+            .map(|k| vec![k])
+            .ok_or_else(|| format!("unknown engine {name:?} (clean|fasttrack|vcfull|tsan|all)")),
+    }
+}
+
+fn kind_counts(races: &[FoundRace]) -> (usize, usize, usize) {
+    let count = |k| races.iter().filter(|r| r.kind == k).count();
+    (
+        count(FullRaceKind::Waw),
+        count(FullRaceKind::Raw),
+        count(FullRaceKind::War),
+    )
+}
+
+fn shards_from_args(args: &mut Vec<String>) -> Result<usize, String> {
+    let shards = match take_value(args, "--shards")? {
+        Some(v) => parse_num(&v, "--shards")?,
+        None => default_shards(),
+    };
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(shards)
+}
+
+fn cmd_replay(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let engines = engines_from_arg(take_value(&mut args, "--engine")?)?;
+    let shards = shards_from_args(&mut args)?;
+    let [path] = &args[..] else {
+        return Err("replay takes exactly one trace file".into());
+    };
+    let events = read_trace(path).map_err(|e| e.to_string())?;
+    println!("{} events, {} shard workers", events.len(), shards);
+    for kind in engines {
+        let start = Instant::now();
+        let races = replay_sharded(&events, kind, shards);
+        let (waw, raw, war) = kind_counts(&races);
+        println!(
+            "{:<10} {:>6} races (WAW {waw}, RAW {raw}, WAR {war}) in {:.2?}",
+            kind.name(),
+            races.len(),
+            start.elapsed(),
+        );
+        for r in races.iter().take(10) {
+            println!(
+                "  {} at {:#x}: t{} after t{}",
+                r.kind,
+                r.addr,
+                r.current.raw(),
+                r.previous.raw()
+            );
+        }
+        if races.len() > 10 {
+            println!("  … {} more", races.len() - 10);
+        }
+    }
+    Ok(())
+}
+
+fn race_set(races: &[FoundRace]) -> HashSet<FoundRace> {
+    races.iter().copied().collect()
+}
+
+fn cmd_diff(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let shards = shards_from_args(&mut args)?;
+    let [path] = &args[..] else {
+        return Err("diff takes exactly one trace file".into());
+    };
+    let events = read_trace(path).map_err(|e| e.to_string())?;
+    let verdicts: Vec<(EngineKind, Vec<FoundRace>)> = EngineKind::ALL
+        .iter()
+        .map(|&k| (k, replay_sharded(&events, k, shards)))
+        .collect();
+    for (kind, races) in &verdicts {
+        let (waw, raw, war) = kind_counts(races);
+        println!(
+            "{:<10} {:>6} races (WAW {waw}, RAW {raw}, WAR {war})",
+            kind.name(),
+            races.len()
+        );
+    }
+    // CLEAN's deliberate blind spot: WAR races the full detectors see.
+    let clean: HashSet<FoundRace> = verdicts
+        .iter()
+        .find(|(k, _)| *k == EngineKind::Clean)
+        .map(|(_, r)| race_set(r))
+        .unwrap_or_default();
+    let mut war_only: Vec<FoundRace> = Vec::new();
+    for (kind, races) in &verdicts {
+        if !kind.detects_war() {
+            continue;
+        }
+        for r in races {
+            if r.kind == FullRaceKind::War && !clean.contains(r) && !war_only.contains(r) {
+                war_only.push(*r);
+            }
+        }
+        // Sanity: on WAW/RAW the full detectors and CLEAN must agree in
+        // verdict direction; report divergences rather than asserting
+        // (tsan's bounded shadow cells may drop old accesses).
+        let theirs = race_set(races);
+        let missing: Vec<&FoundRace> = clean.iter().filter(|r| !theirs.contains(r)).collect();
+        if !missing.is_empty() {
+            println!(
+                "note: {} CLEAN race(s) not reported by {} (bounded metadata or WAR ordering)",
+                missing.len(),
+                kind.name()
+            );
+        }
+    }
+    println!("WAR races invisible to CLEAN: {}", war_only.len());
+    for r in war_only.iter().take(10) {
+        println!(
+            "  WAR at {:#x}: t{} after t{}",
+            r.addr,
+            r.current.raw(),
+            r.previous.raw()
+        );
+    }
+    Ok(())
+}

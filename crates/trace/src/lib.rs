@@ -1,0 +1,63 @@
+//! # clean-trace
+//!
+//! Persistent binary trace store and parallel offline race analysis for
+//! the CLEAN reproduction — the production-scale form of the paper's
+//! Section 3.1.2 debugging workflow: *"if a program execution does
+//! trigger a race exception, a precise race detector can be used
+//! alongside CLEAN in subsequent runs to systematically detect all
+//! races."*
+//!
+//! Four layers:
+//!
+//! * **Codec** ([`codec`]): the versioned `CLTR` binary format — tag
+//!   byte + LEB128 varints with per-thread address delta encoding,
+//!   ~3–5 bytes per event against the 40-byte in-memory enum.
+//! * **Store** ([`TraceWriter`] / [`TraceReader`]): streaming,
+//!   chunk-framed file I/O with CRC-32 corruption detection;
+//!   [`FileSink`] plugs into the runtime's [`EventSink`] capture hook so
+//!   executions record straight to disk.
+//! * **Analysis** ([`analyze`]): sequential replay through any
+//!   [`TraceDetector`] engine, and the address-sharded parallel replay
+//!   across scoped worker threads that provably agrees with sequential
+//!   replay (see [`analyze`]'s module docs).
+//! * **CLI** (`clean-analyze`): `record`, `stats`, `replay`, `diff`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use clean_trace::{write_trace, read_trace, EngineKind, replay_sharded};
+//! use clean_core::{ThreadId, TraceEvent};
+//!
+//! let events = vec![
+//!     TraceEvent::Write { tid: ThreadId::new(0), addr: 64, size: 4 },
+//!     TraceEvent::Write { tid: ThreadId::new(1), addr: 64, size: 4 },
+//! ];
+//! write_trace("waw.cltr", &events)?;
+//! let back = read_trace("waw.cltr")?;
+//! assert_eq!(back, events);
+//! let races = replay_sharded(&back, EngineKind::Clean, 4);
+//! assert_eq!(races.len(), 1);
+//! # Ok::<(), clean_trace::TraceError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analyze;
+pub mod codec;
+mod error;
+mod reader;
+mod record;
+mod stats;
+mod writer;
+
+pub use analyze::{
+    replay_sequential, replay_sharded, required_threads, sync_free_segments, EngineKind,
+    SHARD_GRANULE,
+};
+pub use clean_core::{EventSink, TraceEvent};
+pub use error::{Result, TraceError};
+pub use reader::{read_trace, TraceReader};
+pub use record::{record_kernel_trace, record_sim_trace, RecordOptions};
+pub use stats::TraceStats;
+pub use writer::{write_trace, FileSink, TraceWriter, WriteSummary, DEFAULT_CHUNK_BYTES};

@@ -1,0 +1,179 @@
+//! Streaming trace deserialization: [`TraceReader`] iterates events out
+//! of a `CLTR` stream chunk by chunk, validating framing and checksums.
+
+use crate::codec::{crc32, Decoder, FORMAT_VERSION, MAGIC};
+use crate::error::{Result, TraceError};
+use clean_core::TraceEvent;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// Streaming reader of the `CLTR` binary trace format.
+///
+/// Implements `Iterator<Item = Result<TraceEvent>>`: events decode
+/// lazily from an internal chunk buffer; each chunk's CRC-32 is verified
+/// before any of its events are surfaced, so a corrupt chunk yields an
+/// error instead of garbage events. Reading continues past a fully
+/// consumed chunk into the next one; a clean end of stream at a chunk
+/// boundary ends iteration.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    dec: Decoder,
+    /// Decoded payload of the current chunk.
+    payload: Vec<u8>,
+    /// Read cursor within `payload`.
+    pos: usize,
+    /// Events remaining to decode in the current chunk.
+    chunk_events_left: u32,
+    /// Index of the current chunk (for error reporting).
+    chunk_index: u64,
+    /// Set after an error or clean EOF: iteration is over.
+    done: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens the trace file at `path` and validates its header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps `input`, reading and validating the stream header.
+    pub fn new(mut input: R) -> Result<Self> {
+        let mut header = [0u8; 5];
+        input
+            .read_exact(&mut header)
+            .map_err(|_| TraceError::BadMagic([0; 4]))?;
+        let magic: [u8; 4] = header[..4].try_into().expect("slice of length 4");
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        if header[4] != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(header[4]));
+        }
+        Ok(TraceReader {
+            input,
+            dec: Decoder::new(),
+            payload: Vec::new(),
+            pos: 0,
+            chunk_events_left: 0,
+            chunk_index: 0,
+            done: false,
+        })
+    }
+
+    /// Loads and validates the next chunk. `Ok(false)` means the
+    /// end-of-stream marker (an all-zero frame) was reached. A plain EOF
+    /// — even at a chunk boundary — is a truncated stream: every intact
+    /// trace ends with the marker.
+    fn load_chunk(&mut self) -> Result<bool> {
+        let mut frame = [0u8; 12];
+        let mut filled = 0;
+        while filled < frame.len() {
+            match self.input.read(&mut frame[filled..]) {
+                Ok(0) => {
+                    return Err(TraceError::Truncated {
+                        chunk: self.chunk_index,
+                    })
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if frame == [0u8; 12] {
+            return Ok(false);
+        }
+        let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
+        let events = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes"));
+        if events == 0 || payload_len == 0 {
+            return Err(TraceError::Corrupt {
+                chunk: self.chunk_index,
+                reason: "zero-length chunk frame",
+            });
+        }
+        // A corrupt length field must not drive a giant allocation.
+        if payload_len > 256 << 20 {
+            return Err(TraceError::Corrupt {
+                chunk: self.chunk_index,
+                reason: "chunk payload implausibly large",
+            });
+        }
+        self.payload.resize(payload_len, 0);
+        self.input
+            .read_exact(&mut self.payload)
+            .map_err(|_| TraceError::Truncated {
+                chunk: self.chunk_index,
+            })?;
+        let computed = crc32(&self.payload);
+        if computed != stored_crc {
+            return Err(TraceError::ChecksumMismatch {
+                chunk: self.chunk_index,
+                stored: stored_crc,
+                computed,
+            });
+        }
+        self.pos = 0;
+        self.chunk_events_left = events;
+        self.dec.reset();
+        Ok(true)
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>> {
+        loop {
+            if self.chunk_events_left > 0 {
+                let mut input = &self.payload[self.pos..];
+                let before = input.len();
+                let event = self
+                    .dec
+                    .decode(&mut input)
+                    .map_err(|reason| TraceError::Corrupt {
+                        chunk: self.chunk_index,
+                        reason,
+                    })?;
+                self.pos += before - input.len();
+                self.chunk_events_left -= 1;
+                if self.chunk_events_left == 0 && self.pos != self.payload.len() {
+                    return Err(TraceError::Corrupt {
+                        chunk: self.chunk_index,
+                        reason: "payload longer than its event count",
+                    });
+                }
+                return Ok(Some(event));
+            }
+            if !self.load_chunk()? {
+                return Ok(None);
+            }
+            self.chunk_index += 1;
+        }
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceEvent>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_event() {
+            Ok(Some(e)) => Some(Ok(e)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Reads a whole trace file into memory.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>> {
+    TraceReader::open(path)?.collect()
+}

@@ -1,0 +1,144 @@
+//! Format-level integration tests: lossless round-trips over arbitrary
+//! event streams, and rejection of truncated or corrupted inputs.
+
+use clean_core::{LockId, ThreadId, TraceEvent};
+use clean_trace::{TraceReader, TraceWriter};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    let tid = 0u16..6;
+    prop_oneof![
+        (tid.clone(), 0usize..1 << 21, 1usize..=64).prop_map(|(t, addr, size)| {
+            TraceEvent::Read {
+                tid: ThreadId::new(t),
+                addr,
+                size,
+            }
+        }),
+        (tid.clone(), 0usize..1 << 21, 1usize..=64).prop_map(|(t, addr, size)| {
+            TraceEvent::Write {
+                tid: ThreadId::new(t),
+                addr,
+                size,
+            }
+        }),
+        (tid.clone(), 0u64..64).prop_map(|(t, lock)| TraceEvent::Acquire {
+            tid: ThreadId::new(t),
+            lock: lock as LockId,
+        }),
+        (tid.clone(), 0u64..64).prop_map(|(t, lock)| TraceEvent::Release {
+            tid: ThreadId::new(t),
+            lock: lock as LockId,
+        }),
+        (tid.clone(), 0u16..6).prop_map(|(p, c)| TraceEvent::Fork {
+            parent: ThreadId::new(p),
+            child: ThreadId::new(c),
+        }),
+        (tid, 0u16..6).prop_map(|(p, c)| TraceEvent::Join {
+            parent: ThreadId::new(p),
+            child: ThreadId::new(c),
+        }),
+    ]
+}
+
+/// `TraceWriter::finish` consumes the writer, so tap the byte stream with
+/// a shared buffer.
+#[derive(Default, Clone)]
+struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn encode_shared(events: &[TraceEvent], chunk_bytes: usize) -> Vec<u8> {
+    let buf = SharedBuf::default();
+    let mut w = TraceWriter::new(buf.clone())
+        .unwrap()
+        .chunk_bytes(chunk_bytes);
+    for e in events {
+        w.write_event(e).unwrap();
+    }
+    assert_eq!(w.events_written(), events.len() as u64);
+    let summary = w.finish().unwrap();
+    let bytes = buf.0.borrow().clone();
+    assert_eq!(summary.bytes as usize, bytes.len());
+    assert_eq!(summary.events, events.len() as u64);
+    bytes
+}
+
+fn decode(bytes: &[u8]) -> clean_trace::Result<Vec<TraceEvent>> {
+    TraceReader::new(bytes)?.collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_is_lossless(
+        events in proptest::collection::vec(arb_event(), 0..300),
+        chunk in 1usize..2048,
+    ) {
+        let bytes = encode_shared(&events, chunk);
+        let decoded = decode(&bytes).expect("intact stream must decode");
+        prop_assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn every_truncation_is_detected(
+        events in proptest::collection::vec(arb_event(), 1..120),
+        chunk in 1usize..512,
+        frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode_shared(&events, chunk);
+        // Any strict prefix must fail: mid-chunk cuts lose framing or
+        // payload bytes, and cuts at chunk boundaries lose the
+        // end-of-stream marker.
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(
+            decode(&bytes[..cut]).is_err(),
+            "prefix of {} of {} bytes decoded cleanly", cut, bytes.len()
+        );
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected(
+        events in proptest::collection::vec(arb_event(), 1..80),
+        chunk in 1usize..512,
+        frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_shared(&events, chunk);
+        let pos = ((bytes.len() - 1) as f64 * frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        // A flip lands in the header (bad magic / version), chunk
+        // framing (corrupt counts, truncation, checksum), the payload
+        // (CRC-32 catches every single-bit error), or the end-of-stream
+        // marker (parsed as a corrupt frame).
+        prop_assert!(
+            decode(&bytes).is_err(),
+            "flip of bit {} at {} of {} bytes went unnoticed", bit, pos, bytes.len()
+        );
+    }
+}
+
+#[test]
+fn empty_input_and_bad_header_are_rejected() {
+    assert!(decode(&[]).is_err());
+    assert!(decode(b"NOPE\x01").is_err());
+    // Right magic, unsupported version.
+    assert!(decode(b"CLTR\x63").is_err());
+    // A bare header without the end-of-stream marker is a torn file.
+    assert!(decode(b"CLTR\x01").is_err());
+}
+
+#[test]
+fn header_plus_eos_marker_is_an_empty_trace() {
+    let bytes = encode_shared(&[], 64);
+    assert_eq!(decode(&bytes).unwrap(), Vec::<TraceEvent>::new());
+}

@@ -15,7 +15,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let swaps = 30 * p.scale.factor();
     let threads = p.threads;
     let cells = rt.alloc_array::<u32>(elements)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let locks: Vec<_> = (0..LOCKS).map(|_| rt.create_mutex()).collect();
     let cpa = p.compute_per_access;
     let params = *p;

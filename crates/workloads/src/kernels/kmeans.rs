@@ -20,7 +20,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     // Per-thread partials: [thread][k][dim] sums plus [thread][k] counts.
     let partial = rt.alloc_array::<f64>(threads * K * DIM)?;
     let counts = rt.alloc_array::<u32>(threads * K)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let barrier = rt.create_barrier(threads + 1); // workers + root
     let cpa = p.compute_per_access;
     let params = *p;

@@ -13,7 +13,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let n = 16 + 6 * p.scale.factor(); // matrix side
     let threads = p.threads.min(n);
     let a = rt.alloc_array::<f64>(n * n)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let barrier = rt.create_barrier(threads);
     let cpa = p.compute_per_access;
     let seed = p.seed;

@@ -146,11 +146,20 @@ pub(crate) fn sync_work(
     Ok(())
 }
 
-/// The seeded racy probe of the "unmodified" benchmark versions: every
-/// worker stores its id to the same cell with no ordering — a guaranteed
-/// WAW race between any two workers, detected in every schedule (WAW
-/// detection is symmetric: whichever write checks second sees the other's
-/// unordered epoch, and concurrent checks are caught by the CAS publish).
+/// The seeded racy probe of the "unmodified" benchmark versions,
+/// producing the full race taxonomy over a two-cell probe array:
+///
+/// * **Cell 0** — every worker loads the cell and then stores its id to
+///   it with no ordering: WAW between any two workers' stores, RAW
+///   between a load and another worker's earlier store. The WAW is
+///   guaranteed in every schedule (WAW detection is symmetric: whichever
+///   write checks second sees the other's unordered epoch, and
+///   concurrent checks are caught by the CAS publish).
+/// * **Cell 1** — every worker loads it, and only worker 1 stores to it.
+///   That store has no unordered write to race with, so it is a pure
+///   WAR against worker 0's earlier load (and a RAW source for later
+///   loads): the race class CLEAN deliberately does not detect
+///   (Section 3.2), visible only to the full baseline detectors.
 pub(crate) fn racy_probe(
     ctx: &mut ThreadCtx,
     cell: &SharedArray<u32>,
@@ -158,7 +167,12 @@ pub(crate) fn racy_probe(
     worker: usize,
 ) -> Result<()> {
     if params.racy {
+        let _ = ctx.read(cell, 0)?;
         ctx.write(cell, 0, worker as u32)?;
+        let _ = ctx.read(cell, 1)?;
+        if worker == 1 {
+            ctx.write(cell, 1, worker as u32)?;
+        }
     }
     Ok(())
 }
@@ -193,7 +207,11 @@ mod tests {
             let p = KernelParams::new().threads(4).scale(Scale::SimSmall);
             let out = run_kernel(k, &rt, &p);
             assert!(out.is_ok(), "{k:?}: {out:?}");
-            assert!(rt.first_race().is_none(), "{k:?} raced: {:?}", rt.first_race());
+            assert!(
+                rt.first_race().is_none(),
+                "{k:?} raced: {:?}",
+                rt.first_race()
+            );
         }
     }
 

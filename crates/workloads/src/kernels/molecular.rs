@@ -16,7 +16,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let threads = p.threads.min(particles);
     let pos = rt.alloc_array::<f64>(particles)?;
     let force = rt.alloc_array::<f64>(BUCKETS)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let barrier = rt.create_barrier(threads);
     let locks: Vec<_> = (0..BUCKETS).map(|_| rt.create_mutex()).collect();
     let cpa = p.compute_per_access;

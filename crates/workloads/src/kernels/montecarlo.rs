@@ -15,7 +15,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let inputs = rt.alloc_array::<f64>(options * 2)?;
     let prices = rt.alloc_array::<f64>(options)?;
     let total = rt.alloc_array::<f64>(1)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let rlock = rt.create_mutex();
     let cpa = p.compute_per_access;
     let params = *p;

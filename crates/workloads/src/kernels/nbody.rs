@@ -17,7 +17,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let pos = rt.alloc_array::<f64>(bodies * 2)?;
     let vel = rt.alloc_array::<f64>(bodies * 2)?;
     let energy = rt.alloc_array::<f64>(1)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let counter = rt.alloc_array::<u32>(1)?;
     let barrier = rt.create_barrier(threads);
     let elock = rt.create_mutex();

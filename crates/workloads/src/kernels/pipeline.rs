@@ -9,7 +9,9 @@
 
 use super::{mix, racy_probe};
 use crate::params::KernelParams;
-use clean_runtime::{CleanBarrier, CleanCondvar, CleanMutex, CleanRuntime, Result, SharedArray, ThreadCtx};
+use clean_runtime::{
+    CleanBarrier, CleanCondvar, CleanMutex, CleanRuntime, Result, SharedArray, ThreadCtx,
+};
 use std::sync::Arc;
 
 const QUEUE_CAP: u32 = 4;
@@ -67,7 +69,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let workers = p.threads.saturating_sub(2).max(1);
     let input = rt.alloc_array::<u8>(chunks * CHUNK)?;
     let output = rt.alloc_array::<u8>(chunks * CHUNK)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let work_q = Queue::new(rt)?;
     let done_q = Queue::new(rt)?;
     // Participants: producer + workers + consumer + the root thread.

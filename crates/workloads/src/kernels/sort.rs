@@ -19,7 +19,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     // hist[thread][digit]; offsets[thread][digit].
     let hist = rt.alloc_array::<u32>(threads * RADIX)?;
     let offsets = rt.alloc_array::<u32>(threads * RADIX)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let barrier = rt.create_barrier(threads + 1);
     let cpa = p.compute_per_access;
     let params = *p;
@@ -39,7 +39,11 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
                 let hi = ((t + 1) * per).min(n);
                 for pass in 0..PASSES {
                     let shift = pass * 4;
-                    let (src, dst) = if pass % 2 == 0 { (keys, temp) } else { (temp, keys) };
+                    let (src, dst) = if pass % 2 == 0 {
+                        (keys, temp)
+                    } else {
+                        (temp, keys)
+                    };
                     // Histogram own slice into own counters.
                     for d in 0..RADIX {
                         c.write(&hist, t * RADIX + d, 0u32)?;
@@ -53,7 +57,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
                     }
                     c.barrier_wait(&barrier)?; // root prefix-sums
                     c.barrier_wait(&barrier)?; // offsets published
-                    // Scatter into the disjoint ranges the root assigned.
+                                               // Scatter into the disjoint ranges the root assigned.
                     let mut cursor = [0u32; RADIX];
                     for (d, cur) in cursor.iter_mut().enumerate() {
                         *cur = c.read(&offsets, t * RADIX + d)?;

@@ -13,7 +13,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let threads = p.threads.min(n);
     let src = rt.alloc_array::<f64>(n * n)?;
     let dst = rt.alloc_array::<f64>(n * n)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let counter = rt.alloc_array::<u32>(1)?;
     let barrier = rt.create_barrier(threads);
     let slock = rt.create_mutex();
@@ -40,15 +40,35 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
                 let mut h = 0u64;
                 for it in 0..iters {
                     // Even iterations read src/write dst; odd the reverse.
-                    let (from, to) = if it.is_multiple_of(2) { (src, dst) } else { (dst, src) };
+                    let (from, to) = if it.is_multiple_of(2) {
+                        (src, dst)
+                    } else {
+                        (dst, src)
+                    };
                     for r in lo..hi {
                         sync_work(c, &slock, &counter, params.sync_boost)?;
                         for col in 0..n {
                             let centre = c.read(&from, r * n + col)?;
-                            let up = if r > 0 { c.read(&from, (r - 1) * n + col)? } else { centre };
-                            let down = if r + 1 < n { c.read(&from, (r + 1) * n + col)? } else { centre };
-                            let left = if col > 0 { c.read(&from, r * n + col - 1)? } else { centre };
-                            let right = if col + 1 < n { c.read(&from, r * n + col + 1)? } else { centre };
+                            let up = if r > 0 {
+                                c.read(&from, (r - 1) * n + col)?
+                            } else {
+                                centre
+                            };
+                            let down = if r + 1 < n {
+                                c.read(&from, (r + 1) * n + col)?
+                            } else {
+                                centre
+                            };
+                            let left = if col > 0 {
+                                c.read(&from, r * n + col - 1)?
+                            } else {
+                                centre
+                            };
+                            let right = if col + 1 < n {
+                                c.read(&from, r * n + col + 1)?
+                            } else {
+                                centre
+                            };
                             let v = 0.2 * (centre + up + down + left + right);
                             c.write(&to, r * n + col, v)?;
                             compute(c, cpa);

@@ -16,7 +16,7 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let input = rt.alloc_array::<u32>(tasks * 4)?;
     let results = rt.alloc_array::<u64>(tasks)?;
     let next = rt.alloc_array::<u32>(1)?;
-    let probe = rt.alloc_array::<u32>(1)?;
+    let probe = rt.alloc_array::<u32>(2)?;
     let counter = rt.alloc_array::<u32>(1)?;
     let qlock = rt.create_mutex();
     let slock = rt.create_mutex();

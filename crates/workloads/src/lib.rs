@@ -46,7 +46,7 @@ pub use profiles::{
     benchmark, race_free_benchmarks, racy_benchmarks, simulated_benchmarks, BenchProfile, Suite,
     SyncRate, BENCHMARKS,
 };
-pub use tracegen::{generate_trace, TraceGenConfig};
+pub use tracegen::{export_sim_trace, generate_trace, TraceGenConfig, EXPORT_BARRIER_LOCK};
 
 use clean_runtime::{CleanRuntime, Result};
 

@@ -192,11 +192,17 @@ mod tests {
     fn twenty_six_benchmarks() {
         assert_eq!(BENCHMARKS.len(), 26);
         assert_eq!(
-            BENCHMARKS.iter().filter(|b| b.suite == Suite::Splash2).count(),
+            BENCHMARKS
+                .iter()
+                .filter(|b| b.suite == Suite::Splash2)
+                .count(),
             14
         );
         assert_eq!(
-            BENCHMARKS.iter().filter(|b| b.suite == Suite::Parsec).count(),
+            BENCHMARKS
+                .iter()
+                .filter(|b| b.suite == Suite::Parsec)
+                .count(),
             12
         );
     }

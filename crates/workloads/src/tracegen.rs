@@ -26,6 +26,7 @@
 //!   fresh lines fragment 4-byte epoch groups and expand metadata lines.
 
 use crate::profiles::{BenchProfile, SyncRate};
+use clean_core::{LockId, ThreadId, TraceEvent};
 use clean_sim::{ProgramTrace, SimEvent};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -110,9 +111,17 @@ pub fn generate_trace(profile: &BenchProfile, cfg: &TraceGenConfig) -> ProgramTr
                     let addr = stack_base(t) + (stack_cursor % 2048) * 8;
                     stack_cursor += 1;
                     let e = if rng.gen_bool(0.5) {
-                        SimEvent::Write { addr, size: 8, private: true }
+                        SimEvent::Write {
+                            addr,
+                            size: 8,
+                            private: true,
+                        }
                     } else {
-                        SimEvent::Read { addr, size: 8, private: true }
+                        SimEvent::Read {
+                            addr,
+                            size: 8,
+                            private: true,
+                        }
                     };
                     trace.push(e);
                     trace.push(SimEvent::Compute(profile.sim_compute));
@@ -173,6 +182,91 @@ pub fn generate_trace(profile: &BenchProfile, cfg: &TraceGenConfig) -> ProgramTr
         }
     }
     prog
+}
+
+/// Reserved lock id used to model barriers in exported traces (generated
+/// simulator traces carry no locks of their own).
+pub const EXPORT_BARRIER_LOCK: LockId = LockId::MAX;
+
+/// Flattens a generated simulator trace into the serialized
+/// [`TraceEvent`] stream the analysis engines (and the `clean-trace`
+/// store) consume.
+///
+/// Per-thread event lists are interleaved round-robin within each barrier
+/// phase — a legal serialization, and race-free because partitions are
+/// disjoint within a phase. Each barrier becomes two rounds of
+/// acquire/release of [`EXPORT_BARRIER_LOCK`] over all threads: after the
+/// first round the lock's clock dominates every thread, so the second
+/// round's acquires order every pre-barrier event before every
+/// post-barrier event (all-to-all happens-before), which is exactly a
+/// barrier's semantics. `Compute` events carry no memory effects and are
+/// dropped.
+pub fn export_sim_trace(prog: &ProgramTrace) -> Vec<TraceEvent> {
+    let threads = prog.threads.len();
+    let mut out = Vec::new();
+    let mut pos = vec![0usize; threads];
+    loop {
+        let mut at_sync = 0usize;
+        // One round-robin pass: each live thread contributes its next
+        // memory event (skipping compute), stopping at a barrier.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            at_sync = 0;
+            for (t, cursor) in pos.iter_mut().enumerate() {
+                let events = &prog.threads[t].events;
+                // Skip compute events.
+                while matches!(events.get(*cursor), Some(SimEvent::Compute(_))) {
+                    *cursor += 1;
+                }
+                match events.get(*cursor) {
+                    Some(SimEvent::Read { addr, size, .. }) => {
+                        out.push(TraceEvent::Read {
+                            tid: ThreadId::new(t as u16),
+                            addr: *addr as usize,
+                            size: usize::from(*size),
+                        });
+                        *cursor += 1;
+                        progressed = true;
+                    }
+                    Some(SimEvent::Write { addr, size, .. }) => {
+                        out.push(TraceEvent::Write {
+                            tid: ThreadId::new(t as u16),
+                            addr: *addr as usize,
+                            size: usize::from(*size),
+                        });
+                        *cursor += 1;
+                        progressed = true;
+                    }
+                    Some(SimEvent::Sync) => at_sync += 1,
+                    Some(SimEvent::Compute(_)) => unreachable!("compute skipped above"),
+                    None => {}
+                }
+            }
+        }
+        if at_sync == 0 {
+            break; // all threads exhausted
+        }
+        // Every unfinished thread is parked at the barrier: emit it and
+        // release the threads into the next phase.
+        for _round in 0..2 {
+            for t in 0..threads {
+                let tid = ThreadId::new(t as u16);
+                out.push(TraceEvent::Acquire {
+                    tid,
+                    lock: EXPORT_BARRIER_LOCK,
+                });
+                out.push(TraceEvent::Release {
+                    tid,
+                    lock: EXPORT_BARRIER_LOCK,
+                });
+            }
+        }
+        for p in pos.iter_mut() {
+            *p += 1; // step over the Sync
+        }
+    }
+    out
 }
 
 /// Picks an access width and line offset from the profile's mix.
@@ -262,7 +356,10 @@ mod tests {
             hw.quick_fraction() > 0.7,
             "private+fast must dominate: {hw:?}"
         );
-        assert!(hw.vc_load + hw.vc_load_update > 0, "migratory sharing present");
+        assert!(
+            hw.vc_load + hw.vc_load_update > 0,
+            "migratory sharing present"
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@ fn main() {
         std::process::exit(1);
     });
     let cfg = TraceGenConfig::default();
-    println!("generating {} trace ({} threads, {} shared accesses/thread)...",
-        profile.name, cfg.threads, cfg.accesses_per_thread);
+    println!(
+        "generating {} trace ({} threads, {} shared accesses/thread)...",
+        profile.name, cfg.threads, cfg.accesses_per_thread
+    );
     let trace = generate_trace(profile, &cfg);
 
     let base = Machine::new(MachineConfig::baseline()).run(&trace);
@@ -44,9 +46,21 @@ fn main() {
     }
     let checked = (hw.compact_accesses + hw.expanded_accesses).max(1) as f64;
     println!("\nmetadata line state (Figure 10 right):");
-    println!("  compact  {:>6.2}%", hw.compact_accesses as f64 / checked * 100.0);
-    println!("  expanded {:>6.2}%", hw.expanded_accesses as f64 / checked * 100.0);
-    println!("\nLLC miss rate: baseline {:.2}%, with metadata {:.2}%",
-        base.mem.llc_miss_rate() * 100.0, det.mem.llc_miss_rate() * 100.0);
-    println!("races detected: {} (performance traces are race-free)", hw.races);
+    println!(
+        "  compact  {:>6.2}%",
+        hw.compact_accesses as f64 / checked * 100.0
+    );
+    println!(
+        "  expanded {:>6.2}%",
+        hw.expanded_accesses as f64 / checked * 100.0
+    );
+    println!(
+        "\nLLC miss rate: baseline {:.2}%, with metadata {:.2}%",
+        base.mem.llc_miss_rate() * 100.0,
+        det.mem.llc_miss_rate() * 100.0
+    );
+    println!(
+        "races detected: {} (performance traces are race-free)",
+        hw.races
+    );
 }

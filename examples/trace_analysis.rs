@@ -27,7 +27,11 @@ fn analyze(name: &str, racy: bool) {
     let trace = rt.recorded_trace().expect("recording enabled");
     println!(
         "\n=== {name} ({}) — {} recorded events ===",
-        if racy { "unmodified, racy" } else { "race-free" },
+        if racy {
+            "unmodified, racy"
+        } else {
+            "race-free"
+        },
         trace.len()
     );
     match (&result, rt.first_race()) {
@@ -72,8 +76,10 @@ fn analyze(name: &str, racy: bool) {
         ts.evictions()
     );
     if let Some(first) = f.first() {
-        println!("  first FastTrack race: {:?} at {:#x} ({} vs {})",
-            first.kind, first.addr, first.current, first.previous);
+        println!(
+            "  first FastTrack race: {:?} at {:#x} ({} vs {})",
+            first.kind, first.addr, first.current, first.previous
+        );
     }
 }
 

@@ -29,7 +29,9 @@
 //! * [`sim`]: the trace-driven multicore simulator with the hardware
 //!   check unit ([`clean_sim`]),
 //! * [`workloads`]: the 26 SPLASH-2/PARSEC benchmark models
-//!   ([`clean_workloads`]).
+//!   ([`clean_workloads`]),
+//! * [`trace`]: the persistent binary trace store with sharded parallel
+//!   offline analysis and the `clean-analyze` CLI ([`clean_trace`]).
 //!
 //! # Quickstart
 //!
@@ -56,4 +58,5 @@ pub use clean_core as core;
 pub use clean_runtime as runtime;
 pub use clean_sim as sim;
 pub use clean_sync as sync;
+pub use clean_trace as trace;
 pub use clean_workloads as workloads;

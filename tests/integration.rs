@@ -111,14 +111,8 @@ fn clean_misses_war_that_full_detectors_catch() {
     let mut ft = FastTrack::new(2);
     let mut vc = VcFullDetector::new(2);
     assert!(run_detector(&mut clean, &trace).is_empty(), "WAR skipped");
-    assert_eq!(
-        run_detector(&mut ft, &trace)[0].kind,
-        FullRaceKind::War
-    );
-    assert_eq!(
-        run_detector(&mut vc, &trace)[0].kind,
-        FullRaceKind::War
-    );
+    assert_eq!(run_detector(&mut ft, &trace)[0].kind, FullRaceKind::War);
+    assert_eq!(run_detector(&mut vc, &trace)[0].kind, FullRaceKind::War);
 }
 
 #[test]
@@ -145,9 +139,7 @@ fn clean_catches_what_tsan_evicts() {
     let mut tsan = TsanLike::new(3);
     let tsan_races = run_detector(&mut tsan, &trace);
     assert!(
-        tsan_races
-            .iter()
-            .all(|r| r.previous != ThreadId::new(0)),
+        tsan_races.iter().all(|r| r.previous != ThreadId::new(0)),
         "tsan evicted the record"
     );
     let mut clean = CleanEngine::new(3);
