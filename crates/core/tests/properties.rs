@@ -3,12 +3,111 @@
 //! vectorized/non-vectorized detector equivalence.
 
 use clean_core::{
-    CleanDetector, DetectorConfig, Epoch, EpochLayout, ShadowMemory, ThreadId, VectorClock,
+    CleanDetector, DetectorConfig, Epoch, EpochLayout, RolloverCoordinator, ShadowMemory, ThreadId,
+    VectorClock,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
 
 const N: usize = 4;
+
+/// Byte range the rollover scripts access; the false-negative probe uses
+/// an address beyond it, untouched by any script access.
+const SCRIPT_RANGE: usize = 256;
+const PROBE_ADDR: usize = SCRIPT_RANGE + 64;
+
+/// Outcome of driving one lock-synchronized access script across clock
+/// rollovers (see [`run_rollover_script`]).
+struct RolloverRun {
+    /// Access indices at which a deterministic reset fired.
+    reset_indices: Vec<usize>,
+    /// Resets the coordinator performed (must match `reset_indices`).
+    resets: u64,
+    /// Race reports from the detector — the script is fully synchronized,
+    /// so every one is a stale-epoch false positive.
+    false_positives: usize,
+    det: CleanDetector,
+    vcs: Vec<VectorClock>,
+    global: VectorClock,
+    coord: RolloverCoordinator,
+}
+
+/// Increments `vcs[i]`, performing the Section 4.5 deterministic reset
+/// when the clock is saturated: request the reset, rendezvous at the sync
+/// point (clearing shadow memory and the lock clock), reset the other
+/// threads' clocks as their own sync points would, then retry.
+fn increment_with_reset(
+    i: usize,
+    vcs: &mut [VectorClock],
+    global: &mut VectorClock,
+    det: &CleanDetector,
+    coord: &RolloverCoordinator,
+) -> bool {
+    let t = ThreadId::new(i as u16);
+    if vcs[i].increment(t).is_ok() {
+        return false;
+    }
+    coord.request_reset();
+    coord.sync_point(&mut vcs[i], || {
+        det.reset_metadata();
+        global.reset();
+    });
+    for (j, vc) in vcs.iter_mut().enumerate() {
+        if j != i {
+            vc.reset();
+        }
+    }
+    vcs[i]
+        .increment(t)
+        .expect("a freshly reset clock cannot saturate");
+    true
+}
+
+/// Drives a fully lock-synchronized access script — acquire (join the
+/// global release clock), start a new SFR (increment), access, release
+/// (publish into the global clock) — under a tiny clock layout so the
+/// script crosses the rollover boundary, handling each saturation with
+/// the deterministic reset protocol.
+fn run_rollover_script(bits: u32, script: &[(u16, usize, usize, bool)]) -> RolloverRun {
+    let layout = EpochLayout::with_clock_bits(bits);
+    let det = CleanDetector::new(512, DetectorConfig::new().layout(layout));
+    let coord = RolloverCoordinator::new();
+    // The sequential driver stands in for all modeled threads: when it
+    // reaches the rendezvous every other thread is (by construction)
+    // already at a synchronization point.
+    coord.register_thread();
+    let mut vcs: Vec<VectorClock> = (0..N).map(|_| VectorClock::new(N, layout)).collect();
+    let mut global = VectorClock::new(N, layout);
+    let mut reset_indices = Vec::new();
+    let mut false_positives = 0;
+    for (k, &(tid, addr, size, is_write)) in script.iter().enumerate() {
+        let i = (tid as usize) % N;
+        let t = ThreadId::new(i as u16);
+        vcs[i].join(&global);
+        if increment_with_reset(i, &mut vcs, &mut global, &det, &coord) {
+            reset_indices.push(k);
+        }
+        let addr = addr.min(SCRIPT_RANGE - size);
+        let res = if is_write {
+            det.check_write(&vcs[i], t, addr, size)
+        } else {
+            det.check_read(&vcs[i], t, addr, size)
+        };
+        if res.is_err() {
+            false_positives += 1;
+        }
+        global.join(&vcs[i]);
+    }
+    RolloverRun {
+        reset_indices,
+        resets: coord.resets_performed(),
+        false_positives,
+        det,
+        vcs,
+        global,
+        coord,
+    }
+}
 
 fn arb_vc() -> impl Strategy<Value = VectorClock> {
     proptest::collection::vec(0u32..1000, N).prop_map(|clocks| {
@@ -166,6 +265,75 @@ proptest! {
                 // script like the race exception would.
                 break;
             }
+        }
+    }
+
+    /// A fully lock-synchronized script stays race-free across any number
+    /// of deterministic rollover resets: stale epochs surviving a reset
+    /// would surface here as false positives.
+    #[test]
+    fn rollover_reset_produces_no_false_positives(
+        bits in 3u32..=5,
+        script in proptest::collection::vec(
+            (0u16..(N as u16), 0usize..SCRIPT_RANGE, 1usize..=8, prop::bool::ANY),
+            1..250),
+    ) {
+        let run = run_rollover_script(bits, &script);
+        prop_assert_eq!(run.false_positives, 0,
+            "synchronized accesses raced after {} resets", run.resets);
+        prop_assert_eq!(run.resets, run.reset_indices.len() as u64);
+        // Long scripts under tiny clocks must actually cross the boundary:
+        // every access increments one thread, so more than N * max_clock
+        // SFRs cannot fit in one epoch generation.
+        let capacity = N as u64 * u64::from(EpochLayout::with_clock_bits(bits).max_clock());
+        if script.len() as u64 > capacity {
+            prop_assert!(run.resets > 0, "no reset in {} accesses", script.len());
+        }
+    }
+
+    /// After the resets, detection stays live: the reset must not leave
+    /// clocks or shadow state that mask a genuinely unsynchronized pair
+    /// (a stale-epoch false negative).
+    #[test]
+    fn rollover_reset_produces_no_false_negatives(
+        bits in 3u32..=5,
+        script in proptest::collection::vec(
+            (0u16..(N as u16), 0usize..SCRIPT_RANGE, 1usize..=8, prop::bool::ANY),
+            64..250),
+    ) {
+        let mut run = run_rollover_script(bits, &script);
+        let (a, b) = (ThreadId::new(0), ThreadId::new(1));
+        // Two new SFRs with no release/acquire between them. Thread 1
+        // increments first: if either increment triggers a reset, the
+        // writer (thread 0) still enters the probe with a fresh epoch.
+        increment_with_reset(1, &mut run.vcs, &mut run.global, &run.det, &run.coord);
+        increment_with_reset(0, &mut run.vcs, &mut run.global, &run.det, &run.coord);
+        // ...racing on an address no script access ever touched.
+        prop_assert!(run.det.check_write(&run.vcs[0], a, PROBE_ADDR, 8).is_ok(),
+            "first write to a fresh address cannot race");
+        let waw = run.det.check_write(&run.vcs[1], b, PROBE_ADDR, 8);
+        prop_assert!(waw.is_err(), "unsynchronized WAW missed after {} resets", run.resets);
+        let raw = run.det.check_read(&run.vcs[1], b, PROBE_ADDR, 8);
+        prop_assert!(raw.is_err(), "unsynchronized RAW missed after {} resets", run.resets);
+    }
+
+    /// Reset points are globally deterministic (Section 4.5): replaying
+    /// the same synchronization-point sequence fires the resets at the
+    /// same accesses and leaves identical metadata.
+    #[test]
+    fn rollover_reset_points_are_deterministic(
+        bits in 3u32..=5,
+        script in proptest::collection::vec(
+            (0u16..(N as u16), 0usize..SCRIPT_RANGE, 1usize..=8, prop::bool::ANY),
+            1..250),
+    ) {
+        let one = run_rollover_script(bits, &script);
+        let two = run_rollover_script(bits, &script);
+        prop_assert_eq!(&one.reset_indices, &two.reset_indices);
+        prop_assert_eq!(one.resets, two.resets);
+        for addr in (0..SCRIPT_RANGE).step_by(16) {
+            prop_assert_eq!(one.det.epoch_at(addr), two.det.epoch_at(addr),
+                "shadow diverged at {}", addr);
         }
     }
 }

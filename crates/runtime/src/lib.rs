@@ -60,7 +60,7 @@ mod rwlock_api;
 mod scalar;
 mod sync_api;
 
-pub use clean_core::EventSink;
+pub use clean_core::{EventSink, RaceReport};
 pub use config::RuntimeConfig;
 pub use error::{CleanError, Result};
 pub use heap::{SharedArray, SharedHeap};

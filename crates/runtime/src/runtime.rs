@@ -314,6 +314,18 @@ impl CleanRuntime {
         &self.inner
     }
 
+    /// Installs a [`clean_sync::SchedHook`] on this runtime's Kendo table,
+    /// observing every deterministic-counter publication and granted turn.
+    ///
+    /// This is the schedule-exploration hook: the `clean-sched` explorer
+    /// uses it to record the deterministic grant sequence of an execution
+    /// (which must be identical across runs of a race-free program) and to
+    /// steer controlled schedules by logical time. At most one hook per
+    /// runtime; returns `false` if one was already installed.
+    pub fn set_sched_hook(&self, hook: Arc<dyn clean_sync::SchedHook>) -> bool {
+        self.inner.kendo.set_hook(hook)
+    }
+
     /// Runs a monitored program: `f` executes on the calling thread as the
     /// root monitored thread and may [`spawn`](ThreadCtx::spawn) children.
     ///

@@ -205,6 +205,44 @@ impl ThreadCtx {
         Ok(())
     }
 
+    /// Atomically downgrades the exclusive hold to a shared one: the
+    /// write clock is published (every later acquirer absorbs this
+    /// writer's updates, exactly as for [`write_unlock`]) and the thread
+    /// continues as a reader with no window in which another writer could
+    /// acquire the lock. The shared hold is eventually released with
+    /// [`read_unlock`].
+    ///
+    /// The trace records the write-clock release here; the retained
+    /// shared hold releases the read-clock pseudo-lock at `read_unlock`,
+    /// so offline engines reconstruct the same happens-before.
+    ///
+    /// [`write_unlock`]: Self::write_unlock
+    /// [`read_unlock`]: Self::read_unlock
+    ///
+    /// # Panics
+    ///
+    /// Panics (under det-sync or the plain path) if this thread does not
+    /// hold the write lock.
+    pub fn downgrade(&mut self, l: &CleanRwLock) -> Result<()> {
+        self.rt.sync_ops.fetch_add(1, Ordering::Relaxed);
+        self.rt.record(TraceEvent::Release {
+            tid: self.tid,
+            lock: l.id_w,
+        });
+        if self.rt.detector.is_some() {
+            l.write_vc.lock().join(&self.vc);
+            self.increment_own();
+        }
+        match self.det.as_mut() {
+            Some(h) => l.det.downgrade(h),
+            None => {
+                let prev = l.plain.swap(1, Ordering::AcqRel);
+                assert_eq!(prev, WRITER, "downgrade without exclusive hold");
+            }
+        }
+        Ok(())
+    }
+
     /// Releases the exclusive hold: publishes this thread's clock into
     /// the lock's write clock.
     ///

@@ -158,6 +158,172 @@ fn reader_reader_ordering_is_not_fabricated() {
 }
 
 #[test]
+fn writer_downgrade_orders_later_readers() {
+    // The downgrade publishes the write clock, so readers acquiring after
+    // it absorb the writer's updates — no exception — while the
+    // downgrader itself keeps reading under its retained shared hold.
+    let rt = rt();
+    let data = rt.alloc_array::<u64>(2).unwrap();
+    let l = rt.create_rwlock();
+    rt.run(|ctx| {
+        ctx.write_lock(&l)?;
+        ctx.write(&data, 0, 11u64)?;
+        ctx.write(&data, 1, 22u64)?;
+        ctx.downgrade(&l)?;
+        let mut kids = Vec::new();
+        for _ in 0..3 {
+            let l = l.clone();
+            kids.push(ctx.spawn(move |c| {
+                c.read_lock(&l)?;
+                let s = c.read(&data, 0)? + c.read(&data, 1)?;
+                c.read_unlock(&l)?;
+                Ok(s)
+            })?);
+        }
+        // The downgrader still reads under its shared hold, sharing the
+        // lock with the spawned readers.
+        let s = ctx.read(&data, 0)? + ctx.read(&data, 1)?;
+        assert_eq!(s, 33);
+        ctx.read_unlock(&l)?;
+        for k in kids {
+            assert_eq!(ctx.join(k)??, 33);
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none(), "{:?}", rt.first_race());
+    let (reads, writes) = l.acquisitions();
+    assert_eq!(
+        (reads, writes),
+        (4, 1),
+        "3 readers + the downgrade's shared hold, 1 write acquire"
+    );
+}
+
+#[test]
+fn downgraded_writer_excludes_later_writers_until_read_unlock() {
+    // After the downgrade the lock is held shared: a contending writer
+    // must not get in before the downgrader's read_unlock, so its
+    // overwrite is ordered and the final value is deterministic.
+    let rt = rt();
+    let data = rt.alloc_array::<u64>(1).unwrap();
+    let l = rt.create_rwlock();
+    rt.run(|ctx| {
+        ctx.write_lock(&l)?;
+        ctx.write(&data, 0, 1u64)?;
+        ctx.downgrade(&l)?;
+        let lw = l.clone();
+        let w = ctx.spawn(move |c| {
+            c.write_lock(&lw)?;
+            let v = c.read(&data, 0)?;
+            c.write(&data, 0, v + 100)?;
+            c.write_unlock(&lw)?;
+            Ok(v)
+        })?;
+        // Shared hold still live: the writer above is spinning. Read,
+        // then release to let it in.
+        assert_eq!(ctx.read(&data, 0)?, 1);
+        ctx.read_unlock(&l)?;
+        let seen = ctx.join(w)??;
+        assert_eq!(seen, 1, "writer ordered after the downgraded hold");
+        ctx.read_lock(&l)?;
+        let fin = ctx.read(&data, 0)?;
+        ctx.read_unlock(&l)?;
+        Ok(fin)
+    })
+    .unwrap();
+    assert!(rt.first_race().is_none(), "{:?}", rt.first_race());
+}
+
+#[test]
+fn downgrade_does_not_mask_unprotected_writes() {
+    // Downgrading grants shared access only: a write performed after the
+    // downgrade is a reader writing without the write lock, and a
+    // concurrent reader's load must still race with it (RAW) — the
+    // downgrade edge must not over-synchronize.
+    let rt = rt();
+    let data = rt.alloc_array::<u64>(1).unwrap();
+    let l = rt.create_rwlock();
+    let result = rt.run(|ctx| {
+        // Take the write lock before spawning, so the reader blocks in
+        // read_lock until the downgrade and its load physically follows
+        // the rogue write (RAW direction, which CLEAN flags).
+        ctx.write_lock(&l)?;
+        let lr = l.clone();
+        let r = ctx.spawn(move |c| {
+            c.read_lock(&lr)?;
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let v = c.read(&data, 0)?; // races with the rogue write below
+            c.read_unlock(&lr)?;
+            Ok(v)
+        })?;
+        ctx.downgrade(&l)?;
+        ctx.write(&data, 0, 9u64)?; // rogue: shared hold, exclusive write
+        ctx.read_unlock(&l)?;
+        let _ = ctx.join(r)?;
+        Ok(())
+    });
+    match result {
+        Err(CleanError::Race(r)) => assert!(
+            matches!(r.kind, RaceKind::ReadAfterWrite | RaceKind::WriteAfterWrite),
+            "got {:?}",
+            r.kind
+        ),
+        other => panic!("downgrade must not mask the race: {other:?}"),
+    }
+}
+
+#[test]
+fn downgrade_execution_is_deterministic_and_cross_validates() {
+    use clean_baselines::{run_detector, CleanEngine};
+    let once = || {
+        let rt = CleanRuntime::new(
+            RuntimeConfig::new()
+                .heap_size(1 << 16)
+                .max_threads(8)
+                .record_trace(true),
+        );
+        let data = rt.alloc_array::<u64>(4).unwrap();
+        let l = rt.create_rwlock();
+        let out = rt
+            .run(|ctx| {
+                let mut kids = Vec::new();
+                for t in 0..3u64 {
+                    let l = l.clone();
+                    kids.push(ctx.spawn(move |c| {
+                        c.write_lock(&l)?;
+                        let v = c.read(&data, t as usize)?;
+                        c.write(&data, t as usize, v + t + 1)?;
+                        c.downgrade(&l)?;
+                        let mut acc = 0u64;
+                        for i in 0..4 {
+                            acc += c.read(&data, i)?;
+                        }
+                        c.read_unlock(&l)?;
+                        Ok(acc)
+                    })?);
+                }
+                let mut h = 0u64;
+                for k in kids {
+                    h = h.wrapping_mul(31).wrapping_add(ctx.join(k)??);
+                }
+                Ok(h)
+            })
+            .unwrap();
+        assert!(rt.first_race().is_none(), "{:?}", rt.first_race());
+        let trace = rt.recorded_trace().unwrap();
+        let mut engine = CleanEngine::new(8);
+        let races = run_detector(&mut engine, &trace);
+        assert!(races.is_empty(), "offline replay must agree: {races:?}");
+        (out, rt.stats().digest())
+    };
+    let (o1, d1) = once();
+    let (o2, d2) = once();
+    assert_eq!(o1, o2, "downgrade must stay deterministic");
+    assert_eq!(d1, d2);
+}
+
+#[test]
 fn rwlock_execution_is_deterministic() {
     let once = || {
         let rt = rt();

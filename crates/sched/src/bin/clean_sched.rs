@@ -1,0 +1,351 @@
+//! `clean-sched` — schedule exploration, replay and shrinking for the
+//! CLEAN controlled-scheduler VM.
+//!
+//! ```text
+//! clean-sched list
+//! clean-sched explore --program <name> [--mode dfs|pct] [--max N] [--budget-ms N]
+//!                     [--seeds N] [--seed-base N] [--depth N]
+//!                     [--state <file>] [--artifacts <dir>]
+//! clean-sched replay  --program <name> --token <v1:0.1.0.2> [--strict]
+//! clean-sched shrink  --program <name> --token <v1:...> [--artifacts <dir>]
+//! ```
+
+use clean_sched::explore::{explore_dfs, explore_pct, DfsExplorer, ExploreOpts, Failure};
+use clean_sched::picker::ReplayPicker;
+use clean_sched::programs::{self, ProgramSpec};
+use clean_sched::shrink::{shrink, Repro};
+use clean_sched::token::Schedule;
+use clean_sched::vm::{run_schedule, Execution};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+clean-sched — controlled-scheduler exploration for CLEAN
+
+USAGE:
+  clean-sched list
+      The built-in program corpus and each program's expectation.
+  clean-sched explore --program <name> [--mode dfs|pct] [--max N] [--budget-ms N]
+                      [--seeds N] [--seed-base N] [--depth N]
+                      [--state <file>] [--artifacts <dir>]
+      Explore the schedule space. dfs (default) enumerates schedules
+      exhaustively, persisting the frontier to --state so a later
+      invocation resumes where this one stopped; pct runs --seeds
+      randomized priority schedules. Every schedule is differentially
+      checked (online CLEAN vs offline CLEAN/FastTrack/VcFull). On
+      failure, writes a shrunk repro token and a CLTR trace to
+      --artifacts (default `sched-artifacts`).
+  clean-sched replay --program <name> --token <v1:0.1.0.2> [--strict]
+      Re-execute one schedule token and report what happens. --strict
+      fails on divergence instead of falling back to the default policy.
+  clean-sched shrink --program <name> --token <v1:...> [--artifacts <dir>]
+      Reduce a failing schedule to a minimal repro token.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("shrink") => cmd_shrink(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value of `--flag value` out of `args`, removing both.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pulls a boolean `--flag` out of `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad {what}: {v:?}"))
+}
+
+fn take_program(args: &mut Vec<String>) -> Result<ProgramSpec, String> {
+    let name = take_value(args, "--program")?.ok_or("need --program <name> (see `list`)")?;
+    programs::find(&name).ok_or_else(|| format!("unknown program {name:?} (see `list`)"))
+}
+
+fn take_token(args: &mut Vec<String>) -> Result<Schedule, String> {
+    let raw = take_value(args, "--token")?.ok_or("need --token <v1:...>")?;
+    raw.parse::<Schedule>().map_err(|e| e.to_string())
+}
+
+fn reject_extra(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unexpected arguments: {args:?}"))
+    }
+}
+
+fn cmd_list(rest: &[String]) -> Result<(), String> {
+    reject_extra(rest)?;
+    println!("{:<14} {:<16} description", "program", "expectation");
+    for p in programs::registry() {
+        println!(
+            "{:<14} {:<16} {}",
+            p.name,
+            format!("{:?}", p.expect),
+            p.about
+        );
+    }
+    Ok(())
+}
+
+fn describe(exec: &Execution) -> String {
+    let mut parts = vec![format!("{} steps", exec.steps)];
+    match exec.clean_races.first() {
+        Some((i, r)) => parts.push(format!("CLEAN race {} @{:#x} at event {i}", r.kind, r.addr)),
+        None => parts.push("no CLEAN race".into()),
+    }
+    if exec.deadlock {
+        parts.push("DEADLOCK".into());
+    }
+    if exec.depth_limited {
+        parts.push("depth-limited".into());
+    }
+    parts.push(format!("digest {:#018x}", exec.digest()));
+    parts.join(", ")
+}
+
+/// Writes the failure's repro token and CLTR trace under `dir`.
+fn write_artifacts(dir: &str, program: &str, failure: &Failure) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let shrunk = Repro::from_execution(&failure.exec)
+        .and_then(|r| shrink_spec(program, &failure.schedule, r));
+    let (token, label) = match &shrunk {
+        Some(s) => (s.schedule.to_string(), "shrunk"),
+        None => (failure.schedule.to_string(), "full"),
+    };
+    let token_path = Path::new(dir).join(format!("{program}.token"));
+    let mut body =
+        format!("# clean-sched repro ({label} schedule)\n# program: {program}\n# reasons:\n");
+    for r in &failure.reasons {
+        body.push_str(&format!("#   {r}\n"));
+    }
+    body.push_str(&token);
+    body.push('\n');
+    std::fs::write(&token_path, body).map_err(|e| format!("writing token: {e}"))?;
+    let trace_path = Path::new(dir).join(format!("{program}.cltr"));
+    clean_trace::write_trace(&trace_path, &failure.exec.trace)
+        .map_err(|e| format!("writing trace: {e}"))?;
+    eprintln!(
+        "artifacts: {} ({} yield points, {label}), {}",
+        token_path.display(),
+        token.split('.').count(),
+        trace_path.display()
+    );
+    Ok(())
+}
+
+fn shrink_spec(
+    program: &str,
+    schedule: &Schedule,
+    repro: Repro,
+) -> Option<clean_sched::shrink::Shrunk> {
+    let spec = programs::find(program)?;
+    shrink(&spec, schedule, repro)
+}
+
+fn print_report(
+    spec: &ProgramSpec,
+    report: &clean_sched::ExploreReport,
+    artifacts: &str,
+) -> Result<(), String> {
+    println!(
+        "{}: {} schedules explored{}, {} with CLEAN races, {} deadlocks, \
+         {} with CLEAN-missed WAR (addrs {:?})",
+        spec.name,
+        report.schedules,
+        if report.complete { " (complete)" } else { "" },
+        report.clean_race_schedules,
+        report.deadlocks,
+        report.war_miss_schedules,
+        report.war_miss_addrs,
+    );
+    if report.ok() {
+        println!("all schedules met expectation {:?}", spec.expect);
+        return Ok(());
+    }
+    for f in &report.failures {
+        eprintln!("FAILED schedule {}:", f.schedule);
+        for r in &f.reasons {
+            eprintln!("  - {r}");
+        }
+    }
+    if let Some(first) = report.failures.first() {
+        write_artifacts(artifacts, spec.name, first)?;
+    }
+    Err(format!(
+        "{} of {} schedules violated expectation {:?}",
+        report.failures.len(),
+        report.schedules,
+        spec.expect
+    ))
+}
+
+fn cmd_explore(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let spec = take_program(&mut args)?;
+    let mode = take_value(&mut args, "--mode")?.unwrap_or_else(|| "dfs".into());
+    let max = match take_value(&mut args, "--max")? {
+        Some(v) => parse_num(&v, "--max")?,
+        None => 10_000usize,
+    };
+    let budget = take_value(&mut args, "--budget-ms")?
+        .map(|v| parse_num::<u64>(&v, "--budget-ms"))
+        .transpose()?
+        .map(Duration::from_millis);
+    let seeds = match take_value(&mut args, "--seeds")? {
+        Some(v) => parse_num(&v, "--seeds")?,
+        None => 1000usize,
+    };
+    let seed_base = match take_value(&mut args, "--seed-base")? {
+        Some(v) => parse_num(&v, "--seed-base")?,
+        None => 0u64,
+    };
+    let depth = match take_value(&mut args, "--depth")? {
+        Some(v) => parse_num(&v, "--depth")?,
+        None => 3usize,
+    };
+    let state_file = take_value(&mut args, "--state")?;
+    let artifacts =
+        take_value(&mut args, "--artifacts")?.unwrap_or_else(|| "sched-artifacts".into());
+    reject_extra(&args)?;
+    let opts = ExploreOpts {
+        max_schedules: max,
+        time_budget: budget,
+    };
+    let report = match mode.as_str() {
+        "dfs" => {
+            let mut frontier = match &state_file {
+                Some(p) if Path::new(p).exists() => {
+                    let s = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+                    let f = DfsExplorer::from_state(&s)?;
+                    eprintln!(
+                        "resuming DFS at {} explored, frontier {:?}",
+                        f.explored,
+                        f.next_prefix()
+                    );
+                    f
+                }
+                _ => DfsExplorer::new(),
+            };
+            let report = explore_dfs(&spec, &mut frontier, &opts);
+            if let Some(p) = &state_file {
+                if let Some(dir) = Path::new(p).parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+                }
+                std::fs::write(p, frontier.state()).map_err(|e| format!("writing {p}: {e}"))?;
+                eprintln!(
+                    "DFS frontier saved to {p} ({} explored total{})",
+                    frontier.explored,
+                    if frontier.exhausted() {
+                        ", exhausted"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            report
+        }
+        "pct" => explore_pct(&spec, seed_base, seeds, depth, &opts),
+        other => return Err(format!("unknown --mode {other:?} (dfs|pct)")),
+    };
+    print_report(&spec, &report, &artifacts)
+}
+
+fn cmd_replay(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let spec = take_program(&mut args)?;
+    let token = take_token(&mut args)?;
+    let strict = take_flag(&mut args, "--strict");
+    reject_extra(&args)?;
+    let mut picker = if strict {
+        ReplayPicker::strict(token.0.clone())
+    } else {
+        ReplayPicker::lenient(token.0.clone())
+    };
+    let mut exec = run_schedule(&spec.factory, &spec.cfg, &mut picker, None);
+    exec.divergence = picker.divergence;
+    println!("schedule {}", exec.schedule);
+    println!("{}", describe(&exec));
+    if strict {
+        if let Some(step) = exec.divergence {
+            return Err(format!("replay diverged from token at step {step}"));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_shrink(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let spec = take_program(&mut args)?;
+    let token = take_token(&mut args)?;
+    let artifacts = take_value(&mut args, "--artifacts")?;
+    reject_extra(&args)?;
+    let mut picker = ReplayPicker::lenient(token.0.clone());
+    let exec = run_schedule(&spec.factory, &spec.cfg, &mut picker, None);
+    let repro = Repro::from_execution(&exec).ok_or_else(|| {
+        format!(
+            "token does not reproduce a failure on {} ({})",
+            spec.name,
+            describe(&exec)
+        )
+    })?;
+    let s =
+        shrink(&spec, &token, repro).ok_or("schedule stopped reproducing under lenient replay")?;
+    println!(
+        "shrunk {} -> {} ({} -> {} yield points, {} trials)",
+        token,
+        s.schedule,
+        token.len(),
+        s.schedule.len(),
+        s.trials
+    );
+    println!("repro: {repro:?}");
+    println!("{}", describe(&s.exec));
+    if let Some(dir) = artifacts {
+        let failure = Failure {
+            schedule: s.schedule.clone(),
+            reasons: vec![format!("{repro:?}")],
+            exec: s.exec,
+        };
+        write_artifacts(&dir, spec.name, &failure)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,205 @@
+//! Differential race detection over explored schedules.
+//!
+//! Every execution produced by the VM carries two verdicts on the same
+//! interleaving: the *online* CLEAN detector that ran during execution,
+//! and the offline engines (the CLEAN trace engine, FastTrack, and the
+//! two-vector-clock reference detector) replaying the recorded trace.
+//! The CLEAN semantics (Section 3 of the paper) pin down exactly how they
+//! must relate on every schedule:
+//!
+//! * online CLEAN and the CLEAN trace engine see the same trace, so their
+//!   first races must be identical (index, kind, address);
+//! * the first WAW/RAW race of the reference detector must be CLEAN's
+//!   first race — CLEAN is *precise* for the classes it detects;
+//! * every race the reference detector finds and CLEAN does not must be a
+//!   WAR — the one class CLEAN deliberately gives up.
+
+use crate::vm::Execution;
+use clean_baselines::{FoundRace, FullRaceKind};
+use clean_core::RaceKind;
+use clean_trace::EngineKind;
+
+/// One offline engine's verdict on a trace.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// Engine name (`clean` / `fasttrack` / `vcfull`).
+    pub name: &'static str,
+    /// Every race, tagged with the index of the completing event.
+    pub races: Vec<(usize, FoundRace)>,
+}
+
+/// The differential verdict on one execution.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Offline engine verdicts.
+    pub engines: Vec<EngineRun>,
+    /// Semantics violations (must be empty for a correct detector stack).
+    pub violations: Vec<String>,
+    /// Races found by the reference detector on addresses CLEAN never
+    /// flagged — by construction all WAR, CLEAN's deliberate blind spot.
+    pub war_misses: Vec<(usize, FoundRace)>,
+}
+
+impl DiffReport {
+    /// True if the execution exposed no detector-semantics violation.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn run_engine(kind: EngineKind, exec: &Execution, threads: usize) -> EngineRun {
+    let mut det = kind.build(threads);
+    let mut races = Vec::new();
+    for (i, e) in exec.trace.iter().enumerate() {
+        for r in det.process(e) {
+            races.push((i, r));
+        }
+    }
+    EngineRun {
+        name: match kind {
+            EngineKind::Clean => "clean",
+            EngineKind::FastTrack => "fasttrack",
+            EngineKind::VcFull => "vcfull",
+            EngineKind::Tsan => "tsan",
+        },
+        races,
+    }
+}
+
+fn kinds_match(online: RaceKind, offline: FullRaceKind) -> bool {
+    matches!(
+        (online, offline),
+        (RaceKind::WriteAfterWrite, FullRaceKind::Waw)
+            | (RaceKind::ReadAfterWrite, FullRaceKind::Raw)
+    )
+}
+
+/// Replays `exec.trace` through the offline engines and cross-checks them
+/// against the online CLEAN verdict recorded during the execution.
+pub fn check(exec: &Execution, threads: usize) -> DiffReport {
+    let clean = run_engine(EngineKind::Clean, exec, threads);
+    let fasttrack = run_engine(EngineKind::FastTrack, exec, threads);
+    let vcfull = run_engine(EngineKind::VcFull, exec, threads);
+    let mut violations = Vec::new();
+
+    // 1. Online CLEAN vs the CLEAN trace engine: same trace, same
+    //    algorithm — the first race must match exactly.
+    let online_first = exec.clean_races.first();
+    match (online_first, clean.races.first()) {
+        (None, None) => {}
+        (Some((oi, or)), Some((ei, er))) => {
+            if oi != ei || or.addr != er.addr || !kinds_match(or.kind, er.kind) {
+                violations.push(format!(
+                    "online CLEAN first race (event {oi}, {} @{:#x}) != trace engine \
+                     (event {ei}, {} @{:#x})",
+                    or.kind, or.addr, er.kind, er.addr
+                ));
+            }
+        }
+        (Some((oi, or)), None) => violations.push(format!(
+            "online CLEAN flagged {} @{:#x} at event {oi}; trace engine found nothing",
+            or.kind, or.addr
+        )),
+        (None, Some((ei, er))) => violations.push(format!(
+            "trace engine flagged {} @{:#x} at event {ei}; online CLEAN found nothing",
+            er.kind, er.addr
+        )),
+    }
+
+    // 2. Precision for WAW/RAW: the reference detector's first non-WAR
+    //    race must be CLEAN's first race, same event and address.
+    let vc_first_hard = vcfull
+        .races
+        .iter()
+        .find(|(_, r)| r.kind != FullRaceKind::War);
+    match (online_first, vc_first_hard) {
+        (None, Some((vi, vr))) => violations.push(format!(
+            "CLEAN missed a non-WAR race: vcfull {} @{:#x} at event {vi}",
+            vr.kind, vr.addr
+        )),
+        (Some((oi, or)), Some((vi, vr))) => {
+            if oi != vi || or.addr != vr.addr || !kinds_match(or.kind, vr.kind) {
+                violations.push(format!(
+                    "first WAW/RAW disagrees: online (event {oi}, {} @{:#x}) vs vcfull \
+                     (event {vi}, {} @{:#x})",
+                    or.kind, or.addr, vr.kind, vr.addr
+                ));
+            }
+        }
+        (Some((oi, or)), None) => violations.push(format!(
+            "online CLEAN flagged {} @{:#x} at event {oi} but the reference detector \
+             found no WAW/RAW at all",
+            or.kind, or.addr
+        )),
+        (None, None) => {}
+    }
+
+    // 3. FastTrack and the reference detector are both full precise
+    //    detectors: their first races must agree.
+    match (fasttrack.races.first(), vcfull.races.first()) {
+        (None, None) => {}
+        (Some((fi, fr)), Some((vi, vr))) => {
+            if fi != vi || fr.kind != vr.kind || fr.addr != vr.addr {
+                violations.push(format!(
+                    "fasttrack first race (event {fi}, {} @{:#x}) != vcfull \
+                     (event {vi}, {} @{:#x})",
+                    fr.kind, fr.addr, vr.kind, vr.addr
+                ));
+            }
+        }
+        (f, v) => violations.push(format!(
+            "fasttrack and vcfull disagree on whether the trace races: {f:?} vs {v:?}"
+        )),
+    }
+
+    // 4. Everything CLEAN never flags (by address, over the whole
+    //    execution) must be WAR-only.
+    let mut war_misses = Vec::new();
+    for &(i, r) in &vcfull.races {
+        let clean_saw_addr = exec.clean_races.iter().any(|(_, o)| o.addr == r.addr);
+        if !clean_saw_addr {
+            if r.kind != FullRaceKind::War {
+                violations.push(format!(
+                    "CLEAN never flagged address {:#x} but vcfull found a {} there \
+                     (event {i})",
+                    r.addr, r.kind
+                ));
+            } else {
+                war_misses.push((i, r));
+            }
+        }
+    }
+
+    DiffReport {
+        engines: vec![clean, fasttrack, vcfull],
+        violations,
+        war_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::picker::DefaultPicker;
+    use crate::programs::find;
+    use crate::vm::run_schedule;
+
+    #[test]
+    fn race_free_program_yields_clean_diff() {
+        let p = find("lock_counter").unwrap();
+        let exec = run_schedule(&p.factory, &p.cfg, &mut DefaultPicker, None);
+        assert!(exec.clean_races.is_empty(), "{:?}", exec.clean_races);
+        let diff = check(&exec, p.cfg.max_threads);
+        assert!(diff.ok(), "{:?}", diff.violations);
+        assert!(diff.war_misses.is_empty());
+    }
+
+    #[test]
+    fn racy_program_agrees_across_detectors() {
+        let p = find("waw_pair").unwrap();
+        let exec = run_schedule(&p.factory, &p.cfg, &mut DefaultPicker, None);
+        assert!(!exec.clean_races.is_empty(), "waw_pair must race");
+        let diff = check(&exec, p.cfg.max_threads);
+        assert!(diff.ok(), "{:?}", diff.violations);
+    }
+}

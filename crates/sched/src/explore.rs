@@ -1,0 +1,358 @@
+//! Schedule exploration drivers: bounded-exhaustive DFS (with a
+//! persistable frontier, resumable across invocations) and PCT-style
+//! randomized runs, both checking each explored schedule against the
+//! program's declared [`Expect`]ation and the differential detector
+//! semantics.
+
+use crate::differential;
+use crate::picker::{DfsPicker, PctPicker};
+use crate::programs::{Expect, ProgramSpec};
+use crate::token::Schedule;
+use crate::vm::{run_schedule, Execution};
+use std::time::{Duration, Instant};
+
+/// The DFS frontier: enumerates every schedule of a program by forcing
+/// lexicographically increasing choice-index prefixes.
+///
+/// The explorer is *stateless re-execution* model checking: a schedule is
+/// identified by the prefix of choices that produced it, so the whole
+/// frontier is one small integer vector — cheap to persist and resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsExplorer {
+    /// Prefix to force on the next run; `None` when exhausted.
+    next_prefix: Option<Vec<usize>>,
+    /// Schedules explored so far (carried across resume).
+    pub explored: usize,
+}
+
+impl Default for DfsExplorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Version prefix of the persisted DFS state format.
+const STATE_VERSION: &str = "dfs:v1";
+
+impl DfsExplorer {
+    /// A fresh exploration starting at the default schedule.
+    pub fn new() -> Self {
+        DfsExplorer {
+            next_prefix: Some(Vec::new()),
+            explored: 0,
+        }
+    }
+
+    /// True when every schedule has been enumerated.
+    pub fn exhausted(&self) -> bool {
+        self.next_prefix.is_none()
+    }
+
+    /// The prefix to force on the next execution.
+    pub fn next_prefix(&self) -> Option<&[usize]> {
+        self.next_prefix.as_deref()
+    }
+
+    /// Advances the frontier past an execution's recorded choice log:
+    /// the next schedule bumps the deepest choice that still has an
+    /// unexplored sibling.
+    pub fn record(&mut self, choice_log: &[(usize, usize)]) {
+        self.explored += 1;
+        let mut next = None;
+        for (i, &(chosen, n)) in choice_log.iter().enumerate().rev() {
+            if chosen + 1 < n {
+                let mut p: Vec<usize> = choice_log[..i].iter().map(|&(c, _)| c).collect();
+                p.push(chosen + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        self.next_prefix = next;
+    }
+
+    /// Serializes the frontier (`dfs:v1:<explored>:<prefix dots>` or
+    /// `dfs:v1:<explored>:done`).
+    pub fn state(&self) -> String {
+        match &self.next_prefix {
+            None => format!("{STATE_VERSION}:{}:done", self.explored),
+            Some(p) => {
+                let dots: Vec<String> = p.iter().map(|c| c.to_string()).collect();
+                format!("{STATE_VERSION}:{}:{}", self.explored, dots.join("."))
+            }
+        }
+    }
+
+    /// Restores a frontier serialized by [`state`](Self::state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field.
+    pub fn from_state(s: &str) -> Result<Self, String> {
+        let rest = s
+            .trim()
+            .strip_prefix(STATE_VERSION)
+            .and_then(|r| r.strip_prefix(':'))
+            .ok_or_else(|| format!("missing `{STATE_VERSION}:` prefix in {s:?}"))?;
+        let (count, prefix) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("missing prefix field in {s:?}"))?;
+        let explored: usize = count
+            .parse()
+            .map_err(|_| format!("bad explored count {count:?}"))?;
+        let next_prefix = if prefix == "done" {
+            None
+        } else if prefix.is_empty() {
+            Some(Vec::new())
+        } else {
+            let mut p = Vec::new();
+            for part in prefix.split('.') {
+                p.push(
+                    part.parse::<usize>()
+                        .map_err(|_| format!("bad choice index {part:?}"))?,
+                );
+            }
+            Some(p)
+        };
+        Ok(DfsExplorer {
+            next_prefix,
+            explored,
+        })
+    }
+}
+
+/// Budget and options for an exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreOpts {
+    /// Maximum schedules to run this invocation.
+    pub max_schedules: usize,
+    /// Wall-clock budget; exploration stops (resumably) when exceeded.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            max_schedules: 10_000,
+            time_budget: None,
+        }
+    }
+}
+
+/// One schedule that violated the program's expectation or the detector
+/// semantics.
+#[derive(Debug)]
+pub struct Failure {
+    /// The offending schedule.
+    pub schedule: Schedule,
+    /// Why it failed.
+    pub reasons: Vec<String>,
+    /// The execution, for artifact capture.
+    pub exec: Execution,
+}
+
+/// Aggregate result of an exploration run.
+#[derive(Debug, Default)]
+pub struct ExploreReport {
+    /// Schedules executed in this invocation.
+    pub schedules: usize,
+    /// DFS only: the frontier was exhausted (state-space complete).
+    pub complete: bool,
+    /// Schedules on which online CLEAN flagged a race.
+    pub clean_race_schedules: usize,
+    /// Schedules that deadlocked.
+    pub deadlocks: usize,
+    /// Schedules hitting the depth bound.
+    pub depth_limited: usize,
+    /// Schedules where the reference detector found WAR races CLEAN
+    /// (correctly) missed.
+    pub war_miss_schedules: usize,
+    /// Distinct addresses of CLEAN-missed WAR races, aggregated.
+    pub war_miss_addrs: Vec<usize>,
+    /// Expectation / differential failures (first few, with executions).
+    pub failures: Vec<Failure>,
+}
+
+impl ExploreReport {
+    /// True when every explored schedule met its expectation.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Checks one execution against the program's expectation and the
+/// differential semantics; returns the reasons it fails, if any.
+pub fn check_execution(
+    spec: &ProgramSpec,
+    exec: &Execution,
+) -> (Vec<String>, differential::DiffReport) {
+    let diff = differential::check(exec, spec.cfg.max_threads);
+    let mut reasons = diff.violations.clone();
+    if !exec.panicked.is_empty() {
+        reasons.push(format!("threads panicked: {:?}", exec.panicked));
+    }
+    if exec.depth_limited {
+        reasons.push("execution hit the step bound".into());
+    }
+    match spec.expect {
+        Expect::RaceFree => {
+            if let Some((i, r)) = exec.clean_races.first() {
+                reasons.push(format!(
+                    "race-free program raced: {} @{:#x} at event {i}",
+                    r.kind, r.addr
+                ));
+            }
+            if exec.deadlock {
+                reasons.push("race-free program deadlocked".into());
+            }
+        }
+        Expect::CleanRaceAlways => {
+            if exec.clean_races.is_empty() {
+                reasons.push("CLEAN found no race on a schedule of an always-racy program".into());
+            }
+            if exec.deadlock {
+                reasons.push("always-racy program deadlocked".into());
+            }
+        }
+        Expect::Racy => {
+            let vcfull = diff.engines.iter().find(|e| e.name == "vcfull");
+            if vcfull.is_none_or(|e| e.races.is_empty()) {
+                reasons.push("reference detector found no race on a racy program".into());
+            }
+            if exec.deadlock {
+                reasons.push("racy program deadlocked".into());
+            }
+        }
+        Expect::MayDeadlock => {}
+    }
+    (reasons, diff)
+}
+
+fn tally(report: &mut ExploreReport, spec: &ProgramSpec, schedule: Schedule, exec: Execution) {
+    let (reasons, diff) = check_execution(spec, &exec);
+    report.schedules += 1;
+    if !exec.clean_races.is_empty() {
+        report.clean_race_schedules += 1;
+    }
+    if exec.deadlock {
+        report.deadlocks += 1;
+    }
+    if exec.depth_limited {
+        report.depth_limited += 1;
+    }
+    if !diff.war_misses.is_empty() {
+        report.war_miss_schedules += 1;
+        for &(_, r) in &diff.war_misses {
+            if !report.war_miss_addrs.contains(&r.addr) {
+                report.war_miss_addrs.push(r.addr);
+            }
+        }
+    }
+    if !reasons.is_empty() && report.failures.len() < 8 {
+        report.failures.push(Failure {
+            schedule,
+            reasons,
+            exec,
+        });
+    }
+}
+
+/// Runs bounded-exhaustive DFS from the explorer's current frontier,
+/// advancing it in place (persist [`DfsExplorer::state`] to resume).
+pub fn explore_dfs(
+    spec: &ProgramSpec,
+    explorer: &mut DfsExplorer,
+    opts: &ExploreOpts,
+) -> ExploreReport {
+    let start = Instant::now();
+    let mut report = ExploreReport::default();
+    while let Some(prefix) = explorer.next_prefix().map(<[usize]>::to_vec) {
+        if report.schedules >= opts.max_schedules {
+            return report;
+        }
+        if let Some(budget) = opts.time_budget {
+            if start.elapsed() >= budget {
+                return report;
+            }
+        }
+        let mut picker = DfsPicker::new(prefix);
+        let exec = run_schedule(&spec.factory, &spec.cfg, &mut picker, None);
+        explorer.record(&exec.choice_log);
+        let schedule = exec.schedule.clone();
+        tally(&mut report, spec, schedule, exec);
+    }
+    report.complete = true;
+    report
+}
+
+/// Runs `count` PCT executions with seeds `base_seed..base_seed + count`.
+pub fn explore_pct(
+    spec: &ProgramSpec,
+    base_seed: u64,
+    count: usize,
+    depth: usize,
+    opts: &ExploreOpts,
+) -> ExploreReport {
+    let start = Instant::now();
+    let mut report = ExploreReport::default();
+    for i in 0..count.min(opts.max_schedules) {
+        if let Some(budget) = opts.time_budget {
+            if start.elapsed() >= budget {
+                return report;
+            }
+        }
+        let mut picker = PctPicker::new(base_seed + i as u64, depth, spec.cfg.max_steps.min(256));
+        let exec = run_schedule(&spec.factory, &spec.cfg, &mut picker, None);
+        let schedule = exec.schedule.clone();
+        tally(&mut report, spec, schedule, exec);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_state_roundtrip() {
+        let mut e = DfsExplorer::new();
+        assert_eq!(DfsExplorer::from_state(&e.state()).unwrap(), e);
+        e.record(&[(0, 3), (1, 2), (0, 1)]);
+        // Deepest choice with an unexplored sibling is position 0 (the
+        // (1,2) at position 1 is already the last sibling), so the next
+        // prefix bumps it to [1].
+        assert_eq!(e.next_prefix(), Some(&[1][..]));
+        let s = e.state();
+        assert_eq!(DfsExplorer::from_state(&s).unwrap(), e);
+        e.record(&[(1, 3), (0, 1)]);
+        assert_eq!(e.next_prefix(), Some(&[2][..]));
+        e.record(&[(2, 3)]);
+        assert!(e.exhausted());
+        assert_eq!(DfsExplorer::from_state(&e.state()).unwrap(), e);
+    }
+
+    #[test]
+    fn dfs_state_rejects_garbage() {
+        assert!(DfsExplorer::from_state("").is_err());
+        assert!(DfsExplorer::from_state("dfs:v1:x:done").is_err());
+        assert!(DfsExplorer::from_state("dfs:v2:0:").is_err());
+        assert!(DfsExplorer::from_state("dfs:v1:3:0.a").is_err());
+    }
+
+    #[test]
+    fn dfs_frontier_enumerates_binary_tree() {
+        // A synthetic 2-level binary choice tree: 4 leaves.
+        let mut e = DfsExplorer::new();
+        let mut leaves = Vec::new();
+        while let Some(p) = e.next_prefix().map(<[usize]>::to_vec) {
+            // "Execute": choices default to 0 beyond the prefix.
+            let mut log = Vec::new();
+            for lvl in 0..2 {
+                log.push((p.get(lvl).copied().unwrap_or(0), 2));
+            }
+            leaves.push(log.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+            e.record(&log);
+        }
+        assert_eq!(leaves, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        assert_eq!(e.explored, 4);
+    }
+}

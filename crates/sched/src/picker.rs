@@ -1,0 +1,278 @@
+//! Schedule pickers: the policies that choose, at each yield point, which
+//! enabled virtual thread advances.
+//!
+//! A picker sees the step number, the enabled set (virtual thread ids,
+//! ascending) and a [`SchedView`] of the execution's deterministic state,
+//! and returns an index into the enabled set. The three exploration modes
+//! of the ISSUE map onto [`DfsPicker`] (bounded-exhaustive enumeration),
+//! [`PctPicker`] (randomized priority scheduling) and [`ReplayPicker`]
+//! (forced replay of a recorded token); [`DetPicker`] drives scheduling by
+//! the Kendo deterministic logical clocks themselves.
+
+use rand::prelude::*;
+
+/// Read-only view of deterministic scheduler state at a yield point.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// Published Kendo counter per virtual thread id
+    /// ([`clean_sync::EXCLUDED`] for blocked/finished slots).
+    pub kendo_published: &'a [u64],
+}
+
+/// A scheduling policy.
+pub trait Picker {
+    /// Chooses an index into `enabled` (non-empty, ascending thread ids)
+    /// for yield point `step`. Out-of-range returns are clamped by the VM.
+    fn pick(&mut self, step: usize, enabled: &[usize], view: &SchedView<'_>) -> usize;
+}
+
+/// The deterministic default policy: always the lowest enabled thread id.
+/// Replay falls back to this policy beyond the forced prefix, which is
+/// what makes shrunk tokens short.
+#[derive(Debug, Default, Clone)]
+pub struct DefaultPicker;
+
+impl Picker for DefaultPicker {
+    fn pick(&mut self, _step: usize, _enabled: &[usize], _view: &SchedView<'_>) -> usize {
+        0
+    }
+}
+
+/// Bounded-exhaustive DFS: forces a prefix of *choice indices* (indices
+/// into each step's enabled set, not thread ids) recorded from a previous
+/// execution's [`Execution::choice_log`](crate::vm::Execution::choice_log),
+/// then follows the default policy. The explorer advances the prefix
+/// lexicographically to enumerate every schedule.
+#[derive(Debug, Clone, Default)]
+pub struct DfsPicker {
+    forced: Vec<usize>,
+    pos: usize,
+}
+
+impl DfsPicker {
+    /// Forces the given choice-index prefix.
+    pub fn new(forced: Vec<usize>) -> Self {
+        DfsPicker { forced, pos: 0 }
+    }
+}
+
+impl Picker for DfsPicker {
+    fn pick(&mut self, _step: usize, enabled: &[usize], _view: &SchedView<'_>) -> usize {
+        let i = if self.pos < self.forced.len() {
+            self.forced[self.pos].min(enabled.len() - 1)
+        } else {
+            0
+        };
+        self.pos += 1;
+        i
+    }
+}
+
+/// PCT-style randomized priority scheduling (Burckhardt et al., ASPLOS
+/// 2010): every thread gets a random high priority; the highest-priority
+/// enabled thread always runs; at `depth - 1` random change points the
+/// running thread's priority drops below all others. For a bug of depth
+/// `d` in a program with `n` threads and `k` steps, a single run finds it
+/// with probability ≥ 1/(n·k^(d-1)).
+#[derive(Debug, Clone)]
+pub struct PctPicker {
+    priorities: Vec<u64>,
+    change_points: Vec<usize>,
+    next_low: u64,
+    rng: SmallRng,
+}
+
+impl PctPicker {
+    /// Builds the policy for one run: `seed` fixes all random choices,
+    /// `depth` is the targeted bug depth (≥ 1), `expected_steps` bounds
+    /// the range the change points are drawn from.
+    pub fn new(seed: u64, depth: usize, expected_steps: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let depth = depth.max(1);
+        let span = expected_steps.max(1);
+        let mut change_points: Vec<usize> = (1..depth).map(|_| rng.gen_range(0..span)).collect();
+        change_points.sort_unstable();
+        PctPicker {
+            priorities: Vec::new(),
+            change_points,
+            // Low priorities count down from just below the initial band.
+            next_low: depth as u64,
+            rng,
+        }
+    }
+
+    fn priority(&mut self, tid: usize) -> u64 {
+        while self.priorities.len() <= tid {
+            // Initial priorities live above every possible change-point
+            // priority (which are < depth ≤ initial next_low).
+            let p = self.rng.gen_range(1u64 << 32..u64::MAX);
+            self.priorities.push(p);
+        }
+        self.priorities[tid]
+    }
+}
+
+impl Picker for PctPicker {
+    fn pick(&mut self, step: usize, enabled: &[usize], _view: &SchedView<'_>) -> usize {
+        let best = (0..enabled.len())
+            .max_by_key(|&i| self.priority(enabled[i]))
+            .unwrap_or(0);
+        if self.change_points.binary_search(&step).is_ok() {
+            // Change point: demote the thread that would have run.
+            self.next_low = self.next_low.saturating_sub(1);
+            let t = enabled[best];
+            self.priorities[t] = self.next_low;
+            return (0..enabled.len())
+                .max_by_key(|&i| self.priority(enabled[i]))
+                .unwrap_or(0);
+        }
+        best
+    }
+}
+
+/// Replays a recorded schedule token (thread ids per yield point).
+///
+/// In strict mode, a token entry naming a thread that is not enabled at
+/// that step is a *divergence*: it is recorded and the rest of the run
+/// follows the default policy. In lenient mode (used by the shrinker),
+/// unusable entries are skipped, so a subsequence of a failing schedule is
+/// still a meaningful schedule.
+#[derive(Debug, Clone)]
+pub struct ReplayPicker {
+    token: Vec<usize>,
+    pos: usize,
+    lenient: bool,
+    /// First step at which strict replay diverged, if any.
+    pub divergence: Option<usize>,
+}
+
+impl ReplayPicker {
+    /// Strict replay of `token`.
+    pub fn strict(token: Vec<usize>) -> Self {
+        ReplayPicker {
+            token,
+            pos: 0,
+            lenient: false,
+            divergence: None,
+        }
+    }
+
+    /// Lenient replay of `token` (skip unusable entries).
+    pub fn lenient(token: Vec<usize>) -> Self {
+        ReplayPicker {
+            token,
+            pos: 0,
+            lenient: true,
+            divergence: None,
+        }
+    }
+}
+
+impl Picker for ReplayPicker {
+    fn pick(&mut self, step: usize, enabled: &[usize], _view: &SchedView<'_>) -> usize {
+        while self.pos < self.token.len() {
+            let want = self.token[self.pos];
+            self.pos += 1;
+            if let Some(i) = enabled.iter().position(|&t| t == want) {
+                return i;
+            }
+            if !self.lenient {
+                if self.divergence.is_none() {
+                    self.divergence = Some(step);
+                }
+                return 0;
+            }
+            // Lenient: drop the unusable entry and try the next.
+        }
+        0
+    }
+}
+
+/// Schedules by the Kendo deterministic logical clocks: always the
+/// enabled thread with the minimum published counter (tid-tie-broken) —
+/// the schedule the deterministic runtime itself would produce. Running a
+/// race-free program under this picker from different starting points
+/// must yield identical executions (the paper's determinism claim).
+#[derive(Debug, Default, Clone)]
+pub struct DetPicker;
+
+impl Picker for DetPicker {
+    fn pick(&mut self, _step: usize, enabled: &[usize], view: &SchedView<'_>) -> usize {
+        let mut best = 0;
+        for (i, &t) in enabled.iter().enumerate() {
+            let c = view.kendo_published.get(t).copied().unwrap_or(u64::MAX);
+            let b = view
+                .kendo_published
+                .get(enabled[best])
+                .copied()
+                .unwrap_or(u64::MAX);
+            // Strict < keeps the lowest tid on ties (enabled is ascending).
+            if c < b {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> SchedView<'static> {
+        SchedView {
+            kendo_published: &[],
+        }
+    }
+
+    #[test]
+    fn dfs_forces_prefix_then_defaults() {
+        let mut p = DfsPicker::new(vec![2, 1]);
+        assert_eq!(p.pick(0, &[0, 1, 2], &view()), 2);
+        assert_eq!(p.pick(1, &[0, 1], &view()), 1);
+        assert_eq!(p.pick(2, &[0, 1], &view()), 0);
+    }
+
+    #[test]
+    fn dfs_clamps_to_enabled() {
+        let mut p = DfsPicker::new(vec![5]);
+        assert_eq!(p.pick(0, &[0, 1], &view()), 1);
+    }
+
+    #[test]
+    fn strict_replay_records_divergence() {
+        let mut p = ReplayPicker::strict(vec![1, 2]);
+        assert_eq!(p.pick(0, &[0, 1], &view()), 1);
+        assert_eq!(p.pick(1, &[0, 1], &view()), 0, "2 not enabled: default");
+        assert_eq!(p.divergence, Some(1));
+    }
+
+    #[test]
+    fn lenient_replay_skips_unusable() {
+        let mut p = ReplayPicker::lenient(vec![2, 1, 0]);
+        assert_eq!(p.pick(0, &[0, 1], &view()), 1, "2 skipped, 1 usable");
+        assert_eq!(p.divergence, None);
+        assert_eq!(p.pick(1, &[0, 1], &view()), 0);
+    }
+
+    #[test]
+    fn pct_same_seed_same_choices() {
+        let mk = || PctPicker::new(7, 3, 50);
+        let (mut a, mut b) = (mk(), mk());
+        for step in 0..50 {
+            let en = [0, 1, 2];
+            assert_eq!(a.pick(step, &en, &view()), b.pick(step, &en, &view()));
+        }
+    }
+
+    #[test]
+    fn det_picker_follows_min_counter() {
+        let counters = [10u64, 3, u64::MAX];
+        let v = SchedView {
+            kendo_published: &counters,
+        };
+        let mut p = DetPicker;
+        assert_eq!(p.pick(0, &[0, 1, 2], &v), 1);
+        assert_eq!(p.pick(0, &[0, 2], &v), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Schedule shrinking: reduces a failing schedule to a minimal forced
+//! prefix that still reproduces the failure.
+//!
+//! Two phases, both validated by lenient replay (unusable token entries
+//! are skipped, so any subsequence of a schedule is itself a schedule):
+//!
+//! 1. **Prefix truncation** — binary search for the shortest token prefix
+//!    after which the deterministic default policy still reproduces the
+//!    failure. Races need only the few reorderings that break the
+//!    happens-before edge, so this alone usually collapses a schedule to
+//!    a handful of yield points.
+//! 2. **Chunk deletion (ddmin-lite)** — repeatedly delete halving-size
+//!    chunks anywhere in the remaining token while the failure persists,
+//!    until no single entry can be removed.
+//!
+//! Every candidate is re-executed, so the result is always a genuinely
+//! reproducing schedule, not a guess.
+
+use crate::picker::ReplayPicker;
+use crate::programs::ProgramSpec;
+use crate::token::Schedule;
+use crate::vm::{run_schedule, Execution};
+use clean_core::RaceKind;
+
+/// The failure a shrunk schedule must keep reproducing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repro {
+    /// The same first CLEAN race: kind and address.
+    CleanRace {
+        /// Race kind of the original first race.
+        kind: RaceKind,
+        /// Address of the original first race.
+        addr: usize,
+    },
+    /// Any CLEAN race at all.
+    AnyCleanRace,
+    /// A scheduler-detected deadlock.
+    Deadlock,
+}
+
+impl Repro {
+    /// The reproduction predicate the original failing execution implies.
+    pub fn from_execution(exec: &Execution) -> Option<Repro> {
+        if let Some((_, r)) = exec.clean_races.first() {
+            return Some(Repro::CleanRace {
+                kind: r.kind,
+                addr: r.addr,
+            });
+        }
+        if exec.deadlock {
+            return Some(Repro::Deadlock);
+        }
+        None
+    }
+
+    fn holds(self, exec: &Execution) -> bool {
+        match self {
+            Repro::CleanRace { kind, addr } => exec
+                .clean_races
+                .first()
+                .is_some_and(|(_, r)| r.kind == kind && r.addr == addr),
+            Repro::AnyCleanRace => !exec.clean_races.is_empty(),
+            Repro::Deadlock => exec.deadlock,
+        }
+    }
+}
+
+/// Outcome of shrinking.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The minimal reproducing token.
+    pub schedule: Schedule,
+    /// The execution it produces under lenient replay.
+    pub exec: Execution,
+    /// Executions spent searching.
+    pub trials: usize,
+}
+
+fn try_token(spec: &ProgramSpec, token: &[usize], repro: Repro) -> Option<Execution> {
+    let mut picker = ReplayPicker::lenient(token.to_vec());
+    let exec = run_schedule(&spec.factory, &spec.cfg, &mut picker, None);
+    repro.holds(&exec).then_some(exec)
+}
+
+/// Shrinks `schedule` to a minimal token still reproducing `repro`.
+///
+/// Returns `None` if the original schedule does not reproduce the
+/// failure in the first place (lenient replay).
+pub fn shrink(spec: &ProgramSpec, schedule: &Schedule, repro: Repro) -> Option<Shrunk> {
+    let mut trials = 1;
+    let mut best_exec = try_token(spec, &schedule.0, repro)?;
+    let mut token = schedule.0.clone();
+
+    // Phase 1: shortest reproducing prefix, by binary search. The
+    // predicate is not guaranteed monotone in the prefix length, but
+    // every accepted candidate is verified by execution, so a
+    // non-monotone boundary only costs minimality, never soundness.
+    let (mut lo, mut hi) = (0usize, token.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        trials += 1;
+        if let Some(exec) = try_token(spec, &token[..mid], repro) {
+            best_exec = exec;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    token.truncate(hi);
+
+    // Phase 2: delete chunks of halving size until a fixpoint.
+    let mut chunk = (token.len() / 2).max(1);
+    while !token.is_empty() {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < token.len() {
+            let end = (start + chunk).min(token.len());
+            let mut candidate = Vec::with_capacity(token.len() - (end - start));
+            candidate.extend_from_slice(&token[..start]);
+            candidate.extend_from_slice(&token[end..]);
+            trials += 1;
+            if let Some(exec) = try_token(spec, &candidate, repro) {
+                best_exec = exec;
+                token = candidate;
+                removed_any = true;
+                // Re-test the same start: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if !removed_any && chunk == 1 {
+            break;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    Some(Shrunk {
+        schedule: Schedule(token),
+        exec: best_exec,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::picker::DefaultPicker;
+    use crate::programs::find;
+    use crate::vm::run_schedule;
+
+    #[test]
+    fn shrink_waw_pair_to_empty_token() {
+        // The default schedule of waw_pair already races, so shrinking
+        // any racing schedule must reach the empty token.
+        let spec = find("waw_pair").unwrap();
+        let exec = run_schedule(&spec.factory, &spec.cfg, &mut DefaultPicker, None);
+        let repro = Repro::from_execution(&exec).expect("waw_pair races");
+        let s = shrink(&spec, &exec.schedule, repro).expect("original reproduces");
+        assert!(s.schedule.is_empty(), "shrunk to {}", s.schedule);
+        assert!(repro.holds(&s.exec));
+    }
+
+    #[test]
+    fn shrink_rejects_non_reproducing_schedule() {
+        let spec = find("lock_counter").unwrap();
+        let exec = run_schedule(&spec.factory, &spec.cfg, &mut DefaultPicker, None);
+        assert!(shrink(&spec, &exec.schedule, Repro::AnyCleanRace).is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! The schedule token: a portable, replayable serialization of one
+//! explored interleaving.
+//!
+//! A token is the sequence of virtual-thread ids granted at each yield
+//! point, rendered as `v1:0.1.0.2`. Replaying a token against the same
+//! program deterministically reproduces the interleaving (the VM has no
+//! other source of nondeterminism); a token shorter than the execution
+//! forces a prefix and lets the deterministic default policy (lowest
+//! enabled thread id) finish the run, which is what makes shrunk repro
+//! tokens small.
+
+use core::fmt;
+use std::str::FromStr;
+
+/// Version prefix of the textual token format.
+pub const TOKEN_VERSION: &str = "v1";
+
+/// A schedule: the thread id chosen at each scheduling step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schedule(pub Vec<usize>);
+
+impl Schedule {
+    /// The empty schedule (pure default policy).
+    pub fn empty() -> Self {
+        Schedule(Vec::new())
+    }
+
+    /// Number of forced yield points.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no yield point is forced.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{TOKEN_VERSION}:")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a schedule token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenParseError(pub String);
+
+impl fmt::Display for TokenParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad schedule token: {}", self.0)
+    }
+}
+
+impl std::error::Error for TokenParseError {}
+
+impl FromStr for Schedule {
+    type Err = TokenParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .strip_prefix(TOKEN_VERSION)
+            .and_then(|r| r.strip_prefix(':'))
+            .ok_or_else(|| {
+                TokenParseError(format!("missing `{TOKEN_VERSION}:` prefix in {s:?}"))
+            })?;
+        if body.is_empty() {
+            return Ok(Schedule::empty());
+        }
+        let mut out = Vec::new();
+        for part in body.split('.') {
+            out.push(
+                part.parse::<usize>()
+                    .map_err(|_| TokenParseError(format!("bad thread id {part:?} in {s:?}")))?,
+            );
+        }
+        Ok(Schedule(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for sched in [
+            Schedule::empty(),
+            Schedule(vec![0]),
+            Schedule(vec![0, 1, 0, 2, 17]),
+        ] {
+            let s = sched.to_string();
+            assert_eq!(s.parse::<Schedule>().unwrap(), sched, "{s}");
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Schedule(vec![0, 1, 2]).to_string(), "v1:0.1.2");
+        assert_eq!(Schedule::empty().to_string(), "v1:");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<Schedule>().is_err());
+        assert!("0.1.2".parse::<Schedule>().is_err());
+        assert!("v1:0..2".parse::<Schedule>().is_err());
+        assert!("v2:0".parse::<Schedule>().is_err());
+        assert!("v1:a".parse::<Schedule>().is_err());
+    }
+}

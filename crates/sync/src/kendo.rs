@@ -13,6 +13,7 @@
 use clean_core::ThreadId;
 use core::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Error returned when a deterministic wait is abandoned because the poll
 /// callback requested an abort — in CLEAN, because another thread raised a
@@ -33,14 +34,56 @@ impl std::error::Error for Aborted {}
 /// started. Excluded threads never inhibit other threads' turns.
 pub const EXCLUDED: u64 = u64::MAX;
 
+/// Observer/driver of a [`Kendo`] table's deterministic logical clocks.
+///
+/// A controlled scheduler (the `clean-sched` explorer) installs a hook via
+/// [`Kendo::set_hook`] to watch every logical-clock publication and every
+/// granted turn, letting it steer exploration by deterministic logical time
+/// instead of physical timing and to check that the grant sequence of a
+/// race-free program is identical across all explored schedules (the
+/// paper's determinism claim, Section 3.3).
+///
+/// All callbacks default to no-ops; implement only what you need. A
+/// published counter equal to [`EXCLUDED`] means the slot left turn
+/// arbitration (blocked, finished, or dropped).
+pub trait SchedHook: Send + Sync {
+    /// A slot was registered with an initial counter.
+    fn on_register(&self, tid: ThreadId, initial: u64) {
+        let _ = (tid, initial);
+    }
+
+    /// A slot published a new counter value (tick, advance, include,
+    /// exclude, or a `publish_on_behalf` by a waker).
+    fn on_publish(&self, tid: ThreadId, counter: u64) {
+        let _ = (tid, counter);
+    }
+
+    /// A thread's [`DetHandle::wait_for_turn`] completed: the turn was
+    /// granted at this deterministic counter.
+    fn on_turn_granted(&self, tid: ThreadId, counter: u64) {
+        let _ = (tid, counter);
+    }
+}
+
 /// Shared table of published deterministic counters, one slot per possible
 /// thread id.
 ///
 /// The table itself is passive; per-thread mutation goes through the owning
 /// thread's [`DetHandle`].
-#[derive(Debug)]
 pub struct Kendo {
     slots: Box<[AtomicU64]>,
+    /// Optional scheduler hook, set at most once per table. An unset hook
+    /// costs one atomic load on the publish path.
+    hook: OnceLock<Arc<dyn SchedHook>>,
+}
+
+impl fmt::Debug for Kendo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kendo")
+            .field("slots", &self.slots)
+            .field("hooked", &self.hook.get().is_some())
+            .finish()
+    }
 }
 
 impl Kendo {
@@ -54,12 +97,25 @@ impl Kendo {
         assert!(max_threads > 0, "need at least one thread slot");
         Kendo {
             slots: (0..max_threads).map(|_| AtomicU64::new(EXCLUDED)).collect(),
+            hook: OnceLock::new(),
         }
     }
 
     /// Capacity of the table.
     pub fn max_threads(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Installs a scheduler hook observing every publication and granted
+    /// turn. At most one hook per table; returns `false` if one was
+    /// already installed (the new hook is dropped).
+    pub fn set_hook(&self, hook: Arc<dyn SchedHook>) -> bool {
+        self.hook.set(hook).is_ok()
+    }
+
+    #[inline]
+    pub(crate) fn hook(&self) -> Option<&Arc<dyn SchedHook>> {
+        self.hook.get()
     }
 
     /// Registers a thread slot with an initial counter and returns the
@@ -72,6 +128,9 @@ impl Kendo {
         assert!(tid.index() < self.slots.len(), "tid out of range");
         let prev = self.slots[tid.index()].swap(initial, Ordering::SeqCst);
         assert_eq!(prev, EXCLUDED, "slot {tid} registered twice");
+        if let Some(h) = self.hook() {
+            h.on_register(tid, initial);
+        }
         DetHandle {
             kendo: std::sync::Arc::clone(self),
             tid,
@@ -98,6 +157,9 @@ impl Kendo {
     /// [`DetHandle::include`] then settles the exact value.
     pub fn publish_on_behalf(&self, tid: ThreadId, counter: u64) {
         self.slots[tid.index()].store(counter, Ordering::SeqCst);
+        if let Some(h) = self.hook() {
+            h.on_publish(tid, counter);
+        }
     }
 
     /// Returns true if it is `tid`'s turn: its counter is strictly smaller
@@ -169,6 +231,9 @@ impl DetHandle {
         // (smaller) value read by another thread only makes that thread
         // wait longer — it can never grant a turn too early.
         self.kendo.slots[self.tid.index()].store(value, Ordering::Release);
+        if let Some(h) = self.kendo.hook() {
+            h.on_publish(self.tid, value);
+        }
     }
 
     /// Advances the counter by `n` deterministic events (the paper's
@@ -223,6 +288,9 @@ impl DetHandle {
             } else {
                 std::hint::spin_loop();
             }
+        }
+        if let Some(h) = self.kendo.hook() {
+            h.on_turn_granted(self.tid, self.counter);
         }
         Ok(())
     }
@@ -360,6 +428,51 @@ mod tests {
         h1.tick(100); // now h0 (counter 10) is minimal
         let seen = waiter.join().unwrap();
         assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn sched_hook_observes_publishes_and_grants() {
+        use parking_lot::Mutex;
+
+        #[derive(Default)]
+        struct Recorder {
+            publishes: Mutex<Vec<(u16, u64)>>,
+            registers: Mutex<Vec<(u16, u64)>>,
+            grants: Mutex<Vec<(u16, u64)>>,
+        }
+        impl SchedHook for Recorder {
+            fn on_register(&self, tid: ThreadId, initial: u64) {
+                self.registers.lock().push((tid.raw(), initial));
+            }
+            fn on_publish(&self, tid: ThreadId, counter: u64) {
+                self.publishes.lock().push((tid.raw(), counter));
+            }
+            fn on_turn_granted(&self, tid: ThreadId, counter: u64) {
+                self.grants.lock().push((tid.raw(), counter));
+            }
+        }
+
+        let k = Arc::new(Kendo::new(2));
+        let rec = Arc::new(Recorder::default());
+        assert!(k.set_hook(Arc::clone(&rec) as Arc<dyn SchedHook>));
+        assert!(
+            !k.set_hook(Arc::new(Recorder::default())),
+            "second hook rejected"
+        );
+
+        let mut h = k.register(ThreadId::new(0), 3);
+        assert_eq!(*rec.registers.lock(), vec![(0, 3)]);
+        h.tick(2);
+        h.exclude();
+        h.include(10);
+        k.publish_on_behalf(ThreadId::new(1), 7);
+        assert_eq!(
+            *rec.publishes.lock(),
+            vec![(0, 5), (0, EXCLUDED), (0, 10), (1, 7)]
+        );
+        k.publish_on_behalf(ThreadId::new(1), EXCLUDED);
+        h.wait_for_turn(|| false).unwrap();
+        assert_eq!(*rec.grants.lock(), vec![(0, 10)]);
     }
 
     #[test]

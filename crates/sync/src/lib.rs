@@ -16,7 +16,9 @@
 //! * [`DetRwLock`] — deterministic reader-writer lock,
 //! * [`DetBarrier`] — deterministic cyclic barrier,
 //! * [`DetCondvar`] — deterministic condition variable,
-//! * [`ThreadRegistry`] — deterministic, reusable thread-id allocation.
+//! * [`ThreadRegistry`] — deterministic, reusable thread-id allocation,
+//! * [`SchedHook`] — pluggable observer/driver of the Kendo logical
+//!   clocks, used by the `clean-sched` controlled-scheduler explorer.
 //!
 //! All blocking operations spin (the paper's own implementation spins when
 //! threads ≤ processors) and accept a `poll` callback invoked on every
@@ -35,7 +37,7 @@ mod rwlock;
 
 pub use barrier::DetBarrier;
 pub use condvar::DetCondvar;
-pub use kendo::{Aborted, DetHandle, Kendo, EXCLUDED};
+pub use kendo::{Aborted, DetHandle, Kendo, SchedHook, EXCLUDED};
 pub use mutex::{DetMutex, DetStamp};
 pub use registry::{ThreadLimitError, ThreadRegistry};
 pub use rwlock::DetRwLock;

@@ -181,6 +181,31 @@ impl DetRwLock {
         }
     }
 
+    /// Atomically converts the exclusive hold into a shared one: the
+    /// write release is stamped (so logically-earlier writers stay
+    /// ordered behind it) and the caller becomes a reader without any
+    /// window in which another writer could acquire the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller does not hold the write lock.
+    pub fn downgrade(&self, handle: &mut DetHandle) {
+        {
+            let mut st = self.state.lock();
+            assert_eq!(
+                st.writer,
+                Some(handle.tid()),
+                "downgrade by non-writer {}",
+                handle.tid()
+            );
+            st.writer = None;
+            st.last_write_release = Some((handle.counter(), handle.tid()));
+            st.readers.insert(handle.tid().raw());
+            st.read_acquisitions += 1;
+        }
+        handle.advance();
+    }
+
     /// Releases the exclusive hold, stamping the write release.
     ///
     /// # Panics
@@ -268,6 +293,45 @@ mod tests {
             true
         });
         assert!(l.try_write((41, ThreadId::new(1))));
+    }
+
+    #[test]
+    fn downgrade_holds_shared_without_writer_window() {
+        let k = Arc::new(Kendo::new(3));
+        let mut a = k.register(ThreadId::new(0), 0);
+        let l = DetRwLock::new();
+        l.write_lock(&mut a, || false).unwrap();
+        l.downgrade(&mut a);
+        assert_eq!(l.writer(), None);
+        assert_eq!(l.reader_count(), 1, "downgrader keeps a shared hold");
+        // Other readers may share immediately; writers are excluded both
+        // by the live reader and by the downgrade's release stamp.
+        assert!(l.try_read((100, ThreadId::new(1))));
+        assert!(!l.try_write((100, ThreadId::new(2))));
+        {
+            let mut st = l.state.lock();
+            st.readers.remove(&1);
+        }
+        l.read_unlock(&mut a);
+        assert_eq!(l.reader_count(), 0);
+        // Logically after both releases, a writer gets in.
+        assert!(l.try_write((1000, ThreadId::new(2))));
+        let (reads, writes) = l.acquisitions();
+        assert_eq!(
+            (reads, writes),
+            (2, 2),
+            "downgrade counts as a read acquire"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn downgrade_by_non_writer_panics() {
+        let k = Arc::new(Kendo::new(2));
+        let mut a = k.register(ThreadId::new(0), 0);
+        let l = DetRwLock::new();
+        l.read_lock(&mut a, || false).unwrap();
+        l.downgrade(&mut a);
     }
 
     #[test]

@@ -31,7 +31,10 @@
 //! * [`workloads`]: the 26 SPLASH-2/PARSEC benchmark models
 //!   ([`clean_workloads`]),
 //! * [`trace`]: the persistent binary trace store with sharded parallel
-//!   offline analysis and the `clean-analyze` CLI ([`clean_trace`]).
+//!   offline analysis and the `clean-analyze` CLI ([`clean_trace`]),
+//! * [`sched`]: the controlled-scheduler VM with exhaustive/PCT schedule
+//!   exploration, differential detector checking, schedule tokens,
+//!   shrinking, and the `clean-sched` CLI ([`clean_sched`]).
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@
 pub use clean_baselines as baselines;
 pub use clean_core as core;
 pub use clean_runtime as runtime;
+pub use clean_sched as sched;
 pub use clean_sim as sim;
 pub use clean_sync as sync;
 pub use clean_trace as trace;

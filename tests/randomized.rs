@@ -5,13 +5,18 @@
 //! * race-free-by-construction programs never raise and are deterministic
 //!   (identical outputs and digests across runs);
 //! * the same program with one injected same-phase write collision always
-//!   raises a race exception, in every schedule.
+//!   raises a race exception — at the collision's exact location (the
+//!   victim cell, between the two colliding writer threads), in every
+//!   schedule.
+//!
+//! Everything about a generated program, including its thread count, is
+//! an explicit function of the seed — nothing depends on the OS schedule.
 
-use clean::runtime::{CleanError, CleanRuntime, RuntimeConfig, SharedArray};
+use clean::core::RaceKind;
+use clean::runtime::{CleanError, CleanRuntime, RaceReport, RuntimeConfig, SharedArray};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-const THREADS: usize = 3;
 const CELLS_PER_THREAD: usize = 16;
 
 /// One shared-memory operation of a generated program.
@@ -30,15 +35,19 @@ enum Op {
 /// list for the phase.
 #[derive(Debug, Clone)]
 struct Program {
+    /// Worker count, derived from the seed (2..=4).
+    threads: usize,
     ops: Vec<Vec<Vec<Op>>>,
-    /// Injected bug: in this phase, two threads write the same cell.
-    collision: Option<(usize, usize)>, // (phase, victim cell)
+    /// Injected bug: in this phase, threads 0 and 1 write the victim cell.
+    collision: Option<usize>,
 }
 
 fn generate(seed: u64, phases: usize, ops_per_phase: usize) -> Program {
     let mut rng = SmallRng::seed_from_u64(seed);
+    // The whole shape, thread count included, is a function of the seed.
+    let threads = 2 + (seed % 3) as usize;
     // written[t][c] = last phase in which thread t wrote its cell c.
-    let mut written: Vec<Vec<Option<usize>>> = vec![vec![None; CELLS_PER_THREAD]; THREADS];
+    let mut written: Vec<Vec<Option<usize>>> = vec![vec![None; CELLS_PER_THREAD]; threads];
     let mut ops = Vec::new();
     for phase in 0..phases {
         let mut per_thread = Vec::new();
@@ -65,7 +74,7 @@ fn generate(seed: u64, phases: usize, ops_per_phase: usize) -> Program {
                     4..=7 => {
                         // Read something some thread wrote in an earlier
                         // phase (barrier-ordered; never this phase).
-                        let t2 = rng.gen_range(0..THREADS);
+                        let t2 = rng.gen_range(0..threads);
                         let candidates: Vec<usize> = (0..CELLS_PER_THREAD)
                             .filter(|&c| snapshot[t2][c].is_some_and(|p| p < phase))
                             .collect();
@@ -82,22 +91,34 @@ fn generate(seed: u64, phases: usize, ops_per_phase: usize) -> Program {
         ops.push(per_thread);
     }
     Program {
+        threads,
         ops,
         collision: None,
     }
 }
 
-fn run(program: &Program) -> (Result<u64, CleanError>, u64) {
+/// The outcome of one monitored run, with everything the assertions need
+/// to pin the race to its injected location.
+struct RunOutcome {
+    result: Result<u64, CleanError>,
+    digest: u64,
+    first_race: Option<RaceReport>,
+    victim_addr: usize,
+}
+
+fn run(program: &Program) -> RunOutcome {
+    let threads = program.threads;
     let rt = CleanRuntime::new(RuntimeConfig::new().heap_size(1 << 16).max_threads(8));
-    let cells: SharedArray<u64> = rt.alloc_array(THREADS * CELLS_PER_THREAD).unwrap();
+    let cells: SharedArray<u64> = rt.alloc_array(threads * CELLS_PER_THREAD).unwrap();
     let counter: SharedArray<u64> = rt.alloc_array(1).unwrap();
     let victim: SharedArray<u64> = rt.alloc_array(1).unwrap();
+    let victim_addr = victim.base_addr();
     let lock = rt.create_mutex();
-    let barrier = rt.create_barrier(THREADS);
+    let barrier = rt.create_barrier(threads);
     let program = program.clone();
-    let out = rt.run(|ctx| {
+    let result = rt.run(|ctx| {
         let mut kids = Vec::new();
-        for t in 0..THREADS {
+        for t in 0..threads {
             let (lock, barrier) = (lock.clone(), barrier.clone());
             let program = program.clone();
             kids.push(ctx.spawn(move |c| {
@@ -122,7 +143,7 @@ fn run(program: &Program) -> (Result<u64, CleanError>, u64) {
                         }
                         c.tick(1);
                     }
-                    if program.collision == Some((phase, 0)) && t < 2 {
+                    if program.collision == Some(phase) && t < 2 {
                         // The injected bug: threads 0 and 1 write the same
                         // cell in the same phase, unordered.
                         c.write(&victim, 0, t as u64)?;
@@ -141,31 +162,68 @@ fn run(program: &Program) -> (Result<u64, CleanError>, u64) {
         ctx.unlock(&lock)?;
         Ok(out)
     });
-    (out, rt.stats().digest())
+    RunOutcome {
+        result,
+        digest: rt.stats().digest(),
+        first_race: rt.first_race(),
+        victim_addr,
+    }
 }
 
 #[test]
 fn random_race_free_programs_are_clean_and_deterministic() {
     for seed in 0..12u64 {
         let program = generate(seed, 5, 12);
-        let (r1, d1) = run(&program);
-        let o1 = r1.unwrap_or_else(|e| panic!("seed {seed}: unexpected exception {e}"));
-        let (r2, d2) = run(&program);
-        let o2 = r2.unwrap();
+        let a = run(&program);
+        let o1 = a
+            .result
+            .unwrap_or_else(|e| panic!("seed {seed}: unexpected exception {e}"));
+        assert_eq!(a.first_race, None, "seed {seed}: no race may be recorded");
+        let b = run(&program);
+        let o2 = b.result.unwrap();
         assert_eq!(o1, o2, "seed {seed}: output must be deterministic");
-        assert_eq!(d1, d2, "seed {seed}: digest must be deterministic");
+        assert_eq!(
+            a.digest, b.digest,
+            "seed {seed}: digest must be deterministic"
+        );
     }
 }
 
 #[test]
-fn injected_collisions_always_raise() {
+fn injected_collisions_raise_at_the_injected_location() {
     for seed in 0..12u64 {
         let mut program = generate(seed, 5, 12);
-        program.collision = Some((seed as usize % 5, 0));
-        let (r, _) = run(&program);
+        let phase = seed as usize % 5;
+        program.collision = Some(phase);
+        let out = run(&program);
         assert!(
-            matches!(r, Err(CleanError::Race(_)) | Err(CleanError::Poisoned)),
-            "seed {seed}: injected WAW must raise, got {r:?}"
+            matches!(
+                out.result,
+                Err(CleanError::Race(_)) | Err(CleanError::Poisoned)
+            ),
+            "seed {seed}: injected WAW must raise, got {:?}",
+            out.result
+        );
+        // Location assertions: not merely *a* race, but *the* race we
+        // injected — a WAW on the victim cell between the two colliding
+        // writers. Workers get runtime tids 1..=threads (root is 0), so
+        // program threads 0 and 1 are runtime tids 1 and 2.
+        let r = out.first_race.expect("seed {seed}: race report recorded");
+        assert_eq!(
+            r.kind,
+            RaceKind::WriteAfterWrite,
+            "seed {seed}: only writes touch the victim cell"
+        );
+        assert_eq!(
+            r.addr, out.victim_addr,
+            "seed {seed}: race must be on the victim cell, not collateral"
+        );
+        assert_eq!(r.size, 8, "seed {seed}: whole-cell access");
+        let (cur, prev) = (r.current_tid.index(), r.previous_tid().index());
+        assert!(
+            (cur == 1 && prev == 2) || (cur == 2 && prev == 1),
+            "seed {seed}: colliding tids must be the two injected writers, got \
+             current {cur} previous {prev}"
         );
     }
 }
