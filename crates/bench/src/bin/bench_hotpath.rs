@@ -1,0 +1,510 @@
+//! Fast-path ablation benchmark — the check-pipeline hot path, online
+//! and offline.
+//!
+//! **Online**: multi-threaded checked-access throughput through the
+//! detector's `check_*_with` entry points, ablating the three fast-path
+//! knobs (SFR write-set filter, thread-local shadow-page cache, sharded
+//! statistics) one at a time and together, over two workload profiles:
+//!
+//! * `sfr_local` — a small per-thread working set rewritten many times
+//!   per synchronization-free region (the redundancy the write filter
+//!   targets); headline "checked-write throughput" number.
+//! * `stream` — a sequential sweep over a working set larger than the
+//!   filter, where only the page cache can help.
+//!
+//! **Offline**: a synthetic multi-thread trace (~1 GiB at the full
+//! profile) replayed through the CLEAN engine two ways — the naive
+//! baseline (`replay_file_sharded`: one worker per shard, each decoding
+//! the whole file) versus the work-stealing streaming pipeline
+//! (`replay_file_stealing`: decode once, mmap-backed, batches fanned to
+//! per-shard queues). Both must report identical races.
+//!
+//! Results land in `BENCH_hotpath.json` (override with `--out`).
+//! `--check-baseline <file>` re-reads a checked-in result and fails the
+//! run (exit 1) if either speedup ratio regressed by more than 20%.
+//! `--small` selects the quick CI profile. `CLEAN_THREADS` and
+//! `CLEAN_REPS` scale the online part as for the other experiments.
+
+use clean_bench::{env_reps, env_threads, fmt_pct, fmt_x, measure, trace_dir, Table};
+use clean_core::{
+    CleanDetector, DetectorConfig, ThreadCheckState, ThreadId, TraceEvent, VectorClock,
+};
+use clean_trace::{replay_file_sharded, replay_file_stealing, scan_trace, EngineKind, TraceWriter};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One knob setting of the online ablation.
+struct KnobConfig {
+    name: &'static str,
+    write_filter: bool,
+    page_cache: bool,
+    sharded_stats: bool,
+}
+
+const CONFIGS: [KnobConfig; 5] = [
+    KnobConfig {
+        name: "all_off",
+        write_filter: false,
+        page_cache: false,
+        sharded_stats: false,
+    },
+    KnobConfig {
+        name: "filter",
+        write_filter: true,
+        page_cache: false,
+        sharded_stats: false,
+    },
+    KnobConfig {
+        name: "page_cache",
+        write_filter: false,
+        page_cache: true,
+        sharded_stats: false,
+    },
+    KnobConfig {
+        name: "sharded_stats",
+        write_filter: false,
+        page_cache: false,
+        sharded_stats: true,
+    },
+    KnobConfig {
+        name: "all_on",
+        write_filter: true,
+        page_cache: true,
+        sharded_stats: true,
+    },
+];
+
+/// An online workload shape. Each thread owns a disjoint `region`-byte
+/// slice of the heap and, per synchronization-free region, writes its
+/// `words` 8-byte slots `revisits` times before incrementing its epoch.
+struct Profile {
+    name: &'static str,
+    /// Per-thread heap slice (also the base stride between threads).
+    region: usize,
+    /// Words touched per sweep.
+    words: usize,
+    /// Bytes per access.
+    access: usize,
+    /// Sweeps per SFR: >1 creates the redundancy the filter exploits.
+    revisits: usize,
+}
+
+/// `sfr_local` fits the 128-slot filter without collisions (64 16-byte
+/// words inside the thread's own 4 KiB shadow page — the filter indexes
+/// by `addr >> 3`, so wider strides must stay under 1 KiB of slots);
+/// `stream` sweeps 32 KiB of 8-byte words so every filter slot is
+/// evicted long before it is revisited.
+const PROFILES: [Profile; 2] = [
+    Profile {
+        name: "sfr_local",
+        region: 4096,
+        words: 64,
+        access: 16,
+        revisits: 32,
+    },
+    Profile {
+        name: "stream",
+        region: 32768,
+        words: 4096,
+        access: 8,
+        revisits: 1,
+    },
+];
+
+/// Measured numbers for one (profile, config) cell.
+struct CellResult {
+    maccesses_per_sec: f64,
+    filter_hit_rate: f64,
+}
+
+/// Runs one profile under one knob config and returns the throughput of
+/// the best of `reps` timed repetitions.
+fn run_online_cell(
+    profile: &Profile,
+    cfg: &KnobConfig,
+    threads: usize,
+    ops_per_thread: u64,
+    reps: usize,
+) -> CellResult {
+    let phase_ops = (profile.words * profile.revisits) as u64;
+    let phases = (ops_per_thread / phase_ops).max(1);
+    let accesses = phases * phase_ops * threads as u64;
+    let (best, snap) = measure(reps, || {
+        let det = CleanDetector::new(
+            threads * profile.region,
+            DetectorConfig::new()
+                .write_filter(cfg.write_filter)
+                .page_cache(cfg.page_cache)
+                .sharded_stats(cfg.sharded_stats),
+        );
+        let det = &det;
+        let layout = det.layout();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    let tid = ThreadId::new(t as u16);
+                    let mut vc = VectorClock::new(threads, layout);
+                    let mut state = ThreadCheckState::new();
+                    let base = t * profile.region;
+                    for _ in 0..phases {
+                        for _ in 0..profile.revisits {
+                            for w in 0..profile.words {
+                                det.check_write_with(
+                                    &vc,
+                                    tid,
+                                    base + w * profile.access,
+                                    profile.access,
+                                    &mut state,
+                                )
+                                .expect("disjoint per-thread regions are race-free");
+                            }
+                        }
+                        // SFR boundary: epoch bump + filter flush, as the
+                        // runtime does on every release operation.
+                        vc.increment(tid).expect("phase count below rollover");
+                        state.on_epoch_increment();
+                    }
+                });
+            }
+        });
+        det.stats()
+    });
+    assert_eq!(
+        snap.total_checked(),
+        accesses,
+        "every access must be checked exactly once regardless of knobs"
+    );
+    assert_eq!(snap.races_reported, 0, "workload is race-free");
+    CellResult {
+        maccesses_per_sec: accesses as f64 / best.as_secs_f64() / 1e6,
+        filter_hit_rate: snap.filter_hits as f64 / snap.total_checked() as f64,
+    }
+}
+
+/// Deterministic synthetic trace for the offline comparison: `threads`
+/// workers each sweep a private 64 KiB region (writes with a 25% read
+/// mix), release their own lock every 64 ops and a shared lock every
+/// 4096 ops, plus one seeded WAW pair early on so the race lists the two
+/// replay engines must agree on are non-empty.
+fn generate_events(
+    total: u64,
+    threads: usize,
+    mut sink: impl FnMut(&TraceEvent) -> io::Result<()>,
+) -> io::Result<()> {
+    const REGION: usize = 64 * 1024;
+    const STRIDE: usize = 1 << 20;
+    const RACY_ADDR: usize = 8 << 20;
+    let mut emitted = 0u64;
+    let mut k = vec![0u64; threads];
+    let mut racy_done = false;
+    let mut emit = |ev: &TraceEvent, emitted: &mut u64| -> io::Result<bool> {
+        if *emitted >= total {
+            return Ok(false);
+        }
+        sink(ev)?;
+        *emitted += 1;
+        Ok(true)
+    };
+    loop {
+        for (t, counter) in k.iter_mut().enumerate() {
+            let tid = ThreadId::new(t as u16);
+            let step = *counter;
+            *counter += 1;
+            if !racy_done && emitted > 512 {
+                // Unordered same-address writes by two threads: a WAW
+                // race every CLEAN replay must flag identically.
+                racy_done = true;
+                let a = TraceEvent::Write {
+                    tid: ThreadId::new(0),
+                    addr: RACY_ADDR,
+                    size: 8,
+                };
+                let b = TraceEvent::Write {
+                    tid: ThreadId::new(1),
+                    addr: RACY_ADDR,
+                    size: 8,
+                };
+                if !emit(&a, &mut emitted)? || !emit(&b, &mut emitted)? {
+                    return Ok(());
+                }
+            }
+            if step > 0 && step.is_multiple_of(4096) {
+                let lock = 1000;
+                if !emit(&TraceEvent::Acquire { tid, lock }, &mut emitted)?
+                    || !emit(&TraceEvent::Release { tid, lock }, &mut emitted)?
+                {
+                    return Ok(());
+                }
+            } else if step > 0 && step.is_multiple_of(64) {
+                let lock = t as u32;
+                if !emit(&TraceEvent::Acquire { tid, lock }, &mut emitted)?
+                    || !emit(&TraceEvent::Release { tid, lock }, &mut emitted)?
+                {
+                    return Ok(());
+                }
+            }
+            let addr = t * STRIDE + (step as usize * 4) % REGION;
+            let ev = if step % 4 == 3 {
+                TraceEvent::Read { tid, addr, size: 4 }
+            } else {
+                TraceEvent::Write { tid, addr, size: 4 }
+            };
+            if !emit(&ev, &mut emitted)? {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Writes a synthetic trace of exactly `events` events to `path` and
+/// returns the stream byte size.
+fn write_synthetic_trace(path: &Path, events: u64, threads: usize) -> io::Result<u64> {
+    let mut w = TraceWriter::create(path).map_err(io::Error::other)?;
+    generate_events(events, threads, |ev| w.write_event(ev))?;
+    Ok(w.finish()?.bytes)
+}
+
+/// Offline comparison results.
+struct OfflineResult {
+    events: u64,
+    bytes: u64,
+    shards: usize,
+    workers: usize,
+    naive_secs: f64,
+    stealing_secs: f64,
+    batches: u64,
+    steals: u64,
+    used_mmap: bool,
+    races_found: usize,
+    races_agree: bool,
+}
+
+fn run_offline(target_bytes: u64, threads: usize) -> OfflineResult {
+    let shards = 8;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, shards);
+    let dir = trace_dir();
+    std::fs::create_dir_all(&dir).expect("create trace store directory");
+
+    // Probe the encoder's bytes/event on a prefix, then size the real
+    // trace to the byte target.
+    let probe_path = dir.join("hotpath-probe.cltr");
+    const PROBE_EVENTS: u64 = 1 << 20;
+    let probe_bytes =
+        write_synthetic_trace(&probe_path, PROBE_EVENTS, threads).expect("write probe trace");
+    std::fs::remove_file(&probe_path).ok();
+    let bpe = probe_bytes as f64 / PROBE_EVENTS as f64;
+    let events = ((target_bytes as f64 / bpe) as u64).max(PROBE_EVENTS);
+
+    let path = dir.join("hotpath-synthetic.cltr");
+    println!(
+        "  generating {events} events (~{:.0} MiB at {bpe:.1} B/event) ...",
+        events as f64 * bpe / (1 << 20) as f64
+    );
+    let bytes = write_synthetic_trace(&path, events, threads).expect("write synthetic trace");
+
+    let scan = scan_trace(&path).expect("scan synthetic trace");
+    assert_eq!(scan.events, events);
+
+    println!("  naive per-shard full-decode replay ({shards} shards) ...");
+    let t0 = Instant::now();
+    let (naive_races, _) = replay_file_sharded(&path, EngineKind::Clean, shards, scan.threads)
+        .expect("naive sharded replay");
+    let naive_secs = t0.elapsed().as_secs_f64();
+
+    println!("  work-stealing streaming replay ({shards} shards, {workers} workers) ...");
+    let t0 = Instant::now();
+    let (steal_races, stats) =
+        replay_file_stealing(&path, EngineKind::Clean, shards, workers, scan.threads)
+            .expect("work-stealing replay");
+    let stealing_secs = t0.elapsed().as_secs_f64();
+
+    std::fs::remove_file(&path).ok();
+
+    let races_agree = naive_races == steal_races;
+    assert!(races_agree, "offline replay verdicts diverged");
+    assert!(
+        !steal_races.is_empty(),
+        "the seeded WAW pair must be reported"
+    );
+    OfflineResult {
+        events,
+        bytes,
+        shards,
+        workers,
+        naive_secs,
+        stealing_secs,
+        batches: stats.batches,
+        steals: stats.steals,
+        used_mmap: stats.used_mmap,
+        races_found: steal_races.len(),
+        races_agree,
+    }
+}
+
+/// Extracts the first `"key": <number>` occurrence from a JSON string —
+/// enough structure awareness for the flat keys this binary emits.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut small = false;
+    let mut out = PathBuf::from("BENCH_hotpath.json");
+    let mut baseline: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--check-baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next().expect("--check-baseline needs a path"),
+                ));
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_hotpath [--small] [--out FILE] [--check-baseline FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let threads = env_threads();
+    let reps = env_reps();
+    let ops_per_thread: u64 = if small { 1 << 18 } else { 1 << 22 };
+    let offline_bytes: u64 = if small { 24 << 20 } else { 1 << 30 };
+    println!(
+        "== bench_hotpath: fast-path ablation ({} profile, {threads} threads, best of {reps}) ==\n",
+        if small { "small" } else { "full" }
+    );
+
+    // ---- online ablation ----
+    let mut json_profiles = Vec::new();
+    let mut online_speedup = 0.0;
+    for profile in &PROFILES {
+        println!("online profile `{}`:", profile.name);
+        let mut t = Table::new(&["config", "Macc/s", "filter hits", "vs all_off"]);
+        let mut cells = Vec::new();
+        let mut base_rate = 0.0;
+        for cfg in &CONFIGS {
+            let cell = run_online_cell(profile, cfg, threads, ops_per_thread, reps);
+            if cfg.name == "all_off" {
+                base_rate = cell.maccesses_per_sec;
+            }
+            t.row(vec![
+                cfg.name.into(),
+                format!("{:.1}", cell.maccesses_per_sec),
+                fmt_pct(cell.filter_hit_rate),
+                fmt_x(cell.maccesses_per_sec / base_rate),
+            ]);
+            cells.push((cfg.name, cell));
+        }
+        t.print();
+        println!();
+        let all_on = cells.last().expect("all_on is last").1.maccesses_per_sec;
+        let speedup = all_on / base_rate;
+        if profile.name == "sfr_local" {
+            online_speedup = speedup;
+        }
+        let cfg_json: Vec<String> = cells
+            .iter()
+            .map(|(name, c)| {
+                format!(
+                    "{{\"name\": \"{name}\", \"maccesses_per_sec\": {:.3}, \"filter_hit_rate\": {:.4}}}",
+                    c.maccesses_per_sec, c.filter_hit_rate
+                )
+            })
+            .collect();
+        json_profiles.push(format!(
+            "    {{\"name\": \"{}\", \"accesses_per_thread\": {}, \"speedup_all_on\": {:.3}, \"configs\": [\n      {}\n    ]}}",
+            profile.name,
+            ops_per_thread,
+            speedup,
+            cfg_json.join(",\n      ")
+        ));
+    }
+
+    // ---- offline replay comparison ----
+    println!("offline replay (CLEAN engine):");
+    let off = run_offline(offline_bytes, 4);
+    let offline_speedup = off.naive_secs / off.stealing_secs;
+    println!(
+        "  naive {:.2}s vs stealing {:.2}s -> {} ({} events, {:.0} MiB, {} batches, {} steals, {})\n",
+        off.naive_secs,
+        off.stealing_secs,
+        fmt_x(offline_speedup),
+        off.events,
+        off.bytes as f64 / (1 << 20) as f64,
+        off.batches,
+        off.steals,
+        if off.used_mmap { "mmap" } else { "buffered" },
+    );
+
+    // ---- JSON report ----
+    let json = format!(
+        "{{\n  \"benchmark\": \"hotpath\",\n  \"profile\": \"{}\",\n  \"threads\": {},\n  \"reps\": {},\n  \"online_speedup\": {:.3},\n  \"offline_speedup\": {:.3},\n  \"verdicts_diverged\": {},\n  \"online_profiles\": [\n{}\n  ],\n  \"offline\": {{\n    \"events\": {},\n    \"bytes\": {},\n    \"shards\": {},\n    \"workers\": {},\n    \"naive_secs\": {:.3},\n    \"stealing_secs\": {:.3},\n    \"batches\": {},\n    \"steals\": {},\n    \"used_mmap\": {},\n    \"races_found\": {},\n    \"races_agree\": {}\n  }}\n}}\n",
+        if small { "small" } else { "full" },
+        threads,
+        reps,
+        online_speedup,
+        offline_speedup,
+        !off.races_agree,
+        json_profiles.join(",\n"),
+        off.events,
+        off.bytes,
+        off.shards,
+        off.workers,
+        off.naive_secs,
+        off.stealing_secs,
+        off.batches,
+        off.steals,
+        off.used_mmap,
+        off.races_found,
+        off.races_agree,
+    );
+    std::fs::write(&out, &json).expect("write result JSON");
+    println!("wrote {}", out.display());
+    println!(
+        "headline: online (sfr_local all_on vs all_off) {}, offline (stealing+mmap vs naive) {}",
+        fmt_x(online_speedup),
+        fmt_x(offline_speedup)
+    );
+
+    // ---- regression gate ----
+    if let Some(base) = baseline {
+        let text = std::fs::read_to_string(&base).expect("read baseline JSON");
+        let base_online = json_f64(&text, "online_speedup").expect("baseline online_speedup");
+        let base_offline = json_f64(&text, "offline_speedup").expect("baseline offline_speedup");
+        let mut failed = false;
+        for (what, now, was) in [
+            ("online_speedup", online_speedup, base_online),
+            ("offline_speedup", offline_speedup, base_offline),
+        ] {
+            let floor = was * 0.8;
+            let verdict = if now < floor { "REGRESSED" } else { "ok" };
+            println!(
+                "baseline check {what}: now {} vs baseline {} (floor {}) -> {verdict}",
+                fmt_x(now),
+                fmt_x(was),
+                fmt_x(floor)
+            );
+            failed |= now < floor;
+        }
+        if failed {
+            eprintln!(
+                "speedup regressed by more than 20% against {}",
+                base.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}

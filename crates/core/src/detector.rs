@@ -18,12 +18,27 @@
 //! [`CleanDetector::check_write`] *before* performing the actual store, and
 //! [`CleanDetector::check_read`] *immediately after* performing the actual
 //! load. The runtime crate's accessors honour this contract.
+//!
+//! # Fast-path pipeline
+//!
+//! The `*_with` entry points ([`check_read_with`], [`check_write_with`])
+//! additionally thread per-thread [`ThreadCheckState`] through the check:
+//! the SFR write-set filter answers provably redundant checks without
+//! touching shadow memory at all (the software analogue of the paper's
+//! Section 5 LLC-ownership filtering), and the last-page cache skips the
+//! shadow directory walk for same-page accesses. Both are sound-by-
+//! construction accelerations — verdicts are identical with them on or
+//! off (see DESIGN.md and the differential suites).
+//!
+//! [`check_read_with`]: CleanDetector::check_read_with
+//! [`check_write_with`]: CleanDetector::check_write_with
 
 use crate::clock::VectorClock;
 use crate::epoch::{Epoch, EpochLayout, ThreadId};
+use crate::filter::ThreadCheckState;
 use crate::report::{AccessKind, RaceReport};
-use crate::shadow::ShadowMemory;
-use crate::stats::{DetectorStats, StatsSnapshot};
+use crate::shadow::{ShadowMemory, ShadowPageCache};
+use crate::stats::{DetectorStats, StatsShard, StatsSnapshot};
 use parking_lot::Mutex;
 
 /// How concurrent race checks are kept atomic (Section 4.3 vs the
@@ -49,6 +64,10 @@ pub const WIDE_CAS_EPOCHS: usize = 4;
 /// [`AtomicityMode::PerCheckLocking`].
 const LOCK_STRIPES: usize = 64;
 
+/// Default statistics shard count when sharding is enabled: enough to
+/// spread the paper's 8-core working point across distinct cache lines.
+pub const DEFAULT_STATS_SHARDS: usize = 8;
+
 /// Configuration of the software race detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DetectorConfig {
@@ -61,15 +80,29 @@ pub struct DetectorConfig {
     pub vectorized: bool,
     /// Atomicity scheme for concurrent checks (ablation knob).
     pub atomicity: AtomicityMode,
+    /// Enables the per-thread SFR write-set filter on the `*_with` entry
+    /// points: ranges this thread already published this SFR soundly skip
+    /// the full check (Section 5's redundant-check elimination).
+    pub write_filter: bool,
+    /// Enables the thread-local last-shadow-page cache on the `*_with`
+    /// entry points, skipping the directory walk for same-page accesses.
+    pub page_cache: bool,
+    /// Number of cache-line-padded statistics shards; 1 reproduces the
+    /// fully shared (contended) counter layout.
+    pub stats_shards: usize,
 }
 
 impl DetectorConfig {
-    /// The paper's default software configuration.
+    /// The paper's default software configuration (all fast-path layers
+    /// enabled).
     pub fn new() -> Self {
         DetectorConfig {
             layout: EpochLayout::paper_default(),
             vectorized: true,
             atomicity: AtomicityMode::LockFree,
+            write_filter: true,
+            page_cache: true,
+            stats_shards: DEFAULT_STATS_SHARDS,
         }
     }
 
@@ -90,11 +123,109 @@ impl DetectorConfig {
         self.atomicity = mode;
         self
     }
+
+    /// Enables or disables the SFR write-set filter.
+    pub fn write_filter(mut self, on: bool) -> Self {
+        self.write_filter = on;
+        self
+    }
+
+    /// Enables or disables the thread-local shadow-page cache.
+    pub fn page_cache(mut self, on: bool) -> Self {
+        self.page_cache = on;
+        self
+    }
+
+    /// Sets the statistics shard count (clamped to ≥ 1 at use).
+    pub fn stats_shards(mut self, n: usize) -> Self {
+        self.stats_shards = n;
+        self
+    }
+
+    /// Convenience toggle: sharded ([`DEFAULT_STATS_SHARDS`]) vs fully
+    /// shared (1 shard) statistics counters.
+    pub fn sharded_stats(self, on: bool) -> Self {
+        self.stats_shards(if on { DEFAULT_STATS_SHARDS } else { 1 })
+    }
 }
 
 impl Default for DetectorConfig {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Uniform view over cached and uncached shadow access, so the check
+/// bodies are written once and monomorphized for both paths.
+trait ShadowOps {
+    fn load(&mut self, addr: usize) -> Epoch;
+    fn range_uniform(&mut self, addr: usize, len: usize) -> Option<Epoch>;
+    fn compare_exchange(&mut self, addr: usize, expected: Epoch, new: Epoch) -> Result<(), Epoch>;
+    fn compare_exchange_range(
+        &mut self,
+        addr: usize,
+        len: usize,
+        expected: Epoch,
+        new: Epoch,
+    ) -> Result<(), (usize, Epoch)>;
+}
+
+struct Uncached<'a>(&'a ShadowMemory);
+
+impl ShadowOps for Uncached<'_> {
+    #[inline]
+    fn load(&mut self, addr: usize) -> Epoch {
+        self.0.load(addr)
+    }
+    #[inline]
+    fn range_uniform(&mut self, addr: usize, len: usize) -> Option<Epoch> {
+        self.0.range_uniform(addr, len)
+    }
+    #[inline]
+    fn compare_exchange(&mut self, addr: usize, expected: Epoch, new: Epoch) -> Result<(), Epoch> {
+        self.0.compare_exchange(addr, expected, new)
+    }
+    #[inline]
+    fn compare_exchange_range(
+        &mut self,
+        addr: usize,
+        len: usize,
+        expected: Epoch,
+        new: Epoch,
+    ) -> Result<(), (usize, Epoch)> {
+        self.0.compare_exchange_range(addr, len, expected, new)
+    }
+}
+
+struct Cached<'a> {
+    shadow: &'a ShadowMemory,
+    cache: &'a mut ShadowPageCache,
+}
+
+impl ShadowOps for Cached<'_> {
+    #[inline]
+    fn load(&mut self, addr: usize) -> Epoch {
+        self.shadow.load_cached(addr, self.cache)
+    }
+    #[inline]
+    fn range_uniform(&mut self, addr: usize, len: usize) -> Option<Epoch> {
+        self.shadow.range_uniform_cached(addr, len, self.cache)
+    }
+    #[inline]
+    fn compare_exchange(&mut self, addr: usize, expected: Epoch, new: Epoch) -> Result<(), Epoch> {
+        self.shadow
+            .compare_exchange_cached(addr, expected, new, self.cache)
+    }
+    #[inline]
+    fn compare_exchange_range(
+        &mut self,
+        addr: usize,
+        len: usize,
+        expected: Epoch,
+        new: Epoch,
+    ) -> Result<(), (usize, Epoch)> {
+        self.shadow
+            .compare_exchange_range_cached(addr, len, expected, new, self.cache)
     }
 }
 
@@ -139,7 +270,7 @@ impl CleanDetector {
         CleanDetector {
             shadow: ShadowMemory::new(data_size),
             config,
-            stats: DetectorStats::new(),
+            stats: DetectorStats::with_shards(config.stats_shards),
             check_locks: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
         }
     }
@@ -171,13 +302,20 @@ impl CleanDetector {
         &self.shadow
     }
 
-    /// Snapshot of the accumulated statistics.
+    /// Snapshot of the accumulated statistics (summed across shards).
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
 
+    #[inline]
+    fn shard(&self, tid: ThreadId) -> &StatsShard {
+        self.stats.shard(tid.index())
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
+        shard: &StatsShard,
         kind: AccessKind,
         vc: &VectorClock,
         tid: ThreadId,
@@ -185,7 +323,7 @@ impl CleanDetector {
         size: usize,
         previous: Epoch,
     ) -> RaceReport {
-        DetectorStats::bump(&self.stats.races_reported);
+        DetectorStats::bump(&shard.races_reported);
         RaceReport {
             kind: kind.race_kind(),
             addr,
@@ -217,27 +355,84 @@ impl CleanDetector {
         size: usize,
     ) -> Result<(), RaceReport> {
         debug_assert!(size > 0);
-        DetectorStats::bump(&self.stats.reads_checked);
-        DetectorStats::add(&self.stats.bytes_checked, size as u64);
+        let shard = self.shard(tid);
+        DetectorStats::bump(&shard.reads_checked);
+        DetectorStats::add(&shard.bytes_checked, size as u64);
         let _guard = self.check_guard(addr);
+        self.read_body(&mut Uncached(&self.shadow), shard, vc, tid, addr, size)
+    }
 
+    /// [`check_read`](Self::check_read) through the per-thread fast-path
+    /// state: a write-set filter hit answers the check without touching
+    /// shadow memory; otherwise the check runs through the thread's
+    /// last-page cache. Verdicts are identical to the plain entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`check_read`](Self::check_read).
+    pub fn check_read_with(
+        &self,
+        vc: &VectorClock,
+        tid: ThreadId,
+        addr: usize,
+        size: usize,
+        state: &mut ThreadCheckState,
+    ) -> Result<(), RaceReport> {
+        debug_assert!(size > 0);
+        let shard = self.shard(tid);
+        DetectorStats::bump(&shard.reads_checked);
+        DetectorStats::add(&shard.bytes_checked, size as u64);
+        if self.config.write_filter
+            && state.filter.covers(
+                addr,
+                size,
+                vc.write_epoch(tid).raw(),
+                self.shadow.generation(),
+            )
+        {
+            // Every covered byte still holds this thread's current epoch,
+            // so the read trivially happens-after the last write.
+            DetectorStats::bump(&shard.filter_hits);
+            return Ok(());
+        }
+        let _guard = self.check_guard(addr);
+        if self.config.page_cache {
+            let mut ops = Cached {
+                shadow: &self.shadow,
+                cache: &mut state.page_cache,
+            };
+            self.read_body(&mut ops, shard, vc, tid, addr, size)
+        } else {
+            self.read_body(&mut Uncached(&self.shadow), shard, vc, tid, addr, size)
+        }
+    }
+
+    fn read_body<S: ShadowOps>(
+        &self,
+        shadow: &mut S,
+        shard: &StatsShard,
+        vc: &VectorClock,
+        tid: ThreadId,
+        addr: usize,
+        size: usize,
+    ) -> Result<(), RaceReport> {
         if self.config.vectorized && size > 1 {
             // Section 4.4: vector-load all epochs; if they are all equal it
             // suffices to test one (there is a race on all bytes or none).
-            if let Some(e) = self.shadow.range_uniform(addr, size) {
-                DetectorStats::bump(&self.stats.uniform_fast_path);
+            if let Some(e) = shadow.range_uniform(addr, size) {
+                DetectorStats::bump(&shard.uniform_fast_path);
                 if vc.races_with(e) {
-                    return Err(self.report(AccessKind::Read, vc, tid, addr, size, e));
+                    return Err(self.report(shard, AccessKind::Read, vc, tid, addr, size, e));
                 }
                 return Ok(());
             }
-            DetectorStats::bump(&self.stats.per_byte_slow_path);
+            DetectorStats::bump(&shard.per_byte_slow_path);
         }
 
         for i in 0..size {
-            let e = self.shadow.load(addr + i);
+            let e = shadow.load(addr + i);
             if vc.races_with(e) {
-                return Err(self.report(AccessKind::Read, vc, tid, addr + i, 1, e));
+                return Err(self.report(shard, AccessKind::Read, vc, tid, addr + i, 1, e));
             }
         }
         Ok(())
@@ -266,52 +461,132 @@ impl CleanDetector {
         size: usize,
     ) -> Result<(), RaceReport> {
         debug_assert!(size > 0);
-        DetectorStats::bump(&self.stats.writes_checked);
-        DetectorStats::add(&self.stats.bytes_checked, size as u64);
+        let shard = self.shard(tid);
+        DetectorStats::bump(&shard.writes_checked);
+        DetectorStats::add(&shard.bytes_checked, size as u64);
         let _guard = self.check_guard(addr);
-
         let new_epoch = vc.write_epoch(tid);
+        self.write_body(
+            &mut Uncached(&self.shadow),
+            shard,
+            vc,
+            tid,
+            addr,
+            size,
+            new_epoch,
+        )
+    }
 
+    /// [`check_write`](Self::check_write) through the per-thread fast-path
+    /// state. On a filter hit the whole check (and the already-current
+    /// epoch publication) is skipped; on a successful full check the
+    /// published range is recorded in the filter for the rest of the SFR.
+    /// Verdicts are identical to the plain entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`check_write`](Self::check_write).
+    pub fn check_write_with(
+        &self,
+        vc: &VectorClock,
+        tid: ThreadId,
+        addr: usize,
+        size: usize,
+        state: &mut ThreadCheckState,
+    ) -> Result<(), RaceReport> {
+        debug_assert!(size > 0);
+        let shard = self.shard(tid);
+        DetectorStats::bump(&shard.writes_checked);
+        DetectorStats::add(&shard.bytes_checked, size as u64);
+        let new_epoch = vc.write_epoch(tid);
+        let generation = self.shadow.generation();
+        if self.config.write_filter && state.filter.covers(addr, size, new_epoch.raw(), generation)
+        {
+            // Every covered byte already holds exactly `new_epoch`: the
+            // full check would pass and take the Figure 2 line 5 skip.
+            DetectorStats::bump(&shard.filter_hits);
+            return Ok(());
+        }
+        let _guard = self.check_guard(addr);
+        let result = if self.config.page_cache {
+            let mut ops = Cached {
+                shadow: &self.shadow,
+                cache: &mut state.page_cache,
+            };
+            self.write_body(&mut ops, shard, vc, tid, addr, size, new_epoch)
+        } else {
+            self.write_body(
+                &mut Uncached(&self.shadow),
+                shard,
+                vc,
+                tid,
+                addr,
+                size,
+                new_epoch,
+            )
+        };
+        if result.is_ok() && self.config.write_filter {
+            // The full check passed: all bytes now hold `new_epoch` under
+            // `generation`, which is exactly the filter's validity claim.
+            state.filter.insert(addr, size, new_epoch.raw(), generation);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_body<S: ShadowOps>(
+        &self,
+        shadow: &mut S,
+        shard: &StatsShard,
+        vc: &VectorClock,
+        tid: ThreadId,
+        addr: usize,
+        size: usize,
+        new_epoch: Epoch,
+    ) -> Result<(), RaceReport> {
         if self.config.vectorized && size > 1 {
-            if let Some(e) = self.shadow.range_uniform(addr, size) {
-                DetectorStats::bump(&self.stats.uniform_fast_path);
+            if let Some(e) = shadow.range_uniform(addr, size) {
+                DetectorStats::bump(&shard.uniform_fast_path);
                 if vc.races_with(e) {
-                    return Err(self.report(AccessKind::Write, vc, tid, addr, size, e));
+                    return Err(self.report(shard, AccessKind::Write, vc, tid, addr, size, e));
                 }
                 if e == new_epoch {
                     // Figure 2 line 5: update not needed.
-                    DetectorStats::bump(&self.stats.update_skipped);
+                    DetectorStats::bump(&shard.update_skipped);
                     return Ok(());
                 }
                 // Wide-CAS publish: groups of up to WIDE_CAS_EPOCHS epochs
                 // are updated per modelled 128-bit CAS (Section 4.4).
-                return self.publish_range(vc, tid, addr, size, e, new_epoch);
+                return self.publish_range(shadow, shard, vc, tid, addr, size, e, new_epoch);
             }
-            DetectorStats::bump(&self.stats.per_byte_slow_path);
+            DetectorStats::bump(&shard.per_byte_slow_path);
         }
 
         for i in 0..size {
-            let e = self.shadow.load(addr + i);
+            let e = shadow.load(addr + i);
             if vc.races_with(e) {
-                return Err(self.report(AccessKind::Write, vc, tid, addr + i, 1, e));
+                return Err(self.report(shard, AccessKind::Write, vc, tid, addr + i, 1, e));
             }
             if e == new_epoch {
-                DetectorStats::bump(&self.stats.update_skipped);
+                DetectorStats::bump(&shard.update_skipped);
                 continue;
             }
-            if let Err(found) = self.shadow.compare_exchange(addr + i, e, new_epoch) {
-                DetectorStats::bump(&self.stats.cas_conflicts);
-                return Err(self.report(AccessKind::Write, vc, tid, addr + i, 1, found));
+            if let Err(found) = shadow.compare_exchange(addr + i, e, new_epoch) {
+                DetectorStats::bump(&shard.cas_conflicts);
+                return Err(self.report(shard, AccessKind::Write, vc, tid, addr + i, 1, found));
             }
-            DetectorStats::bump(&self.stats.epoch_updates);
+            DetectorStats::bump(&shard.epoch_updates);
         }
         Ok(())
     }
 
     /// Publishes `new_epoch` over `[addr, addr+size)` whose epochs were all
     /// observed equal to `expected`.
-    fn publish_range(
+    #[allow(clippy::too_many_arguments)]
+    fn publish_range<S: ShadowOps>(
         &self,
+        shadow: &mut S,
+        shard: &StatsShard,
         vc: &VectorClock,
         tid: ThreadId,
         addr: usize,
@@ -319,18 +594,15 @@ impl CleanDetector {
         expected: Epoch,
         new_epoch: Epoch,
     ) -> Result<(), RaceReport> {
-        if let Err((at, found)) = self
-            .shadow
-            .compare_exchange_range(addr, size, expected, new_epoch)
-        {
+        if let Err((at, found)) = shadow.compare_exchange_range(addr, size, expected, new_epoch) {
             // A concurrent check interleaved between our load and CAS.
             // Seeing our own new epoch is impossible (no thread races
             // with itself), so this is a concurrent unordered write.
-            DetectorStats::bump(&self.stats.cas_conflicts);
-            return Err(self.report(AccessKind::Write, vc, tid, at, 1, found));
+            DetectorStats::bump(&shard.cas_conflicts);
+            return Err(self.report(shard, AccessKind::Write, vc, tid, at, 1, found));
         }
         DetectorStats::add(
-            &self.stats.epoch_updates,
+            &shard.epoch_updates,
             (size as u64).div_ceil(WIDE_CAS_EPOCHS as u64),
         );
         Ok(())
@@ -356,6 +628,27 @@ impl CleanDetector {
         }
     }
 
+    /// [`check_access`](Self::check_access) through the per-thread
+    /// fast-path state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the race reports of the dispatched check.
+    pub fn check_access_with(
+        &self,
+        kind: AccessKind,
+        vc: &VectorClock,
+        tid: ThreadId,
+        addr: usize,
+        size: usize,
+        state: &mut ThreadCheckState,
+    ) -> Result<(), RaceReport> {
+        match kind {
+            AccessKind::Read => self.check_read_with(vc, tid, addr, size, state),
+            AccessKind::Write => self.check_write_with(vc, tid, addr, size, state),
+        }
+    }
+
     /// The epoch currently recorded for data byte `addr` (test/diagnostic
     /// aid; the hardware simulator keeps its own metadata).
     pub fn epoch_at(&self, addr: usize) -> Epoch {
@@ -364,7 +657,9 @@ impl CleanDetector {
 
     /// Deterministic metadata reset (Section 4.5). The caller must have
     /// brought the program to a globally deterministic quiescent point and
-    /// must reset all thread and lock vector clocks alongside.
+    /// must reset all thread and lock vector clocks alongside. Per-thread
+    /// [`ThreadCheckState`] needs no flush: filter entries and cached
+    /// pages are tagged with the reset generation and self-invalidate.
     pub fn reset_metadata(&self) {
         self.shadow.reset();
     }
@@ -547,6 +842,11 @@ mod tests {
             .unwrap();
         det.check_access(AccessKind::Read, &vcs[0], ThreadId::new(0), 0, 2)
             .unwrap();
+        let mut st = ThreadCheckState::new();
+        det.check_access_with(AccessKind::Write, &vcs[0], ThreadId::new(0), 0, 2, &mut st)
+            .unwrap();
+        det.check_access_with(AccessKind::Read, &vcs[0], ThreadId::new(0), 0, 2, &mut st)
+            .unwrap();
     }
 
     #[test]
@@ -603,5 +903,141 @@ mod tests {
         assert_eq!(det.layout().tid(e), t0);
         assert_eq!(det.layout().clock(e), 1);
         assert_eq!(det.epoch_at(44), Epoch::ZERO);
+    }
+
+    #[test]
+    fn filter_hits_are_counted_and_redundant() {
+        let (det, mut vcs) = setup(1);
+        let t0 = ThreadId::new(0);
+        vcs[0].increment(t0).unwrap();
+        let mut st = ThreadCheckState::new();
+        det.check_write_with(&vcs[0], t0, 0, 8, &mut st).unwrap();
+        let updates_after_first = det.stats().epoch_updates;
+        // Repeat writes and reads of the published range: all filter hits,
+        // no further shadow traffic.
+        for _ in 0..10 {
+            det.check_write_with(&vcs[0], t0, 0, 8, &mut st).unwrap();
+            det.check_read_with(&vcs[0], t0, 0, 8, &mut st).unwrap();
+            det.check_read_with(&vcs[0], t0, 0, 4, &mut st).unwrap();
+        }
+        let s = det.stats();
+        assert_eq!(s.epoch_updates, updates_after_first);
+        assert_eq!(s.filter_hits, 30);
+        // The shadow state is exactly what the unfiltered path would leave.
+        assert_eq!(det.epoch_at(0), vcs[0].write_epoch(t0));
+    }
+
+    #[test]
+    fn filter_entries_die_with_the_epoch() {
+        let (det, mut vcs) = setup(2);
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let mut st0 = ThreadCheckState::new();
+        vcs[0].increment(t0).unwrap();
+        det.check_write_with(&vcs[0], t0, 0, 8, &mut st0).unwrap();
+        // t0 releases (epoch bump): the cached range must stop hitting.
+        vcs[0].increment(t0).unwrap();
+        st0.on_epoch_increment();
+        let hits_before = det.stats().filter_hits;
+        det.check_write_with(&vcs[0], t0, 0, 8, &mut st0).unwrap();
+        assert_eq!(det.stats().filter_hits, hits_before, "no stale hit");
+        // And even without the explicit flush the epoch tag invalidates.
+        let mut st1 = ThreadCheckState::new();
+        let release = vcs[0].clone();
+        vcs[1].join(&release);
+        det.check_read_with(&vcs[1], t1, 0, 8, &mut st1).unwrap();
+    }
+
+    #[test]
+    fn fast_path_verdicts_match_plain_path() {
+        // Race scenarios through the *_with entry points must produce the
+        // same reports as the plain ones, knob combinations included.
+        for (filter, cache) in [(false, false), (true, false), (false, true), (true, true)] {
+            let cfg = DetectorConfig::new().write_filter(filter).page_cache(cache);
+            let det = CleanDetector::new(1 << 16, cfg);
+            let layout = det.layout();
+            let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+            let mut vc0 = VectorClock::new(2, layout);
+            let vc1 = VectorClock::new(2, layout);
+            let mut st0 = ThreadCheckState::new();
+            let mut st1 = ThreadCheckState::new();
+            vc0.increment(t0).unwrap();
+            det.check_write_with(&vc0, t0, 64, 4, &mut st0).unwrap();
+            det.check_write_with(&vc0, t0, 64, 4, &mut st0).unwrap();
+            let race = det.check_write_with(&vc1, t1, 64, 4, &mut st1).unwrap_err();
+            assert_eq!(race.kind, RaceKind::WriteAfterWrite);
+            assert_eq!(race.addr, 64);
+            assert_eq!(race.previous_tid(), t0);
+            assert_eq!(race.previous_clock(), 1);
+        }
+    }
+
+    #[test]
+    fn page_straddling_write_publishes_both_pages() {
+        use crate::shadow::PAGE_EPOCHS;
+        let (det, mut vcs) = setup(2);
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        vcs[0].increment(t0).unwrap();
+        // An 8-byte write with 4 bytes on each side of the page boundary.
+        let base = PAGE_EPOCHS - 4;
+        det.check_write(&vcs[0], t0, base, 8).unwrap();
+        assert_eq!(det.epoch_at(PAGE_EPOCHS - 1), vcs[0].write_epoch(t0));
+        assert_eq!(det.epoch_at(PAGE_EPOCHS), vcs[0].write_epoch(t0));
+        // An unordered read touching only the second-page half must still
+        // see the published epoch and race, with the right first byte.
+        let race = det.check_read(&vcs[1], t1, PAGE_EPOCHS + 2, 2).unwrap_err();
+        assert_eq!(race.kind, RaceKind::ReadAfterWrite);
+        assert_eq!(race.addr, PAGE_EPOCHS + 2);
+    }
+
+    #[test]
+    fn fast_path_handles_page_straddles_like_plain_path() {
+        use crate::shadow::PAGE_EPOCHS;
+        // Straddling ranges defeat both the page cache (which only serves
+        // single-page ranges) and never split filter entries: verdicts and
+        // shadow state must match the plain path on every knob setting.
+        for (filter, cache) in [(false, false), (true, false), (false, true), (true, true)] {
+            let cfg = DetectorConfig::new().write_filter(filter).page_cache(cache);
+            let det = CleanDetector::new(1 << 16, cfg);
+            let layout = det.layout();
+            let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+            let mut vc0 = VectorClock::new(2, layout);
+            let vc1 = VectorClock::new(2, layout);
+            let mut st0 = ThreadCheckState::new();
+            let mut st1 = ThreadCheckState::new();
+            vc0.increment(t0).unwrap();
+            let base = 2 * PAGE_EPOCHS - 3;
+            det.check_write_with(&vc0, t0, base, 8, &mut st0).unwrap();
+            // The repeat of a successfully published straddle is a filter
+            // hit when the filter is on — one entry covers both pages.
+            let hits = det.stats().filter_hits;
+            det.check_write_with(&vc0, t0, base, 8, &mut st0).unwrap();
+            det.check_read_with(&vc0, t0, base, 8, &mut st0).unwrap();
+            assert_eq!(det.stats().filter_hits, hits + if filter { 2 } else { 0 });
+            // Cross-thread, unordered: race on the first straddled byte.
+            let race = det
+                .check_write_with(&vc1, t1, base, 8, &mut st1)
+                .unwrap_err();
+            assert_eq!(race.kind, RaceKind::WriteAfterWrite);
+            assert_eq!(race.addr, base);
+            // Both halves really were published.
+            assert_eq!(det.epoch_at(2 * PAGE_EPOCHS - 1), vc0.write_epoch(t0));
+            assert_eq!(det.epoch_at(2 * PAGE_EPOCHS + 4), vc0.write_epoch(t0));
+        }
+    }
+
+    #[test]
+    fn filter_survives_reset_via_generation_tag() {
+        let (det, mut vcs) = setup(1);
+        let t0 = ThreadId::new(0);
+        vcs[0].increment(t0).unwrap();
+        let mut st = ThreadCheckState::new();
+        det.check_write_with(&vcs[0], t0, 0, 8, &mut st).unwrap();
+        det.reset_metadata();
+        // Same thread epoch, new generation: the entry must not hit (the
+        // shadow now reads zero, not our epoch).
+        let hits = det.stats().filter_hits;
+        det.check_write_with(&vcs[0], t0, 0, 8, &mut st).unwrap();
+        assert_eq!(det.stats().filter_hits, hits);
+        assert_eq!(det.epoch_at(0), vcs[0].write_epoch(t0));
     }
 }

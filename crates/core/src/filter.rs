@@ -1,0 +1,209 @@
+//! Per-thread redundant-check elimination — the software analogue of the
+//! paper's Section 5 LLC-ownership filter.
+//!
+//! In hardware, CLEAN skips the epoch check whenever the LLC already
+//! holds the line in the modified state for the issuing core: nobody else
+//! can have written it since this core last published, so re-checking is
+//! provably redundant. Software has no coherence directory, but it has an
+//! equivalent invariant: once a thread has *successfully published its
+//! current epoch* over a byte range, every byte in that range still holds
+//! exactly that epoch for as long as the thread's epoch does not change —
+//! any ordered overwrite requires this thread to release (which bumps its
+//! epoch and invalidates the entry), and any racy overwrite raises the
+//! race exception *before* mutating shadow state. See DESIGN.md
+//! ("SFR write-set filter") for the full soundness argument.
+//!
+//! [`SfrWriteFilter`] is a small direct-mapped table of such ranges.
+//! Entries are tagged with the publishing epoch and the shadow reset
+//! generation, so they self-invalidate on epoch increments and on
+//! deterministic resets without any flush being strictly required; the
+//! explicit [`clear`](SfrWriteFilter::clear) on sync operations merely
+//! keeps the table from carrying dead weight across SFRs.
+
+use crate::shadow::ShadowPageCache;
+
+/// Number of direct-mapped filter slots. 128 slots × 24 B ≈ 3 KiB per
+/// thread — small enough to stay L1-resident next to the thread's stack.
+pub const FILTER_SLOTS: usize = 128;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    base: usize,
+    /// Covered length in bytes; 0 marks an empty slot.
+    len: u32,
+    /// Raw epoch the owning thread held when it published this range.
+    epoch: u32,
+    /// Shadow reset generation the publication happened under.
+    generation: u64,
+}
+
+/// A direct-mapped per-thread table of byte ranges the thread has already
+/// published under its current epoch.
+///
+/// Not shared: each thread owns its own filter, so lookups and inserts
+/// are plain (non-atomic) loads and stores.
+#[derive(Debug)]
+pub struct SfrWriteFilter {
+    slots: [Slot; FILTER_SLOTS],
+}
+
+impl Default for SfrWriteFilter {
+    fn default() -> Self {
+        SfrWriteFilter {
+            slots: [Slot::default(); FILTER_SLOTS],
+        }
+    }
+}
+
+impl SfrWriteFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn index(addr: usize) -> usize {
+        (addr >> 3) & (FILTER_SLOTS - 1)
+    }
+
+    /// Returns true if `[addr, addr + size)` is fully covered by an entry
+    /// published under exactly (`epoch_raw`, `generation`).
+    ///
+    /// A hit means the full check is provably redundant: every covered
+    /// byte still holds `epoch_raw` in shadow memory, so a read check
+    /// passes without updates and a write check takes the
+    /// `epoch == newEpoch` skip path.
+    #[inline]
+    pub fn covers(&self, addr: usize, size: usize, epoch_raw: u32, generation: u64) -> bool {
+        let s = &self.slots[Self::index(addr)];
+        s.len != 0
+            && s.epoch == epoch_raw
+            && s.generation == generation
+            && s.base <= addr
+            && addr + size <= s.base + s.len as usize
+    }
+
+    /// Records that the owning thread published `epoch_raw` over
+    /// `[addr, addr + size)` under reset generation `generation`.
+    ///
+    /// Call only after a *successful, complete* write check — a failed or
+    /// partial publication must not be cached.
+    #[inline]
+    pub fn insert(&mut self, addr: usize, size: usize, epoch_raw: u32, generation: u64) {
+        self.slots[Self::index(addr)] = Slot {
+            base: addr,
+            len: size.min(u32::MAX as usize) as u32,
+            epoch: epoch_raw,
+            generation,
+        };
+    }
+
+    /// Empties the filter. Called on every epoch increment (sync
+    /// operation); entries would self-invalidate via their epoch tag
+    /// anyway, so this is hygiene, not a soundness requirement.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.slots = [Slot::default(); FILTER_SLOTS];
+    }
+}
+
+/// The per-thread mutable state the fast-path check pipeline threads
+/// through [`check_read_with`](crate::CleanDetector::check_read_with) and
+/// [`check_write_with`](crate::CleanDetector::check_write_with): the SFR
+/// write-set filter plus the last-shadow-page cache.
+#[derive(Debug, Default)]
+pub struct ThreadCheckState {
+    /// Ranges this thread already published this SFR.
+    pub filter: SfrWriteFilter,
+    /// Last shadow page this thread resolved.
+    pub page_cache: ShadowPageCache,
+}
+
+impl ThreadCheckState {
+    /// Creates empty per-thread state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flush hook for epoch increments: empties the write-set filter.
+    /// (The page cache survives sync operations — page identity does not
+    /// depend on the thread's epoch.)
+    #[inline]
+    pub fn on_epoch_increment(&mut self) {
+        self.filter.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_filter_covers_nothing() {
+        let f = SfrWriteFilter::new();
+        assert!(!f.covers(0, 1, 0, 0));
+        assert!(!f.covers(64, 8, 5, 0));
+    }
+
+    #[test]
+    fn insert_then_cover_exact_and_subrange() {
+        let mut f = SfrWriteFilter::new();
+        f.insert(100, 8, 7, 0);
+        assert!(f.covers(100, 8, 7, 0), "exact range");
+        assert!(f.covers(100, 4, 7, 0), "prefix subrange");
+        assert!(!f.covers(96, 8, 7, 0), "starts before entry");
+        assert!(!f.covers(104, 8, 7, 0), "runs past entry");
+    }
+
+    #[test]
+    fn epoch_mismatch_invalidates() {
+        let mut f = SfrWriteFilter::new();
+        f.insert(100, 8, 7, 0);
+        assert!(!f.covers(100, 8, 8, 0), "newer epoch: entry stale");
+        assert!(!f.covers(100, 8, 6, 0));
+    }
+
+    #[test]
+    fn generation_mismatch_invalidates() {
+        let mut f = SfrWriteFilter::new();
+        f.insert(100, 8, 7, 3);
+        assert!(f.covers(100, 8, 7, 3));
+        assert!(!f.covers(100, 8, 7, 4), "reset invalidates entries");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = SfrWriteFilter::new();
+        f.insert(100, 8, 7, 0);
+        f.clear();
+        assert!(!f.covers(100, 8, 7, 0));
+    }
+
+    #[test]
+    fn direct_mapped_eviction() {
+        let mut f = SfrWriteFilter::new();
+        f.insert(0, 8, 7, 0);
+        // Same slot ((addr >> 3) mod FILTER_SLOTS collides), new entry wins.
+        f.insert(8 * FILTER_SLOTS, 8, 7, 0);
+        assert!(!f.covers(0, 8, 7, 0), "evicted by colliding insert");
+        assert!(f.covers(8 * FILTER_SLOTS, 8, 7, 0));
+    }
+
+    #[test]
+    fn subrange_lookup_misses_on_different_slot() {
+        // Containment is only visible from the slot the *access* maps to;
+        // an access whose index differs from the entry's base index is a
+        // (sound) miss even though the range would cover it.
+        let mut f = SfrWriteFilter::new();
+        f.insert(100, 16, 7, 0);
+        assert!(!f.covers(112, 4, 7, 0), "different slot: miss, not unsound");
+    }
+
+    #[test]
+    fn check_state_flushes_filter_only() {
+        let mut st = ThreadCheckState::new();
+        st.filter.insert(64, 8, 3, 0);
+        st.on_epoch_increment();
+        assert!(!st.filter.covers(64, 8, 3, 0));
+    }
+}

@@ -57,6 +57,7 @@
 mod clock;
 mod detector;
 mod epoch;
+mod filter;
 mod report;
 mod rollover;
 mod shadow;
@@ -64,10 +65,13 @@ mod stats;
 mod trace_event;
 
 pub use clock::{ClockRolloverError, VectorClock};
-pub use detector::{AtomicityMode, CleanDetector, DetectorConfig, WIDE_CAS_EPOCHS};
+pub use detector::{
+    AtomicityMode, CleanDetector, DetectorConfig, DEFAULT_STATS_SHARDS, WIDE_CAS_EPOCHS,
+};
 pub use epoch::{Epoch, EpochLayout, ThreadId};
+pub use filter::{SfrWriteFilter, ThreadCheckState, FILTER_SLOTS};
 pub use report::{AccessKind, RaceKind, RaceReport};
 pub use rollover::RolloverCoordinator;
-pub use shadow::{ShadowMemory, ShadowStats, PAGE_EPOCHS};
-pub use stats::{DetectorStats, StatsSnapshot};
+pub use shadow::{ShadowMemory, ShadowPageCache, ShadowStats, PAGE_EPOCHS};
+pub use stats::{DetectorStats, StatsShard, StatsSnapshot};
 pub use trace_event::{EventSink, LockId, TraceEvent};

@@ -24,6 +24,51 @@ use std::sync::OnceLock;
 /// covering 4 KiB of data, mirroring an OS page of program data.
 pub const PAGE_EPOCHS: usize = 4096;
 
+/// Process-wide id source for [`ShadowMemory`] instances (starts at 1 so
+/// a default-constructed [`ShadowPageCache`] can never spuriously hit).
+static SHADOW_UID: AtomicU64 = AtomicU64::new(1);
+
+/// A thread-local memo of the last shadow page a thread resolved.
+///
+/// The cached pointer is only dereferenced when the cache's instance id
+/// matches the [`ShadowMemory`] being queried *and* the cached reset
+/// generation equals the instance's current generation; on any mismatch
+/// the slow path re-resolves and refills. Passing a cache that was filled
+/// from a different (even freed) `ShadowMemory` is therefore safe — the
+/// instance id (drawn from a process-global counter, never reused) can't
+/// match.
+#[derive(Debug)]
+pub struct ShadowPageCache {
+    uid: u64,
+    page_idx: usize,
+    generation: u64,
+    page: *const Page,
+}
+
+/// SAFETY: the raw pointer is only dereferenced under a live
+/// `&ShadowMemory` borrow whose uid matches, and pages live inline in the
+/// instance's never-reallocated directory, so sending the cache between
+/// threads cannot create a dangling dereference.
+unsafe impl Send for ShadowPageCache {}
+
+impl Default for ShadowPageCache {
+    fn default() -> Self {
+        ShadowPageCache {
+            uid: 0,
+            page_idx: 0,
+            generation: 0,
+            page: std::ptr::null(),
+        }
+    }
+}
+
+impl ShadowPageCache {
+    /// Creates an empty cache (first use always misses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 struct Page {
     /// Generation this page's contents belong to. If it lags the global
     /// generation the page logically holds all-zero epochs.
@@ -94,6 +139,8 @@ pub struct ShadowMemory {
     pages_allocated: AtomicUsize,
     resets: AtomicU64,
     size: usize,
+    /// Process-unique instance id keying [`ShadowPageCache`] entries.
+    uid: u64,
 }
 
 impl ShadowMemory {
@@ -115,6 +162,7 @@ impl ShadowMemory {
             pages_allocated: AtomicUsize::new(0),
             resets: AtomicU64::new(0),
             size: data_size,
+            uid: SHADOW_UID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -156,13 +204,43 @@ impl ShadowMemory {
     }
 
     fn page_for_write(&self, p: usize) -> &Page {
-        let gen = self.generation.load(Ordering::Acquire);
+        self.page_for_write_at(p, self.generation.load(Ordering::Acquire))
+    }
+
+    fn page_for_write_at(&self, p: usize, gen: u64) -> &Page {
         let page = self.pages[p].get_or_init(|| {
             self.pages_allocated.fetch_add(1, Ordering::Relaxed);
             Page::new(gen)
         });
         page.freshen(gen);
         page
+    }
+
+    /// Returns the cached page if `cache` still describes page `p` of this
+    /// instance under the current generation `gen`.
+    #[inline]
+    fn page_hit<'a>(&'a self, cache: &ShadowPageCache, p: usize, gen: u64) -> Option<&'a Page> {
+        if cache.uid == self.uid && cache.page_idx == p && cache.generation == gen {
+            // SAFETY: a uid match proves the pointer was taken from this
+            // very instance (uids are never reused), and pages live inline
+            // in `self.pages`, a boxed slice that is never reallocated, so
+            // the pointee is alive for as long as `self` is borrowed. The
+            // generation match proves its contents are current: the page
+            // held `gen` when cached and page generations only advance
+            // together with the global one.
+            return Some(unsafe { &*cache.page });
+        }
+        None
+    }
+
+    #[inline]
+    fn fill_cache(&self, cache: &mut ShadowPageCache, p: usize, gen: u64, page: &Page) {
+        *cache = ShadowPageCache {
+            uid: self.uid,
+            page_idx: p,
+            generation: gen,
+            page,
+        };
     }
 
     /// Stores `epoch` for data byte `addr`, materializing the page if
@@ -287,6 +365,138 @@ impl ShadowMemory {
         for i in 0..len {
             self.compare_exchange(addr + i, expected, new)
                 .map_err(|found| (addr + i, found))?;
+        }
+        Ok(())
+    }
+
+    /// [`load`](Self::load) through a [`ShadowPageCache`]: a hit on the
+    /// thread's last page skips the directory walk, `OnceLock` resolution
+    /// and per-page generation check.
+    #[inline]
+    pub fn load_cached(&self, addr: usize, cache: &mut ShadowPageCache) -> Epoch {
+        let (p, o) = self.split(addr);
+        let gen = self.generation.load(Ordering::Acquire);
+        if let Some(page) = self.page_hit(cache, p, gen) {
+            return Epoch::from_raw(page.epochs[o].load(Ordering::Acquire));
+        }
+        match self.pages[p].get() {
+            Some(page) if page.generation.load(Ordering::Acquire) == gen => {
+                self.fill_cache(cache, p, gen, page);
+                Epoch::from_raw(page.epochs[o].load(Ordering::Acquire))
+            }
+            // Unmaterialized or stale pages are not cached: they have no
+            // stable current-generation contents to point at.
+            _ => Epoch::ZERO,
+        }
+    }
+
+    /// [`range_uniform`](Self::range_uniform) through a
+    /// [`ShadowPageCache`]. Ranges crossing a page boundary fall back to
+    /// the uncached path (they cannot be answered by one cached page).
+    #[inline]
+    pub fn range_uniform_cached(
+        &self,
+        addr: usize,
+        len: usize,
+        cache: &mut ShadowPageCache,
+    ) -> Option<Epoch> {
+        debug_assert!(len > 0);
+        let (p, o) = self.split(addr);
+        if o + len > PAGE_EPOCHS {
+            return self.range_uniform(addr, len);
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        let page = match self.page_hit(cache, p, gen) {
+            Some(page) => page,
+            None => match self.pages[p].get() {
+                Some(page) if page.generation.load(Ordering::Acquire) == gen => {
+                    self.fill_cache(cache, p, gen, page);
+                    page
+                }
+                _ => return Some(Epoch::ZERO),
+            },
+        };
+        let first = page.epochs[o].load(Ordering::Acquire);
+        for i in 1..len {
+            if page.epochs[o + i].load(Ordering::Acquire) != first {
+                return None;
+            }
+        }
+        Some(Epoch::from_raw(first))
+    }
+
+    /// [`compare_exchange`](Self::compare_exchange) through a
+    /// [`ShadowPageCache`], filling it on miss (the write path always
+    /// materializes and freshens the page, so it is always cacheable).
+    #[inline]
+    pub fn compare_exchange_cached(
+        &self,
+        addr: usize,
+        expected: Epoch,
+        new: Epoch,
+        cache: &mut ShadowPageCache,
+    ) -> Result<(), Epoch> {
+        let (p, o) = self.split(addr);
+        let gen = self.generation.load(Ordering::Acquire);
+        let page = match self.page_hit(cache, p, gen) {
+            Some(page) => page,
+            None => {
+                let page = self.page_for_write_at(p, gen);
+                self.fill_cache(cache, p, gen, page);
+                page
+            }
+        };
+        page.epochs[o]
+            .compare_exchange(
+                expected.raw(),
+                new.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(Epoch::from_raw)
+    }
+
+    /// [`compare_exchange_range`](Self::compare_exchange_range) through a
+    /// [`ShadowPageCache`]. Ranges crossing a page boundary fall back to
+    /// the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as the uncached variant: the offending address and
+    /// epoch on first mismatch, earlier bytes left updated.
+    #[inline]
+    pub fn compare_exchange_range_cached(
+        &self,
+        addr: usize,
+        len: usize,
+        expected: Epoch,
+        new: Epoch,
+        cache: &mut ShadowPageCache,
+    ) -> Result<(), (usize, Epoch)> {
+        debug_assert!(len > 0);
+        let (p, o) = self.split(addr);
+        if o + len > PAGE_EPOCHS {
+            return self.compare_exchange_range(addr, len, expected, new);
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        let page = match self.page_hit(cache, p, gen) {
+            Some(page) => page,
+            None => {
+                let page = self.page_for_write_at(p, gen);
+                self.fill_cache(cache, p, gen, page);
+                page
+            }
+        };
+        for i in 0..len {
+            if let Err(found) = page.epochs[o + i].compare_exchange(
+                expected.raw(),
+                new.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                return Err((addr + i, Epoch::from_raw(found)));
+            }
         }
         Ok(())
     }
@@ -487,6 +697,69 @@ mod tests {
         let base = PAGE_EPOCHS - 3;
         s.compare_exchange_range(base, 6, Epoch::ZERO, Epoch::from_raw(4))
             .unwrap();
+        assert_eq!(s.range_uniform(base, 6), Some(Epoch::from_raw(4)));
+        assert_eq!(s.stats().pages_allocated, 2);
+    }
+
+    #[test]
+    fn cached_ops_match_uncached() {
+        let s = ShadowMemory::new(PAGE_EPOCHS * 2);
+        let mut c = ShadowPageCache::new();
+        assert_eq!(s.load_cached(10, &mut c), Epoch::ZERO);
+        s.compare_exchange_cached(10, Epoch::ZERO, Epoch::from_raw(3), &mut c)
+            .unwrap();
+        assert_eq!(s.load_cached(10, &mut c), Epoch::from_raw(3));
+        assert_eq!(s.load(10), Epoch::from_raw(3));
+        s.compare_exchange_range_cached(32, 8, Epoch::ZERO, Epoch::from_raw(3), &mut c)
+            .unwrap();
+        assert_eq!(
+            s.range_uniform_cached(32, 8, &mut c),
+            Some(Epoch::from_raw(3))
+        );
+        assert_eq!(s.range_uniform(32, 8), Some(Epoch::from_raw(3)));
+        s.store(35, Epoch::from_raw(9));
+        assert_eq!(s.range_uniform_cached(32, 8, &mut c), None);
+    }
+
+    #[test]
+    fn cache_invalidated_by_reset() {
+        let s = ShadowMemory::new(4096);
+        let mut c = ShadowPageCache::new();
+        s.compare_exchange_cached(7, Epoch::ZERO, Epoch::from_raw(5), &mut c)
+            .unwrap();
+        s.reset();
+        // Stale cached generation must miss and read the logical zero.
+        assert_eq!(s.load_cached(7, &mut c), Epoch::ZERO);
+        assert!(s
+            .compare_exchange_cached(7, Epoch::ZERO, Epoch::from_raw(6), &mut c)
+            .is_ok());
+        assert_eq!(s.load(7), Epoch::from_raw(6));
+    }
+
+    #[test]
+    fn cache_never_hits_across_instances() {
+        let a = ShadowMemory::new(4096);
+        let b = ShadowMemory::new(4096);
+        let mut c = ShadowPageCache::new();
+        a.compare_exchange_cached(0, Epoch::ZERO, Epoch::from_raw(8), &mut c)
+            .unwrap();
+        // Same page index, same generation — different instance: the uid
+        // check must force a miss, reading b's (empty) state.
+        assert_eq!(b.load_cached(0, &mut c), Epoch::ZERO);
+        assert_eq!(a.load(0), Epoch::from_raw(8));
+    }
+
+    #[test]
+    fn cached_range_ops_cross_page_boundary() {
+        let s = ShadowMemory::new(PAGE_EPOCHS * 2);
+        let mut c = ShadowPageCache::new();
+        let base = PAGE_EPOCHS - 3;
+        s.compare_exchange_range_cached(base, 6, Epoch::ZERO, Epoch::from_raw(4), &mut c)
+            .unwrap();
+        assert_eq!(
+            s.range_uniform_cached(base, 6, &mut c),
+            Some(Epoch::from_raw(4))
+        );
         assert_eq!(s.range_uniform(base, 6), Some(Epoch::from_raw(4)));
         assert_eq!(s.stats().pages_allocated, 2);
     }

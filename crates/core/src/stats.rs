@@ -1,15 +1,22 @@
 //! Detection statistics — the measured quantities behind Figures 7, 8
 //! and 10 of the paper.
+//!
+//! Counters live in cache-line-padded *shards* so concurrent threads do
+//! not contend on (or false-share) the same lines while the detector is
+//! hot; [`DetectorStats::snapshot`] sums the shards into the plain-value
+//! [`StatsSnapshot`] totals. A single-shard instance degenerates to the
+//! old globally shared layout.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Thread-safe counters accumulated by the detector.
+/// One cache-line-padded bundle of detection counters.
 ///
 /// All counters are monotone and updated with relaxed atomics; a snapshot
 /// taken while threads run is approximate but each final value (after the
 /// program quiesces) is exact.
 #[derive(Debug, Default)]
-pub struct DetectorStats {
+#[repr(align(128))]
+pub struct StatsShard {
     /// Shared read accesses checked.
     pub reads_checked: AtomicU64,
     /// Shared write accesses checked.
@@ -31,9 +38,25 @@ pub struct DetectorStats {
     pub cas_conflicts: AtomicU64,
     /// Races reported.
     pub races_reported: AtomicU64,
+    /// Checks answered entirely by the per-thread SFR write-set filter
+    /// (the software analogue of the paper's Section 5 LLC-ownership
+    /// redundant-check elimination).
+    pub filter_hits: AtomicU64,
 }
 
-/// A plain-value snapshot of [`DetectorStats`].
+/// Thread-safe counters accumulated by the detector, sharded by thread.
+#[derive(Debug)]
+pub struct DetectorStats {
+    shards: Box<[StatsShard]>,
+}
+
+impl Default for DetectorStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A plain-value snapshot of [`DetectorStats`], summed across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Shared read accesses checked.
@@ -54,10 +77,13 @@ pub struct StatsSnapshot {
     pub cas_conflicts: u64,
     /// Races reported.
     pub races_reported: u64,
+    /// Checks answered by the SFR write-set filter.
+    pub filter_hits: u64,
 }
 
 impl StatsSnapshot {
-    /// Total accesses checked.
+    /// Total accesses checked (filter hits included: a filtered check is
+    /// still a checked access, answered by cached knowledge).
     pub fn total_checked(&self) -> u64 {
         self.reads_checked + self.writes_checked
     }
@@ -74,24 +100,50 @@ impl StatsSnapshot {
 }
 
 impl DetectorStats {
-    /// Creates zeroed statistics.
+    /// Creates zeroed single-shard statistics (the contended layout —
+    /// every thread bumps the same cache lines).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(1)
     }
 
-    /// Takes a consistent-enough snapshot of all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            reads_checked: self.reads_checked.load(Ordering::Relaxed),
-            writes_checked: self.writes_checked.load(Ordering::Relaxed),
-            bytes_checked: self.bytes_checked.load(Ordering::Relaxed),
-            uniform_fast_path: self.uniform_fast_path.load(Ordering::Relaxed),
-            per_byte_slow_path: self.per_byte_slow_path.load(Ordering::Relaxed),
-            epoch_updates: self.epoch_updates.load(Ordering::Relaxed),
-            update_skipped: self.update_skipped.load(Ordering::Relaxed),
-            cas_conflicts: self.cas_conflicts.load(Ordering::Relaxed),
-            races_reported: self.races_reported.load(Ordering::Relaxed),
+    /// Creates zeroed statistics spread over `shards` padded shards
+    /// (clamped to at least one).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        DetectorStats {
+            shards: (0..shards).map(|_| StatsShard::default()).collect(),
         }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard thread `tid_index` should bump. With one shard this is
+    /// the shared bundle; with more, threads spread across lines.
+    #[inline]
+    pub fn shard(&self, tid_index: usize) -> &StatsShard {
+        &self.shards[tid_index % self.shards.len()]
+    }
+
+    /// Takes a consistent-enough snapshot: each counter summed over all
+    /// shards.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for shard in self.shards.iter() {
+            s.reads_checked += shard.reads_checked.load(Ordering::Relaxed);
+            s.writes_checked += shard.writes_checked.load(Ordering::Relaxed);
+            s.bytes_checked += shard.bytes_checked.load(Ordering::Relaxed);
+            s.uniform_fast_path += shard.uniform_fast_path.load(Ordering::Relaxed);
+            s.per_byte_slow_path += shard.per_byte_slow_path.load(Ordering::Relaxed);
+            s.epoch_updates += shard.epoch_updates.load(Ordering::Relaxed);
+            s.update_skipped += shard.update_skipped.load(Ordering::Relaxed);
+            s.cas_conflicts += shard.cas_conflicts.load(Ordering::Relaxed);
+            s.races_reported += shard.races_reported.load(Ordering::Relaxed);
+            s.filter_hits += shard.filter_hits.load(Ordering::Relaxed);
+        }
+        s
     }
 
     #[inline]
@@ -112,15 +164,50 @@ mod tests {
     #[test]
     fn snapshot_reflects_bumps() {
         let s = DetectorStats::new();
-        DetectorStats::bump(&s.reads_checked);
-        DetectorStats::bump(&s.reads_checked);
-        DetectorStats::bump(&s.writes_checked);
-        DetectorStats::add(&s.bytes_checked, 12);
+        DetectorStats::bump(&s.shard(0).reads_checked);
+        DetectorStats::bump(&s.shard(0).reads_checked);
+        DetectorStats::bump(&s.shard(0).writes_checked);
+        DetectorStats::add(&s.shard(0).bytes_checked, 12);
         let snap = s.snapshot();
         assert_eq!(snap.reads_checked, 2);
         assert_eq!(snap.writes_checked, 1);
         assert_eq!(snap.bytes_checked, 12);
         assert_eq!(snap.total_checked(), 3);
+    }
+
+    #[test]
+    fn snapshot_sums_across_shards() {
+        let s = DetectorStats::with_shards(4);
+        assert_eq!(s.shard_count(), 4);
+        for tid in 0..9 {
+            DetectorStats::bump(&s.shard(tid).reads_checked);
+        }
+        DetectorStats::bump(&s.shard(2).filter_hits);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads_checked, 9);
+        assert_eq!(snap.filter_hits, 1);
+    }
+
+    #[test]
+    fn shard_selection_wraps() {
+        let s = DetectorStats::with_shards(2);
+        assert!(std::ptr::eq(s.shard(0), s.shard(2)));
+        assert!(std::ptr::eq(s.shard(1), s.shard(3)));
+        assert!(!std::ptr::eq(s.shard(0), s.shard(1)));
+    }
+
+    #[test]
+    fn shards_are_cache_line_padded() {
+        assert!(std::mem::align_of::<StatsShard>() >= 128);
+        assert!(std::mem::size_of::<StatsShard>() >= 128);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let s = DetectorStats::with_shards(0);
+        assert_eq!(s.shard_count(), 1);
+        DetectorStats::bump(&s.shard(7).races_reported);
+        assert_eq!(s.snapshot().races_reported, 1);
     }
 
     #[test]

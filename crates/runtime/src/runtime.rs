@@ -6,8 +6,8 @@ use crate::error::{CleanError, Result};
 use crate::heap::{SharedArray, SharedHeap};
 use crate::scalar::Scalar;
 use clean_core::{
-    CleanDetector, DetectorConfig, EventSink, LockId, RaceReport, RolloverCoordinator, ThreadId,
-    TraceEvent, VectorClock,
+    CleanDetector, DetectorConfig, EventSink, LockId, RaceReport, RolloverCoordinator,
+    ThreadCheckState, ThreadId, TraceEvent, VectorClock,
 };
 use clean_sync::{DetHandle, Kendo, ThreadRegistry};
 use parking_lot::Mutex;
@@ -239,7 +239,10 @@ impl CleanRuntime {
                 DetectorConfig::new()
                     .layout(config.layout)
                     .vectorized(config.vectorized)
-                    .atomicity(config.atomicity),
+                    .atomicity(config.atomicity)
+                    .write_filter(config.write_filter)
+                    .page_cache(config.page_cache)
+                    .sharded_stats(config.sharded_stats),
             )
         });
         CleanRuntime {
@@ -357,6 +360,7 @@ impl CleanRuntime {
             det,
             local_reads: 0,
             local_writes: 0,
+            check: ThreadCheckState::new(),
         };
         if inner.detector.is_some() {
             // Resume above the slot's previous life and enter the first SFR.
@@ -457,6 +461,9 @@ pub struct ThreadCtx {
     /// baseline).
     pub(crate) local_reads: u64,
     pub(crate) local_writes: u64,
+    /// Per-thread fast-path check state (SFR write-set filter + last
+    /// shadow page cache); flushed on every epoch increment.
+    pub(crate) check: ThreadCheckState,
 }
 
 impl ThreadCtx {
@@ -540,6 +547,10 @@ impl ThreadCtx {
         self.vc
             .increment(self.tid)
             .expect("clock fits after deterministic reset");
+        // New SFR: ranges published under the previous epoch may now be
+        // overwritten in an ordered way, so the write-set filter flushes.
+        // (Entries would also self-invalidate via their epoch tag.)
+        self.check.on_epoch_increment();
     }
 
     /// Reads element `i` of a shared array (race-checked).
@@ -590,7 +601,8 @@ impl ThreadCtx {
             size: T::SIZE,
         });
         if let Some(det) = &self.rt.detector {
-            if let Err(r) = det.check_read(&self.vc, self.tid, addr, T::SIZE) {
+            if let Err(r) = det.check_read_with(&self.vc, self.tid, addr, T::SIZE, &mut self.check)
+            {
                 self.rt.poison(r);
                 return Err(CleanError::Race(r));
             }
@@ -618,7 +630,8 @@ impl ThreadCtx {
             size: T::SIZE,
         });
         if let Some(det) = &self.rt.detector {
-            if let Err(r) = det.check_write(&self.vc, self.tid, addr, T::SIZE) {
+            if let Err(r) = det.check_write_with(&self.vc, self.tid, addr, T::SIZE, &mut self.check)
+            {
                 self.rt.poison(r);
                 return Err(CleanError::Race(r));
             }
@@ -663,7 +676,9 @@ impl ThreadCtx {
             size: buf.len(),
         });
         if let Some(det) = &self.rt.detector {
-            if let Err(r) = det.check_read(&self.vc, self.tid, addr, buf.len()) {
+            if let Err(r) =
+                det.check_read_with(&self.vc, self.tid, addr, buf.len(), &mut self.check)
+            {
                 self.rt.poison(r);
                 return Err(CleanError::Race(r));
             }
@@ -698,7 +713,9 @@ impl ThreadCtx {
             size: data.len(),
         });
         if let Some(det) = &self.rt.detector {
-            if let Err(r) = det.check_write(&self.vc, self.tid, addr, data.len()) {
+            if let Err(r) =
+                det.check_write_with(&self.vc, self.tid, addr, data.len(), &mut self.check)
+            {
                 self.rt.poison(r);
                 return Err(CleanError::Race(r));
             }
@@ -791,6 +808,7 @@ impl ThreadCtx {
             det: child_det,
             local_reads: 0,
             local_writes: 0,
+            check: ThreadCheckState::new(),
         };
 
         self.rt.record(TraceEvent::Fork {

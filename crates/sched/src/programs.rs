@@ -58,6 +58,7 @@ fn cfg(max_threads: usize) -> VmConfig {
         heap_cells: 8,
         max_steps: 512,
         stop_on_race: false,
+        ..VmConfig::default()
     }
 }
 
@@ -235,6 +236,61 @@ fn cv_handoff() -> ProgramFn {
     })
 }
 
+/// A writer initializes a cell under the write lock, spawns a reader
+/// while still holding it, publishes by *downgrading* to a shared hold,
+/// and keeps reading under that hold. The downgrade's release edge is
+/// the only thing ordering the initialization before the reader's load
+/// — race-free in every schedule iff that edge exists. (One reader
+/// keeps the space exhaustible; multi-reader sharing is `rw_shared`.)
+fn rw_downgrade() -> ProgramFn {
+    Arc::new(|| {
+        Box::new(|c| {
+            let l = c.create_rwlock();
+            c.write_lock(l)?;
+            let r = c.spawn(move |c| {
+                c.read_lock(l)?;
+                let v = c.read(0)?;
+                c.read_unlock(l)?;
+                Ok(v)
+            })?;
+            // Written while exclusive but *after* the fork, so the fork
+            // edge cannot order it — only the downgrade can.
+            c.write(0, 77)?;
+            c.downgrade(l)?;
+            let v = c.read(0)?;
+            c.read_unlock(l)?;
+            Ok(v + c.join(r)?)
+        })
+    })
+}
+
+/// Downgrade grants a *shared* hold, not a private one: cell 0 written
+/// while exclusive is published to the reader by the downgrade edge, but
+/// the write to cell 1 afterwards — under the shared hold, concurrent
+/// with the reader's shared hold — races (WAR in read-first schedules,
+/// which CLEAN misses; RAW in write-first ones, which it flags).
+fn rw_downgrade_racy() -> ProgramFn {
+    Arc::new(|| {
+        Box::new(|c| {
+            let l = c.create_rwlock();
+            c.write_lock(l)?;
+            c.write(0, 1)?;
+            let r = c.spawn(move |c| {
+                c.read_lock(l)?;
+                c.read(0)?;
+                let v = c.read(1)?;
+                c.read_unlock(l)?;
+                Ok(v)
+            })?;
+            c.downgrade(l)?;
+            c.write(1, 2)?;
+            c.read_unlock(l)?;
+            c.join(r)?;
+            Ok(0)
+        })
+    })
+}
+
 /// The classic AB/BA lock-order inversion: schedules where each worker
 /// holds one lock deadlock; the scheduler must detect this, not hang.
 fn ab_deadlock() -> ProgramFn {
@@ -307,6 +363,20 @@ pub fn registry() -> Vec<ProgramSpec> {
             expect: Expect::RaceFree,
             cfg: cfg(4),
             factory: rw_shared(),
+        },
+        ProgramSpec {
+            name: "rw_downgrade",
+            about: "write-locked init published to a reader by a downgrade, shared re-read after",
+            expect: Expect::RaceFree,
+            cfg: cfg(2),
+            factory: rw_downgrade(),
+        },
+        ProgramSpec {
+            name: "rw_downgrade_racy",
+            about: "downgrade leaves only a shared hold: post-downgrade write races with a reader",
+            expect: Expect::Racy,
+            cfg: cfg(2),
+            factory: rw_downgrade_racy(),
         },
         ProgramSpec {
             name: "cv_handoff",

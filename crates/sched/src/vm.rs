@@ -26,8 +26,8 @@
 use crate::picker::{Picker, SchedView};
 use crate::token::Schedule;
 use clean_core::{
-    CleanDetector, DetectorConfig, EpochLayout, LockId, RaceReport, ThreadId, TraceEvent,
-    VectorClock,
+    CleanDetector, DetectorConfig, EpochLayout, LockId, RaceReport, ThreadCheckState, ThreadId,
+    TraceEvent, VectorClock,
 };
 use clean_sync::{DetHandle, Kendo, SchedHook};
 use parking_lot::Mutex;
@@ -74,6 +74,13 @@ pub struct VmConfig {
     /// Exploration leaves this off so the trace also exhibits what the
     /// full baseline detectors see *after* CLEAN's exception point.
     pub stop_on_race: bool,
+    /// Enable the detector's per-thread SFR write-set filter — the
+    /// schedule-exploration differential for the fast path runs every
+    /// corpus program with this on and off and demands identical
+    /// verdicts.
+    pub write_filter: bool,
+    /// Enable the detector's thread-local shadow-page cache.
+    pub page_cache: bool,
 }
 
 impl Default for VmConfig {
@@ -83,6 +90,8 @@ impl Default for VmConfig {
             heap_cells: 64,
             max_steps: 4096,
             stop_on_race: false,
+            write_filter: true,
+            page_cache: true,
         }
     }
 }
@@ -116,6 +125,16 @@ pub enum OpKind {
     RwUnlockRead(usize),
     /// Release the exclusive rwlock hold.
     RwUnlockWrite(usize),
+    /// Atomically demote the exclusive hold to a shared one (always
+    /// enabled — the caller holds the write lock).
+    RwDowngrade(usize),
+    /// Attempt a mutex acquire without blocking (always enabled; the
+    /// outcome — acquired or not — is decided when granted).
+    TryLock(usize),
+    /// Attempt a shared rwlock acquire without blocking.
+    RwTryRead(usize),
+    /// Attempt an exclusive rwlock acquire without blocking.
+    RwTryWrite(usize),
     /// Arrive at a barrier (the arrival itself is always enabled).
     Barrier(usize),
     /// Leave a barrier after its episode completed.
@@ -156,6 +175,10 @@ impl std::fmt::Display for OpKind {
             OpKind::RwWrite(l) => write!(f, "write_lock(rw{l})"),
             OpKind::RwUnlockRead(l) => write!(f, "read_unlock(rw{l})"),
             OpKind::RwUnlockWrite(l) => write!(f, "write_unlock(rw{l})"),
+            OpKind::RwDowngrade(l) => write!(f, "downgrade(rw{l})"),
+            OpKind::TryLock(m) => write!(f, "try_lock(m{m})"),
+            OpKind::RwTryRead(l) => write!(f, "try_read(rw{l})"),
+            OpKind::RwTryWrite(l) => write!(f, "try_write(rw{l})"),
             OpKind::Barrier(b) => write!(f, "barrier(b{b})"),
             OpKind::BarrierResume(b) => write!(f, "barrier_resume(b{b})"),
             OpKind::CvWait { cv, mutex } => write!(f, "cond_wait(cv{cv},m{mutex})"),
@@ -185,6 +208,9 @@ enum Pending {
 struct VThread {
     pending: Pending,
     vc: VectorClock,
+    /// Per-thread fast-path state (SFR write filter + page cache),
+    /// flushed on every epoch increment exactly like the runtime's.
+    check: ThreadCheckState,
     /// Final vector clock, recorded at exit for the joiner.
     final_vc: Option<VectorClock>,
     /// The body's return value (`None` until finished, or if it was
@@ -280,6 +306,7 @@ impl VmData {
             .vc
             .increment(Self::tid16(t))
             .expect("sched VM executions never reach clock rollover");
+        self.threads[t].check.on_epoch_increment();
     }
 }
 
@@ -298,6 +325,9 @@ fn is_enabled(d: &VmData, t: usize) -> bool {
                 d.rwlocks[*l].writer.is_none() && d.rwlocks[*l].readers.is_empty()
             }
             OpKind::Join(c) => matches!(d.threads[*c].pending, Pending::Finished),
+            // Try-ops and downgrade are always enabled: a failed try
+            // returns `false` instead of blocking, and a downgrade's
+            // precondition (holding the write lock) is the caller's.
             _ => true,
         },
         Pending::BarrierBlocked(_) | Pending::CvBlocked(_) | Pending::Finished => false,
@@ -376,11 +406,13 @@ impl VCtx {
             addr,
             size: CELL_BYTES,
         });
-        let check = d.detector.check_read(
-            &d.threads[self.tid].vc,
+        let thread = &mut d.threads[self.tid];
+        let check = d.detector.check_read_with(
+            &thread.vc,
             VmData::tid16(self.tid),
             addr,
             CELL_BYTES,
+            &mut thread.check,
         );
         if let Err(r) = check {
             d.note_race(r);
@@ -408,11 +440,13 @@ impl VCtx {
             addr,
             size: CELL_BYTES,
         });
-        let check = d.detector.check_write(
-            &d.threads[self.tid].vc,
+        let thread = &mut d.threads[self.tid];
+        let check = d.detector.check_write_with(
+            &thread.vc,
             VmData::tid16(self.tid),
             addr,
             CELL_BYTES,
+            &mut thread.check,
         );
         if let Err(r) = check {
             d.note_race(r);
@@ -643,6 +677,133 @@ impl VCtx {
         Ok(())
     }
 
+    /// Atomically demotes this thread's exclusive hold of rwlock `l` to a
+    /// shared hold: the write-side release is published (so readers that
+    /// acquire afterwards are ordered after the exclusive section) but no
+    /// other writer can slip in — this thread is already a reader when
+    /// the write lock becomes free.
+    ///
+    /// # Errors
+    ///
+    /// [`Stop`] if the scheduler is stopping the execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this thread does not hold the write lock.
+    pub fn downgrade(&mut self, l: usize) -> VmResult<()> {
+        self.yield_op(OpKind::RwDowngrade(l))?;
+        let mut guard = self.shared.data.lock();
+        let d = &mut *guard;
+        d.tick(self.tid);
+        assert_eq!(
+            d.rwlocks[l].writer,
+            Some(self.tid),
+            "downgrade without exclusive hold"
+        );
+        // Write-side release edge, exactly as write_unlock publishes it:
+        // later read_lock/write_lock acquires of id_w absorb this
+        // thread's pre-downgrade knowledge.
+        let lock = d.rwlocks[l].id_w;
+        d.push_event(TraceEvent::Release {
+            tid: VmData::tid16(self.tid),
+            lock,
+        });
+        let tvc = d.threads[self.tid].vc.clone();
+        d.rwlocks[l].write_vc.join(&tvc);
+        d.increment_own(self.tid);
+        // The swap to shared mode is atomic under the VM lock: no
+        // write_lock can be granted between clearing the writer and
+        // registering as a reader.
+        d.rwlocks[l].writer = None;
+        d.rwlocks[l].readers.push(self.tid);
+        Ok(())
+    }
+
+    /// Attempts to acquire mutex `m` without blocking. On success the
+    /// acquire edge is identical to [`lock`](Self::lock); on failure no
+    /// happens-before edge is created and no trace event is recorded.
+    ///
+    /// The attempt itself is still a yield point (always enabled), so
+    /// schedule exploration covers both outcomes.
+    ///
+    /// # Errors
+    ///
+    /// [`Stop`] if the scheduler is stopping the execution.
+    pub fn try_lock(&mut self, m: usize) -> VmResult<bool> {
+        self.yield_op(OpKind::TryLock(m))?;
+        let mut guard = self.shared.data.lock();
+        let d = &mut *guard;
+        d.tick(self.tid);
+        if d.mutexes[m].owner.is_some() {
+            return Ok(false);
+        }
+        d.mutexes[m].owner = Some(self.tid);
+        let mvc = d.mutexes[m].vc.clone();
+        d.threads[self.tid].vc.join(&mvc);
+        let lock = d.mutexes[m].id;
+        d.push_event(TraceEvent::Acquire {
+            tid: VmData::tid16(self.tid),
+            lock,
+        });
+        Ok(true)
+    }
+
+    /// Attempts a shared acquire of rwlock `l` without blocking (see
+    /// [`try_lock`](Self::try_lock) for the edge semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`Stop`] if the scheduler is stopping the execution.
+    pub fn try_read(&mut self, l: usize) -> VmResult<bool> {
+        self.yield_op(OpKind::RwTryRead(l))?;
+        let mut guard = self.shared.data.lock();
+        let d = &mut *guard;
+        d.tick(self.tid);
+        if d.rwlocks[l].writer.is_some() {
+            return Ok(false);
+        }
+        d.rwlocks[l].readers.push(self.tid);
+        let wvc = d.rwlocks[l].write_vc.clone();
+        d.threads[self.tid].vc.join(&wvc);
+        let lock = d.rwlocks[l].id_w;
+        d.push_event(TraceEvent::Acquire {
+            tid: VmData::tid16(self.tid),
+            lock,
+        });
+        Ok(true)
+    }
+
+    /// Attempts an exclusive acquire of rwlock `l` without blocking (see
+    /// [`try_lock`](Self::try_lock) for the edge semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`Stop`] if the scheduler is stopping the execution.
+    pub fn try_write(&mut self, l: usize) -> VmResult<bool> {
+        self.yield_op(OpKind::RwTryWrite(l))?;
+        let mut guard = self.shared.data.lock();
+        let d = &mut *guard;
+        d.tick(self.tid);
+        if d.rwlocks[l].writer.is_some() || !d.rwlocks[l].readers.is_empty() {
+            return Ok(false);
+        }
+        d.rwlocks[l].writer = Some(self.tid);
+        let wvc = d.rwlocks[l].write_vc.clone();
+        d.threads[self.tid].vc.join(&wvc);
+        let rvc = d.rwlocks[l].read_vc.clone();
+        d.threads[self.tid].vc.join(&rvc);
+        let (id_w, id_r) = (d.rwlocks[l].id_w, d.rwlocks[l].id_r);
+        d.push_event(TraceEvent::Acquire {
+            tid: VmData::tid16(self.tid),
+            lock: id_w,
+        });
+        d.push_event(TraceEvent::Acquire {
+            tid: VmData::tid16(self.tid),
+            lock: id_r,
+        });
+        Ok(true)
+    }
+
     /// Waits at barrier `b`; returns `true` for the episode's leader (the
     /// last arriver). All participants leave with the join of all arrival
     /// clocks.
@@ -850,6 +1011,7 @@ impl VCtx {
             d.threads.push(VThread {
                 pending: Pending::Op(OpKind::Start),
                 vc: cvc,
+                check: ThreadCheckState::new(),
                 final_vc: None,
                 result: None,
                 panicked: false,
@@ -1036,7 +1198,10 @@ pub fn run_schedule(
     }
     let detector = CleanDetector::new(
         cfg.heap_cells * CELL_BYTES,
-        DetectorConfig::new().layout(layout),
+        DetectorConfig::new()
+            .layout(layout)
+            .write_filter(cfg.write_filter)
+            .page_cache(cfg.page_cache),
     );
     let (yield_tx, yield_rx) = channel::<usize>();
     let (root_grant_tx, root_grant_rx) = channel::<()>();
@@ -1055,6 +1220,7 @@ pub fn run_schedule(
         threads: vec![VThread {
             pending: Pending::Op(OpKind::Start),
             vc: root_vc,
+            check: ThreadCheckState::new(),
             final_vc: None,
             result: None,
             panicked: false,

@@ -194,6 +194,82 @@ fn race_free_corpus_is_race_free_on_every_schedule() {
 }
 
 #[test]
+fn rw_downgrade_edge_orders_init_before_readers() {
+    // The only happens-before source between the write-locked init and
+    // the readers' loads is the downgrade's release edge: exhaustive
+    // exploration finding zero races on any schedule is exactly the
+    // statement that the edge exists and is placed correctly.
+    let spec = find("rw_downgrade").unwrap();
+    let mut frontier = DfsExplorer::new();
+    let report = explore_dfs(&spec, &mut frontier, &ExploreOpts::default());
+    assert!(report.complete, "rw_downgrade space must be exhaustible");
+    assert!(report.ok(), "{:#?}", report.failures);
+    assert_eq!(report.clean_race_schedules, 0, "downgrade edge missing");
+    assert_eq!(report.war_miss_schedules, 0);
+    assert_eq!(report.deadlocks, 0);
+    assert!(report.schedules > 1, "trivial schedule space");
+}
+
+#[test]
+fn rw_downgrade_leaves_only_a_shared_hold() {
+    // After the downgrade the writer holds the lock *shared*: its write
+    // to cell 1 races with the concurrent reader in every schedule —
+    // WAR direction (CLEAN-missed) when the reader goes first, RAW
+    // (CLEAN-flagged) when the writer does.
+    let spec = find("rw_downgrade_racy").unwrap();
+    let mut frontier = DfsExplorer::new();
+    let report = explore_dfs(&spec, &mut frontier, &ExploreOpts::default());
+    assert!(report.complete);
+    assert!(report.ok(), "{:#?}", report.failures);
+    assert!(report.war_miss_schedules > 0, "no WAR-direction schedule");
+    assert!(report.clean_race_schedules > 0, "no RAW-direction schedule");
+    assert_eq!(
+        report.war_miss_schedules + report.clean_race_schedules,
+        report.schedules,
+        "every schedule must race exactly one way"
+    );
+    assert_eq!(report.deadlocks, 0);
+}
+
+#[test]
+fn try_ops_follow_lock_semantics_without_blocking() {
+    use clean_sched::vm::{ProgramFn, VmConfig};
+
+    // Single-threaded, so every outcome is schedule-independent: a try
+    // op must succeed exactly when the blocking form would be enabled.
+    let program: ProgramFn = Arc::new(|| {
+        Box::new(|c| {
+            let m = c.create_mutex();
+            assert!(c.try_lock(m)?, "free mutex must be acquired");
+            assert!(!c.try_lock(m)?, "held mutex must fail, not block");
+            c.unlock(m)?;
+            assert!(c.try_lock(m)?, "released mutex is free again");
+            c.unlock(m)?;
+
+            let l = c.create_rwlock();
+            assert!(c.try_write(l)?, "free rwlock grants exclusive");
+            assert!(!c.try_read(l)?, "writer-held rwlock refuses readers");
+            c.downgrade(l)?;
+            assert!(!c.try_write(l)?, "shared hold refuses writers");
+            assert!(c.try_read(l)?, "shared rwlock admits more readers");
+            c.read_unlock(l)?;
+            c.read_unlock(l)?;
+            assert!(c.try_write(l)?, "fully released rwlock is free");
+            c.write_unlock(l)?;
+            Ok(1)
+        })
+    });
+    let cfg = VmConfig {
+        max_threads: 2,
+        ..VmConfig::default()
+    };
+    let exec = run_schedule(&program, &cfg, &mut DefaultPicker, None);
+    assert_eq!(exec.results, vec![Some(1)], "assertions inside the body");
+    assert!(exec.clean_races.is_empty());
+    assert!(!exec.deadlock);
+}
+
+#[test]
 fn sched_hook_observes_vm_kendo_activity() {
     #[derive(Default)]
     struct Counter {

@@ -143,7 +143,12 @@ pub fn replay_sequential(events: &[TraceEvent], kind: EngineKind) -> Vec<FoundRa
 
 /// Byte sub-ranges of `[addr, addr + size)` owned by `shard` (of
 /// `shards`), as maximal runs of consecutive owned granules.
-fn owned_runs(addr: usize, size: usize, shard: usize, shards: usize) -> Vec<(usize, usize)> {
+pub(crate) fn owned_runs(
+    addr: usize,
+    size: usize,
+    shard: usize,
+    shards: usize,
+) -> Vec<(usize, usize)> {
     let mut runs = Vec::new();
     let first = addr / SHARD_GRANULE;
     let last = (addr + size - 1) / SHARD_GRANULE;
@@ -168,37 +173,40 @@ fn owned_runs(addr: usize, size: usize, shard: usize, shards: usize) -> Vec<(usi
 }
 
 /// Replays a trace through one engine with memory events sharded by
-/// address range across `shards` scoped worker threads, merging the
-/// per-shard race sets back into the sequential verdict (see the module
-/// docs for the agreement argument).
+/// address range, merging the per-shard race sets back into the
+/// sequential verdict (see the module docs for the agreement argument).
+///
+/// Shard *assignment* is dynamic: shards are dealt to a bounded worker
+/// pool as work-stealing tasks (see [`replay_stealing`]), so oversharding
+/// — more shards than cores — load-balances instead of oversubscribing.
+/// The verdict is independent of worker count and scheduling.
 ///
 /// # Panics
 ///
 /// Panics if `shards == 0` or a worker thread panics.
+///
+/// [`replay_stealing`]: crate::replay_stealing
 pub fn replay_sharded(events: &[TraceEvent], kind: EngineKind, shards: usize) -> Vec<FoundRace> {
     assert!(shards > 0, "need at least one shard");
     if shards == 1 {
         return replay_sequential(events, kind);
     }
-    let threads = required_threads(events);
-    let segments = sync_free_segments(events);
-    let per_shard: Vec<Vec<(usize, FoundRace)>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
-            .map(|shard| {
-                let segments = &segments;
-                scope.spawn(move |_| shard_worker(events, segments, kind, threads, shard, shards))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
-    })
-    .expect("analysis scope panicked");
+    let workers = shards.min(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2),
+    );
+    crate::stealing::replay_stealing(events, kind, shards, workers).0
+}
 
-    // Per event index every engine reports at most one race — the first
-    // racy byte in address order — so the merged verdict keeps the
-    // lowest-address race of each event.
+/// Merges per-shard `(event index, race)` sets into the sequential
+/// verdict: per event index every engine reports at most one race — the
+/// first racy byte in address order — so the merge keeps the
+/// lowest-address race of each event.
+pub(crate) fn merge_shard_races(
+    per_shard: impl IntoIterator<Item = Vec<(usize, FoundRace)>>,
+) -> Vec<FoundRace> {
     let mut merged: BTreeMap<usize, FoundRace> = BTreeMap::new();
     for (idx, race) in per_shard.into_iter().flatten() {
         merged
@@ -214,7 +222,7 @@ pub fn replay_sharded(events: &[TraceEvent], kind: EngineKind, shards: usize) ->
 }
 
 /// One shard's replay: full sync skeleton, clipped memory events.
-fn shard_worker(
+pub(crate) fn shard_worker(
     events: &[TraceEvent],
     segments: &[Range<usize>],
     kind: EngineKind,

@@ -3,14 +3,15 @@
 //! ```text
 //! clean-analyze record --workload <name> [--racy] [--sim] [--threads N] [--seed N] --out <file>
 //! clean-analyze stats  <file>
-//! clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N] <file>
+//! clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N]
+//!                      [--stream] [--workers N] <file>
 //! clean-analyze diff   [--shards N] <file>
 //! ```
 
 use clean_baselines::{FoundRace, FullRaceKind};
 use clean_trace::{
-    read_trace, record_kernel_trace, record_sim_trace, replay_sharded, EngineKind, RecordOptions,
-    TraceStats,
+    read_trace, record_kernel_trace, record_sim_trace, replay_file_stealing, replay_sharded,
+    scan_trace, EngineKind, RecordOptions, TraceStats,
 };
 use clean_workloads::TraceGenConfig;
 use std::collections::HashSet;
@@ -26,9 +27,13 @@ USAGE:
       and stream the event trace to <file>.
   clean-analyze stats <file>
       Event, thread, lock, access-width and SFR-segment statistics.
-  clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N] <file>
-      Replay the trace through one engine (or all), sharded across N
-      worker threads (default: available parallelism).
+  clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N]
+                       [--stream] [--workers N] <file>
+      Replay the trace through one engine (or all) over N address shards
+      (default: available parallelism). With --stream the trace is not
+      loaded into memory: a single decode pass (mmap-backed when the
+      kernel allows) feeds batches to a work-stealing pool of --workers
+      replay threads.
   clean-analyze diff [--shards N] <file>
       Cross-engine verdict comparison (e.g. the WAR races CLEAN skips).
 ";
@@ -180,17 +185,58 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
     let mut args = rest.to_vec();
     let engines = engines_from_arg(take_value(&mut args, "--engine")?)?;
     let shards = shards_from_args(&mut args)?;
+    let stream = take_flag(&mut args, "--stream");
+    let workers = match take_value(&mut args, "--workers")? {
+        Some(v) => parse_num(&v, "--workers")?,
+        None => default_shards(),
+    };
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
     let [path] = &args[..] else {
         return Err("replay takes exactly one trace file".into());
     };
-    let events = read_trace(path).map_err(|e| e.to_string())?;
-    println!("{} events, {} shard workers", events.len(), shards);
+    let events = if stream {
+        None
+    } else {
+        Some(read_trace(path).map_err(|e| e.to_string())?)
+    };
+    let scan = if stream {
+        let scan = scan_trace(path).map_err(|e| e.to_string())?;
+        println!(
+            "{} events ({} bytes), {} shards, {} streaming workers",
+            scan.events, scan.bytes, shards, workers
+        );
+        Some(scan)
+    } else {
+        println!(
+            "{} events, {} shards",
+            events.as_ref().map_or(0, Vec::len),
+            shards
+        );
+        None
+    };
     for kind in engines {
         let start = Instant::now();
-        let races = replay_sharded(&events, kind, shards);
+        let (races, detail) = match (&events, &scan) {
+            (Some(events), _) => (replay_sharded(events, kind, shards), String::new()),
+            (None, Some(scan)) => {
+                let (races, stats) =
+                    replay_file_stealing(path, kind, shards, workers, scan.threads)
+                        .map_err(|e| e.to_string())?;
+                let detail = format!(
+                    " [{} batches, {} steals, {}]",
+                    stats.batches,
+                    stats.steals,
+                    if stats.used_mmap { "mmap" } else { "buffered" }
+                );
+                (races, detail)
+            }
+            (None, None) => unreachable!("stream mode always scans"),
+        };
         let (waw, raw, war) = kind_counts(&races);
         println!(
-            "{:<10} {:>6} races (WAW {waw}, RAW {raw}, WAR {war}) in {:.2?}",
+            "{:<10} {:>6} races (WAW {waw}, RAW {raw}, WAR {war}) in {:.2?}{detail}",
             kind.name(),
             races.len(),
             start.elapsed(),

@@ -46,9 +46,11 @@
 pub mod analyze;
 pub mod codec;
 mod error;
+pub mod mmap;
 mod reader;
 mod record;
 mod stats;
+mod stealing;
 mod writer;
 
 pub use analyze::{
@@ -57,7 +59,11 @@ pub use analyze::{
 };
 pub use clean_core::{EventSink, TraceEvent};
 pub use error::{Result, TraceError};
+pub use mmap::{map_file, MappedTrace};
 pub use reader::{read_trace, TraceReader};
 pub use record::{record_kernel_trace, record_sim_trace, RecordOptions};
 pub use stats::TraceStats;
+pub use stealing::{
+    replay_file_sharded, replay_file_stealing, replay_stealing, scan_trace, ReplayStats, TraceScan,
+};
 pub use writer::{write_trace, FileSink, TraceWriter, WriteSummary, DEFAULT_CHUNK_BYTES};

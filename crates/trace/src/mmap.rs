@@ -1,0 +1,206 @@
+//! Memory-mapped trace input (feature `mmap`, unix only).
+//!
+//! Multi-GB `CLTR` traces are read most efficiently straight out of the
+//! page cache: one `mmap(2)` of the whole file gives every analysis
+//! worker a zero-copy `&[u8]` view, with the kernel paging bytes in on
+//! demand — no per-chunk `read(2)` syscalls, no double buffering, and
+//! concurrent readers share one physical copy. [`TraceReader`] is generic
+//! over [`Read`], so a mapped view plugs in as a plain byte slice.
+//!
+//! The syscall is issued through a local `extern "C"` binding (the
+//! offline environment has no libc crate); on non-unix targets, with the
+//! feature disabled, or when the kernel refuses the mapping,
+//! [`map_file`] returns `None` and callers fall back to buffered reads.
+//!
+//! [`TraceReader`]: crate::TraceReader
+//! [`Read`]: std::io::Read
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(all(feature = "mmap", unix))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only memory mapping of a whole trace file.
+///
+/// Dereferences to `&[u8]`; unmapped on drop. Constructed only by
+/// [`map_file`].
+pub struct MappedTrace {
+    #[cfg(all(feature = "mmap", unix))]
+    ptr: *mut std::ffi::c_void,
+    #[cfg(all(feature = "mmap", unix))]
+    len: usize,
+    /// On targets without mmap support the type is uninhabited: no value
+    /// can exist, so every method body is trivially unreachable.
+    #[cfg(not(all(feature = "mmap", unix)))]
+    never: std::convert::Infallible,
+}
+
+/// SAFETY: the mapping is `PROT_READ`/`MAP_PRIVATE` — immutable shared
+/// bytes, safe to read from any thread.
+unsafe impl Send for MappedTrace {}
+/// SAFETY: see the `Send` impl.
+unsafe impl Sync for MappedTrace {}
+
+impl MappedTrace {
+    /// The mapped bytes.
+    #[cfg(all(feature = "mmap", unix))]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes, held until drop; MAP_PRIVATE isolates it from concurrent
+        // file writes at page granularity.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    /// The mapped bytes.
+    #[cfg(not(all(feature = "mmap", unix)))]
+    pub fn bytes(&self) -> &[u8] {
+        match self.never {}
+    }
+}
+
+impl std::ops::Deref for MappedTrace {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl std::fmt::Debug for MappedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedTrace")
+            .field("len", &self.bytes().len())
+            .finish()
+    }
+}
+
+#[cfg(all(feature = "mmap", unix))]
+impl Drop for MappedTrace {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` came from a successful mmap and are
+        // unmapped exactly once.
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+/// Maps the file at `path` read-only.
+///
+/// Returns `Ok(None)` when mapping is unavailable (feature disabled,
+/// non-unix target, empty file, or the kernel refused) — callers fall
+/// back to buffered reads.
+///
+/// # Errors
+///
+/// Only filesystem errors (open/metadata) are reported; mapping refusals
+/// degrade to `None`.
+#[cfg(all(feature = "mmap", unix))]
+pub fn map_file(path: impl AsRef<Path>) -> io::Result<Option<MappedTrace>> {
+    use std::os::unix::io::AsRawFd;
+
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    if len == 0 || len > usize::MAX as u64 {
+        return Ok(None);
+    }
+    let len = len as usize;
+    // SAFETY: requesting a fresh PROT_READ/MAP_PRIVATE mapping of an open
+    // fd; the result is checked against MAP_FAILED before use. The fd may
+    // close right after — POSIX keeps the mapping alive independently.
+    let ptr = unsafe {
+        sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr == sys::MAP_FAILED {
+        return Ok(None);
+    }
+    Ok(Some(MappedTrace { ptr, len }))
+}
+
+/// Maps the file at `path` read-only (unsupported on this target: always
+/// `Ok(None)`, callers use buffered reads).
+///
+/// # Errors
+///
+/// Only filesystem errors; this stub reports none.
+#[cfg(not(all(feature = "mmap", unix)))]
+pub fn map_file(path: impl AsRef<Path>) -> io::Result<Option<MappedTrace>> {
+    let _ = path;
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_trace, write_trace, TraceReader};
+    use clean_core::{ThreadId, TraceEvent};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("clean-trace-mmap-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn mapped_bytes_decode_identically() {
+        let path = tmp("roundtrip.cltr");
+        let events: Vec<TraceEvent> = (0..500)
+            .map(|i| TraceEvent::Write {
+                tid: ThreadId::new((i % 3) as u16),
+                addr: 64 * (i % 7),
+                size: 4,
+            })
+            .collect();
+        write_trace(&path, &events).unwrap();
+        if let Some(mapped) = map_file(&path).unwrap() {
+            let via_mmap: Vec<TraceEvent> = TraceReader::new(mapped.bytes())
+                .unwrap()
+                .collect::<crate::Result<_>>()
+                .unwrap();
+            assert_eq!(via_mmap, events);
+        }
+        // The buffered path must agree regardless of mapping support.
+        assert_eq!(read_trace(&path).unwrap(), events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(map_file(tmp("does-not-exist")).is_err());
+    }
+
+    #[cfg(all(feature = "mmap", unix))]
+    #[test]
+    fn empty_file_degrades_to_none() {
+        let path = tmp("empty.cltr");
+        std::fs::write(&path, b"").unwrap();
+        assert!(map_file(&path).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,591 @@
+//! Work-stealing parallel replay: dynamic shard scheduling for the
+//! address-sharded analysis, in memory and straight off disk.
+//!
+//! [`analyze`](crate::analyze) proves that replaying the full sync
+//! skeleton plus the memory events of one address shard reproduces the
+//! sequential verdict restricted to that shard. The original engine
+//! spawned one OS thread *per shard*, which couples the sharding degree
+//! (a precision-neutral tuning knob) to the hardware parallelism. Here
+//! shards become *tasks* scheduled onto a bounded worker pool:
+//!
+//! * [`replay_stealing`] — in-memory traces. Shards are dealt
+//!   round-robin into per-worker lanes; a worker drains its own lane
+//!   from the front and steals from the back of the busiest siblings,
+//!   so skewed address distributions load-balance automatically.
+//! * [`replay_file_sharded`] — the naive file engine: one worker per
+//!   shard, each independently decoding the *whole* file through a
+//!   buffered [`TraceReader`]. Simple and exact, but the decode work is
+//!   multiplied by the shard count.
+//! * [`replay_file_stealing`] — the optimized file engine: a single
+//!   producer decodes the trace once (out of an [`mmap`](crate::mmap)
+//!   view when the kernel grants one, buffered reads otherwise) into
+//!   shared event batches; per-shard bounded queues with backpressure
+//!   feed workers that claim shards with a `try_lock` and steal any
+//!   shard whose home worker is busy. Per-shard batch order is FIFO, so
+//!   the verdict is exactly the sequential one regardless of worker
+//!   count, steal pattern, or batch size.
+
+use crate::analyze::{
+    merge_shard_races, owned_runs, required_threads, shard_worker, sync_free_segments, EngineKind,
+};
+use crate::error::Result;
+use crate::mmap::map_file;
+use crate::reader::TraceReader;
+use clean_baselines::{FoundRace, TraceDetector};
+use clean_core::TraceEvent;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Events per producer batch in [`replay_file_stealing`]. Large enough
+/// to amortize queue locking, small enough that per-shard backpressure
+/// bounds memory at `shards * QUEUE_CAP * BATCH_EVENTS` events.
+const BATCH_EVENTS: usize = 64 * 1024;
+
+/// Maximum batches buffered per shard queue before the producer blocks.
+const QUEUE_CAP: usize = 8;
+
+/// Counters describing how a parallel replay actually executed. The
+/// race verdict never depends on these — they exist for benchmarks and
+/// the CLI's reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Total events replayed (per engine; every shard sees the sync
+    /// skeleton, so this counts the trace once).
+    pub events: u64,
+    /// Scheduling units issued: shard tasks for the in-memory engines,
+    /// producer batches for the streaming file engine.
+    pub batches: u64,
+    /// Tasks executed by a worker other than their round-robin home.
+    pub steals: u64,
+    /// Whether the file engine read from an `mmap` view (`false` for
+    /// in-memory engines and the buffered fallback).
+    pub used_mmap: bool,
+}
+
+/// Result of one streaming pass over a trace file: the sizing facts the
+/// file replay engines need up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceScan {
+    /// Number of events in the trace.
+    pub events: u64,
+    /// Analysis thread slots required (highest tid observed, plus one).
+    pub threads: usize,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// Scans a trace file once, counting events and required thread slots.
+///
+/// The file engines take the slot count as a parameter instead of
+/// rescanning so that benchmark comparisons between them measure replay
+/// alone; call this once and pass [`TraceScan::threads`] to both.
+///
+/// # Errors
+///
+/// Propagates I/O and decode errors.
+pub fn scan_trace(path: impl AsRef<Path>) -> Result<TraceScan> {
+    let path = path.as_ref();
+    let bytes = std::fs::metadata(path)?.len();
+    let mut events = 0u64;
+    let mut max = 0u16;
+    for ev in TraceReader::open(path)? {
+        let ev = ev?;
+        events += 1;
+        max = max.max(ev.tid().raw());
+        if let TraceEvent::Fork { child, .. } | TraceEvent::Join { child, .. } = ev {
+            max = max.max(child.raw());
+        }
+    }
+    Ok(TraceScan {
+        events,
+        threads: usize::from(max) + 1,
+        bytes,
+    })
+}
+
+/// Feeds one event to a shard's detector: sync events verbatim (the
+/// shared skeleton), memory events clipped to the shard's owned address
+/// granules. Streaming twin of [`shard_worker`]'s segment walk.
+fn process_event(
+    det: &mut Box<dyn TraceDetector + Send>,
+    found: &mut Vec<(usize, FoundRace)>,
+    idx: usize,
+    ev: &TraceEvent,
+    shard: usize,
+    shards: usize,
+) {
+    match *ev {
+        TraceEvent::Read { tid, addr, size } => {
+            for (a, s) in owned_runs(addr, size, shard, shards) {
+                let clipped = TraceEvent::Read {
+                    tid,
+                    addr: a,
+                    size: s,
+                };
+                for race in det.process(&clipped) {
+                    found.push((idx, race));
+                }
+            }
+        }
+        TraceEvent::Write { tid, addr, size } => {
+            for (a, s) in owned_runs(addr, size, shard, shards) {
+                let clipped = TraceEvent::Write {
+                    tid,
+                    addr: a,
+                    size: s,
+                };
+                for race in det.process(&clipped) {
+                    found.push((idx, race));
+                }
+            }
+        }
+        _ => {
+            for race in det.process(ev) {
+                found.push((idx, race));
+            }
+        }
+    }
+}
+
+/// Replays an in-memory trace with `shards` address shards scheduled as
+/// work-stealing tasks over `workers` threads. The verdict equals
+/// [`replay_sequential`](crate::replay_sequential) for any shard/worker
+/// combination; the returned [`ReplayStats`] describe the scheduling.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`, `workers == 0`, or a worker thread panics.
+pub fn replay_stealing(
+    events: &[TraceEvent],
+    kind: EngineKind,
+    shards: usize,
+    workers: usize,
+) -> (Vec<FoundRace>, ReplayStats) {
+    assert!(shards > 0, "need at least one shard");
+    assert!(workers > 0, "need at least one worker");
+    let threads = required_threads(events);
+    let segments = sync_free_segments(events);
+    // Shards dealt round-robin into per-worker lanes. A worker pops its
+    // own lane from the front and steals from victims' backs, so an
+    // owner and a thief never contend for the same end of a busy lane.
+    let lanes: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for shard in 0..shards {
+        lanes[shard % workers].lock().push_back(shard);
+    }
+    let steals = AtomicU64::new(0);
+    let per_shard: Vec<Vec<(usize, FoundRace)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (lanes, steals, segments) = (&lanes, &steals, &segments);
+                scope.spawn(move |_| {
+                    let mut done = Vec::new();
+                    loop {
+                        let mut claimed = lanes[w].lock().pop_front();
+                        if claimed.is_none() {
+                            for v in 1..workers {
+                                if let Some(s) = lanes[(w + v) % workers].lock().pop_back() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    claimed = Some(s);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(shard) = claimed else { break };
+                        done.push(shard_worker(events, segments, kind, threads, shard, shards));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("stealing worker panicked"))
+            .collect()
+    })
+    .expect("stealing scope panicked");
+    let races = merge_shard_races(per_shard);
+    let stats = ReplayStats {
+        events: events.len() as u64,
+        batches: shards as u64,
+        steals: steals.load(Ordering::Relaxed),
+        used_mmap: false,
+    };
+    (races, stats)
+}
+
+/// The naive parallel file engine: one worker per shard, each decoding
+/// the whole file through its own buffered [`TraceReader`]. `slots` is
+/// the analysis thread capacity (see [`scan_trace`]).
+///
+/// Exact but decode-bound: the file is decoded `shards` times. Kept as
+/// the honest baseline [`replay_file_stealing`] is measured against.
+///
+/// # Errors
+///
+/// Propagates I/O and decode errors from any worker.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or a worker thread panics.
+pub fn replay_file_sharded(
+    path: impl AsRef<Path>,
+    kind: EngineKind,
+    shards: usize,
+    slots: usize,
+) -> Result<(Vec<FoundRace>, ReplayStats)> {
+    assert!(shards > 0, "need at least one shard");
+    let path = path.as_ref();
+    type ShardResult = Result<(Vec<(usize, FoundRace)>, u64)>;
+    let results: Vec<ShardResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    let mut det = kind.build(slots);
+                    let mut found = Vec::new();
+                    let mut idx = 0usize;
+                    for ev in TraceReader::open(path)? {
+                        process_event(&mut det, &mut found, idx, &ev?, shard, shards);
+                        idx += 1;
+                    }
+                    Ok((found, idx as u64))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("file shard worker panicked"))
+            .collect()
+    })
+    .expect("file replay scope panicked");
+    let mut per_shard = Vec::with_capacity(shards);
+    let mut events = 0u64;
+    for r in results {
+        let (found, n) = r?;
+        events = n;
+        per_shard.push(found);
+    }
+    let stats = ReplayStats {
+        events,
+        batches: shards as u64,
+        steals: 0,
+        used_mmap: false,
+    };
+    Ok((merge_shard_races(per_shard), stats))
+}
+
+/// One producer batch: `events[i]` is trace event `base + i`.
+struct Batch {
+    base: usize,
+    events: Vec<TraceEvent>,
+}
+
+/// A shard's analysis state. The `Mutex` wrapping it *is* the shard
+/// claim: whichever worker holds it replays that shard's next batch.
+struct ShardLane {
+    det: Box<dyn TraceDetector + Send>,
+    found: Vec<(usize, FoundRace)>,
+}
+
+/// Queue state shared between the producer and all workers.
+struct PipeState {
+    /// Per-shard FIFO of pending batches (each batch is pushed to every
+    /// shard — all shards replay the sync skeleton).
+    queues: Vec<VecDeque<Arc<Batch>>>,
+    /// Producer finished (successfully or not); no more pushes coming.
+    done: bool,
+}
+
+/// The streaming pipeline of [`replay_file_stealing`].
+struct Pipeline {
+    shards: usize,
+    shared: Mutex<PipeState>,
+    /// Signals workers: new batches queued, or `done` set.
+    work: Condvar,
+    /// Signals the producer: queue space freed.
+    space: Condvar,
+    claims: Vec<Mutex<ShardLane>>,
+    steals: AtomicU64,
+}
+
+impl Pipeline {
+    fn new(kind: EngineKind, slots: usize, shards: usize) -> Self {
+        Pipeline {
+            shards,
+            shared: Mutex::new(PipeState {
+                queues: (0..shards).map(|_| VecDeque::new()).collect(),
+                done: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            claims: (0..shards)
+                .map(|_| {
+                    Mutex::new(ShardLane {
+                        det: kind.build(slots),
+                        found: Vec::new(),
+                    })
+                })
+                .collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Decodes the whole trace once, fanning batches out to every shard
+    /// queue. Returns `(events, batches)` produced.
+    fn produce<R: Read>(&self, reader: TraceReader<R>) -> Result<(u64, u64)> {
+        let mut base = 0usize;
+        let mut batches = 0u64;
+        let mut buf: Vec<TraceEvent> = Vec::with_capacity(BATCH_EVENTS);
+        for ev in reader {
+            buf.push(ev?);
+            if buf.len() == BATCH_EVENTS {
+                let events = std::mem::replace(&mut buf, Vec::with_capacity(BATCH_EVENTS));
+                self.push(Batch { base, events });
+                base += BATCH_EVENTS;
+                batches += 1;
+            }
+        }
+        let total = (base + buf.len()) as u64;
+        if !buf.is_empty() {
+            self.push(Batch { base, events: buf });
+            batches += 1;
+        }
+        Ok((total, batches))
+    }
+
+    /// Queues one batch for every shard, blocking while any queue is at
+    /// capacity (backpressure bounds decoded-but-unreplayed memory).
+    fn push(&self, batch: Batch) {
+        let batch = Arc::new(batch);
+        let mut st = self.shared.lock();
+        while st.queues.iter().any(|q| q.len() >= QUEUE_CAP) {
+            self.space.wait(&mut st);
+        }
+        for q in st.queues.iter_mut() {
+            q.push_back(Arc::clone(&batch));
+        }
+        drop(st);
+        self.work.notify_all();
+    }
+
+    /// Marks the producer finished (even on error) so workers drain the
+    /// queues and exit instead of waiting forever.
+    fn finish(&self) {
+        self.shared.lock().done = true;
+        self.work.notify_all();
+    }
+
+    /// Worker loop: claim a shard with a pending batch (own shards
+    /// first, then steals), replay the batch, repeat until the producer
+    /// is done and every queue is drained.
+    fn run_worker(&self, w: usize, workers: usize) {
+        loop {
+            let mut task = None;
+            {
+                let mut st = self.shared.lock();
+                loop {
+                    // Pass 0 scans this worker's round-robin home
+                    // shards, pass 1 steals from the rest. `try_lock`
+                    // both claims the shard and skips shards another
+                    // worker is already replaying.
+                    'scan: for pass in 0..2 {
+                        for shard in 0..self.shards {
+                            let home = shard % workers == w;
+                            if home != (pass == 0) || st.queues[shard].is_empty() {
+                                continue;
+                            }
+                            if let Some(lane) = self.claims[shard].try_lock() {
+                                let batch =
+                                    st.queues[shard].pop_front().expect("checked non-empty");
+                                task = Some((shard, batch, lane, pass == 1));
+                                break 'scan;
+                            }
+                        }
+                    }
+                    if task.is_some() {
+                        break;
+                    }
+                    if st.done && st.queues.iter().all(|q| q.is_empty()) {
+                        drop(st);
+                        // Wake parked siblings so they observe
+                        // completion too.
+                        self.work.notify_all();
+                        return;
+                    }
+                    self.work.wait(&mut st);
+                }
+            }
+            self.space.notify_one();
+            let (shard, batch, mut lane, stolen) = task.expect("task set before loop exit");
+            if stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            let ShardLane { det, found } = &mut *lane;
+            for (off, ev) in batch.events.iter().enumerate() {
+                process_event(det, found, batch.base + off, ev, shard, self.shards);
+            }
+        }
+    }
+}
+
+/// The optimized parallel file engine: the trace is decoded once — from
+/// an `mmap` view when available, buffered reads otherwise — and
+/// streamed as shared batches through bounded per-shard queues to
+/// `workers` work-stealing replay threads. `slots` is the analysis
+/// thread capacity (see [`scan_trace`]).
+///
+/// Exactly matches [`replay_file_sharded`] and the in-memory engines
+/// for any shard/worker/batch combination: every shard still observes
+/// the full event stream in order, because batches are FIFO per shard
+/// and a shard's claim lock serializes its replay.
+///
+/// # Errors
+///
+/// Propagates I/O and decode errors.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`, `workers == 0`, or a worker thread panics.
+pub fn replay_file_stealing(
+    path: impl AsRef<Path>,
+    kind: EngineKind,
+    shards: usize,
+    workers: usize,
+    slots: usize,
+) -> Result<(Vec<FoundRace>, ReplayStats)> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(workers > 0, "need at least one worker");
+    let path = path.as_ref();
+    let mapped = map_file(path)?;
+    let pipe = Pipeline::new(kind, slots, shards);
+    let produced = crossbeam::thread::scope(|scope| {
+        for w in 0..workers {
+            let pipe = &pipe;
+            scope.spawn(move |_| pipe.run_worker(w, workers));
+        }
+        let result = match &mapped {
+            Some(m) => TraceReader::new(m.bytes()).and_then(|r| pipe.produce(r)),
+            None => TraceReader::open(path).and_then(|r| pipe.produce(r)),
+        };
+        // Even on a decode error: workers must drain and exit before
+        // the scope can join them.
+        pipe.finish();
+        result
+    })
+    .expect("streaming replay scope panicked");
+    let (events, batches) = produced?;
+    let per_shard: Vec<_> = pipe
+        .claims
+        .into_iter()
+        .map(|lane| lane.into_inner().found)
+        .collect();
+    let stats = ReplayStats {
+        events,
+        batches,
+        steals: pipe.steals.load(Ordering::Relaxed),
+        used_mmap: mapped.is_some(),
+    };
+    Ok((merge_shard_races(per_shard), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::replay_sequential;
+    use crate::write_trace;
+    use clean_core::ThreadId;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn w(tid: u16, addr: usize, size: usize) -> TraceEvent {
+        TraceEvent::Write {
+            tid: t(tid),
+            addr,
+            size,
+        }
+    }
+
+    /// Forks, disjoint bulk writes, a locked region, and two genuine
+    /// races (one against plain writes, one against a locked write with
+    /// no release/acquire pairing).
+    fn mixed_trace() -> Vec<TraceEvent> {
+        let mut ev = vec![
+            TraceEvent::Fork {
+                parent: t(0),
+                child: t(1),
+            },
+            TraceEvent::Fork {
+                parent: t(0),
+                child: t(2),
+            },
+        ];
+        for i in 0..200 {
+            ev.push(w(0, 64 * (i % 5), 4));
+            ev.push(w(1, 4096 + 64 * (i % 5), 4));
+        }
+        ev.push(TraceEvent::Acquire { tid: t(1), lock: 9 });
+        ev.push(w(1, 1 << 20, 8));
+        ev.push(TraceEvent::Release { tid: t(1), lock: 9 });
+        ev.push(w(2, 64, 4));
+        ev.push(w(2, 1 << 20, 8));
+        ev
+    }
+
+    #[test]
+    fn stealing_matches_sequential_for_all_schedules() {
+        let events = mixed_trace();
+        for kind in EngineKind::ALL {
+            let seq = replay_sequential(&events, kind);
+            assert!(!seq.is_empty(), "{kind} found no races");
+            for shards in [1, 2, 3, 8] {
+                for workers in [1, 2, 3] {
+                    let (races, stats) = replay_stealing(&events, kind, shards, workers);
+                    assert_eq!(races, seq, "{kind}/{shards} shards/{workers} workers");
+                    assert_eq!(stats.events, events.len() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn file_engines_agree_with_sequential() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("clean-trace-stealing-{}.cltr", std::process::id()));
+        let events = mixed_trace();
+        write_trace(&path, &events).unwrap();
+
+        let scan = scan_trace(&path).unwrap();
+        assert_eq!(scan.events, events.len() as u64);
+        assert_eq!(scan.threads, 3);
+        assert!(scan.bytes > 0);
+
+        for kind in EngineKind::ALL {
+            let seq = replay_sequential(&events, kind);
+            for shards in [1, 3, 8] {
+                let (naive, nstats) =
+                    replay_file_sharded(&path, kind, shards, scan.threads).unwrap();
+                assert_eq!(naive, seq, "naive {kind}/{shards}");
+                assert_eq!(nstats.events, events.len() as u64);
+                for workers in [1, 2, 4] {
+                    let (fast, fstats) =
+                        replay_file_stealing(&path, kind, shards, workers, scan.threads).unwrap();
+                    assert_eq!(fast, seq, "stealing {kind}/{shards}/{workers}");
+                    assert_eq!(fstats.events, events.len() as u64);
+                    assert!(fstats.batches >= 1);
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_of_missing_file_errors() {
+        assert!(scan_trace("/nonexistent/clean-trace.cltr").is_err());
+    }
+}

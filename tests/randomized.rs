@@ -107,8 +107,19 @@ struct RunOutcome {
 }
 
 fn run(program: &Program) -> RunOutcome {
+    run_cfg(program, true)
+}
+
+fn run_cfg(program: &Program, fast_path: bool) -> RunOutcome {
     let threads = program.threads;
-    let rt = CleanRuntime::new(RuntimeConfig::new().heap_size(1 << 16).max_threads(8));
+    let rt = CleanRuntime::new(
+        RuntimeConfig::new()
+            .heap_size(1 << 16)
+            .max_threads(8)
+            .write_filter(fast_path)
+            .page_cache(fast_path)
+            .sharded_stats(fast_path),
+    );
     let cells: SharedArray<u64> = rt.alloc_array(threads * CELLS_PER_THREAD).unwrap();
     let counter: SharedArray<u64> = rt.alloc_array(1).unwrap();
     let victim: SharedArray<u64> = rt.alloc_array(1).unwrap();
@@ -186,6 +197,47 @@ fn random_race_free_programs_are_clean_and_deterministic() {
             a.digest, b.digest,
             "seed {seed}: digest must be deterministic"
         );
+    }
+}
+
+#[test]
+fn fast_path_is_verdict_neutral_across_200_random_seeds() {
+    // The SFR write filter (and page cache / sharded stats) may only
+    // change *how fast* checks run, never what they conclude: for 200
+    // generated programs — half race-free, half with an injected WAW —
+    // the fast-path and slow-path runtimes must agree on the verdict,
+    // and on the exact first race (kind, address, size, thread pair)
+    // when there is one. Deterministic execution makes the two runs
+    // directly comparable: same program, same schedule, knobs aside.
+    for seed in 0..200u64 {
+        let mut program = generate(seed, 3, 6);
+        if seed % 2 == 1 {
+            program.collision = Some(seed as usize % 3);
+        }
+        let on = run_cfg(&program, true);
+        let off = run_cfg(&program, false);
+        match (&on.result, &off.result) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "seed {seed}: outputs diverged");
+                assert_eq!(on.digest, off.digest, "seed {seed}: digests diverged");
+                assert_eq!(on.first_race, None, "seed {seed}");
+                assert_eq!(off.first_race, None, "seed {seed}");
+                assert_eq!(seed % 2, 0, "seed {seed}: injected race not raised");
+            }
+            (Err(_), Err(_)) => {
+                let a = on.first_race.expect("fast path recorded its race");
+                let b = off.first_race.expect("slow path recorded its race");
+                assert_eq!(a.kind, b.kind, "seed {seed}: race kind diverged");
+                assert_eq!(a.addr, b.addr, "seed {seed}: race address diverged");
+                assert_eq!(a.size, b.size, "seed {seed}: race size diverged");
+                assert_eq!(
+                    (a.current_tid, a.previous_tid()),
+                    (b.current_tid, b.previous_tid()),
+                    "seed {seed}: racing thread pair diverged"
+                );
+            }
+            (a, b) => panic!("seed {seed}: verdicts diverged: fast={a:?} slow={b:?}"),
+        }
     }
 }
 
