@@ -2,9 +2,10 @@
 //! and offline.
 //!
 //! **Online**: multi-threaded checked-access throughput through the
-//! detector's `check_*_with` entry points, ablating the three fast-path
-//! knobs (SFR write-set filter, thread-local shadow-page cache, sharded
-//! statistics) one at a time and together, over two workload profiles:
+//! detector's `check_*_with` entry points, ablating the fast-path knobs
+//! (SFR write-set filter, thread-local shadow-page cache, sharded
+//! statistics, deferred per-thread filter-hit stats) one at a time and
+//! together, over two workload profiles:
 //!
 //! * `sfr_local` — a small per-thread working set rewritten many times
 //!   per synchronization-free region (the redundancy the write filter
@@ -40,38 +41,54 @@ struct KnobConfig {
     write_filter: bool,
     page_cache: bool,
     sharded_stats: bool,
+    deferred_stats: bool,
 }
 
-const CONFIGS: [KnobConfig; 5] = [
+const CONFIGS: [KnobConfig; 6] = [
     KnobConfig {
         name: "all_off",
         write_filter: false,
         page_cache: false,
         sharded_stats: false,
+        deferred_stats: false,
     },
     KnobConfig {
         name: "filter",
         write_filter: true,
         page_cache: false,
         sharded_stats: false,
+        deferred_stats: false,
+    },
+    KnobConfig {
+        // Filter hits with the three stats bumps batched into the
+        // per-thread state instead of shared atomics: isolates the cost
+        // of the atomics on the otherwise share-nothing hit path.
+        name: "filter+deferred",
+        write_filter: true,
+        page_cache: false,
+        sharded_stats: false,
+        deferred_stats: true,
     },
     KnobConfig {
         name: "page_cache",
         write_filter: false,
         page_cache: true,
         sharded_stats: false,
+        deferred_stats: false,
     },
     KnobConfig {
         name: "sharded_stats",
         write_filter: false,
         page_cache: false,
         sharded_stats: true,
+        deferred_stats: false,
     },
     KnobConfig {
         name: "all_on",
         write_filter: true,
         page_cache: true,
         sharded_stats: true,
+        deferred_stats: true,
     },
 ];
 
@@ -136,7 +153,8 @@ fn run_online_cell(
             DetectorConfig::new()
                 .write_filter(cfg.write_filter)
                 .page_cache(cfg.page_cache)
-                .sharded_stats(cfg.sharded_stats),
+                .sharded_stats(cfg.sharded_stats)
+                .deferred_stats(cfg.deferred_stats),
         );
         let det = &det;
         let layout = det.layout();
@@ -160,9 +178,10 @@ fn run_online_cell(
                                 .expect("disjoint per-thread regions are race-free");
                             }
                         }
-                        // SFR boundary: epoch bump + filter flush, as the
-                        // runtime does on every release operation.
+                        // SFR boundary: epoch bump + stats drain + filter
+                        // flush, as the runtime does on every release.
                         vc.increment(tid).expect("phase count below rollover");
+                        det.drain_check_state(tid, &mut state);
                         state.on_epoch_increment();
                     }
                 });

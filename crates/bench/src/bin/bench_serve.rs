@@ -1,0 +1,257 @@
+//! Service-throughput benchmark for `clean-serve`.
+//!
+//! Starts an in-process daemon, records a small corpus of racy and clean
+//! workload-kernel traces, then measures the three regimes a long-lived
+//! analysis service actually sees:
+//!
+//! * **cold** — first SUBMIT + ANALYZE of every `(trace, engine)` pair:
+//!   bounded by replay throughput, every request a cache miss;
+//! * **hot** — `CLEAN_THREADS` concurrent clients re-requesting the same
+//!   verdicts for many rounds: bounded by the protocol + verdict cache,
+//!   every request a hit;
+//! * **resubmit** — clients re-uploading traces the store already holds:
+//!   bounded by digest validation, every upload deduplicated.
+//!
+//! The run fails if the STATS counters disagree with the regime (a hot
+//! round that misses the cache means memoization broke) or if a racy
+//! trace yields no races. Results land in `BENCH_serve.json` (override
+//! with `--out`); `--small` selects the quick CI profile. `CLEAN_THREADS`
+//! scales the client fan-out.
+
+use clean_bench::{env_threads, fmt_pct, trace_dir, Table};
+use clean_serve::client::Client;
+use clean_serve::protocol::Response;
+use clean_serve::server::{Server, ServerConfig};
+use clean_trace::{digest_file, record_kernel_trace, EngineKind, RecordOptions, TraceDigest};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One recorded corpus entry.
+struct CorpusTrace {
+    name: &'static str,
+    racy: bool,
+    bytes: Vec<u8>,
+    digest: TraceDigest,
+}
+
+const KERNELS: [(&str, bool); 4] = [
+    ("dedup", true),
+    ("streamcluster", true),
+    ("fft", false),
+    ("blackscholes", false),
+];
+
+/// Records the kernel corpus into `dir` and returns the encoded traces.
+fn record_corpus(dir: &std::path::Path) -> Vec<CorpusTrace> {
+    KERNELS
+        .iter()
+        .map(|&(name, racy)| {
+            let path = dir.join(format!("serve-{name}-{racy}.cltr"));
+            record_kernel_trace(
+                name,
+                &path,
+                &RecordOptions {
+                    threads: 4,
+                    racy,
+                    seed: 42,
+                },
+            )
+            .expect("record kernel trace");
+            let digest = digest_file(&path).expect("digest recorded trace");
+            let bytes = std::fs::read(&path).expect("read recorded trace");
+            std::fs::remove_file(&path).ok();
+            CorpusTrace {
+                name,
+                racy,
+                bytes,
+                digest,
+            }
+        })
+        .collect()
+}
+
+fn submit(client: &mut Client, trace: &[u8]) -> (TraceDigest, bool) {
+    match client.submit(trace.to_vec()).expect("submit round trip") {
+        Response::Submitted { digest, dedup, .. } => (digest, dedup),
+        other => panic!("submit rejected: {other:?}"),
+    }
+}
+
+fn main() {
+    let mut small = false;
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_serve [--small] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let clients = env_threads();
+    let rounds: usize = if small { 25 } else { 250 };
+    let engines = [EngineKind::Clean, EngineKind::FastTrack];
+    println!(
+        "== bench_serve: service throughput ({} profile, {clients} clients, {rounds} hot rounds) ==\n",
+        if small { "small" } else { "full" }
+    );
+
+    let dir = trace_dir();
+    std::fs::create_dir_all(&dir).expect("create trace directory");
+    let corpus = record_corpus(&dir);
+    let corpus_bytes: usize = corpus.iter().map(|t| t.bytes.len()).sum();
+
+    let store_dir = dir.join(format!("serve-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let server = Server::start(
+        ServerConfig::new(&store_dir)
+            .workers(clients.min(8))
+            .queue_cap(4 * clients.max(1)),
+    )
+    .expect("start in-process server");
+    let addr = server.addr();
+
+    // ---- cold: first submit + first analyze of every (trace, engine) ----
+    let mut seed_client = Client::connect(addr).expect("connect seed client");
+    let t0 = Instant::now();
+    for trace in &corpus {
+        let (digest, dedup) = submit(&mut seed_client, &trace.bytes);
+        assert_eq!(digest, trace.digest, "store digest must match recorder");
+        assert!(!dedup, "first submit of {} cannot dedup", trace.name);
+    }
+    let submit_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for trace in &corpus {
+        for &engine in &engines {
+            match seed_client
+                .analyze_with_retry(trace.digest, engine, 100)
+                .expect("cold analyze")
+            {
+                Response::Verdict { cached, races, .. } => {
+                    assert!(!cached, "cold analyze of {} must miss", trace.name);
+                    if trace.racy && engine == EngineKind::Clean {
+                        assert!(!races.is_empty(), "racy {} must report races", trace.name);
+                    }
+                }
+                other => panic!("cold analyze failed: {other:?}"),
+            }
+        }
+    }
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let cold_verdicts = corpus.len() * engines.len();
+    let stats_cold = seed_client.stats().expect("stats after cold phase");
+    assert_eq!(
+        stats_cold.cache_hits, 0,
+        "cold phase must not hit the cache"
+    );
+
+    // ---- hot: concurrent clients replaying the same requests ----
+    let corpus_ref = &corpus;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect hot client");
+                for round in 0..rounds {
+                    for trace in corpus_ref {
+                        let engine = engines[(c + round) % engines.len()];
+                        match client
+                            .analyze_with_retry(trace.digest, engine, 100)
+                            .expect("hot analyze")
+                        {
+                            Response::Verdict { .. } => {}
+                            other => panic!("hot analyze failed: {other:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let hot_secs = t0.elapsed().as_secs_f64();
+    let hot_verdicts = clients * rounds * corpus.len();
+
+    // ---- resubmit: every upload hits the digest store ----
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect resubmit client");
+                for trace in corpus_ref {
+                    let (_, dedup) = submit(&mut client, &trace.bytes);
+                    assert!(dedup, "resubmit of {} must dedup", trace.name);
+                }
+            });
+        }
+    });
+    let resubmit_secs = t0.elapsed().as_secs_f64();
+    let resubmit_count = clients * corpus.len();
+
+    let stats = seed_client.stats().expect("final stats");
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // Memoization must have served the entire hot phase from the cache.
+    assert_eq!(
+        stats.cache_misses as usize, cold_verdicts,
+        "only the cold phase may miss"
+    );
+    assert!(
+        stats.cache_hits as usize >= hot_verdicts,
+        "hot phase must be all cache hits"
+    );
+    assert_eq!(stats.store_traces as usize, corpus.len());
+    let hit_rate = stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64;
+
+    let mut t = Table::new(&["phase", "requests", "secs", "req/s"]);
+    for (phase, n, secs) in [
+        ("cold submit", corpus.len(), submit_secs),
+        ("cold analyze", cold_verdicts, cold_secs),
+        ("hot analyze", hot_verdicts, hot_secs),
+        ("resubmit", resubmit_count, resubmit_secs),
+    ] {
+        t.row(vec![
+            phase.into(),
+            n.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", n as f64 / secs),
+        ]);
+    }
+    t.print();
+    println!(
+        "\ncorpus {} traces / {:.1} MiB, cache hit rate {}, {} dedup uploads",
+        corpus.len(),
+        corpus_bytes as f64 / (1 << 20) as f64,
+        fmt_pct(hit_rate),
+        stats.submit_dedup_hits,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"profile\": \"{}\",\n  \"clients\": {},\n  \"rounds\": {},\n  \"corpus_traces\": {},\n  \"corpus_bytes\": {},\n  \"cold_submit_secs\": {:.4},\n  \"cold_analyze_secs\": {:.4},\n  \"hot_analyze_secs\": {:.4},\n  \"resubmit_secs\": {:.4},\n  \"hot_verdicts_per_sec\": {:.1},\n  \"cache_hit_rate\": {:.4},\n  \"submit_dedup_hits\": {},\n  \"jobs_completed\": {},\n  \"jobs_rejected\": {}\n}}\n",
+        if small { "small" } else { "full" },
+        clients,
+        rounds,
+        corpus.len(),
+        corpus_bytes,
+        submit_secs,
+        cold_secs,
+        hot_secs,
+        resubmit_secs,
+        hot_verdicts as f64 / hot_secs,
+        hit_rate,
+        stats.submit_dedup_hits,
+        stats.jobs_completed,
+        stats.jobs_rejected,
+    );
+    std::fs::write(&out, &json).expect("write result JSON");
+    println!("wrote {}", out.display());
+    println!(
+        "headline: {:.0} cached verdicts/s across {clients} clients",
+        hot_verdicts as f64 / hot_secs
+    );
+}

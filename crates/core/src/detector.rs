@@ -87,6 +87,14 @@ pub struct DetectorConfig {
     /// Enables the thread-local last-shadow-page cache on the `*_with`
     /// entry points, skipping the directory walk for same-page accesses.
     pub page_cache: bool,
+    /// Batches the statistics bumps of filter-answered checks into plain
+    /// per-thread counters ([`PendingStats`](crate::PendingStats)) instead
+    /// of shared atomics, making the filter-hit path touch no shared state
+    /// at all. Requires callers to drain via
+    /// [`CleanDetector::drain_check_state`] on epoch increments and thread
+    /// exit (the runtime and scheduler VMs do); until drained, snapshots
+    /// under-report the deferred counters.
+    pub deferred_stats: bool,
     /// Number of cache-line-padded statistics shards; 1 reproduces the
     /// fully shared (contended) counter layout.
     pub stats_shards: usize,
@@ -102,6 +110,7 @@ impl DetectorConfig {
             atomicity: AtomicityMode::LockFree,
             write_filter: true,
             page_cache: true,
+            deferred_stats: true,
             stats_shards: DEFAULT_STATS_SHARDS,
         }
     }
@@ -133,6 +142,13 @@ impl DetectorConfig {
     /// Enables or disables the thread-local shadow-page cache.
     pub fn page_cache(mut self, on: bool) -> Self {
         self.page_cache = on;
+        self
+    }
+
+    /// Enables or disables deferred (per-thread batched) statistics on the
+    /// filter-hit path.
+    pub fn deferred_stats(mut self, on: bool) -> Self {
+        self.deferred_stats = on;
         self
     }
 
@@ -379,9 +395,6 @@ impl CleanDetector {
         state: &mut ThreadCheckState,
     ) -> Result<(), RaceReport> {
         debug_assert!(size > 0);
-        let shard = self.shard(tid);
-        DetectorStats::bump(&shard.reads_checked);
-        DetectorStats::add(&shard.bytes_checked, size as u64);
         if self.config.write_filter
             && state.filter.covers(
                 addr,
@@ -391,10 +404,23 @@ impl CleanDetector {
             )
         {
             // Every covered byte still holds this thread's current epoch,
-            // so the read trivially happens-after the last write.
-            DetectorStats::bump(&shard.filter_hits);
+            // so the read trivially happens-after the last write. With
+            // deferred stats the hit path touches no shared state at all.
+            if self.config.deferred_stats {
+                state.pending.reads_checked += 1;
+                state.pending.bytes_checked += size as u64;
+                state.pending.filter_hits += 1;
+            } else {
+                let shard = self.shard(tid);
+                DetectorStats::bump(&shard.reads_checked);
+                DetectorStats::add(&shard.bytes_checked, size as u64);
+                DetectorStats::bump(&shard.filter_hits);
+            }
             return Ok(());
         }
+        let shard = self.shard(tid);
+        DetectorStats::bump(&shard.reads_checked);
+        DetectorStats::add(&shard.bytes_checked, size as u64);
         let _guard = self.check_guard(addr);
         if self.config.page_cache {
             let mut ops = Cached {
@@ -495,18 +521,27 @@ impl CleanDetector {
         state: &mut ThreadCheckState,
     ) -> Result<(), RaceReport> {
         debug_assert!(size > 0);
-        let shard = self.shard(tid);
-        DetectorStats::bump(&shard.writes_checked);
-        DetectorStats::add(&shard.bytes_checked, size as u64);
         let new_epoch = vc.write_epoch(tid);
         let generation = self.shadow.generation();
         if self.config.write_filter && state.filter.covers(addr, size, new_epoch.raw(), generation)
         {
             // Every covered byte already holds exactly `new_epoch`: the
             // full check would pass and take the Figure 2 line 5 skip.
-            DetectorStats::bump(&shard.filter_hits);
+            if self.config.deferred_stats {
+                state.pending.writes_checked += 1;
+                state.pending.bytes_checked += size as u64;
+                state.pending.filter_hits += 1;
+            } else {
+                let shard = self.shard(tid);
+                DetectorStats::bump(&shard.writes_checked);
+                DetectorStats::add(&shard.bytes_checked, size as u64);
+                DetectorStats::bump(&shard.filter_hits);
+            }
             return Ok(());
         }
+        let shard = self.shard(tid);
+        DetectorStats::bump(&shard.writes_checked);
+        DetectorStats::add(&shard.bytes_checked, size as u64);
         let _guard = self.check_guard(addr);
         let result = if self.config.page_cache {
             let mut ops = Cached {
@@ -647,6 +682,26 @@ impl CleanDetector {
             AccessKind::Read => self.check_read_with(vc, tid, addr, size, state),
             AccessKind::Write => self.check_write_with(vc, tid, addr, size, state),
         }
+    }
+
+    /// Drains `state`'s batched filter-hit statistics into `tid`'s stats
+    /// shard, leaving the pending counters zero.
+    ///
+    /// Under `deferred_stats` (the default) the filter-hit fast path
+    /// accumulates into plain per-thread counters; call this on every
+    /// epoch increment and at thread exit so [`stats`](Self::stats)
+    /// snapshots converge to the exact totals. Calling it when nothing is
+    /// pending (or when deferral is off) is free.
+    pub fn drain_check_state(&self, tid: ThreadId, state: &mut ThreadCheckState) {
+        let p = std::mem::take(&mut state.pending);
+        if p.is_empty() {
+            return;
+        }
+        let shard = self.shard(tid);
+        DetectorStats::add(&shard.reads_checked, p.reads_checked);
+        DetectorStats::add(&shard.writes_checked, p.writes_checked);
+        DetectorStats::add(&shard.bytes_checked, p.bytes_checked);
+        DetectorStats::add(&shard.filter_hits, p.filter_hits);
     }
 
     /// The epoch currently recorded for data byte `addr` (test/diagnostic
@@ -920,11 +975,40 @@ mod tests {
             det.check_read_with(&vcs[0], t0, 0, 8, &mut st).unwrap();
             det.check_read_with(&vcs[0], t0, 0, 4, &mut st).unwrap();
         }
+        // Under deferred stats (the default) the hits are batched in the
+        // per-thread state until drained.
+        assert_eq!(det.stats().filter_hits, 0);
+        assert_eq!(st.pending.filter_hits, 30);
+        assert_eq!(st.pending.reads_checked, 20);
+        assert_eq!(st.pending.writes_checked, 10);
+        assert_eq!(st.pending.bytes_checked, 10 * (8 + 8 + 4));
+        det.drain_check_state(t0, &mut st);
+        assert!(st.pending.is_empty());
         let s = det.stats();
         assert_eq!(s.epoch_updates, updates_after_first);
         assert_eq!(s.filter_hits, 30);
+        assert_eq!(s.reads_checked, 20);
+        assert_eq!(s.writes_checked, 11);
+        // Draining again is a no-op.
+        det.drain_check_state(t0, &mut st);
+        assert_eq!(det.stats().filter_hits, 30);
         // The shadow state is exactly what the unfiltered path would leave.
         assert_eq!(det.epoch_at(0), vcs[0].write_epoch(t0));
+    }
+
+    #[test]
+    fn undeferred_stats_hit_the_shared_counters_directly() {
+        let cfg = DetectorConfig::new().deferred_stats(false);
+        let det = CleanDetector::new(1 << 16, cfg);
+        let t0 = ThreadId::new(0);
+        let mut vc = VectorClock::new(1, det.layout());
+        vc.increment(t0).unwrap();
+        let mut st = ThreadCheckState::new();
+        det.check_write_with(&vc, t0, 0, 8, &mut st).unwrap();
+        det.check_write_with(&vc, t0, 0, 8, &mut st).unwrap();
+        assert!(st.pending.is_empty());
+        assert_eq!(det.stats().filter_hits, 1);
+        assert_eq!(det.stats().writes_checked, 2);
     }
 
     #[test]
@@ -936,9 +1020,11 @@ mod tests {
         det.check_write_with(&vcs[0], t0, 0, 8, &mut st0).unwrap();
         // t0 releases (epoch bump): the cached range must stop hitting.
         vcs[0].increment(t0).unwrap();
+        det.drain_check_state(t0, &mut st0);
         st0.on_epoch_increment();
         let hits_before = det.stats().filter_hits;
         det.check_write_with(&vcs[0], t0, 0, 8, &mut st0).unwrap();
+        det.drain_check_state(t0, &mut st0);
         assert_eq!(det.stats().filter_hits, hits_before, "no stale hit");
         // And even without the explicit flush the epoch tag invalidates.
         let mut st1 = ThreadCheckState::new();
@@ -1012,6 +1098,7 @@ mod tests {
             let hits = det.stats().filter_hits;
             det.check_write_with(&vc0, t0, base, 8, &mut st0).unwrap();
             det.check_read_with(&vc0, t0, base, 8, &mut st0).unwrap();
+            det.drain_check_state(t0, &mut st0);
             assert_eq!(det.stats().filter_hits, hits + if filter { 2 } else { 0 });
             // Cross-thread, unordered: race on the first straddled byte.
             let race = det
@@ -1037,6 +1124,7 @@ mod tests {
         // shadow now reads zero, not our epoch).
         let hits = det.stats().filter_hits;
         det.check_write_with(&vcs[0], t0, 0, 8, &mut st).unwrap();
+        det.drain_check_state(t0, &mut st);
         assert_eq!(det.stats().filter_hits, hits);
         assert_eq!(det.epoch_at(0), vcs[0].write_epoch(t0));
     }

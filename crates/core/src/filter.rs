@@ -107,16 +107,50 @@ impl SfrWriteFilter {
     }
 }
 
+/// Plain (non-atomic) per-thread statistics accumulated on the filter-hit
+/// fast path when the detector's `deferred_stats` knob is on.
+///
+/// A filter hit is the one place the check pipeline touches *no* shared
+/// state at all — bumping three shared atomics there costs more than the
+/// check itself. These counters batch the bumps locally; the owner drains
+/// them into the sharded atomics with
+/// [`CleanDetector::drain_check_state`](crate::CleanDetector::drain_check_state)
+/// on every epoch increment (sync operations are rare relative to
+/// accesses) and at thread exit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStats {
+    /// Read checks answered by the filter, not yet drained.
+    pub reads_checked: u64,
+    /// Write checks answered by the filter, not yet drained.
+    pub writes_checked: u64,
+    /// Bytes covered by those checks.
+    pub bytes_checked: u64,
+    /// Filter hits (always `reads_checked + writes_checked` here; kept
+    /// separate so draining is a blind field-wise add).
+    pub filter_hits: u64,
+}
+
+impl PendingStats {
+    /// True when there is nothing to drain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.filter_hits == 0 && self.reads_checked == 0 && self.writes_checked == 0
+    }
+}
+
 /// The per-thread mutable state the fast-path check pipeline threads
 /// through [`check_read_with`](crate::CleanDetector::check_read_with) and
 /// [`check_write_with`](crate::CleanDetector::check_write_with): the SFR
-/// write-set filter plus the last-shadow-page cache.
+/// write-set filter, the last-shadow-page cache, and the batched
+/// filter-hit statistics.
 #[derive(Debug, Default)]
 pub struct ThreadCheckState {
     /// Ranges this thread already published this SFR.
     pub filter: SfrWriteFilter,
     /// Last shadow page this thread resolved.
     pub page_cache: ShadowPageCache,
+    /// Filter-hit statistics not yet drained into the sharded counters.
+    pub pending: PendingStats,
 }
 
 impl ThreadCheckState {
@@ -127,7 +161,9 @@ impl ThreadCheckState {
 
     /// Flush hook for epoch increments: empties the write-set filter.
     /// (The page cache survives sync operations — page identity does not
-    /// depend on the thread's epoch.)
+    /// depend on the thread's epoch.) Callers holding a detector should
+    /// drain [`pending`](Self::pending) first via
+    /// [`CleanDetector::drain_check_state`](crate::CleanDetector::drain_check_state).
     #[inline]
     pub fn on_epoch_increment(&mut self) {
         self.filter.clear();

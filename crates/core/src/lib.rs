@@ -69,7 +69,7 @@ pub use detector::{
     AtomicityMode, CleanDetector, DetectorConfig, DEFAULT_STATS_SHARDS, WIDE_CAS_EPOCHS,
 };
 pub use epoch::{Epoch, EpochLayout, ThreadId};
-pub use filter::{SfrWriteFilter, ThreadCheckState, FILTER_SLOTS};
+pub use filter::{PendingStats, SfrWriteFilter, ThreadCheckState, FILTER_SLOTS};
 pub use report::{AccessKind, RaceKind, RaceReport};
 pub use rollover::RolloverCoordinator;
 pub use shadow::{ShadowMemory, ShadowPageCache, ShadowStats, PAGE_EPOCHS};

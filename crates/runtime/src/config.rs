@@ -56,6 +56,10 @@ pub struct RuntimeConfig {
     pub write_filter: bool,
     /// Enable the thread-local last-shadow-page cache on the check path.
     pub page_cache: bool,
+    /// Batch the statistics bumps of filter-answered checks into plain
+    /// per-thread counters, drained into the shards on epoch increments
+    /// and thread exit (the filter-hit path then touches no shared state).
+    pub deferred_stats: bool,
     /// Spread detector statistics over cache-line-padded per-thread
     /// shards instead of one contended set of counters.
     pub sharded_stats: bool,
@@ -75,6 +79,7 @@ impl RuntimeConfig {
             record_trace: false,
             write_filter: true,
             page_cache: true,
+            deferred_stats: true,
             sharded_stats: true,
         }
     }
@@ -148,6 +153,13 @@ impl RuntimeConfig {
     /// Enables or disables sharded detector statistics.
     pub fn sharded_stats(mut self, on: bool) -> Self {
         self.sharded_stats = on;
+        self
+    }
+
+    /// Enables or disables deferred (per-thread batched) filter-hit
+    /// statistics.
+    pub fn deferred_stats(mut self, on: bool) -> Self {
+        self.deferred_stats = on;
         self
     }
 }

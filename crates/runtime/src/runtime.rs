@@ -242,6 +242,7 @@ impl CleanRuntime {
                     .atomicity(config.atomicity)
                     .write_filter(config.write_filter)
                     .page_cache(config.page_cache)
+                    .deferred_stats(config.deferred_stats)
                     .sharded_stats(config.sharded_stats),
             )
         });
@@ -511,7 +512,8 @@ impl ThreadCtx {
         }
     }
 
-    /// Flushes the thread-local access counters into the runtime totals.
+    /// Flushes the thread-local access counters into the runtime totals
+    /// and the batched filter-hit stats into the detector shards.
     pub(crate) fn flush_counters(&mut self) {
         if self.local_reads > 0 {
             self.rt
@@ -524,6 +526,9 @@ impl ThreadCtx {
                 .shared_writes
                 .fetch_add(self.local_writes, Ordering::Relaxed);
             self.local_writes = 0;
+        }
+        if let Some(det) = self.rt.detector.as_ref() {
+            det.drain_check_state(self.tid, &mut self.check);
         }
     }
 
@@ -548,8 +553,12 @@ impl ThreadCtx {
             .increment(self.tid)
             .expect("clock fits after deterministic reset");
         // New SFR: ranges published under the previous epoch may now be
-        // overwritten in an ordered way, so the write-set filter flushes.
+        // overwritten in an ordered way, so the write-set filter flushes
+        // and the batched filter-hit stats drain into the shards.
         // (Entries would also self-invalidate via their epoch tag.)
+        if let Some(det) = self.rt.detector.as_ref() {
+            det.drain_check_state(self.tid, &mut self.check);
+        }
         self.check.on_epoch_increment();
     }
 

@@ -1,7 +1,7 @@
 //! Schedule shrinking: reduces a failing schedule to a minimal forced
 //! prefix that still reproduces the failure.
 //!
-//! Two phases, both validated by lenient replay (unusable token entries
+//! Three phases, all validated by lenient replay (unusable token entries
 //! are skipped, so any subsequence of a schedule is itself a schedule):
 //!
 //! 1. **Prefix truncation** — binary search for the shortest token prefix
@@ -9,7 +9,12 @@
 //!    failure. Races need only the few reorderings that break the
 //!    happens-before edge, so this alone usually collapses a schedule to
 //!    a handful of yield points.
-//! 2. **Chunk deletion (ddmin-lite)** — repeatedly delete halving-size
+//! 2. **Thread deletion** — for each thread still chosen by the token,
+//!    try deleting *all* of its choices at once. Bystander threads whose
+//!    scheduling never matters to the failure (a common pattern: the race
+//!    is between two workers while others churn on unrelated state)
+//!    disappear in one trial each instead of one trial per entry.
+//! 3. **Chunk deletion (ddmin-lite)** — repeatedly delete halving-size
 //!    chunks anywhere in the remaining token while the failure persists,
 //!    until no single entry can be removed.
 //!
@@ -108,7 +113,32 @@ pub fn shrink(spec: &ProgramSpec, schedule: &Schedule, repro: Repro) -> Option<S
     }
     token.truncate(hi);
 
-    // Phase 2: delete chunks of halving size until a fixpoint.
+    // Phase 2: thread deletion — drop every choice of one thread in a
+    // single candidate. Only threads the remaining token still selects
+    // are tried, most frequently chosen first (the biggest possible win
+    // per trial); each success removes a whole bystander at once, work
+    // chunk deletion would need many entry-wise trials to replicate.
+    let mut by_thread: Vec<(usize, usize)> = Vec::new();
+    for &t in &token {
+        match by_thread.iter_mut().find(|(tid, _)| *tid == t) {
+            Some((_, n)) => *n += 1,
+            None => by_thread.push((t, 1)),
+        }
+    }
+    by_thread.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (t, _) in by_thread {
+        if !token.contains(&t) {
+            continue;
+        }
+        let candidate: Vec<usize> = token.iter().copied().filter(|&x| x != t).collect();
+        trials += 1;
+        if let Some(exec) = try_token(spec, &candidate, repro) {
+            best_exec = exec;
+            token = candidate;
+        }
+    }
+
+    // Phase 3: delete chunks of halving size until a fixpoint.
     let mut chunk = (token.len() / 2).max(1);
     while !token.is_empty() {
         let mut removed_any = false;
@@ -167,5 +197,76 @@ mod tests {
         let spec = find("lock_counter").unwrap();
         let exec = run_schedule(&spec.factory, &spec.cfg, &mut DefaultPicker, None);
         assert!(shrink(&spec, &exec.schedule, Repro::AnyCleanRace).is_none());
+    }
+
+    #[test]
+    fn shrink_drops_bystander_threads() {
+        use crate::picker::PctPicker;
+        use crate::programs::Expect;
+        use crate::vm::VmConfig;
+        use std::sync::Arc;
+
+        // The war_probe pair (reader tid 1, writer tid 3) plus a noisy
+        // lock-protected bystander (tid 2) whose scheduling never matters
+        // to the race. CLEAN only flags the RAW direction (writer first),
+        // which the default policy does not produce — the minimal token is
+        // non-empty, so surviving bystander choices would be visible.
+        let spec = ProgramSpec {
+            name: "war_with_bystander",
+            about: "unordered read/write pair plus an irrelevant locked worker",
+            expect: Expect::Racy,
+            cfg: VmConfig {
+                max_threads: 4,
+                heap_cells: 8,
+                max_steps: 512,
+                stop_on_race: false,
+                ..VmConfig::default()
+            },
+            factory: Arc::new(|| {
+                Box::new(|c| {
+                    let m = c.create_mutex();
+                    let r = c.spawn(|c| c.read(0))?;
+                    let noise = c.spawn(move |c| {
+                        for _ in 0..3 {
+                            c.lock(m)?;
+                            let v = c.read(1)?;
+                            c.write(1, v + 1)?;
+                            c.unlock(m)?;
+                        }
+                        Ok(0)
+                    })?;
+                    let w = c.spawn(|c| {
+                        c.write(0, 9)?;
+                        Ok(9)
+                    })?;
+                    c.join(r)?;
+                    c.join(noise)?;
+                    c.join(w)?;
+                    Ok(0)
+                })
+            }),
+        };
+        const BYSTANDER: usize = 2;
+        let exec = (0..500)
+            .find_map(|seed| {
+                let mut picker = PctPicker::new(seed, 3, 256);
+                let exec = run_schedule(&spec.factory, &spec.cfg, &mut picker, None);
+                (!exec.clean_races.is_empty() && exec.schedule.0.contains(&BYSTANDER))
+                    .then_some(exec)
+            })
+            .expect("some PCT schedule hits the RAW direction with bystander choices");
+        let repro = Repro::from_execution(&exec).unwrap();
+        let s = shrink(&spec, &exec.schedule, repro).expect("original reproduces");
+        assert!(repro.holds(&s.exec));
+        assert!(
+            !s.schedule.0.contains(&BYSTANDER),
+            "bystander choices must be deleted, got {}",
+            s.schedule
+        );
+        assert!(
+            !s.schedule.is_empty(),
+            "the RAW direction needs forced choices; an empty token would \
+             make this test vacuous"
+        );
     }
 }

@@ -306,6 +306,8 @@ impl VmData {
             .vc
             .increment(Self::tid16(t))
             .expect("sched VM executions never reach clock rollover");
+        self.detector
+            .drain_check_state(Self::tid16(t), &mut self.threads[t].check);
         self.threads[t].check.on_epoch_increment();
     }
 }

@@ -1,0 +1,132 @@
+//! Sharded verdict cache: memoizes `(digest, engine)` → replay verdict.
+//!
+//! Verdicts are immutable facts — a trace's digest pins its exact event
+//! sequence, and every engine is a deterministic function of that
+//! sequence — so entries never need invalidation and a repeat ANALYZE can
+//! be answered without touching the replay engines at all. The map is
+//! sharded by key hash so concurrent connection threads recording
+//! verdicts for different traces do not serialize on one lock.
+
+use clean_baselines::FoundRace;
+use clean_trace::{EngineKind, TraceDigest};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cache key: which trace, replayed through which engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerdictKey {
+    /// Content address of the trace.
+    pub digest: TraceDigest,
+    /// Detector engine.
+    pub engine: EngineKind,
+}
+
+/// A finished analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Races found; empty means the trace is clean under this engine.
+    pub races: Vec<FoundRace>,
+    /// Events replayed.
+    pub events: u64,
+}
+
+/// Fixed shard count; a small power of two is plenty for a
+/// thread-per-connection server.
+const SHARDS: usize = 16;
+
+/// The sharded `(digest, engine)` → [`Verdict`] map.
+#[derive(Debug)]
+pub struct VerdictCache {
+    shards: Vec<Mutex<HashMap<VerdictKey, Verdict>>>,
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VerdictCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        VerdictCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &VerdictKey) -> &Mutex<HashMap<VerdictKey, Verdict>> {
+        // The digest is already a high-quality 128-bit hash; fold in the
+        // engine so the same trace under different engines spreads out.
+        let h = (key.digest.0 as usize) ^ ((key.engine as usize) << 3);
+        &self.shards[h % SHARDS]
+    }
+
+    /// Looks up a memoized verdict.
+    pub fn get(&self, key: &VerdictKey) -> Option<Verdict> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    /// Records a verdict.
+    pub fn insert(&self, key: VerdictKey, verdict: Verdict) {
+        self.shard(&key).lock().insert(key, verdict);
+    }
+
+    /// Number of memoized verdicts.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip_across_engines() {
+        let cache = VerdictCache::new();
+        let digest = TraceDigest(0xfeed_beef);
+        for (i, engine) in EngineKind::ALL.into_iter().enumerate() {
+            let key = VerdictKey { digest, engine };
+            assert_eq!(cache.get(&key), None);
+            let verdict = Verdict {
+                races: vec![],
+                events: i as u64,
+            };
+            cache.insert(key, verdict.clone());
+            assert_eq!(cache.get(&key), Some(verdict));
+        }
+        assert_eq!(cache.len(), EngineKind::ALL.len());
+    }
+
+    #[test]
+    fn distinct_digests_do_not_collide() {
+        let cache = VerdictCache::new();
+        for i in 0..100u64 {
+            cache.insert(
+                VerdictKey {
+                    digest: TraceDigest(u128::from(i)),
+                    engine: EngineKind::Clean,
+                },
+                Verdict {
+                    races: vec![],
+                    events: i,
+                },
+            );
+        }
+        assert_eq!(cache.len(), 100);
+        for i in 0..100u64 {
+            let got = cache
+                .get(&VerdictKey {
+                    digest: TraceDigest(u128::from(i)),
+                    engine: EngineKind::Clean,
+                })
+                .unwrap();
+            assert_eq!(got.events, i);
+        }
+    }
+}

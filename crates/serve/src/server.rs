@@ -1,0 +1,550 @@
+//! The `clean-serve` daemon: a thread-per-connection TCP server over the
+//! [`crate::protocol`] frames, gluing together the trace store, verdict
+//! cache, and job queue.
+//!
+//! Thread layout:
+//!
+//! * one **accept** thread turning connections into connection threads,
+//! * one **connection** thread per client, decoding request frames and
+//!   answering synchronously,
+//! * a pool of **worker** threads draining the job queue through the
+//!   offline replay engines.
+//!
+//! A "client" for admission-control purposes is one connection (peer
+//! address including port): per-client caps bound what a single
+//! connection can hold in flight.
+//!
+//! Graceful shutdown (`SHUTDOWN` frame or [`ServerHandle::shutdown`])
+//! closes the queue to new work but *drains* what was admitted: workers
+//! finish every queued job (waiting clients get their verdicts), then
+//! lingering connections are disconnected and all threads joined.
+
+use crate::cache::{Verdict, VerdictCache, VerdictKey};
+use crate::protocol::{error_code, Request, Response, StatsReply, WireRace};
+use crate::queue::{Admission, JobQueue, JobState};
+use crate::store::TraceStore;
+use clean_trace::{read_trace, replay_file_stealing, replay_sharded, EngineKind, TraceDigest};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Directory for the content-addressed trace store.
+    pub store_dir: PathBuf,
+    /// Store byte bound (`u64::MAX` = unbounded).
+    pub store_max_bytes: u64,
+    /// Max queued-not-running jobs before load shedding.
+    pub queue_cap: usize,
+    /// Max unfinished jobs one connection may hold.
+    pub per_client_cap: usize,
+    /// Retry hint handed to shed clients, in milliseconds.
+    pub retry_millis: u64,
+    /// Worker threads replaying jobs.
+    pub workers: usize,
+    /// Shards for the replay engines.
+    pub shards: usize,
+    /// Traces at or above this many bytes replay via the streaming
+    /// work-stealing engine instead of being read fully into memory.
+    pub stream_threshold: u64,
+}
+
+impl ServerConfig {
+    /// Defaults: loopback ephemeral port, 1 GiB store, 64-job queue,
+    /// 8 jobs per client, 100 ms retry hint, workers/shards from
+    /// available parallelism, 8 MiB streaming threshold.
+    pub fn new(store_dir: impl Into<PathBuf>) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: store_dir.into(),
+            store_max_bytes: 1 << 30,
+            queue_cap: 64,
+            per_client_cap: 8,
+            retry_millis: 100,
+            workers: cores.clamp(1, 8),
+            shards: cores.clamp(1, 8),
+            stream_threshold: 8 << 20,
+        }
+    }
+
+    /// Sets the bind address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the store byte bound.
+    pub fn store_max_bytes(mut self, bytes: u64) -> Self {
+        self.store_max_bytes = bytes;
+        self
+    }
+
+    /// Sets the queue cap.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Sets the per-client in-flight cap.
+    pub fn per_client_cap(mut self, cap: usize) -> Self {
+        self.per_client_cap = cap;
+        self
+    }
+
+    /// Sets the retry hint.
+    pub fn retry_millis(mut self, millis: u64) -> Self {
+        self.retry_millis = millis;
+        self
+    }
+
+    /// Sets the worker-pool size.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the replay shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// Counters that live outside store and queue.
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    submits: AtomicU64,
+    submit_dedup_hits: AtomicU64,
+    analyzes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// State shared by every server thread.
+#[derive(Debug)]
+struct Shared {
+    store: TraceStore,
+    cache: VerdictCache,
+    queue: JobQueue,
+    counters: ServiceCounters,
+    shards: usize,
+    stream_threshold: u64,
+    /// Set once shutdown begins; checked by the accept loop and by
+    /// connection threads before admitting new work.
+    draining: AtomicBool,
+    /// Condvar'd mirror of `draining` so a foreground daemon can block
+    /// in [`ServerHandle::wait_until_draining`] instead of polling.
+    drain_flag: Mutex<bool>,
+    drain_cv: Condvar,
+    addr: SocketAddr,
+    /// Live connection sockets (clones keyed by connection id), so the
+    /// drain can unblock parked readers. Entries are removed when their
+    /// connection thread exits — a lingering clone would hold the TCP
+    /// connection open after the server side is done with it.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    fn stats_reply(&self) -> StatsReply {
+        let store = self.store.stats();
+        let (jobs_completed, jobs_rejected) = self.queue.counters();
+        StatsReply {
+            submits: self.counters.submits.load(Ordering::Relaxed),
+            submit_dedup_hits: self.counters.submit_dedup_hits.load(Ordering::Relaxed),
+            analyzes: self.counters.analyzes.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            jobs_completed,
+            jobs_rejected,
+            store_traces: store.traces,
+            store_bytes: store.bytes,
+            store_evictions: store.evictions,
+        }
+    }
+
+    /// Replays `digest` under `engine` — the worker body.
+    fn run_job(&self, digest: TraceDigest, engine: EngineKind) -> Result<Verdict, String> {
+        let key = VerdictKey { digest, engine };
+        // A verdict may have landed while this job sat queued (another
+        // engine run, or an earlier identical job): never replay twice.
+        if let Some(v) = self.cache.get(&key) {
+            return Ok(v);
+        }
+        let Some(path) = self.store.path_of(digest) else {
+            return Err(format!("trace {digest} no longer in store"));
+        };
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let verdict = if bytes >= self.stream_threshold {
+            let workers = self.shards.clamp(1, 4);
+            let (races, stats) =
+                replay_file_stealing(&path, engine, self.shards, workers, 2 * workers)
+                    .map_err(|e| e.to_string())?;
+            Verdict {
+                races,
+                events: stats.events,
+            }
+        } else {
+            let events = read_trace(&path).map_err(|e| e.to_string())?;
+            let races = replay_sharded(&events, engine, self.shards);
+            Verdict {
+                races,
+                events: events.len() as u64,
+            }
+        };
+        self.cache.insert(key, verdict.clone());
+        Ok(verdict)
+    }
+}
+
+/// Handle to a running server: address, shutdown, join.
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts a graceful drain, as if a `SHUTDOWN` frame arrived.
+    pub fn shutdown(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Blocks until someone initiates shutdown (a `SHUTDOWN` frame or
+    /// [`ServerHandle::shutdown`]) — the foreground daemon's park.
+    pub fn wait_until_draining(&self) {
+        let mut flag = self.shared.drain_flag.lock();
+        while !*flag {
+            self.shared.drain_cv.wait(&mut flag);
+        }
+    }
+
+    /// Drains and joins every server thread. Idempotent with
+    /// [`ServerHandle::shutdown`]; called from `Drop` as a safety net.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        begin_drain(&self.shared);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Workers exit once the queue is closed *and* drained — every
+        // admitted job has completed by the time these joins return.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Now unblock any connection thread still parked in a read and
+        // join them all.
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        loop {
+            let Some(h) = self.conn_threads.lock().pop() else {
+                break;
+            };
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.join_inner();
+    }
+}
+
+/// Flags the server as draining, closes the queue, and pokes the accept
+/// loop awake with a throwaway connection.
+fn begin_drain(shared: &Shared) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+    *shared.drain_flag.lock() = true;
+    shared.drain_cv.notify_all();
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// The `clean-serve` service.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns the
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures or store-open failures.
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener =
+            TcpListener::bind(
+                config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "bad bind address")
+                })?,
+            )?;
+        let addr = listener.local_addr()?;
+        let store = TraceStore::open(&config.store_dir, config.store_max_bytes)?;
+        let shared = Arc::new(Shared {
+            store,
+            cache: VerdictCache::new(),
+            queue: JobQueue::new(config.queue_cap, config.per_client_cap, config.retry_millis),
+            counters: ServiceCounters::default(),
+            shards: config.shards,
+            stream_threshold: config.stream_threshold,
+            draining: AtomicBool::new(false),
+            drain_flag: Mutex::new(false),
+            drain_cv: Condvar::new(),
+            addr,
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("clean-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("clean-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
+                .expect("spawn accept thread")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+            workers,
+            conn_threads,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => break,
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // Best effort: tell the late arrival we are going away.
+            let mut w = BufWriter::new(&stream);
+            let _ = Response::ShuttingDown.write(&mut w);
+            break;
+        }
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(conn_id, clone);
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("clean-serve-conn-{peer}"))
+            .spawn(move || {
+                connection_loop(stream, peer, &shared);
+                // Drop the drain clone too, or the TCP connection stays
+                // half-open after this thread is done serving it.
+                shared.conns.lock().remove(&conn_id);
+            })
+            .expect("spawn connection thread");
+        conn_threads.lock().push(handle);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.next_job() {
+        let result = shared.run_job(job.key.digest, job.key.engine);
+        shared.queue.complete(job.id, result);
+        shared.store.unpin(job.key.digest);
+    }
+}
+
+fn error_response(code: u8, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn verdict_response(
+    digest: TraceDigest,
+    engine: EngineKind,
+    cached: bool,
+    v: &Verdict,
+) -> Response {
+    Response::Verdict {
+        digest,
+        engine,
+        cached,
+        races: v.races.iter().map(WireRace::from_found).collect(),
+        events: v.events,
+    }
+}
+
+fn connection_loop(stream: TcpStream, peer: SocketAddr, shared: &Shared) {
+    let client = peer.to_string();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match Request::read(&mut reader) {
+            Ok(Some(req)) => req,
+            // Clean disconnect, or the drain shut the socket down.
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Protocol error: report and drop the connection — after
+                // a framing error the stream position is unreliable.
+                let _ = error_response(error_code::BAD_FRAME, e.to_string()).write(&mut writer);
+                break;
+            }
+            Err(_) => break,
+        };
+        let response = handle_request(shared, &client, request);
+        if response.write(&mut writer).is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, client: &str, request: Request) -> Response {
+    match request {
+        Request::Submit { trace } => {
+            if shared.draining.load(Ordering::SeqCst) {
+                return Response::ShuttingDown;
+            }
+            match shared.store.insert(&trace) {
+                Ok(stored) => {
+                    shared.counters.submits.fetch_add(1, Ordering::Relaxed);
+                    if stored.dedup {
+                        shared
+                            .counters
+                            .submit_dedup_hits
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Response::Submitted {
+                        digest: stored.digest,
+                        dedup: stored.dedup,
+                        bytes: stored.bytes,
+                    }
+                }
+                Err(e) => error_response(e.code(), e.to_string()),
+            }
+        }
+        Request::Analyze {
+            digest,
+            engine,
+            wait,
+        } => {
+            shared.counters.analyzes.fetch_add(1, Ordering::Relaxed);
+            analyze(shared, client, digest, engine, wait)
+        }
+        Request::Status { job } => match shared.queue.status(job) {
+            None => error_response(error_code::UNKNOWN_JOB, format!("unknown job {job}")),
+            Some(JobState::Queued | JobState::Running) => Response::Pending { job },
+            Some(JobState::Done(v)) => verdict_response_for_job(shared, job, &v),
+            Some(JobState::Failed(e)) => error_response(error_code::INTERNAL, e),
+        },
+        Request::Stats => Response::Stats(shared.stats_reply()),
+        Request::Shutdown => {
+            begin_drain(shared);
+            Response::ShuttingDown
+        }
+    }
+}
+
+/// Builds the VERDICT frame for a finished job id.
+fn verdict_response_for_job(shared: &Shared, job: u64, v: &Verdict) -> Response {
+    match shared.queue.job_key(job) {
+        Some(key) => verdict_response(key.digest, key.engine, false, v),
+        None => error_response(error_code::UNKNOWN_JOB, format!("unknown job {job}")),
+    }
+}
+
+fn analyze(
+    shared: &Shared,
+    client: &str,
+    digest: TraceDigest,
+    engine: EngineKind,
+    wait: bool,
+) -> Response {
+    // Pin before the existence check: eviction between "is it there" and
+    // the worker opening the file would turn a valid request into a
+    // spurious failure. Pinning an absent digest is harmless.
+    shared.store.pin(digest);
+    if !shared.store.contains(digest) {
+        shared.store.unpin(digest);
+        return error_response(
+            error_code::UNKNOWN_DIGEST,
+            format!("trace {digest} not in store; SUBMIT it first"),
+        );
+    }
+    let key = VerdictKey { digest, engine };
+    if let Some(v) = shared.cache.get(&key) {
+        shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.store.unpin(digest);
+        return verdict_response(digest, engine, true, &v);
+    }
+    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    match shared.queue.submit(key, client) {
+        Admission::Rejected { retry_millis } => {
+            shared.store.unpin(digest);
+            Response::RetryAfter {
+                millis: retry_millis,
+            }
+        }
+        Admission::Closed => {
+            shared.store.unpin(digest);
+            Response::ShuttingDown
+        }
+        Admission::Admitted { job, new } => {
+            // A newly created job inherits this thread's pin; the worker
+            // releases it after completing. An attachment rides on the
+            // creator's pin, so this thread's pin is surplus.
+            if !new {
+                shared.store.unpin(digest);
+            }
+            if !wait {
+                return Response::Pending { job };
+            }
+            match shared.queue.wait(job) {
+                Some(JobState::Done(v)) => verdict_response(digest, engine, false, &v),
+                Some(JobState::Failed(e)) => error_response(error_code::INTERNAL, e),
+                _ => error_response(error_code::INTERNAL, "job vanished"),
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! End-to-end service tests over real TCP connections: admission
+//! control, verdict caching, digest dedup, graceful drain, and —
+//! the acceptance bar — 16 concurrent clients whose served verdicts
+//! all equal a direct `replay_sharded` run.
+
+use clean_serve::client::Client;
+use clean_serve::protocol::{error_code, Response};
+use clean_serve::server::{Server, ServerConfig};
+use clean_trace::{
+    digest_events, read_trace, record_kernel_trace, replay_sharded, EngineKind, RecordOptions,
+    TraceDigest,
+};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Per-test scratch dir, wiped on creation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clean-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Records a workload kernel trace and returns its encoded bytes.
+fn record(dir: &std::path::Path, name: &str, racy: bool, seed: u64) -> Vec<u8> {
+    let path = dir.join(format!("{name}-{racy}-{seed}.cltr"));
+    record_kernel_trace(
+        name,
+        &path,
+        &RecordOptions {
+            threads: 4,
+            racy,
+            seed,
+        },
+    )
+    .unwrap();
+    std::fs::read(&path).unwrap()
+}
+
+fn submit(client: &mut Client, trace: &[u8]) -> (TraceDigest, bool) {
+    match client.submit(trace.to_vec()).unwrap() {
+        Response::Submitted { digest, dedup, .. } => (digest, dedup),
+        other => panic!("submit failed: {other:?}"),
+    }
+}
+
+#[test]
+fn submit_analyze_matches_direct_replay() {
+    let dir = scratch("direct");
+    let server = Server::start(ServerConfig::new(dir.join("store"))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for (name, racy) in [("dedup", true), ("dedup", false), ("streamcluster", true)] {
+        let trace = record(&dir, name, racy, 7);
+        let (digest, _) = submit(&mut client, &trace);
+        let Response::Verdict {
+            digest: vdigest,
+            races,
+            events,
+            ..
+        } = client.analyze(digest, EngineKind::Clean, true).unwrap()
+        else {
+            panic!("expected verdict");
+        };
+        assert_eq!(vdigest, digest);
+
+        // Ground truth: decode the same bytes and replay directly.
+        let path = dir.join("roundtrip.cltr");
+        std::fs::write(&path, &trace).unwrap();
+        let direct_events = read_trace(&path).unwrap();
+        assert_eq!(digest_events(&direct_events), digest);
+        assert_eq!(events, direct_events.len() as u64);
+        let direct: HashSet<_> = replay_sharded(&direct_events, EngineKind::Clean, 4)
+            .into_iter()
+            .collect();
+        let served: HashSet<_> = races.into_iter().map(|r| r.to_found()).collect();
+        assert_eq!(served, direct, "served verdict must equal direct replay");
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resubmit_dedups_and_repeat_analyze_hits_cache() {
+    let dir = scratch("dedup");
+    let server = Server::start(ServerConfig::new(dir.join("store"))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let trace = record(&dir, "dedup", true, 3);
+    let (digest, dedup) = submit(&mut client, &trace);
+    assert!(!dedup, "first submit is new");
+    let (digest2, dedup2) = submit(&mut client, &trace);
+    assert_eq!(digest2, digest);
+    assert!(dedup2, "identical resubmit dedups on digest");
+
+    // First analyze: replay. Second: cache, with no new replay work.
+    let Response::Verdict { cached, races, .. } =
+        client.analyze(digest, EngineKind::Clean, true).unwrap()
+    else {
+        panic!("expected verdict");
+    };
+    assert!(!cached);
+    let stats_before = client.stats().unwrap();
+    let Response::Verdict {
+        cached: cached2,
+        races: races2,
+        ..
+    } = client.analyze(digest, EngineKind::Clean, true).unwrap()
+    else {
+        panic!("expected verdict");
+    };
+    assert!(cached2, "repeat ANALYZE is served from the verdict cache");
+    assert_eq!(races2, races);
+    let stats_after = client.stats().unwrap();
+    assert_eq!(stats_after.cache_hits, stats_before.cache_hits + 1);
+    assert_eq!(
+        stats_after.jobs_completed, stats_before.jobs_completed,
+        "a cache hit must not run a replay job"
+    );
+    assert_eq!(stats_after.submit_dedup_hits, 1);
+    assert_eq!(stats_after.submits, 2);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sixteen_concurrent_clients_get_direct_replay_verdicts() {
+    let dir = scratch("concurrent");
+    let server = Server::start(
+        ServerConfig::new(dir.join("store"))
+            .queue_cap(64)
+            .per_client_cap(8),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Four distinct traces; ground-truth verdicts computed directly.
+    let corpus: Vec<Vec<u8>> = vec![
+        record(&dir, "dedup", true, 1),
+        record(&dir, "dedup", false, 1),
+        record(&dir, "streamcluster", true, 2),
+        record(&dir, "streamcluster", false, 2),
+    ];
+    let truth: Vec<(TraceDigest, HashSet<_>)> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, trace)| {
+            let path = dir.join(format!("truth-{i}.cltr"));
+            std::fs::write(&path, trace).unwrap();
+            let events = read_trace(&path).unwrap();
+            (
+                digest_events(&events),
+                replay_sharded(&events, EngineKind::Clean, 4)
+                    .into_iter()
+                    .collect(),
+            )
+        })
+        .collect();
+    let corpus = Arc::new(corpus);
+    let truth = Arc::new(truth);
+    // All clients submit before any analyzes, so every digest resolves.
+    let barrier = Arc::new(std::sync::Barrier::new(16));
+
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let corpus = Arc::clone(&corpus);
+            let truth = Arc::clone(&truth);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Each client submits one trace and analyzes all four —
+                // plenty of digest-level contention and coalescing.
+                let mine = i % corpus.len();
+                let (digest, _) = submit(&mut client, &corpus[mine]);
+                assert_eq!(digest, truth[mine].0);
+                barrier.wait();
+                for pass in 0..2 {
+                    for (expect_digest, expect_races) in truth.iter() {
+                        let Response::Verdict { digest, races, .. } = client
+                            .analyze_with_retry(*expect_digest, EngineKind::Clean, 50)
+                            .unwrap()
+                        else {
+                            panic!("pass {pass}: expected a verdict");
+                        };
+                        assert_eq!(digest, *expect_digest);
+                        let served: HashSet<_> = races.into_iter().map(|r| r.to_found()).collect();
+                        assert_eq!(served, *expect_races);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.store_traces, 4, "4 distinct digests stored");
+    assert_eq!(stats.submit_dedup_hits, 12, "16 submits, 4 unique");
+    assert_eq!(stats.analyzes, 16 * 8, "two passes of four per client");
+    // Every key needs at least one replay job; coalescing and the
+    // cache keep the rest cheap. Each client's second pass re-analyzes
+    // keys whose verdicts it already waited for, so at least those four
+    // per client are guaranteed cache hits.
+    assert!(stats.jobs_completed >= 4, "jobs: {}", stats.jobs_completed);
+    assert!(stats.cache_hits >= 16 * 4, "hits: {}", stats.cache_hits);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_capacity_queue_sheds_with_retry_after() {
+    let dir = scratch("shed");
+    let server = Server::start(
+        ServerConfig::new(dir.join("store"))
+            .queue_cap(0)
+            .retry_millis(123),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let trace = record(&dir, "dedup", true, 5);
+    let (digest, _) = submit(&mut client, &trace);
+    match client.analyze(digest, EngineKind::Clean, true).unwrap() {
+        Response::RetryAfter { millis } => assert_eq!(millis, 123),
+        other => panic!("expected RetryAfter, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_rejected, 1);
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn per_client_cap_sheds_nowait_flood() {
+    let dir = scratch("cap");
+    let server = Server::start(
+        ServerConfig::new(dir.join("store"))
+            .queue_cap(1024)
+            .per_client_cap(2)
+            .workers(1),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // A large synthetic trace keeps the single worker busy for far
+    // longer than the client's sub-millisecond round trips, so the
+    // later no-wait requests deterministically pile up behind it.
+    let big: Vec<clean_core::TraceEvent> = (0..2_000_000u64)
+        .map(|i| clean_core::TraceEvent::Write {
+            tid: clean_core::ThreadId::new((i % 4) as u16),
+            addr: 64 + 8 * ((i / 4) % 4096) as usize,
+            size: 8,
+        })
+        .collect();
+    let (big_digest, _) = submit(&mut client, &clean_trace::encode_trace(&big).unwrap());
+    let small: Vec<TraceDigest> = (0..3)
+        .map(|seed| {
+            let trace = record(&dir, "streamcluster", true, 100 + seed);
+            submit(&mut client, &trace).0
+        })
+        .collect();
+
+    // Occupy the worker, then flood: big job runs, one small job queues
+    // (cap reached), the rest of the flood sheds.
+    let Response::Pending { job: big_job } = client
+        .analyze(big_digest, EngineKind::Clean, false)
+        .unwrap()
+    else {
+        panic!("expected pending for the big trace");
+    };
+    let mut jobs = vec![big_job];
+    let mut shed = 0;
+    for d in &small {
+        match client.analyze(*d, EngineKind::Clean, false).unwrap() {
+            Response::Pending { job } => jobs.push(job),
+            Response::RetryAfter { .. } => shed += 1,
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert!(shed >= 1, "a 3-deep flood over a 2-job cap must shed");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_rejected, shed);
+    // The admitted jobs still finish and can be polled to verdicts.
+    for job in jobs {
+        loop {
+            match client.status(job).unwrap() {
+                Response::Pending { .. } => std::thread::sleep(std::time::Duration::from_millis(5)),
+                Response::Verdict { .. } => break,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_digest_and_unknown_job_errors() {
+    let dir = scratch("unknown");
+    let server = Server::start(ServerConfig::new(dir.join("store"))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client
+        .analyze(TraceDigest(0xdead), EngineKind::Clean, true)
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, error_code::UNKNOWN_DIGEST),
+        other => panic!("unexpected: {other:?}"),
+    }
+    match client.status(999).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, error_code::UNKNOWN_JOB),
+        other => panic!("unexpected: {other:?}"),
+    }
+    match client.submit(b"garbage".to_vec()).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, error_code::BAD_TRACE),
+        other => panic!("unexpected: {other:?}"),
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_job() {
+    let dir = scratch("drain");
+    let server = Server::start(ServerConfig::new(dir.join("store")).workers(1)).unwrap();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let trace = record(&dir, "dedup", true, 9);
+    let (digest, _) = submit(&mut client, &trace);
+
+    // Admit a job (Pending proves it is in the queue), then shut the
+    // server down from a second connection before polling the verdict.
+    let Response::Pending { job } = client.analyze(digest, EngineKind::Clean, false).unwrap()
+    else {
+        panic!("expected pending");
+    };
+    let mut c2 = Client::connect(addr).unwrap();
+    assert!(matches!(c2.shutdown().unwrap(), Response::ShuttingDown));
+
+    // Drain completes the admitted job; STATUS still serves during it.
+    let served: HashSet<_> = loop {
+        match client.status(job).unwrap() {
+            Response::Pending { .. } => std::thread::sleep(std::time::Duration::from_millis(2)),
+            Response::Verdict { races, .. } => {
+                break races.into_iter().map(|r| r.to_found()).collect()
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    };
+    let path = dir.join("truth.cltr");
+    std::fs::write(&path, &trace).unwrap();
+    let direct: HashSet<_> = replay_sharded(&read_trace(&path).unwrap(), EngineKind::Clean, 4)
+        .into_iter()
+        .collect();
+    assert_eq!(served, direct, "drained verdict must equal direct replay");
+
+    // New replay work is refused while draining: the verdict for this
+    // digest under a *different* engine is uncached, so the request
+    // reaches the (closed) queue.
+    match client.analyze(digest, EngineKind::FastTrack, true).unwrap() {
+        Response::ShuttingDown => {}
+        other => panic!("draining server must refuse new work, got {other:?}"),
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verdicts_consistent_across_engines() {
+    let dir = scratch("engines");
+    let server = Server::start(ServerConfig::new(dir.join("store"))).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let trace = record(&dir, "dedup", true, 11);
+    let (digest, _) = submit(&mut client, &trace);
+    let path = dir.join("engines.cltr");
+    std::fs::write(&path, &trace).unwrap();
+    let events = read_trace(&path).unwrap();
+    for engine in EngineKind::ALL {
+        let Response::Verdict { races, .. } = client.analyze(digest, engine, true).unwrap() else {
+            panic!("expected verdict for {}", engine.name());
+        };
+        let direct: HashSet<_> = replay_sharded(&events, engine, 4).into_iter().collect();
+        let served: HashSet<_> = races.into_iter().map(|r| r.to_found()).collect();
+        assert_eq!(served, direct, "engine {}", engine.name());
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,138 @@
+//! Wire-level tests: raw bytes against a live server socket, checking
+//! the frame grammar is enforced end to end — not just by the codec
+//! unit tests — and that protocol errors are reported before the
+//! connection drops.
+
+use clean_serve::protocol::{error_code, Request, Response, MAGIC, VERSION};
+use clean_serve::server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clean-serve-wire-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn stats_over_raw_socket() {
+    let dir = scratch("stats");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+
+    // Hand-rolled STATS frame: magic, version, opcode 0x04, empty body.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(0x04);
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    sock.write_all(&frame).unwrap();
+
+    let reply = Response::read(&mut sock).unwrap().unwrap();
+    assert!(matches!(reply, Response::Stats(_)), "got {reply:?}");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_magic_gets_error_then_disconnect() {
+    let dir = scratch("magic");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    sock.write_all(b"BOGUS frame bytes").unwrap();
+
+    match Response::read(&mut sock).unwrap().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, error_code::BAD_FRAME),
+        other => panic!("expected BAD_FRAME error, got {other:?}"),
+    }
+    // After a framing error the server drops the connection: either a
+    // clean EOF or a reset (the server closed with bytes still unread).
+    let mut rest = Vec::new();
+    match sock.read_to_end(&mut rest) {
+        Ok(_) => assert!(rest.is_empty()),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset),
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_version_and_unknown_opcode_are_rejected() {
+    let dir = scratch("version");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+
+    for (version, opcode) in [(VERSION + 1, 0x04u8), (VERSION, 0x6fu8)] {
+        let mut sock = TcpStream::connect(server.addr()).unwrap();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.push(version);
+        frame.push(opcode);
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        sock.write_all(&frame).unwrap();
+        match Response::read(&mut sock).unwrap().unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, error_code::BAD_FRAME),
+            other => panic!("expected BAD_FRAME error, got {other:?}"),
+        }
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_body_length_is_rejected_without_hanging() {
+    let dir = scratch("oversize");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    // Declares a 4 GiB body; the server must refuse at the header.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(0x01);
+    frame.extend_from_slice(&u32::MAX.to_le_bytes());
+    sock.write_all(&frame).unwrap();
+    match Response::read(&mut sock).unwrap().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, error_code::BAD_FRAME),
+        other => panic!("expected BAD_FRAME error, got {other:?}"),
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn half_frame_then_disconnect_is_tolerated() {
+    let dir = scratch("halfframe");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+    {
+        let mut sock = TcpStream::connect(server.addr()).unwrap();
+        sock.write_all(&MAGIC[..2]).unwrap();
+        // Drop mid-header: the server must not wedge.
+    }
+    // The server is still healthy afterwards.
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    Request::Stats.write(&mut sock).unwrap();
+    assert!(matches!(
+        Response::read(&mut sock).unwrap().unwrap(),
+        Response::Stats(_)
+    ));
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn typed_request_roundtrips_against_live_server() {
+    let dir = scratch("typed");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    // Status for a job that cannot exist yet.
+    Request::Status { job: 12345 }.write(&mut sock).unwrap();
+    match Response::read(&mut sock).unwrap().unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, error_code::UNKNOWN_JOB);
+            assert!(message.contains("12345"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,20 +3,60 @@
 //! ```text
 //! clean-analyze record --workload <name> [--racy] [--sim] [--threads N] [--seed N] --out <file>
 //! clean-analyze stats  <file>
+//! clean-analyze digest <file>
 //! clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N]
 //!                      [--stream] [--workers N] <file>
 //! clean-analyze diff   [--shards N] <file>
 //! ```
+//!
+//! Exit codes let scripts branch without parsing stdout: 0 = success (no
+//! race for `replay`), 10 = race(s) found, 12 = the trace failed to
+//! decode (bad magic, truncation, checksum mismatch), 1 = any other
+//! error.
 
 use clean_baselines::{FoundRace, FullRaceKind};
 use clean_trace::{
-    read_trace, record_kernel_trace, record_sim_trace, replay_file_stealing, replay_sharded,
-    scan_trace, EngineKind, RecordOptions, TraceStats,
+    digest_file, read_trace, record_kernel_trace, record_sim_trace, replay_file_stealing,
+    replay_sharded, scan_trace, EngineKind, RecordOptions, TraceError, TraceStats,
 };
 use clean_workloads::TraceGenConfig;
 use std::collections::HashSet;
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// `replay` found at least one race.
+const EXIT_RACE: u8 = 10;
+/// The trace file failed to decode (corrupt, truncated, wrong format).
+const EXIT_DECODE: u8 = 12;
+
+/// CLI failure, classified so `main` can pick the process exit code.
+enum CliError {
+    /// The trace could not be decoded.
+    Decode(String),
+    /// Anything else (usage, I/O, workload errors).
+    Other(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Other(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Other(msg.to_string())
+    }
+}
+
+/// Maps a trace error to the right exit class: I/O problems are generic,
+/// everything else means the bytes were not a valid `CLTR` stream.
+fn trace_err(e: TraceError) -> CliError {
+    match e {
+        TraceError::Io(_) => CliError::Other(e.to_string()),
+        _ => CliError::Decode(e.to_string()),
+    }
+}
 
 const USAGE: &str = "\
 clean-analyze — persistent trace store & offline race analysis for CLEAN
@@ -27,6 +67,9 @@ USAGE:
       and stream the event trace to <file>.
   clean-analyze stats <file>
       Event, thread, lock, access-width and SFR-segment statistics.
+  clean-analyze digest <file>
+      Print the canonical 128-bit trace digest (the content address the
+      serving layer's trace store uses; independent of chunking).
   clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N]
                        [--stream] [--workers N] <file>
       Replay the trace through one engine (or all) over N address shards
@@ -36,6 +79,12 @@ USAGE:
       replay threads.
   clean-analyze diff [--shards N] <file>
       Cross-engine verdict comparison (e.g. the WAR races CLEAN skips).
+
+EXIT CODES:
+  0   success; for replay: no race found
+  10  replay found at least one race
+  12  the trace file failed to decode
+  1   any other error
 ";
 
 fn main() -> ExitCode {
@@ -43,17 +92,24 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("digest") => cmd_digest(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+        Some(other) => Err(CliError::Other(format!(
+            "unknown subcommand {other:?}\n\n{USAGE}"
+        ))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Ok(code) => code,
+        Err(CliError::Decode(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(EXIT_DECODE)
+        }
+        Err(CliError::Other(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
@@ -94,7 +150,7 @@ fn default_shards() -> usize {
         .unwrap_or(4)
 }
 
-fn cmd_record(rest: &[String]) -> Result<(), String> {
+fn cmd_record(rest: &[String]) -> Result<ExitCode, CliError> {
     let mut args = rest.to_vec();
     let workload = take_value(&mut args, "--workload")?.ok_or("record needs --workload <name>")?;
     let out = take_value(&mut args, "--out")?.ok_or("record needs --out <file>")?;
@@ -109,7 +165,7 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
         None => 1u64,
     };
     if !args.is_empty() {
-        return Err(format!("unexpected arguments: {args:?}"));
+        return Err(format!("unexpected arguments: {args:?}").into());
     }
     let start = Instant::now();
     let summary = if sim {
@@ -139,17 +195,25 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
         summary.chunks,
         start.elapsed(),
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_stats(rest: &[String]) -> Result<(), String> {
+fn cmd_stats(rest: &[String]) -> Result<ExitCode, CliError> {
     let [path] = rest else {
         return Err("stats takes exactly one trace file".into());
     };
-    let events = read_trace(path).map_err(|e| e.to_string())?;
+    let events = read_trace(path).map_err(trace_err)?;
     let bytes = std::fs::metadata(path).map(|m| m.len()).ok();
     print!("{}", TraceStats::from_events(&events).render(bytes));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_digest(rest: &[String]) -> Result<ExitCode, CliError> {
+    let [path] = rest else {
+        return Err("digest takes exactly one trace file".into());
+    };
+    println!("{}", digest_file(path).map_err(trace_err)?);
+    Ok(ExitCode::SUCCESS)
 }
 
 fn engines_from_arg(arg: Option<String>) -> Result<Vec<EngineKind>, String> {
@@ -158,6 +222,14 @@ fn engines_from_arg(arg: Option<String>) -> Result<Vec<EngineKind>, String> {
         Some(name) => EngineKind::parse(name)
             .map(|k| vec![k])
             .ok_or_else(|| format!("unknown engine {name:?} (clean|fasttrack|vcfull|tsan|all)")),
+    }
+}
+
+fn verdict_code(any_race: bool) -> ExitCode {
+    if any_race {
+        ExitCode::from(EXIT_RACE)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -181,7 +253,7 @@ fn shards_from_args(args: &mut Vec<String>) -> Result<usize, String> {
     Ok(shards)
 }
 
-fn cmd_replay(rest: &[String]) -> Result<(), String> {
+fn cmd_replay(rest: &[String]) -> Result<ExitCode, CliError> {
     let mut args = rest.to_vec();
     let engines = engines_from_arg(take_value(&mut args, "--engine")?)?;
     let shards = shards_from_args(&mut args)?;
@@ -199,10 +271,10 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
     let events = if stream {
         None
     } else {
-        Some(read_trace(path).map_err(|e| e.to_string())?)
+        Some(read_trace(path).map_err(trace_err)?)
     };
     let scan = if stream {
-        let scan = scan_trace(path).map_err(|e| e.to_string())?;
+        let scan = scan_trace(path).map_err(trace_err)?;
         println!(
             "{} events ({} bytes), {} shards, {} streaming workers",
             scan.events, scan.bytes, shards, workers
@@ -216,6 +288,7 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
         );
         None
     };
+    let mut any_race = false;
     for kind in engines {
         let start = Instant::now();
         let (races, detail) = match (&events, &scan) {
@@ -223,7 +296,7 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
             (None, Some(scan)) => {
                 let (races, stats) =
                     replay_file_stealing(path, kind, shards, workers, scan.threads)
-                        .map_err(|e| e.to_string())?;
+                        .map_err(trace_err)?;
                 let detail = format!(
                     " [{} batches, {} steals, {}]",
                     stats.batches,
@@ -253,21 +326,22 @@ fn cmd_replay(rest: &[String]) -> Result<(), String> {
         if races.len() > 10 {
             println!("  … {} more", races.len() - 10);
         }
+        any_race |= !races.is_empty();
     }
-    Ok(())
+    Ok(verdict_code(any_race))
 }
 
 fn race_set(races: &[FoundRace]) -> HashSet<FoundRace> {
     races.iter().copied().collect()
 }
 
-fn cmd_diff(rest: &[String]) -> Result<(), String> {
+fn cmd_diff(rest: &[String]) -> Result<ExitCode, CliError> {
     let mut args = rest.to_vec();
     let shards = shards_from_args(&mut args)?;
     let [path] = &args[..] else {
         return Err("diff takes exactly one trace file".into());
     };
-    let events = read_trace(path).map_err(|e| e.to_string())?;
+    let events = read_trace(path).map_err(trace_err)?;
     let verdicts: Vec<(EngineKind, Vec<FoundRace>)> = EngineKind::ALL
         .iter()
         .map(|&k| (k, replay_sharded(&events, k, shards)))
@@ -318,5 +392,5 @@ fn cmd_diff(rest: &[String]) -> Result<(), String> {
             r.previous.raw()
         );
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

@@ -45,6 +45,7 @@
 
 pub mod analyze;
 pub mod codec;
+pub mod digest;
 mod error;
 pub mod mmap;
 mod reader;
@@ -58,6 +59,7 @@ pub use analyze::{
     SHARD_GRANULE,
 };
 pub use clean_core::{EventSink, TraceEvent};
+pub use digest::{digest_events, digest_file, Digester, TraceDigest};
 pub use error::{Result, TraceError};
 pub use mmap::{map_file, MappedTrace};
 pub use reader::{read_trace, TraceReader};
@@ -66,4 +68,6 @@ pub use stats::TraceStats;
 pub use stealing::{
     replay_file_sharded, replay_file_stealing, replay_stealing, scan_trace, ReplayStats, TraceScan,
 };
-pub use writer::{write_trace, FileSink, TraceWriter, WriteSummary, DEFAULT_CHUNK_BYTES};
+pub use writer::{
+    encode_trace, write_trace, FileSink, TraceWriter, WriteSummary, DEFAULT_CHUNK_BYTES,
+};

@@ -117,12 +117,19 @@ impl<W: Write> TraceWriter<W> {
     /// Flushes the final chunk, writes the end-of-stream marker (an
     /// all-zero frame, so truncation at a chunk boundary is detectable)
     /// and flushes the underlying writer, returning the stream summary.
-    pub fn finish(mut self) -> io::Result<WriteSummary> {
+    pub fn finish(self) -> io::Result<WriteSummary> {
+        self.finish_into().map(|(summary, _)| summary)
+    }
+
+    /// [`finish`](Self::finish), additionally returning the underlying
+    /// writer — the way to recover an in-memory stream (`Vec<u8>`) after
+    /// encoding, e.g. to submit it over the serving protocol.
+    pub fn finish_into(mut self) -> io::Result<(WriteSummary, W)> {
         self.flush_chunk()?;
         self.out.write_all(&[0u8; 12])?;
         self.summary.bytes += 12;
         self.out.flush()?;
-        Ok(self.summary)
+        Ok((self.summary, self.out))
     }
 
     /// Events written so far.
@@ -201,4 +208,15 @@ pub fn write_trace(path: impl AsRef<Path>, events: &[TraceEvent]) -> Result<Writ
         w.write_event(e)?;
     }
     Ok(w.finish()?)
+}
+
+/// Encodes a whole in-memory trace into a `CLTR` byte stream — the form
+/// the serving protocol's SUBMIT frame carries.
+pub fn encode_trace(events: &[TraceEvent]) -> Result<Vec<u8>> {
+    let mut w = TraceWriter::new(Vec::new())?;
+    for e in events {
+        w.write_event(e)?;
+    }
+    let (_, bytes) = w.finish_into()?;
+    Ok(bytes)
 }

@@ -34,7 +34,10 @@
 //!   offline analysis and the `clean-analyze` CLI ([`clean_trace`]),
 //! * [`sched`]: the controlled-scheduler VM with exhaustive/PCT schedule
 //!   exploration, differential detector checking, schedule tokens,
-//!   shrinking, and the `clean-sched` CLI ([`clean_sched`]).
+//!   shrinking, and the `clean-sched` CLI ([`clean_sched`]),
+//! * [`serve`]: the concurrent race-analysis service — digest-addressed
+//!   trace store, admission-controlled job queue, verdict cache, and the
+//!   `clean-serve` daemon/client CLI ([`clean_serve`]).
 //!
 //! # Quickstart
 //!
@@ -60,6 +63,7 @@ pub use clean_baselines as baselines;
 pub use clean_core as core;
 pub use clean_runtime as runtime;
 pub use clean_sched as sched;
+pub use clean_serve as serve;
 pub use clean_sim as sim;
 pub use clean_sync as sync;
 pub use clean_trace as trace;
