@@ -10,7 +10,12 @@
 //!   verdicts for many rounds: bounded by the protocol + verdict cache,
 //!   every request a hit;
 //! * **resubmit** — clients re-uploading traces the store already holds:
-//!   bounded by digest validation, every upload deduplicated.
+//!   bounded by digest validation, every upload deduplicated;
+//! * **warm restart** — a second daemon on the same store directory:
+//!   every verdict must come back from the persisted cache without a
+//!   single replay;
+//! * **fleet** — the same hot workload through a CSRV router fronting a
+//!   3-node digest-sharded fleet, against the 1-node baseline.
 //!
 //! The run fails if the STATS counters disagree with the regime (a hot
 //! round that misses the cache means memoization broke) or if a racy
@@ -21,8 +26,10 @@
 use clean_bench::{env_threads, fmt_pct, trace_dir, Table};
 use clean_serve::client::Client;
 use clean_serve::protocol::Response;
-use clean_serve::server::{Server, ServerConfig};
+use clean_serve::router::{Router, RouterConfig};
+use clean_serve::server::{Server, ServerConfig, ServerHandle};
 use clean_trace::{digest_file, record_kernel_trace, EngineKind, RecordOptions, TraceDigest};
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -75,6 +82,18 @@ fn submit(client: &mut Client, trace: &[u8]) -> (TraceDigest, bool) {
         Response::Submitted { digest, dedup, .. } => (digest, dedup),
         other => panic!("submit rejected: {other:?}"),
     }
+}
+
+/// Reserves `n` loopback addresses so fleet nodes can name each other
+/// as peers before any of them binds.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect()
 }
 
 fn main() {
@@ -194,7 +213,126 @@ fn main() {
     let stats = seed_client.stats().expect("final stats");
     server.shutdown();
     server.join();
+
+    // ---- warm restart: a new daemon on the same store serves every
+    // verdict from the persisted cache, no replays ----
+    let t0 = Instant::now();
+    let warm = Server::start(ServerConfig::new(&store_dir).workers(clients.min(8)))
+        .expect("warm-restart server");
+    let mut warm_client = Client::connect(warm.addr()).expect("connect warm client");
+    for trace in &corpus {
+        for &engine in &engines {
+            match warm_client
+                .analyze_with_retry(trace.digest, engine, 100)
+                .expect("warm analyze")
+            {
+                Response::Verdict { cached, .. } => {
+                    assert!(cached, "warm restart must serve {} from cache", trace.name)
+                }
+                other => panic!("warm analyze failed: {other:?}"),
+            }
+        }
+    }
+    let warm_secs = t0.elapsed().as_secs_f64();
+    let warm_stats = warm_client.stats().expect("warm stats");
+    assert_eq!(warm_stats.jobs_completed, 0, "warm restart must not replay");
+    assert_eq!(
+        warm_stats.cache_persist_hits as usize, cold_verdicts,
+        "every warm verdict must come from the persisted cache"
+    );
+    warm.shutdown();
+    warm.join();
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // ---- fleet: the hot regime again, through a router fronting a
+    // 3-node digest-sharded fleet ----
+    let fleet_dir = dir.join(format!("serve-bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+    let fleet_nodes = 3usize;
+    let addrs = reserve_addrs(fleet_nodes);
+    let nodes: Vec<ServerHandle> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let peers: Vec<String> = addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            Server::start(
+                ServerConfig::new(fleet_dir.join(format!("node-{i}")))
+                    .addr(addr.clone())
+                    .peers(peers)
+                    .workers(clients.min(8))
+                    .queue_cap(4 * clients.max(1)),
+            )
+            .expect("start fleet node")
+        })
+        .collect();
+    let router = Router::start(RouterConfig::new(addrs)).expect("start router");
+    let router_addr = router.addr();
+
+    let mut fleet_client = Client::connect(router_addr).expect("connect fleet client");
+    for trace in &corpus {
+        let (digest, dedup) = submit(&mut fleet_client, &trace.bytes);
+        assert_eq!(digest, trace.digest);
+        assert!(!dedup, "first fleet submit of {} cannot dedup", trace.name);
+    }
+    for trace in &corpus {
+        for &engine in &engines {
+            match fleet_client
+                .analyze_with_retry(trace.digest, engine, 100)
+                .expect("fleet cold analyze")
+            {
+                Response::Verdict { .. } => {}
+                other => panic!("fleet cold analyze failed: {other:?}"),
+            }
+        }
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(router_addr).expect("connect fleet hot client");
+                for round in 0..rounds {
+                    for trace in corpus_ref {
+                        let engine = engines[(c + round) % engines.len()];
+                        match client
+                            .analyze_with_retry(trace.digest, engine, 100)
+                            .expect("fleet hot analyze")
+                        {
+                            Response::Verdict { .. } => {}
+                            other => panic!("fleet hot analyze failed: {other:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let fleet_secs = t0.elapsed().as_secs_f64();
+
+    let fleet_stats = fleet_client.stats().expect("fleet stats");
+    assert_eq!(
+        fleet_stats.store_traces as usize,
+        corpus.len() * 2,
+        "each trace lives on its primary and one replica"
+    );
+    assert_eq!(
+        fleet_stats.cache_misses as usize, cold_verdicts,
+        "only the fleet's cold analyzes may miss"
+    );
+    assert_eq!(fleet_stats.fetches, 0, "a healthy fleet never peer-fetches");
+    assert!(fleet_stats.forwards > 0, "the router must be forwarding");
+    match fleet_client.shutdown().expect("fleet shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("fleet shutdown failed: {other:?}"),
+    }
+    router.join();
+    for node in nodes {
+        node.join();
+    }
+    let _ = std::fs::remove_dir_all(&fleet_dir);
 
     // Memoization must have served the entire hot phase from the cache.
     assert_eq!(
@@ -214,6 +352,8 @@ fn main() {
         ("cold analyze", cold_verdicts, cold_secs),
         ("hot analyze", hot_verdicts, hot_secs),
         ("resubmit", resubmit_count, resubmit_secs),
+        ("warm restart", cold_verdicts, warm_secs),
+        ("fleet hot (3n)", hot_verdicts, fleet_secs),
     ] {
         t.row(vec![
             phase.into(),
@@ -232,7 +372,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"serve\",\n  \"profile\": \"{}\",\n  \"clients\": {},\n  \"rounds\": {},\n  \"corpus_traces\": {},\n  \"corpus_bytes\": {},\n  \"cold_submit_secs\": {:.4},\n  \"cold_analyze_secs\": {:.4},\n  \"hot_analyze_secs\": {:.4},\n  \"resubmit_secs\": {:.4},\n  \"hot_verdicts_per_sec\": {:.1},\n  \"cache_hit_rate\": {:.4},\n  \"submit_dedup_hits\": {},\n  \"jobs_completed\": {},\n  \"jobs_rejected\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"serve\",\n  \"profile\": \"{}\",\n  \"clients\": {},\n  \"rounds\": {},\n  \"corpus_traces\": {},\n  \"corpus_bytes\": {},\n  \"cold_submit_secs\": {:.4},\n  \"cold_analyze_secs\": {:.4},\n  \"hot_analyze_secs\": {:.4},\n  \"resubmit_secs\": {:.4},\n  \"hot_verdicts_per_sec\": {:.1},\n  \"cache_hit_rate\": {:.4},\n  \"submit_dedup_hits\": {},\n  \"jobs_completed\": {},\n  \"jobs_rejected\": {},\n  \"warm_restart_secs\": {:.4},\n  \"warm_persist_hits\": {},\n  \"fleet_nodes\": {},\n  \"fleet_hot_secs\": {:.4},\n  \"fleet_hot_verdicts_per_sec\": {:.1},\n  \"fleet_forwards\": {},\n  \"fleet_store_traces\": {}\n}}\n",
         if small { "small" } else { "full" },
         clients,
         rounds,
@@ -247,11 +387,20 @@ fn main() {
         stats.submit_dedup_hits,
         stats.jobs_completed,
         stats.jobs_rejected,
+        warm_secs,
+        warm_stats.cache_persist_hits,
+        fleet_nodes,
+        fleet_secs,
+        hot_verdicts as f64 / fleet_secs,
+        fleet_stats.forwards,
+        fleet_stats.store_traces,
     );
     std::fs::write(&out, &json).expect("write result JSON");
     println!("wrote {}", out.display());
     println!(
-        "headline: {:.0} cached verdicts/s across {clients} clients",
-        hot_verdicts as f64 / hot_secs
+        "headline: {:.0} cached verdicts/s across {clients} clients \
+         ({:.0}/s through the 3-node fleet router)",
+        hot_verdicts as f64 / hot_secs,
+        hot_verdicts as f64 / fleet_secs
     );
 }

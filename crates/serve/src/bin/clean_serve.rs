@@ -3,6 +3,7 @@
 //! ```text
 //! clean-serve serve   --store <dir> [--addr HOST:PORT] [--max-bytes N]
 //!                     [--queue-cap N] [--per-client-cap N] [--workers N] [--shards N]
+//!                     [--peer HOST:PORT]... [--acceptors N] [--io-timeout-millis N]
 //! clean-serve submit  <addr> <trace.cltr>
 //! clean-serve analyze <addr> <digest> [--engine clean|fasttrack|vcfull|tsan]
 //!                     [--no-wait] [--retries N]
@@ -29,9 +30,12 @@ clean-serve — concurrent race-analysis service for CLEAN traces
 USAGE:
   clean-serve serve --store <dir> [--addr HOST:PORT] [--max-bytes N]
                     [--queue-cap N] [--per-client-cap N] [--workers N] [--shards N]
+                    [--peer HOST:PORT]... [--acceptors N] [--io-timeout-millis N]
+                    [--no-persist-verdicts]
       Run the daemon in the foreground. Prints the bound address
       (`listening on HOST:PORT`) once ready; exits after a graceful
-      drain when a SHUTDOWN frame arrives.
+      drain when a SHUTDOWN frame arrives. Each --peer names another
+      clean-serve node to FETCH missing digests from (fleet mode).
   clean-serve submit <addr> <trace.cltr>
       Upload a recorded trace; prints its content digest.
   clean-serve analyze <addr> <digest> [--engine clean|fasttrack|vcfull|tsan]
@@ -89,6 +93,15 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Stri
     Ok(Some(value))
 }
 
+/// Pulls every occurrence of `--flag value` out of `args`.
+fn take_values(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
+    let mut values = Vec::new();
+    while let Some(v) = take_value(args, flag)? {
+        values.push(v);
+    }
+    Ok(values)
+}
+
 /// Removes `--flag` from `args` if present, returning whether it was.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     if let Some(pos) = args.iter().position(|a| a == flag) {
@@ -124,6 +137,19 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(v) = take_value(&mut args, "--shards")? {
         config = config.shards(parse_num(&v, "--shards")?);
+    }
+    let peers = take_values(&mut args, "--peer")?;
+    if !peers.is_empty() {
+        config = config.peers(peers);
+    }
+    if let Some(v) = take_value(&mut args, "--acceptors")? {
+        config = config.acceptors(parse_num(&v, "--acceptors")?);
+    }
+    if let Some(v) = take_value(&mut args, "--io-timeout-millis")? {
+        config = config.io_timeout_millis(parse_num(&v, "--io-timeout-millis")?);
+    }
+    if take_flag(&mut args, "--no-persist-verdicts") {
+        config = config.persist_verdicts(false);
     }
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
@@ -260,6 +286,9 @@ fn print_stats(s: &StatsReply) {
     println!("store_traces       {}", s.store_traces);
     println!("store_bytes        {}", s.store_bytes);
     println!("store_evictions    {}", s.store_evictions);
+    println!("forwards           {}", s.forwards);
+    println!("fetches            {}", s.fetches);
+    println!("cache_persist_hits {}", s.cache_persist_hits);
 }
 
 fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {

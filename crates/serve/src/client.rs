@@ -107,6 +107,18 @@ impl Client {
         }
     }
 
+    /// Fetches the raw bytes of a stored trace — the peer-replication
+    /// primitive. The caller should re-digest the returned bytes before
+    /// trusting them (the server-side store does this automatically via
+    /// `insert_stream` with an expected digest).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn fetch(&mut self, digest: TraceDigest) -> io::Result<Response> {
+        self.call(&Request::Fetch { digest })
+    }
+
     /// Polls a job handle.
     ///
     /// # Errors

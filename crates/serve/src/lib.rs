@@ -8,14 +8,18 @@
 //! The moving parts:
 //!
 //! * [`protocol`] — the `CSRV` length-prefixed binary frame protocol
-//!   (SUBMIT / ANALYZE / STATUS / STATS / SHUTDOWN),
+//!   (SUBMIT / ANALYZE / STATUS / STATS / SHUTDOWN, plus the FETCH
+//!   peer-replication frame),
 //! * [`store`] — a digest-addressed on-disk trace store with a
-//!   size-bounded LRU and crash-tolerant index,
+//!   size-bounded LRU, crash-tolerant index, and streaming ingestion,
 //! * [`cache`] — the sharded `(digest, engine)` → verdict memo table,
+//!   optionally durable beside the store,
 //! * [`queue`] — the bounded, admission-controlled job queue that
 //!   coalesces identical requests and sheds load with retry-after,
-//! * [`server`] — the thread-per-connection TCP daemon wiring the three
-//!   together over a replay worker pool,
+//! * [`server`] — the bounded-concurrency TCP daemon wiring the three
+//!   together over a replay worker pool, with peer FETCH for fleets,
+//! * [`router`] — the `clean-fleet` front that shards requests by
+//!   digest prefix across N backends with replication and failover,
 //! * [`client`] — a blocking client for the protocol.
 //!
 //! The design premise is the same one that justifies the trace store in
@@ -57,6 +61,7 @@ pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod store;
 
@@ -64,5 +69,6 @@ pub use cache::{Verdict, VerdictCache, VerdictKey};
 pub use client::Client;
 pub use protocol::{Request, Response, StatsReply, WireRace};
 pub use queue::{Admission, JobQueue, JobState};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use store::{StoreStats, StoredTrace, TraceStore};

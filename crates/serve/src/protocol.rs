@@ -23,8 +23,9 @@ use std::io::{self, Read, Write};
 
 /// Frame magic.
 pub const MAGIC: [u8; 4] = *b"CSRV";
-/// Protocol version carried in every frame.
-pub const VERSION: u8 = 1;
+/// Protocol version carried in every frame. Version 2 added the FETCH /
+/// TRACE_DATA peer-replication frames and the fleet STATS counters.
+pub const VERSION: u8 = 2;
 /// Hard cap on a frame body (64 MiB) — submissions beyond this are
 /// rejected before allocation, bounding per-connection memory.
 pub const MAX_BODY: usize = 64 << 20;
@@ -70,6 +71,13 @@ pub enum Request {
     Stats,
     /// Begin graceful drain: finish queued jobs, then exit.
     Shutdown,
+    /// Fetch the raw bytes of a stored trace — the peer-replication
+    /// frame: a fleet node missing a digest pulls it from a peer, and
+    /// content addressing makes the transfer self-verifying.
+    Fetch {
+        /// Content address of the wanted trace.
+        digest: TraceDigest,
+    },
 }
 
 /// One race in a verdict, in wire form (the lowest-address first race
@@ -132,10 +140,19 @@ pub struct StatsReply {
     pub store_bytes: u64,
     /// Traces evicted by the LRU size bound since startup.
     pub store_evictions: u64,
+    /// Frames forwarded to backends (router nodes only; zero on a
+    /// plain `clean-serve` daemon).
+    pub forwards: u64,
+    /// Traces pulled from a peer via FETCH because a requested digest
+    /// was missing locally.
+    pub fetches: u64,
+    /// Cache hits served by verdicts reloaded from the persisted
+    /// verdict log (warm-restart hits).
+    pub cache_persist_hits: u64,
 }
 
 impl StatsReply {
-    const COUNTERS: usize = 10;
+    const COUNTERS: usize = 13;
 
     fn to_words(self) -> [u64; Self::COUNTERS] {
         [
@@ -149,6 +166,9 @@ impl StatsReply {
             self.store_traces,
             self.store_bytes,
             self.store_evictions,
+            self.forwards,
+            self.fetches,
+            self.cache_persist_hits,
         ]
     }
 
@@ -164,7 +184,21 @@ impl StatsReply {
             store_traces: w[7],
             store_bytes: w[8],
             store_evictions: w[9],
+            forwards: w[10],
+            fetches: w[11],
+            cache_persist_hits: w[12],
         }
+    }
+
+    /// Field-wise sum — how a router aggregates backend counters.
+    pub fn merge(self, other: StatsReply) -> StatsReply {
+        let a = self.to_words();
+        let b = other.to_words();
+        let mut out = [0u64; Self::COUNTERS];
+        for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+            *o = x.wrapping_add(*y);
+        }
+        StatsReply::from_words(out)
     }
 }
 
@@ -214,13 +248,23 @@ pub enum Response {
     },
     /// The server is draining and no longer admits work.
     ShuttingDown,
+    /// The raw bytes of a stored trace, answering [`Request::Fetch`].
+    /// The receiver re-digests the bytes before trusting them — the
+    /// content address is the integrity check.
+    TraceData {
+        /// Content address the sender stored these bytes under.
+        digest: TraceDigest,
+        /// The complete `CLTR` byte stream.
+        trace: Vec<u8>,
+    },
 }
 
-const OP_SUBMIT: u8 = 0x01;
+pub(crate) const OP_SUBMIT: u8 = 0x01;
 const OP_ANALYZE: u8 = 0x02;
 const OP_STATUS: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_FETCH: u8 = 0x06;
 
 const OP_SUBMITTED: u8 = 0x81;
 const OP_VERDICT: u8 = 0x82;
@@ -229,6 +273,7 @@ const OP_RETRY_AFTER: u8 = 0x84;
 const OP_STATS_REPLY: u8 = 0x85;
 const OP_ERROR: u8 = 0x86;
 const OP_SHUTTING_DOWN: u8 = 0x87;
+const OP_TRACE_DATA: u8 = 0x88;
 
 /// Engine wire codes (`EngineKind` ↔ u8).
 pub fn engine_to_wire(kind: EngineKind) -> u8 {
@@ -284,13 +329,51 @@ fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame header + body. `Ok(None)` on clean EOF at a frame
-/// boundary (peer closed the connection).
-fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+/// A decoded frame header: what follows on the wire is `len` body bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame opcode.
+    pub opcode: u8,
+    /// Declared body length (already validated against [`MAX_BODY`]).
+    pub len: usize,
+}
+
+/// Reads and validates one 10-byte frame header. `Ok(None)` on clean EOF
+/// before the first byte (peer closed at a frame boundary). The body is
+/// *not* consumed — large SUBMIT bodies can be streamed straight to disk
+/// instead of being buffered.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` for bad magic/version/length. A timeout
+/// (`WouldBlock`/`TimedOut`) with zero bytes read surfaces as the raw
+/// I/O error so callers can treat an idle connection differently from a
+/// mid-frame stall.
+pub fn read_frame_header(r: &mut impl Read) -> io::Result<Option<FrameHeader>> {
     let mut header = [0u8; 10];
     let mut filled = 0;
     while filled < header.len() {
-        let n = r.read(&mut header[filled..])?;
+        let n = match r.read(&mut header[filled..]) {
+            Ok(n) => n,
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(e);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(bad("timed out mid frame header"));
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             if filled == 0 {
                 return Ok(None);
@@ -310,9 +393,38 @@ fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
     if len > MAX_BODY {
         return Err(bad(format!("frame body {len} exceeds cap")));
     }
+    Ok(Some(FrameHeader { opcode, len }))
+}
+
+/// Reads the `len`-byte body following a [`FrameHeader`].
+///
+/// # Errors
+///
+/// I/O errors; a timeout mid-body becomes `InvalidData` (the stream
+/// position is unrecoverable).
+pub fn read_frame_body(r: &mut impl Read, len: usize) -> io::Result<Vec<u8>> {
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(Some((opcode, body)))
+    r.read_exact(&mut body).map_err(|e| {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            bad("timed out mid frame body")
+        } else {
+            e
+        }
+    })?;
+    Ok(body)
+}
+
+/// Reads one frame header + body. `Ok(None)` on clean EOF at a frame
+/// boundary (peer closed the connection).
+fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let Some(header) = read_frame_header(r)? else {
+        return Ok(None);
+    };
+    let body = read_frame_body(r, header.len)?;
+    Ok(Some((header.opcode, body)))
 }
 
 /// A little-endian body reader with length checking.
@@ -397,19 +509,17 @@ impl Request {
             Request::Status { job } => write_frame(w, OP_STATUS, &job.to_le_bytes()),
             Request::Stats => write_frame(w, OP_STATS, &[]),
             Request::Shutdown => write_frame(w, OP_SHUTDOWN, &[]),
+            Request::Fetch { digest } => write_frame(w, OP_FETCH, &digest.to_bytes()),
         }
     }
 
-    /// Reads one request frame; `Ok(None)` on clean EOF.
+    /// Decodes a request from an already-read frame body.
     ///
     /// # Errors
     ///
-    /// I/O errors, or `InvalidData` for malformed frames.
-    pub fn read(r: &mut impl Read) -> io::Result<Option<Request>> {
-        let Some((opcode, body)) = read_frame(r)? else {
-            return Ok(None);
-        };
-        let mut b = BodyReader::new(&body);
+    /// `InvalidData` for unknown opcodes or malformed bodies.
+    pub fn from_frame(opcode: u8, body: &[u8]) -> io::Result<Request> {
+        let mut b = BodyReader::new(body);
         let req = match opcode {
             OP_SUBMIT => Request::Submit {
                 trace: b.rest().to_vec(),
@@ -427,10 +537,25 @@ impl Request {
             OP_STATUS => Request::Status { job: b.u64()? },
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_FETCH => Request::Fetch {
+                digest: b.digest()?,
+            },
             other => return Err(bad(format!("unknown request opcode {other:#04x}"))),
         };
         b.finish()?;
-        Ok(Some(req))
+        Ok(req)
+    }
+
+    /// Reads one request frame; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for malformed frames.
+    pub fn read(r: &mut impl Read) -> io::Result<Option<Request>> {
+        let Some((opcode, body)) = read_frame(r)? else {
+            return Ok(None);
+        };
+        Ok(Some(Request::from_frame(opcode, &body)?))
     }
 }
 
@@ -492,6 +617,12 @@ impl Response {
                 write_frame(w, OP_ERROR, &body)
             }
             Response::ShuttingDown => write_frame(w, OP_SHUTTING_DOWN, &[]),
+            Response::TraceData { digest, trace } => {
+                let mut body = Vec::with_capacity(16 + trace.len());
+                body.extend_from_slice(&digest.to_bytes());
+                body.extend_from_slice(trace);
+                write_frame(w, OP_TRACE_DATA, &body)
+            }
         }
     }
 
@@ -553,6 +684,13 @@ impl Response {
                 Response::Error { code, message }
             }
             OP_SHUTTING_DOWN => Response::ShuttingDown,
+            OP_TRACE_DATA => {
+                let digest = b.digest()?;
+                Response::TraceData {
+                    digest,
+                    trace: b.rest().to_vec(),
+                }
+            }
             other => return Err(bad(format!("unknown response opcode {other:#04x}"))),
         };
         b.finish()?;
@@ -596,6 +734,9 @@ mod tests {
         roundtrip_request(Request::Status { job: u64::MAX });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Fetch {
+            digest: TraceDigest(0xffee_ddcc_bbaa_0099_8877_6655_4433_2211),
+        });
     }
 
     #[test]
@@ -645,12 +786,44 @@ mod tests {
             store_traces: 8,
             store_bytes: 9,
             store_evictions: 10,
+            forwards: 11,
+            fetches: 12,
+            cache_persist_hits: 13,
         }));
         roundtrip_response(Response::Error {
             code: error_code::BAD_TRACE,
             message: "not a trace".into(),
         });
         roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::TraceData {
+            digest: TraceDigest(77),
+            trace: vec![0xCA, 0xFE, 0x00, 0x42],
+        });
+        roundtrip_response(Response::TraceData {
+            digest: TraceDigest(0),
+            trace: vec![],
+        });
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise_sum() {
+        let a = StatsReply {
+            submits: 3,
+            fetches: 1,
+            forwards: 2,
+            ..Default::default()
+        };
+        let b = StatsReply {
+            submits: 4,
+            cache_persist_hits: 5,
+            ..Default::default()
+        };
+        let m = a.merge(b);
+        assert_eq!(m.submits, 7);
+        assert_eq!(m.fetches, 1);
+        assert_eq!(m.forwards, 2);
+        assert_eq!(m.cache_persist_hits, 5);
+        assert_eq!(m.analyzes, 0);
     }
 
     #[test]

@@ -77,11 +77,14 @@ struct JobRecord {
 struct Inner {
     /// Ids of jobs waiting for a worker, FIFO.
     ready: VecDeque<u64>,
-    /// Every job ever admitted, by id. Completed records stay resident
-    /// so late STATUS polls still resolve; job payloads are a key plus a
-    /// verdict, small enough that retention is not a practical concern
-    /// for a daemon's lifetime.
+    /// Admitted jobs by id. Finished records are retained for late
+    /// STATUS polls, but only the most recent `finished_cap` of them —
+    /// a fleet node serving millions of requests must not grow its job
+    /// map without bound.
     jobs: HashMap<u64, JobRecord>,
+    /// Terminal job ids in completion order, oldest first — the
+    /// retention ring for finished records.
+    finished: VecDeque<u64>,
     /// `(digest, engine)` → id, for queued/running jobs only.
     in_flight: HashMap<VerdictKey, u64>,
     /// Per-client count of attached not-yet-finished jobs.
@@ -101,6 +104,8 @@ pub struct JobQueue {
     per_client_cap: usize,
     /// Retry hint handed out on rejection.
     retry_millis: u64,
+    /// Max finished job records retained for late STATUS polls.
+    finished_cap: usize,
     inner: Mutex<Inner>,
     /// Signaled when `ready` gains an entry or the queue closes.
     work: Condvar,
@@ -117,10 +122,19 @@ impl JobQueue {
             queue_cap,
             per_client_cap,
             retry_millis,
+            finished_cap: 4096,
             inner: Mutex::new(Inner::default()),
             work: Condvar::new(),
             done: Condvar::new(),
         }
+    }
+
+    /// Caps how many finished job records are retained for late STATUS
+    /// polls (default 4096). Records pruned past the cap answer
+    /// `UNKNOWN_JOB`, which clients already handle.
+    pub fn finished_cap(mut self, cap: usize) -> Self {
+        self.finished_cap = cap;
+        self
     }
 
     /// Admits (or attaches, or sheds) an ANALYZE request from `client`.
@@ -224,6 +238,16 @@ impl JobQueue {
             }
         }
         inner.completed += 1;
+        // Retention: keep only the newest `finished_cap` terminal
+        // records. Waiters woken below re-check before the next
+        // completion could prune this id, because pruning happens while
+        // we still hold the lock only for *older* ids.
+        inner.finished.push_back(id);
+        while inner.finished.len() > self.finished_cap {
+            if let Some(old) = inner.finished.pop_front() {
+                inner.jobs.remove(&old);
+            }
+        }
         self.done.notify_all();
     }
 
@@ -400,6 +424,50 @@ mod tests {
         q.complete(j.id, done(5));
         // Queue empty + closed → workers see the exit signal.
         assert!(q.next_job().is_none());
+    }
+
+    #[test]
+    fn finished_records_are_pruned_fifo() {
+        let q = JobQueue::new(64, 64, 100).finished_cap(2);
+        let mut ids = vec![];
+        for n in 0..4u128 {
+            let Admission::Admitted { job, .. } = q.submit(key(n), "c1") else {
+                panic!("admitted");
+            };
+            ids.push(job);
+            let j = q.next_job().unwrap();
+            q.complete(j.id, done(n as u64));
+        }
+        // Only the two newest finished records survive.
+        assert_eq!(q.status(ids[0]), None, "oldest record pruned");
+        assert_eq!(q.status(ids[1]), None, "second-oldest record pruned");
+        assert!(matches!(q.status(ids[2]), Some(JobState::Done(_))));
+        assert!(matches!(q.status(ids[3]), Some(JobState::Done(_))));
+        // wait() on a pruned id reports unknown rather than blocking.
+        assert_eq!(q.wait(ids[0]), None);
+        assert_eq!(q.job_key(ids[0]), None);
+        // Queued/running jobs are never pruned, no matter how many
+        // completions happen around them.
+        let Admission::Admitted { job: live, .. } = q.submit(key(100), "c1") else {
+            panic!("admitted");
+        };
+        for n in 200..204u128 {
+            let Admission::Admitted { job, .. } = q.submit(key(n), "c2") else {
+                panic!("admitted");
+            };
+            let j = q.next_job().unwrap();
+            assert_eq!(j.id, if n == 200 { live } else { job });
+            if j.id == live {
+                // Claim `live` first (FIFO), then complete the rest.
+                let j2 = q.next_job().unwrap();
+                q.complete(j2.id, done(0));
+            } else {
+                q.complete(j.id, done(0));
+            }
+        }
+        assert!(matches!(q.status(live), Some(JobState::Running)));
+        q.complete(live, done(0));
+        assert!(matches!(q.status(live), Some(JobState::Done(_))));
     }
 
     #[test]

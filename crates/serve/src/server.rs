@@ -1,14 +1,30 @@
-//! The `clean-serve` daemon: a thread-per-connection TCP server over the
+//! The `clean-serve` daemon: a bounded-concurrency TCP server over the
 //! [`crate::protocol`] frames, gluing together the trace store, verdict
 //! cache, and job queue.
 //!
 //! Thread layout:
 //!
-//! * one **accept** thread turning connections into connection threads,
-//! * one **connection** thread per client, decoding request frames and
-//!   answering synchronously,
+//! * a bounded pool of **acceptor** threads, each looping
+//!   accept-then-serve — concurrent connections are capped at the pool
+//!   size and excess connections queue in the OS listen backlog instead
+//!   of spawning unbounded threads,
 //! * a pool of **worker** threads draining the job queue through the
 //!   offline replay engines.
+//!
+//! Connections carry per-direction I/O timeouts: an idle connection
+//! parked *at a frame boundary* is welcome to stay, but a peer that
+//! stalls mid-frame (the slow-loris shape) gets a `BAD_FRAME` error and
+//! a disconnect — one stuck sender cannot hold an acceptor hostage.
+//!
+//! SUBMIT bodies are *streamed* into the content-addressed store — the
+//! bytes go straight from the socket to a staged temp file and are
+//! digested from disk, so a 64 MiB upload never materializes in memory.
+//!
+//! A node configured with peers participates in fleet replication: an
+//! ANALYZE naming a digest the local store lacks triggers a `FETCH`
+//! round over the peers before giving up, and the fetched bytes are
+//! verified against the requested digest on ingest (content addressing
+//! makes the transfer self-verifying).
 //!
 //! A "client" for admission-control purposes is one connection (peer
 //! address including port): per-client caps bound what a single
@@ -20,18 +36,26 @@
 //! lingering connections are disconnected and all threads joined.
 
 use crate::cache::{Verdict, VerdictCache, VerdictKey};
-use crate::protocol::{error_code, Request, Response, StatsReply, WireRace};
+use crate::client::Client;
+use crate::protocol::{
+    error_code, read_frame_body, read_frame_header, Request, Response, StatsReply, WireRace,
+    OP_SUBMIT,
+};
 use crate::queue::{Admission, JobQueue, JobState};
-use crate::store::TraceStore;
+use crate::store::{StoreError, TraceStore};
 use clean_trace::{read_trace, replay_file_stealing, replay_sharded, EngineKind, TraceDigest};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// File name of the durable verdict log, under the store directory.
+pub const VERDICT_LOG: &str = "verdicts.log";
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -55,12 +79,26 @@ pub struct ServerConfig {
     /// Traces at or above this many bytes replay via the streaming
     /// work-stealing engine instead of being read fully into memory.
     pub stream_threshold: u64,
+    /// Addresses of peer `clean-serve` nodes to FETCH missing digests
+    /// from before failing an ANALYZE. Empty = standalone node.
+    pub peers: Vec<String>,
+    /// Acceptor-pool size: the cap on concurrently served connections.
+    /// Excess connections wait in the OS listen backlog.
+    pub acceptors: usize,
+    /// Per-connection read/write timeout in milliseconds (0 = none).
+    /// Only mid-frame stalls trip it; a connection idling *between*
+    /// frames is left alone.
+    pub io_timeout_millis: u64,
+    /// Persist the verdict cache to `verdicts.log` beside the store and
+    /// reload it on startup, so warm restarts serve without replaying.
+    pub persist_verdicts: bool,
 }
 
 impl ServerConfig {
     /// Defaults: loopback ephemeral port, 1 GiB store, 64-job queue,
     /// 8 jobs per client, 100 ms retry hint, workers/shards from
-    /// available parallelism, 8 MiB streaming threshold.
+    /// available parallelism, 8 MiB streaming threshold, no peers,
+    /// 32 acceptors, 30 s I/O timeout, durable verdicts.
     pub fn new(store_dir: impl Into<PathBuf>) -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -75,6 +113,10 @@ impl ServerConfig {
             workers: cores.clamp(1, 8),
             shards: cores.clamp(1, 8),
             stream_threshold: 8 << 20,
+            peers: Vec::new(),
+            acceptors: 32,
+            io_timeout_millis: 30_000,
+            persist_verdicts: true,
         }
     }
 
@@ -119,6 +161,36 @@ impl ServerConfig {
         self.shards = shards.max(1);
         self
     }
+
+    /// Sets the peer list for fleet replication.
+    pub fn peers(mut self, peers: Vec<String>) -> Self {
+        self.peers = peers;
+        self
+    }
+
+    /// Adds one peer address.
+    pub fn peer(mut self, addr: impl Into<String>) -> Self {
+        self.peers.push(addr.into());
+        self
+    }
+
+    /// Sets the acceptor-pool size.
+    pub fn acceptors(mut self, acceptors: usize) -> Self {
+        self.acceptors = acceptors.max(1);
+        self
+    }
+
+    /// Sets the per-connection I/O timeout (0 disables it).
+    pub fn io_timeout_millis(mut self, millis: u64) -> Self {
+        self.io_timeout_millis = millis;
+        self
+    }
+
+    /// Enables or disables the durable verdict log.
+    pub fn persist_verdicts(mut self, persist: bool) -> Self {
+        self.persist_verdicts = persist;
+        self
+    }
 }
 
 /// Counters that live outside store and queue.
@@ -129,6 +201,7 @@ struct ServiceCounters {
     analyzes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    fetches: AtomicU64,
 }
 
 /// State shared by every server thread.
@@ -140,8 +213,11 @@ struct Shared {
     counters: ServiceCounters,
     shards: usize,
     stream_threshold: u64,
-    /// Set once shutdown begins; checked by the accept loop and by
-    /// connection threads before admitting new work.
+    peers: Vec<String>,
+    acceptors: usize,
+    io_timeout: Option<Duration>,
+    /// Set once shutdown begins; checked by acceptors before serving a
+    /// fresh connection and by request handlers admitting new work.
     draining: AtomicBool,
     /// Condvar'd mirror of `draining` so a foreground daemon can block
     /// in [`ServerHandle::wait_until_draining`] instead of polling.
@@ -150,8 +226,8 @@ struct Shared {
     addr: SocketAddr,
     /// Live connection sockets (clones keyed by connection id), so the
     /// drain can unblock parked readers. Entries are removed when their
-    /// connection thread exits — a lingering clone would hold the TCP
-    /// connection open after the server side is done with it.
+    /// acceptor finishes the connection — a lingering clone would hold
+    /// the TCP connection open after the server side is done with it.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
 }
@@ -171,6 +247,10 @@ impl Shared {
             store_traces: store.traces,
             store_bytes: store.bytes,
             store_evictions: store.evictions,
+            // A plain daemon forwards nothing; the router owns this one.
+            forwards: 0,
+            fetches: self.counters.fetches.load(Ordering::Relaxed),
+            cache_persist_hits: self.cache.persist_hits(),
         }
     }
 
@@ -212,9 +292,8 @@ impl Shared {
 #[derive(Debug)]
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    acceptors: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
@@ -245,23 +324,22 @@ impl ServerHandle {
 
     fn join_inner(&mut self) {
         begin_drain(&self.shared);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
         // Workers exit once the queue is closed *and* drained — every
-        // admitted job has completed by the time these joins return.
+        // admitted job has completed by the time these joins return, so
+        // clients blocked in an ANALYZE-wait get their verdicts before
+        // their connections are cut below.
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        // Now unblock any connection thread still parked in a read and
-        // join them all.
+        // Unblock acceptors still parked inside a connection read.
         for (_, conn) in self.shared.conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
-        loop {
-            let Some(h) = self.conn_threads.lock().pop() else {
-                break;
-            };
+        // And acceptors parked in accept(): one wake-up poke each.
+        for _ in 0..self.acceptors.len() {
+            let _ = TcpStream::connect(self.shared.addr);
+        }
+        for h in self.acceptors.drain(..) {
             let _ = h.join();
         }
     }
@@ -273,8 +351,8 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Flags the server as draining, closes the queue, and pokes the accept
-/// loop awake with a throwaway connection.
+/// Flags the server as draining, closes the queue, and pokes every
+/// acceptor awake with throwaway connections.
 fn begin_drain(shared: &Shared) {
     if shared.draining.swap(true, Ordering::SeqCst) {
         return;
@@ -282,7 +360,9 @@ fn begin_drain(shared: &Shared) {
     shared.queue.close();
     *shared.drain_flag.lock() = true;
     shared.drain_cv.notify_all();
-    let _ = TcpStream::connect(shared.addr);
+    for _ in 0..shared.acceptors {
+        let _ = TcpStream::connect(shared.addr);
+    }
 }
 
 /// The `clean-serve` service.
@@ -290,12 +370,13 @@ fn begin_drain(shared: &Shared) {
 pub struct Server;
 
 impl Server {
-    /// Binds, spawns the accept loop and worker pool, and returns the
+    /// Binds, spawns the acceptor and worker pools, and returns the
     /// handle.
     ///
     /// # Errors
     ///
-    /// Bind/listen failures or store-open failures.
+    /// Bind/listen failures, store-open failures, or verdict-log
+    /// failures.
     pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         let listener =
             TcpListener::bind(
@@ -305,13 +386,23 @@ impl Server {
             )?;
         let addr = listener.local_addr()?;
         let store = TraceStore::open(&config.store_dir, config.store_max_bytes)?;
+        let cache = if config.persist_verdicts {
+            VerdictCache::open(config.store_dir.join(VERDICT_LOG))?
+        } else {
+            VerdictCache::new()
+        };
+        let acceptor_count = config.acceptors.max(1);
         let shared = Arc::new(Shared {
             store,
-            cache: VerdictCache::new(),
+            cache,
             queue: JobQueue::new(config.queue_cap, config.per_client_cap, config.retry_millis),
             counters: ServiceCounters::default(),
             shards: config.shards,
             stream_threshold: config.stream_threshold,
+            peers: config.peers.clone(),
+            acceptors: acceptor_count,
+            io_timeout: (config.io_timeout_millis > 0)
+                .then(|| Duration::from_millis(config.io_timeout_millis)),
             draining: AtomicBool::new(false),
             drain_flag: Mutex::new(false),
             drain_cv: Condvar::new(),
@@ -330,30 +421,29 @@ impl Server {
             })
             .collect();
 
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let conn_threads = Arc::clone(&conn_threads);
-            std::thread::Builder::new()
-                .name("clean-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
-                .expect("spawn accept thread")
-        };
+        let listener = Arc::new(listener);
+        let acceptors: Vec<JoinHandle<()>> = (0..acceptor_count)
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("clean-serve-accept-{i}"))
+                    .spawn(move || acceptor_loop(&listener, &shared))
+                    .expect("spawn acceptor thread")
+            })
+            .collect();
 
         Ok(ServerHandle {
             shared,
-            accept: Some(accept),
+            acceptors,
             workers,
-            conn_threads,
         })
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
+/// One acceptor: accept a connection, serve it to completion, repeat.
+/// The pool size bounds concurrency; the OS backlog bounds admission.
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         let (stream, peer) = match listener.accept() {
             Ok(pair) => pair,
@@ -369,17 +459,10 @@ fn accept_loop(
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().insert(conn_id, clone);
         }
-        let shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name(format!("clean-serve-conn-{peer}"))
-            .spawn(move || {
-                connection_loop(stream, peer, &shared);
-                // Drop the drain clone too, or the TCP connection stays
-                // half-open after this thread is done serving it.
-                shared.conns.lock().remove(&conn_id);
-            })
-            .expect("spawn connection thread");
-        conn_threads.lock().push(handle);
+        serve_connection(stream, peer, shared);
+        // Drop the drain clone too, or the TCP connection stays
+        // half-open after this acceptor is done serving it.
+        shared.conns.lock().remove(&conn_id);
     }
 }
 
@@ -413,29 +496,129 @@ fn verdict_response(
     }
 }
 
-fn connection_loop(stream: TcpStream, peer: SocketAddr, shared: &Shared) {
+fn serve_connection(stream: TcpStream, peer: SocketAddr, shared: &Shared) {
     let client = peer.to_string();
+    if let Some(t) = shared.io_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+        let _ = stream.set_write_timeout(Some(t));
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
     loop {
-        let request = match Request::read(&mut reader) {
-            Ok(Some(req)) => req,
+        let header = match read_frame_header(&mut reader) {
+            Ok(Some(h)) => h,
             // Clean disconnect, or the drain shut the socket down.
             Ok(None) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle at a frame boundary: welcome to keep waiting —
+                // unless the server is draining, in which case the park
+                // is over.
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Protocol error: report and drop the connection — after
-                // a framing error the stream position is unreliable.
+                // Protocol error (bad magic/version, or a mid-frame
+                // stall): report and drop the connection — the stream
+                // position is unreliable.
                 let _ = error_response(error_code::BAD_FRAME, e.to_string()).write(&mut writer);
                 break;
             }
             Err(_) => break,
         };
+        // SUBMIT bodies stream straight into the store; every other
+        // request body is small and buffered.
+        if header.opcode == OP_SUBMIT {
+            let (response, framing_intact) = handle_submit_stream(shared, &mut reader, header.len);
+            if response.write(&mut writer).is_err() || !framing_intact {
+                break;
+            }
+            continue;
+        }
+        let body = match read_frame_body(&mut reader, header.len) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = error_response(error_code::BAD_FRAME, e.to_string()).write(&mut writer);
+                break;
+            }
+            Err(_) => break,
+        };
+        let request = match Request::from_frame(header.opcode, &body) {
+            Ok(req) => req,
+            Err(e) => {
+                let _ = error_response(error_code::BAD_FRAME, e.to_string()).write(&mut writer);
+                break;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
         let response = handle_request(shared, &client, request);
-        if response.write(&mut writer).is_err() {
+        let write_ok = response.write(&mut writer).is_ok();
+        if is_shutdown {
+            // Drain only after the reply is on the wire: `join()` closes
+            // every registered connection, racing the write otherwise.
+            begin_drain(shared);
             break;
+        }
+        if !write_ok {
+            break;
+        }
+    }
+}
+
+/// Streams a SUBMIT body from the socket into the store. Returns the
+/// response plus whether the connection's framing is still intact (a
+/// body that was not fully consumed leaves the stream unusable).
+fn handle_submit_stream(shared: &Shared, reader: &mut impl Read, len: usize) -> (Response, bool) {
+    if shared.draining.load(Ordering::SeqCst) {
+        // Consume the declared body so the refusal leaves the stream at
+        // a frame boundary.
+        let drained = io::copy(&mut (&mut *reader).take(len as u64), &mut io::sink());
+        return (Response::ShuttingDown, drained.ok() == Some(len as u64));
+    }
+    match shared.store.insert_stream(reader, len as u64, None) {
+        Ok(stored) => {
+            shared.counters.submits.fetch_add(1, Ordering::Relaxed);
+            if stored.dedup {
+                shared
+                    .counters
+                    .submit_dedup_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            (
+                Response::Submitted {
+                    digest: stored.digest,
+                    dedup: stored.dedup,
+                    bytes: stored.bytes,
+                },
+                true,
+            )
+        }
+        // The store consumed the full body before rejecting: the
+        // connection is still usable.
+        Err(e @ StoreError::BadTrace(_)) => (error_response(e.code(), e.to_string()), true),
+        Err(StoreError::Io(e)) => {
+            // The copy stopped early: stream position unknown, so the
+            // connection must drop. A socket timeout here is the
+            // slow-loris shape and reports as BAD_FRAME.
+            let timed_out = matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            );
+            let resp = if timed_out {
+                error_response(error_code::BAD_FRAME, "timed out mid frame body")
+            } else {
+                error_response(error_code::INTERNAL, format!("store I/O error: {e}"))
+            };
+            (resp, false)
         }
     }
 }
@@ -443,6 +626,8 @@ fn connection_loop(stream: TcpStream, peer: SocketAddr, shared: &Shared) {
 fn handle_request(shared: &Shared, client: &str, request: Request) -> Response {
     match request {
         Request::Submit { trace } => {
+            // Unreachable from `serve_connection` (SUBMIT streams), but
+            // kept for in-process callers of the request API.
             if shared.draining.load(Ordering::SeqCst) {
                 return Response::ShuttingDown;
             }
@@ -479,9 +664,25 @@ fn handle_request(shared: &Shared, client: &str, request: Request) -> Response {
             Some(JobState::Failed(e)) => error_response(error_code::INTERNAL, e),
         },
         Request::Stats => Response::Stats(shared.stats_reply()),
-        Request::Shutdown => {
-            begin_drain(shared);
-            Response::ShuttingDown
+        // The drain itself starts in `serve_connection` after the reply
+        // is written out.
+        Request::Shutdown => Response::ShuttingDown,
+        Request::Fetch { digest } => {
+            // Pin across the path lookup and the read so eviction cannot
+            // delete the file from under the transfer.
+            shared.store.pin(digest);
+            let response = match shared.store.path_of(digest) {
+                Some(path) => match std::fs::read(&path) {
+                    Ok(trace) => Response::TraceData { digest, trace },
+                    Err(e) => error_response(error_code::INTERNAL, e.to_string()),
+                },
+                None => error_response(
+                    error_code::UNKNOWN_DIGEST,
+                    format!("trace {digest} not in store"),
+                ),
+            };
+            shared.store.unpin(digest);
+            response
         }
     }
 }
@@ -494,6 +695,37 @@ fn verdict_response_for_job(shared: &Shared, job: u64, v: &Verdict) -> Response 
     }
 }
 
+/// Tries to pull `digest` from each configured peer in turn. The caller
+/// holds a pin on `digest`, so a successful insert cannot be evicted
+/// before the analysis that wanted it runs. Returns true once the trace
+/// is resident locally.
+fn fetch_from_peers(shared: &Shared, digest: TraceDigest) -> bool {
+    for peer in &shared.peers {
+        let Ok(mut client) = Client::connect(peer.as_str()) else {
+            continue;
+        };
+        let Ok(Response::TraceData { digest: got, trace }) =
+            client.call(&Request::Fetch { digest })
+        else {
+            continue;
+        };
+        if got != digest {
+            continue;
+        }
+        // `expected` re-digests the bytes on ingest: a lying or corrupt
+        // peer cannot poison the store.
+        if shared
+            .store
+            .insert_stream(&mut &trace[..], trace.len() as u64, Some(digest))
+            .is_ok()
+        {
+            shared.counters.fetches.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+    }
+    false
+}
+
 fn analyze(
     shared: &Shared,
     client: &str,
@@ -503,20 +735,27 @@ fn analyze(
 ) -> Response {
     // Pin before the existence check: eviction between "is it there" and
     // the worker opening the file would turn a valid request into a
-    // spurious failure. Pinning an absent digest is harmless.
+    // spurious failure. Pinning an absent digest is harmless — and for
+    // the peer-fetch path below it is load-bearing, guaranteeing the
+    // fetched bytes cannot be evicted before the replay runs.
     shared.store.pin(digest);
-    if !shared.store.contains(digest) {
-        shared.store.unpin(digest);
-        return error_response(
-            error_code::UNKNOWN_DIGEST,
-            format!("trace {digest} not in store; SUBMIT it first"),
-        );
-    }
+    // Verdicts are content-addressed, so a cache hit never needs the
+    // trace bytes — not even when the digest was evicted (or would have
+    // to be peer-fetched). Check the cache before touching the store.
     let key = VerdictKey { digest, engine };
     if let Some(v) = shared.cache.get(&key) {
         shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
         shared.store.unpin(digest);
         return verdict_response(digest, engine, true, &v);
+    }
+    if !shared.store.contains(digest)
+        && (shared.peers.is_empty() || !fetch_from_peers(shared, digest))
+    {
+        shared.store.unpin(digest);
+        return error_response(
+            error_code::UNKNOWN_DIGEST,
+            format!("trace {digest} not in store; SUBMIT it first"),
+        );
     }
     shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
     match shared.queue.submit(key, client) {

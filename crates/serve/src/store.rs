@@ -24,8 +24,9 @@ use clean_trace::{Digester, TraceDigest, TraceReader};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fs;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Index file name under the store root.
 const INDEX_FILE: &str = "index";
@@ -172,6 +173,11 @@ impl TraceStore {
         for dirent in fs::read_dir(&root)? {
             let dirent = dirent?;
             let path = dirent.path();
+            // Staged ingests from a crashed process are garbage.
+            if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                let _ = fs::remove_file(&path);
+                continue;
+            }
             if path.extension().and_then(|e| e.to_str()) != Some(TRACE_EXT) {
                 continue;
             }
@@ -226,17 +232,75 @@ impl TraceStore {
     /// [`StoreError::BadTrace`] if the bytes do not decode;
     /// [`StoreError::Io`] on filesystem failure.
     pub fn insert(&self, trace: &[u8]) -> Result<StoredTrace, StoreError> {
-        // Full decode before touching disk: the digest doubles as proof
-        // the stream is intact (framing, CRCs, event payloads).
-        let reader = TraceReader::new(trace).map_err(|e| StoreError::BadTrace(e.to_string()))?;
-        let mut digester = Digester::new();
-        let mut events = 0u64;
-        for ev in reader {
-            let ev = ev.map_err(|e| StoreError::BadTrace(e.to_string()))?;
-            digester.update(&ev);
-            events += 1;
+        self.insert_stream(&mut &trace[..], trace.len() as u64, None)
+    }
+
+    /// Streams exactly `len` bytes from `src` into the store: the bytes
+    /// are copied to a uniquely named temp file as they arrive, decoded
+    /// *from disk* through the incremental [`Digester`] (the submission
+    /// is never buffered in memory), and renamed to their content
+    /// address — so a 64 MiB upload costs one file write, not one file
+    /// write plus a 64 MiB allocation.
+    ///
+    /// `expected` is the self-verification hook for peer replication: if
+    /// the decoded content digests to anything else, the bytes are
+    /// discarded and the insert fails — a peer cannot poison the store
+    /// with mislabeled content.
+    ///
+    /// The full `len` bytes are always consumed from `src` (unless I/O
+    /// fails), so a protocol framing layer above survives a rejected
+    /// body.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadTrace`] if the bytes do not decode or miss
+    /// `expected`; [`StoreError::Io`] on filesystem failure or a short
+    /// read from `src`.
+    pub fn insert_stream(
+        &self,
+        src: &mut impl Read,
+        len: u64,
+        expected: Option<TraceDigest>,
+    ) -> Result<StoredTrace, StoreError> {
+        static INGEST_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.root.join(format!(
+            ".ingest-{}-{}.tmp",
+            std::process::id(),
+            INGEST_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let cleanup = |e: StoreError| {
+            let _ = fs::remove_file(&tmp);
+            e
+        };
+
+        let copied = {
+            let mut file = io::BufWriter::new(fs::File::create(&tmp)?);
+            let copied = io::copy(&mut src.take(len), &mut file).map_err(StoreError::Io);
+            match copied.and_then(|n| file.flush().map(|()| n).map_err(StoreError::Io)) {
+                Ok(n) => n,
+                Err(e) => return Err(cleanup(e)),
+            }
+        };
+        if copied < len {
+            return Err(cleanup(StoreError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("submission truncated at {copied} of {len} bytes"),
+            ))));
         }
-        let digest = digester.finish();
+
+        // Decode from the temp file: the digest doubles as proof the
+        // stream is intact (framing, CRCs, event payloads).
+        let (digest, events) = match Self::digest_tmp(&tmp) {
+            Ok(pair) => pair,
+            Err(e) => return Err(cleanup(e)),
+        };
+        if let Some(want) = expected {
+            if digest != want {
+                return Err(cleanup(StoreError::BadTrace(format!(
+                    "content digests to {digest}, expected {want}"
+                ))));
+            }
+        }
 
         let mut inner = self.inner.lock();
         let next = inner.next_seq;
@@ -244,6 +308,7 @@ impl TraceStore {
             entry.seq = next;
             let bytes = entry.bytes;
             inner.next_seq += 1;
+            let _ = fs::remove_file(&tmp);
             self.write_index(&inner)?;
             return Ok(StoredTrace {
                 digest,
@@ -253,27 +318,32 @@ impl TraceStore {
             });
         }
 
-        let path = self.trace_path(digest);
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, trace)?;
-        fs::rename(&tmp, &path)?;
+        fs::rename(&tmp, self.trace_path(digest))?;
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.entries.insert(
-            digest,
-            Entry {
-                bytes: trace.len() as u64,
-                seq,
-            },
-        );
+        inner.entries.insert(digest, Entry { bytes: len, seq });
         self.evict_locked(&mut inner)?;
         self.write_index(&inner)?;
         Ok(StoredTrace {
             digest,
             dedup: false,
-            bytes: trace.len() as u64,
+            bytes: len,
             events,
         })
+    }
+
+    /// Decodes a staged temp file, returning its content digest and
+    /// event count.
+    fn digest_tmp(path: &Path) -> Result<(TraceDigest, u64), StoreError> {
+        let reader = TraceReader::open(path).map_err(|e| StoreError::BadTrace(e.to_string()))?;
+        let mut digester = Digester::new();
+        let mut events = 0u64;
+        for ev in reader {
+            let ev = ev.map_err(|e| StoreError::BadTrace(e.to_string()))?;
+            digester.update(&ev);
+            events += 1;
+        }
+        Ok((digester.finish(), events))
     }
 
     /// Returns the on-disk path of `digest` and refreshes its recency,
@@ -509,6 +579,107 @@ mod tests {
         assert!(store.contains(digest));
         assert_eq!(store.stats().traces, 1);
         fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// No staged `.tmp` ingest files may outlive an insert, good or bad.
+    fn assert_no_tmp_left(root: &Path) {
+        for dirent in fs::read_dir(root).unwrap() {
+            let path = dirent.unwrap().path();
+            assert_ne!(
+                path.extension().and_then(|e| e.to_str()),
+                Some("tmp"),
+                "leftover staged file {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_stream_matches_buffered_insert() {
+        let root = temp_root("stream");
+        let store = TraceStore::open(&root, u64::MAX).unwrap();
+        let trace = sample_trace(21);
+        let streamed = store
+            .insert_stream(&mut &trace[..], trace.len() as u64, None)
+            .unwrap();
+        assert!(!streamed.dedup);
+        assert_eq!(streamed.digest, digest_of(&trace));
+        assert_eq!(streamed.bytes, trace.len() as u64);
+        // The buffered path is the same path: it dedups.
+        let buffered = store.insert(&trace).unwrap();
+        assert!(buffered.dedup);
+        assert_eq!(buffered.digest, streamed.digest);
+        assert_no_tmp_left(&root);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn insert_stream_rejects_garbage_and_short_reads_without_litter() {
+        let root = temp_root("streambad");
+        let store = TraceStore::open(&root, u64::MAX).unwrap();
+        // Garbage bytes: BadTrace, temp file cleaned up.
+        let garbage = b"definitely not CLTR".to_vec();
+        assert!(matches!(
+            store.insert_stream(&mut &garbage[..], garbage.len() as u64, None),
+            Err(StoreError::BadTrace(_))
+        ));
+        // Source shorter than the declared length: Io, cleaned up.
+        let trace = sample_trace(22);
+        assert!(matches!(
+            store.insert_stream(&mut &trace[..8], trace.len() as u64, None),
+            Err(StoreError::Io(_))
+        ));
+        // Wrong expected digest (a lying peer): BadTrace, cleaned up.
+        assert!(matches!(
+            store.insert_stream(
+                &mut &trace[..],
+                trace.len() as u64,
+                Some(TraceDigest(0x1234)),
+            ),
+            Err(StoreError::BadTrace(_))
+        ));
+        assert_eq!(store.stats().traces, 0);
+        assert_no_tmp_left(&root);
+        // The right expected digest passes.
+        let stored = store
+            .insert_stream(&mut &trace[..], trace.len() as u64, Some(digest_of(&trace)))
+            .unwrap();
+        assert_eq!(stored.digest, digest_of(&trace));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn pin_of_absent_digest_protects_a_subsequent_insert() {
+        // The peer-fetch ordering: pin first, then fetch + insert, so
+        // the freshly fetched trace can never be evicted before the
+        // analysis that wanted it runs.
+        let root = temp_root("pinabsent");
+        let traces: Vec<Vec<u8>> = (0..4).map(sample_trace).collect();
+        let cap = traces.iter().map(|t| t.len() as u64).max().unwrap();
+        let store = TraceStore::open(&root, cap).unwrap();
+        let fetched = digest_of(&traces[0]);
+        store.pin(fetched);
+        store.insert(&traces[0]).unwrap();
+        // Heavy churn: everything unpinned gets evicted, the pinned
+        // fetch target survives.
+        for t in &traces[1..] {
+            store.insert(t).unwrap();
+        }
+        assert!(store.contains(fetched), "pinned fetch target evicted");
+        store.unpin(fetched);
+        // Once unpinned it is fair game again.
+        store.insert(&traces[1]).unwrap();
+        store.insert(&traces[2]).unwrap();
+        assert!(!store.contains(fetched), "unpinned entry must be evictable");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    fn digest_of(trace: &[u8]) -> TraceDigest {
+        let reader = TraceReader::new(trace).unwrap();
+        let mut d = Digester::new();
+        for ev in reader {
+            d.update(&ev.unwrap());
+        }
+        d.finish()
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Fleet tests: a 3-node in-process fleet behind the router must serve
+//! verdicts identical to single-node clean-serve and to a direct
+//! `replay_sharded` run, for every engine, under 16 concurrent clients —
+//! including after one backend is killed and its digests come back via
+//! peer FETCH from the surviving replica.
+
+use clean_serve::client::Client;
+use clean_serve::protocol::{error_code, Response};
+use clean_serve::router::{primary_backend, Router, RouterConfig};
+use clean_serve::server::{Server, ServerConfig, ServerHandle};
+use clean_trace::{
+    digest_events, read_trace, record_kernel_trace, replay_sharded, EngineKind, RecordOptions,
+    TraceDigest,
+};
+use std::collections::HashSet;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clean-fleet-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn record(dir: &Path, name: &str, racy: bool, seed: u64) -> Vec<u8> {
+    let path = dir.join(format!("{name}-{racy}-{seed}.cltr"));
+    record_kernel_trace(
+        name,
+        &path,
+        &RecordOptions {
+            threads: 4,
+            racy,
+            seed,
+        },
+    )
+    .unwrap();
+    std::fs::read(&path).unwrap()
+}
+
+/// Reserves `n` distinct loopback addresses by binding ephemeral
+/// listeners, then releasing them. Peers must be known *before* a node
+/// starts, so the fleet cannot use bind-time ephemeral ports directly.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+/// Starts an n-node fleet on `addrs`: every node gets every sibling as
+/// a FETCH peer.
+fn start_fleet(dir: &Path, addrs: &[String]) -> Vec<ServerHandle> {
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let peers: Vec<String> = addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            Server::start(
+                ServerConfig::new(dir.join(format!("node-{i}")))
+                    .addr(addr.clone())
+                    .peers(peers),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn submit(client: &mut Client, trace: &[u8]) -> (TraceDigest, bool) {
+    match client.submit(trace.to_vec()).unwrap() {
+        Response::Submitted { digest, dedup, .. } => (digest, dedup),
+        other => panic!("submit failed: {other:?}"),
+    }
+}
+
+type Truth = Vec<(TraceDigest, Vec<HashSet<clean_baselines::FoundRace>>)>;
+
+/// Ground truth: digest plus the direct `replay_sharded` race set for
+/// every engine, in `EngineKind::ALL` order.
+fn ground_truth(dir: &Path, corpus: &[Vec<u8>]) -> Truth {
+    corpus
+        .iter()
+        .enumerate()
+        .map(|(i, trace)| {
+            let path = dir.join(format!("truth-{i}.cltr"));
+            std::fs::write(&path, trace).unwrap();
+            let events = read_trace(&path).unwrap();
+            let per_engine = EngineKind::ALL
+                .iter()
+                .map(|&engine| {
+                    replay_sharded(&events, engine, 4)
+                        .into_iter()
+                        .collect::<HashSet<_>>()
+                })
+                .collect();
+            (digest_events(&events), per_engine)
+        })
+        .collect()
+}
+
+fn assert_verdict_matches(
+    client: &mut Client,
+    digest: TraceDigest,
+    engine: EngineKind,
+    expect: &HashSet<clean_baselines::FoundRace>,
+    context: &str,
+) {
+    let Response::Verdict {
+        digest: got, races, ..
+    } = client.analyze_with_retry(digest, engine, 50).unwrap()
+    else {
+        panic!(
+            "{context}: expected verdict for {digest} / {}",
+            engine.name()
+        );
+    };
+    assert_eq!(got, digest);
+    let served: HashSet<_> = races.into_iter().map(|r| r.to_found()).collect();
+    assert_eq!(
+        served,
+        *expect,
+        "{context}: {digest} under {}",
+        engine.name()
+    );
+}
+
+#[test]
+fn fleet_matches_single_node_and_direct_replay_with_kill() {
+    let dir = scratch("accept");
+    let corpus: Vec<Vec<u8>> = vec![
+        record(&dir, "dedup", true, 1),
+        record(&dir, "dedup", false, 1),
+        record(&dir, "streamcluster", true, 2),
+        record(&dir, "fft", true, 3),
+    ];
+    let truth = ground_truth(&dir, &corpus);
+
+    // Reference run: single-node clean-serve serves the same verdicts.
+    {
+        let single = Server::start(ServerConfig::new(dir.join("single"))).unwrap();
+        let mut client = Client::connect(single.addr()).unwrap();
+        for trace in &corpus {
+            submit(&mut client, trace);
+        }
+        for (digest, per_engine) in &truth {
+            for (engine, expect) in EngineKind::ALL.iter().zip(per_engine) {
+                assert_verdict_matches(&mut client, *digest, *engine, expect, "single-node");
+            }
+        }
+        single.join();
+    }
+
+    // The fleet: 3 nodes, replication 2, fronted by the router.
+    let addrs = reserve_addrs(3);
+    let mut nodes = start_fleet(&dir, &addrs);
+    let router = Router::start(
+        RouterConfig::new(addrs.clone())
+            .connect_retries(1)
+            .retry_delay_millis(10),
+    )
+    .unwrap();
+    let router_addr = router.addr();
+
+    // 16 concurrent clients: submit through the router, then analyze
+    // every digest under every engine through the router.
+    let corpus = Arc::new(corpus);
+    let truth = Arc::new(truth);
+    let barrier = Arc::new(std::sync::Barrier::new(16));
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let corpus = Arc::clone(&corpus);
+            let truth = Arc::clone(&truth);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(router_addr).unwrap();
+                let mine = i % corpus.len();
+                let (digest, _) = submit(&mut client, &corpus[mine]);
+                assert_eq!(digest, truth[mine].0);
+                barrier.wait();
+                for (digest, per_engine) in truth.iter() {
+                    for (engine, expect) in EngineKind::ALL.iter().zip(per_engine) {
+                        assert_verdict_matches(&mut client, *digest, *engine, expect, "fleet");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Dedup across nodes: every submit was forwarded to primary +
+    // replica, and each (digest, node) pair stored exactly once.
+    let mut client = Client::connect(router_addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.submits, 32, "16 submits x replication 2");
+    assert_eq!(stats.submit_dedup_hits, 24, "8 unique (digest, node) pairs");
+    assert_eq!(stats.store_traces, 8, "4 digests x 2 copies");
+    assert!(stats.forwards >= 32, "forwards: {}", stats.forwards);
+    assert_eq!(stats.fetches, 0, "healthy fleet never peer-fetches");
+
+    // Kill the primary of digest 0. The read failover lands on a node
+    // that does NOT hold the replica (it sits at the ring predecessor),
+    // so serving this digest again must go through peer FETCH.
+    let victim = primary_backend(truth[0].0, 3);
+    let dead = nodes.remove(victim);
+    dead.shutdown();
+    dead.join();
+
+    let (digest0, per_engine0) = &truth[0];
+    for (engine, expect) in EngineKind::ALL.iter().zip(per_engine0) {
+        assert_verdict_matches(&mut client, *digest0, *engine, expect, "post-kill");
+    }
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.fetches >= 1,
+        "killed primary must force a peer fetch, got {}",
+        stats.fetches
+    );
+
+    router.join();
+    for node in nodes {
+        node.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn router_tags_jobs_and_routes_status_polls() {
+    let dir = scratch("status");
+    let addrs = reserve_addrs(2);
+    let nodes = start_fleet(&dir, &addrs);
+    let router = Router::start(RouterConfig::new(addrs.clone())).unwrap();
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    let trace = record(&dir, "dedup", true, 7);
+    let (digest, _) = submit(&mut client, &trace);
+    // Nothing cached under VcFull yet, so a no-wait analyze must admit
+    // a job and hand back a router-tagged id.
+    let Response::Pending { job } = client.analyze(digest, EngineKind::VcFull, false).unwrap()
+    else {
+        panic!("expected pending");
+    };
+    assert_eq!(
+        (job >> 56) as usize,
+        primary_backend(digest, 2),
+        "job tag must name the primary backend"
+    );
+    let races: HashSet<_> = loop {
+        match client.status(job).unwrap() {
+            Response::Pending { job: again } => {
+                assert_eq!(again, job, "re-tagged id must be stable");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Response::Verdict { races, .. } => {
+                break races.into_iter().map(|r| r.to_found()).collect()
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    };
+    let path = dir.join("status.cltr");
+    std::fs::write(&path, &trace).unwrap();
+    let direct: HashSet<_> = replay_sharded(&read_trace(&path).unwrap(), EngineKind::VcFull, 4)
+        .into_iter()
+        .collect();
+    assert_eq!(races, direct);
+
+    // A job id naming a backend outside the fleet is rejected.
+    match client.status(u64::MAX).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, error_code::UNKNOWN_JOB),
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    router.join();
+    for node in nodes {
+        node.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

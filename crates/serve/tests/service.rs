@@ -367,6 +367,193 @@ fn graceful_shutdown_drains_queued_job() {
 }
 
 #[test]
+fn warm_restart_serves_persisted_verdicts_without_replaying() {
+    let dir = scratch("warm");
+    let store_dir = dir.join("store");
+    let trace = record(&dir, "dedup", true, 21);
+    let digest;
+    {
+        let server = Server::start(ServerConfig::new(&store_dir)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        digest = submit(&mut client, &trace).0;
+        for engine in [EngineKind::Clean, EngineKind::FastTrack] {
+            assert!(matches!(
+                client.analyze(digest, engine, true).unwrap(),
+                Response::Verdict { cached: false, .. }
+            ));
+        }
+        server.join();
+    }
+
+    // Same store dir, fresh process state (and a fresh ephemeral port —
+    // rebinding the old one would race TIME_WAIT).
+    let server = Server::start(ServerConfig::new(&store_dir)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut verdicts = Vec::new();
+    for engine in [EngineKind::Clean, EngineKind::FastTrack] {
+        let Response::Verdict { cached, races, .. } = client.analyze(digest, engine, true).unwrap()
+        else {
+            panic!("expected verdict");
+        };
+        assert!(cached, "warm restart must serve from the persisted log");
+        verdicts.push(races);
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.jobs_completed, 0, "no replay ran after restart");
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(
+        stats.cache_persist_hits, 2,
+        "both hits came from reloaded entries"
+    );
+    // And the reloaded verdicts are the real ones.
+    let path = dir.join("warm.cltr");
+    std::fs::write(&path, &trace).unwrap();
+    let events = read_trace(&path).unwrap();
+    for (races, engine) in verdicts
+        .into_iter()
+        .zip([EngineKind::Clean, EngineKind::FastTrack])
+    {
+        let direct: HashSet<_> = replay_sharded(&events, engine, 4).into_iter().collect();
+        let served: HashSet<_> = races.into_iter().map(|r| r.to_found()).collect();
+        assert_eq!(served, direct, "engine {}", engine.name());
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn peer_fetch_pulls_missing_trace_before_replaying() {
+    let dir = scratch("peerfetch");
+    // Node A holds the trace; node B has never seen it but knows A.
+    let node_a = Server::start(ServerConfig::new(dir.join("store-a"))).unwrap();
+    let trace = record(&dir, "streamcluster", true, 31);
+    let mut client_a = Client::connect(node_a.addr()).unwrap();
+    let (digest, _) = submit(&mut client_a, &trace);
+
+    let node_b =
+        Server::start(ServerConfig::new(dir.join("store-b")).peer(node_a.addr().to_string()))
+            .unwrap();
+    let mut client_b = Client::connect(node_b.addr()).unwrap();
+    let Response::Verdict { races, .. } = client_b
+        .analyze_with_retry(digest, EngineKind::Clean, 10)
+        .unwrap()
+    else {
+        panic!("expected verdict via peer fetch");
+    };
+    let path = dir.join("peer.cltr");
+    std::fs::write(&path, &trace).unwrap();
+    let direct: HashSet<_> = replay_sharded(&read_trace(&path).unwrap(), EngineKind::Clean, 4)
+        .into_iter()
+        .collect();
+    let served: HashSet<_> = races.into_iter().map(|r| r.to_found()).collect();
+    assert_eq!(served, direct, "fetched-trace verdict must equal direct");
+
+    let stats = client_b.stats().unwrap();
+    assert_eq!(stats.fetches, 1, "exactly one peer fetch");
+    assert_eq!(stats.store_traces, 1, "the fetched trace is now resident");
+
+    // A repeat analyze is a local cache hit — no second fetch.
+    assert!(matches!(
+        client_b.analyze(digest, EngineKind::Clean, true).unwrap(),
+        Response::Verdict { cached: true, .. }
+    ));
+    assert_eq!(client_b.stats().unwrap().fetches, 1);
+
+    // A digest nobody holds still fails cleanly after the peer round.
+    match client_b
+        .analyze(TraceDigest(0xabcd), EngineKind::Clean, true)
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, error_code::UNKNOWN_DIGEST),
+        other => panic!("unexpected: {other:?}"),
+    }
+    node_b.join();
+    node_a.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evicted_digest_is_refetched_from_peer() {
+    let dir = scratch("refetch");
+    // Node A (unbounded) holds four distinct traces; node B's store is
+    // capped below any two of them, so every fetch evicts.
+    let node_a = Server::start(ServerConfig::new(dir.join("store-a"))).unwrap();
+    let mut client_a = Client::connect(node_a.addr()).unwrap();
+    let corpus: Vec<Vec<u8>> = vec![
+        record(&dir, "dedup", true, 40),
+        record(&dir, "dedup", false, 41),
+        record(&dir, "streamcluster", true, 42),
+        record(&dir, "streamcluster", false, 43),
+    ];
+    let digests: Vec<TraceDigest> = corpus.iter().map(|t| submit(&mut client_a, t).0).collect();
+    let unique: HashSet<_> = digests.iter().copied().collect();
+    assert_eq!(unique.len(), 4, "corpus digests must be distinct");
+    let min_len = corpus.iter().map(Vec::len).min().unwrap() as u64;
+
+    let node_b = Server::start(
+        ServerConfig::new(dir.join("store-b"))
+            .store_max_bytes(min_len)
+            .peer(node_a.addr().to_string()),
+    )
+    .unwrap();
+    let mut client_b = Client::connect(node_b.addr()).unwrap();
+
+    // Analyzing each digest in turn fetches it and (store cap = one
+    // trace) evicts its predecessor.
+    for d in &digests {
+        assert!(matches!(
+            client_b
+                .analyze_with_retry(*d, EngineKind::Clean, 10)
+                .unwrap(),
+            Response::Verdict { .. }
+        ));
+    }
+    let stats = client_b.stats().unwrap();
+    assert_eq!(stats.fetches, 4);
+    // The exact eviction count races the worker's deferred unpin (a
+    // still-pinned predecessor survives one insert and is collected by
+    // the next); what is deterministic is that evictions happened at
+    // all, and — asserted below via the fetch counter — that digest 0
+    // was among the victims.
+    assert!(
+        stats.store_evictions >= 1,
+        "evictions: {}",
+        stats.store_evictions
+    );
+
+    // The first digest was evicted long ago. Its verdict is still
+    // cached, so analysis under the *same* engine never needs the bytes
+    // back...
+    assert!(matches!(
+        client_b
+            .analyze(digests[0], EngineKind::Clean, true)
+            .unwrap(),
+        Response::Verdict { cached: true, .. }
+    ));
+    assert_eq!(client_b.stats().unwrap().fetches, 4, "cache hit, no fetch");
+    // ...but a *different* engine must replay, which re-fetches and
+    // re-pins the evicted trace.
+    let Response::Verdict { races, .. } = client_b
+        .analyze_with_retry(digests[0], EngineKind::FastTrack, 10)
+        .unwrap()
+    else {
+        panic!("expected verdict after re-fetch");
+    };
+    let stats = client_b.stats().unwrap();
+    assert_eq!(stats.fetches, 5, "evicted digest fetched again");
+    let path = dir.join("refetch.cltr");
+    std::fs::write(&path, &corpus[0]).unwrap();
+    let direct: HashSet<_> = replay_sharded(&read_trace(&path).unwrap(), EngineKind::FastTrack, 4)
+        .into_iter()
+        .collect();
+    let served: HashSet<_> = races.into_iter().map(|r| r.to_found()).collect();
+    assert_eq!(served, direct);
+    node_b.join();
+    node_a.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn verdicts_consistent_across_engines() {
     let dir = scratch("engines");
     let server = Server::start(ServerConfig::new(dir.join("store"))).unwrap();

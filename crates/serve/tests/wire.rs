@@ -3,11 +3,15 @@
 //! unit tests — and that protocol errors are reported before the
 //! connection drops.
 
+use clean_core::{ThreadId, TraceEvent};
+use clean_serve::client::Client;
 use clean_serve::protocol::{error_code, Request, Response, MAGIC, VERSION};
 use clean_serve::server::{Server, ServerConfig};
+use clean_trace::{encode_trace, TraceDigest};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("clean-serve-wire-{tag}-{}", std::process::id()));
@@ -110,6 +114,116 @@ fn half_frame_then_disconnect_is_tolerated() {
     }
     // The server is still healthy afterwards.
     let mut sock = TcpStream::connect(server.addr()).unwrap();
+    Request::Stats.write(&mut sock).unwrap();
+    assert!(matches!(
+        Response::read(&mut sock).unwrap().unwrap(),
+        Response::Stats(_)
+    ));
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fetch_over_raw_socket_returns_stored_bytes() {
+    let dir = scratch("fetch");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+
+    // Store a small trace through the typed client.
+    let events = [0u16, 1].map(|t| TraceEvent::Write {
+        tid: ThreadId::new(t),
+        addr: 64,
+        size: 8,
+    });
+    let trace = encode_trace(&events).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let Response::Submitted { digest, .. } = client.submit(trace.clone()).unwrap() else {
+        panic!("submit failed");
+    };
+
+    // Hand-rolled FETCH frame: opcode 0x06, 16-byte digest body.
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(0x06);
+    frame.extend_from_slice(&16u32.to_le_bytes());
+    frame.extend_from_slice(&digest.to_bytes());
+    sock.write_all(&frame).unwrap();
+    match Response::read(&mut sock).unwrap().unwrap() {
+        Response::TraceData {
+            digest: got,
+            trace: bytes,
+        } => {
+            assert_eq!(got, digest);
+            assert_eq!(bytes, trace, "FETCH returns the stored bytes verbatim");
+        }
+        other => panic!("expected TRACE_DATA, got {other:?}"),
+    }
+
+    // An absent digest is a clean UNKNOWN_DIGEST, not a hang.
+    Request::Fetch {
+        digest: TraceDigest(0xdead_beef),
+    }
+    .write(&mut sock)
+    .unwrap();
+    match Response::read(&mut sock).unwrap().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, error_code::UNKNOWN_DIGEST),
+        other => panic!("expected UNKNOWN_DIGEST, got {other:?}"),
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_loris_mid_frame_gets_bad_frame_and_disconnect() {
+    let dir = scratch("loris");
+    let server = Server::start(ServerConfig::new(&dir).io_timeout_millis(150)).unwrap();
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+
+    // Half a frame header, then stall: the per-connection read timeout
+    // must trip, answer BAD_FRAME, and drop the connection.
+    sock.write_all(&MAGIC[..3]).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    match Response::read(&mut sock).unwrap().unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, error_code::BAD_FRAME);
+            assert!(message.contains("timed out"), "got {message:?}");
+        }
+        other => panic!("expected BAD_FRAME error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    match sock.read_to_end(&mut rest) {
+        Ok(_) => assert!(rest.is_empty(), "server must disconnect the staller"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset),
+    }
+
+    // Stalling mid-*body* is the same offense: declare a STATUS body and
+    // send half of it.
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(0x03);
+    frame.extend_from_slice(&8u32.to_le_bytes());
+    frame.extend_from_slice(&[0u8; 4]);
+    sock.write_all(&frame).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    match Response::read(&mut sock).unwrap().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, error_code::BAD_FRAME),
+        other => panic!("expected BAD_FRAME error, got {other:?}"),
+    }
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_connection_outlives_the_io_timeout() {
+    let dir = scratch("idle");
+    let server = Server::start(ServerConfig::new(&dir).io_timeout_millis(100)).unwrap();
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    // Idle at a frame boundary for several timeout periods: the server
+    // must keep the connection, only mid-frame stalls are evicted.
+    std::thread::sleep(Duration::from_millis(350));
     Request::Stats.write(&mut sock).unwrap();
     assert!(matches!(
         Response::read(&mut sock).unwrap().unwrap(),
