@@ -53,6 +53,39 @@ pub fn __seed_for(name: &str) -> u64 {
     h
 }
 
+/// Reads `CLEAN_TEST_SEED` (default 0). XORed into every per-test seed,
+/// so the default run stays byte-identical to the name-derived schedule
+/// while any failure is reproducible by exporting the printed value.
+#[doc(hidden)]
+pub fn __env_seed() -> u64 {
+    std::env::var("CLEAN_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Drop guard that prints the failing test's seed and a one-line repro
+/// command if the property body panics.
+#[doc(hidden)]
+pub struct __SeedGuard {
+    pub name: &'static str,
+    pub env_seed: u64,
+    pub case: u32,
+}
+
+impl Drop for __SeedGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let short = self.name.rsplit("::").next().unwrap_or(self.name);
+            eprintln!(
+                "proptest failure in {} (case {}, CLEAN_TEST_SEED={})\n\
+                 repro: CLEAN_TEST_SEED={} cargo test {short}",
+                self.name, self.case, self.env_seed, self.env_seed
+            );
+        }
+    }
+}
+
 /// Controls how many cases each property runs.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
@@ -320,13 +353,20 @@ macro_rules! __proptest_body {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let env_seed = $crate::__env_seed();
                 let mut rng = $crate::test_runner::TestRng::new(
-                    $crate::__seed_for(concat!(module_path!(), "::", stringify!($name))),
+                    $crate::__seed_for(concat!(module_path!(), "::", stringify!($name)))
+                        ^ env_seed,
                 );
                 for __case in 0..config.cases {
+                    let mut __guard = $crate::__SeedGuard {
+                        name: concat!(module_path!(), "::", stringify!($name)),
+                        env_seed,
+                        case: __case,
+                    };
                     $(let $pat = $crate::Strategy::new_value(&($strat), &mut rng);)+
-                    let _ = __case;
                     $body
+                    __guard.case = __case; // keep the guard alive past the body
                 }
             }
         )*

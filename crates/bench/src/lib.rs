@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod soak;
+
 use clean_core::TraceEvent;
 use clean_trace::{read_trace, record_kernel_trace, RecordOptions};
 use clean_workloads::Scale;

@@ -239,12 +239,14 @@ fn print_stats(s: &StatsReply) {
     println!("cache_misses       {}", s.cache_misses);
     println!("jobs_completed     {}", s.jobs_completed);
     println!("jobs_rejected      {}", s.jobs_rejected);
+    println!("jobs_coalesced     {}", s.jobs_coalesced);
     println!("store_traces       {}", s.store_traces);
     println!("store_bytes        {}", s.store_bytes);
     println!("store_evictions    {}", s.store_evictions);
     println!("forwards           {}", s.forwards);
     println!("fetches            {}", s.fetches);
     println!("cache_persist_hits {}", s.cache_persist_hits);
+    println!("suppressed_hits    {}", s.suppressed_hits);
 }
 
 fn cmd_status(args: &[String]) -> Result<ExitCode, String> {

@@ -4,16 +4,21 @@
 //! clean-serve serve   --store <dir> [--addr HOST:PORT] [--max-bytes N]
 //!                     [--queue-cap N] [--per-client-cap N] [--workers N] [--shards N]
 //!                     [--peer HOST:PORT]... [--acceptors N] [--io-timeout-millis N]
+//!                     [--policy <file>]
 //! clean-serve submit  <addr> <trace.cltr>
 //! clean-serve analyze <addr> <digest> [--engine clean|fasttrack|vcfull|tsan]
 //!                     [--no-wait] [--retries N]
 //! clean-serve status  <addr> <job>
 //! clean-serve stats   <addr>
+//! clean-serve suppress list <addr>
+//! clean-serve suppress add <addr> <rule...>
+//! clean-serve suppress check <addr> <digest> [--engine E] [--retries N]
 //! clean-serve shutdown <addr>
 //! ```
 //!
-//! Exit codes match `clean-analyze`: 0 = success / trace clean,
-//! 10 = analysis found race(s), 1 = any other failure.
+//! Exit codes match `clean-analyze`: 0 = success / trace clean (or every
+//! race suppressed to a warning), 10 = analysis found unsuppressed
+//! race(s), 1 = any other failure.
 
 use clean_serve::client::Client;
 use clean_serve::protocol::{Response, StatsReply};
@@ -21,7 +26,8 @@ use clean_serve::server::{Server, ServerConfig};
 use clean_trace::{EngineKind, TraceDigest};
 use std::process::ExitCode;
 
-/// `analyze`/`status` returned a verdict with at least one race.
+/// `analyze`/`status` returned a verdict with at least one unsuppressed
+/// race (races demoted to warnings by a `CSUP` rule do not count).
 const EXIT_RACE: u8 = 10;
 
 const USAGE: &str = "\
@@ -31,11 +37,13 @@ USAGE:
   clean-serve serve --store <dir> [--addr HOST:PORT] [--max-bytes N]
                     [--queue-cap N] [--per-client-cap N] [--workers N] [--shards N]
                     [--peer HOST:PORT]... [--acceptors N] [--io-timeout-millis N]
-                    [--no-persist-verdicts]
+                    [--no-persist-verdicts] [--policy <file>]
       Run the daemon in the foreground. Prints the bound address
       (`listening on HOST:PORT`) once ready; exits after a graceful
       drain when a SHUTDOWN frame arrives. Each --peer names another
       clean-serve node to FETCH missing digests from (fleet mode).
+      --policy names a CSUP v1 suppression-rules file (default:
+      policy.csup under the store directory; missing = no suppression).
   clean-serve submit <addr> <trace.cltr>
       Upload a recorded trace; prints its content digest.
   clean-serve analyze <addr> <digest> [--engine clean|fasttrack|vcfull|tsan]
@@ -47,12 +55,21 @@ USAGE:
       Poll a job id from a --no-wait analyze.
   clean-serve stats <addr>
       Print the service counters.
+  clean-serve suppress list <addr>
+      Print the active CSUP suppression policy.
+  clean-serve suppress add <addr> <rule...>
+      Append one rule (e.g. `digest <hex>`, `prefix <hex>`,
+      `addr lo..hi [waw|raw|war]`) to the policy and push it live.
+      Against a fleet router the new policy lands on every backend.
+  clean-serve suppress check <addr> <digest> [--engine E] [--retries N]
+      Analyze a digest and report how the active policy classifies it:
+      races matched by a rule print as warnings and do not fail.
   clean-serve shutdown <addr>
       Ask the daemon to drain queued jobs and exit.
 
 EXIT CODES:
-  0   success; for analyze/status: the trace is clean
-  10  analyze/status returned a verdict with race(s)
+  0   success; for analyze/status/check: clean, or warnings only
+  10  analyze/status/check returned unsuppressed race(s)
   1   any other error
 ";
 
@@ -64,6 +81,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("suppress") => cmd_suppress(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
@@ -151,6 +169,9 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     if take_flag(&mut args, "--no-persist-verdicts") {
         config = config.persist_verdicts(false);
     }
+    if let Some(v) = take_value(&mut args, "--policy")? {
+        config = config.policy_path(v);
+    }
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
@@ -182,22 +203,24 @@ fn report_verdict(response: Response) -> Result<ExitCode, String> {
             events,
         } => {
             let source = if cached { "cache" } else { "replay" };
+            let suppressed = races.iter().filter(|r| r.suppressed).count();
             println!(
-                "{digest} engine={} events={events} races={} ({source})",
+                "{digest} engine={} events={events} races={} suppressed={suppressed} ({source})",
                 engine.name(),
                 races.len()
             );
             for race in &races {
                 let r = race.to_found();
+                let tag = if race.suppressed { "warning: " } else { "" };
                 println!(
-                    "  {} at {:#x}: t{} after t{}",
+                    "  {tag}{} at {:#x}: t{} after t{}",
                     r.kind,
                     r.addr,
                     r.current.raw(),
                     r.previous.raw()
                 );
             }
-            Ok(if races.is_empty() {
+            Ok(if races.len() == suppressed {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(EXIT_RACE)
@@ -283,12 +306,14 @@ fn print_stats(s: &StatsReply) {
     println!("cache_misses       {}", s.cache_misses);
     println!("jobs_completed     {}", s.jobs_completed);
     println!("jobs_rejected      {}", s.jobs_rejected);
+    println!("jobs_coalesced     {}", s.jobs_coalesced);
     println!("store_traces       {}", s.store_traces);
     println!("store_bytes        {}", s.store_bytes);
     println!("store_evictions    {}", s.store_evictions);
     println!("forwards           {}", s.forwards);
     println!("fetches            {}", s.fetches);
     println!("cache_persist_hits {}", s.cache_persist_hits);
+    println!("suppressed_hits    {}", s.suppressed_hits);
 }
 
 fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
@@ -299,6 +324,68 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     let stats = client.stats().map_err(rpc_err)?;
     print_stats(&stats);
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_suppress(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let [_, addr] = args else {
+                return Err("usage: clean-serve suppress list <addr>".into());
+            };
+            let mut client = connect(addr)?;
+            match client.policy().map_err(rpc_err)? {
+                Response::Policy { rules, text } => {
+                    println!("rules={rules}");
+                    if !text.is_empty() {
+                        print!("{text}");
+                        if !text.ends_with('\n') {
+                            println!();
+                        }
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                Response::Error { code, message } => Err(format!("server error {code}: {message}")),
+                other => Err(format!("unexpected reply: {other:?}")),
+            }
+        }
+        Some("add") => {
+            let [_, addr, rule @ ..] = args else {
+                unreachable!("first() was Some");
+            };
+            if rule.is_empty() {
+                return Err("usage: clean-serve suppress add <addr> <rule...>".into());
+            }
+            let mut client = connect(addr)?;
+            // Read-modify-write: fetch the live text, append one rule
+            // line, push the whole policy back (the server validates and
+            // persists it atomically before answering).
+            let Response::Policy { text, .. } = client.policy().map_err(rpc_err)? else {
+                return Err("unexpected reply to policy read".into());
+            };
+            let line = rule.join(" ");
+            let mut next = if text.trim().is_empty() {
+                "CSUP v1\n".to_string()
+            } else {
+                let mut t = text;
+                if !t.ends_with('\n') {
+                    t.push('\n');
+                }
+                t
+            };
+            next.push_str(&line);
+            next.push('\n');
+            match client.set_policy(next).map_err(rpc_err)? {
+                Response::Policy { rules, .. } => {
+                    println!("rules={rules}");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Response::Error { code, message } => Err(format!("server error {code}: {message}")),
+                other => Err(format!("unexpected reply: {other:?}")),
+            }
+        }
+        Some("check") => cmd_analyze(&args[1..]),
+        _ => Err("usage: clean-serve suppress <list|add|check> ...".into()),
+    }
 }
 
 fn cmd_shutdown(args: &[String]) -> Result<ExitCode, String> {

@@ -20,10 +20,11 @@
 //! <digest hex> <engine> <events> <race count> [kind,addr,cur,prev ...]
 //! ```
 //!
-//! Appends are atomic enough for the purpose: a torn tail line fails to
-//! parse and is skipped on reload (losing one verdict, never corrupting
-//! the rest), and the log is compacted — duplicates dropped, torn lines
-//! removed — every time it is opened. Hits served by reloaded entries
+//! Appends are atomic enough for the purpose: the trailing newline is
+//! the last byte of every append, so on reload any tail line missing its
+//! newline is discarded as torn (losing one verdict, never corrupting —
+//! or worse, misparsing — the rest), and the log is compacted —
+//! duplicates dropped, torn lines removed — every time it is opened. Hits served by reloaded entries
 //! are counted separately ([`VerdictCache::persist_hits`]) so the
 //! warm-restart path is observable in STATS.
 
@@ -183,7 +184,14 @@ impl VerdictCache {
         let cache = VerdictCache::new();
         let mut loaded: Vec<(VerdictKey, Verdict)> = Vec::new();
         if let Ok(text) = fs::read_to_string(&path) {
-            let mut lines = text.lines();
+            // Only newline-terminated lines are trusted: the newline is
+            // the last byte of each append, so its absence marks a torn
+            // write. A tail torn mid-token could otherwise still parse —
+            // to a *wrong* verdict (e.g. a thread id `10` torn to `1`).
+            let mut lines = text
+                .split_inclusive('\n')
+                .filter(|l| l.ends_with('\n'))
+                .map(|l| &l[..l.len() - 1]);
             if lines.next() == Some(LOG_HEADER) {
                 for line in lines {
                     if let Some((key, verdict)) = parse_log_line(line) {

@@ -128,6 +128,29 @@ impl Client {
         self.call(&Request::Status { job })
     }
 
+    /// Reads the server's active `CSUP` suppression policy.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn policy(&mut self) -> io::Result<Response> {
+        self.call(&Request::Policy { set: None })
+    }
+
+    /// Replaces the server's suppression policy with `text` (full `CSUP
+    /// v1` rules text). The server persists the new rules before
+    /// answering, so a success reply survives restarts.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (a rejected policy comes back as
+    /// [`Response::Error`] with `BAD_POLICY`).
+    pub fn set_policy(&mut self, text: impl Into<String>) -> io::Result<Response> {
+        self.call(&Request::Policy {
+            set: Some(text.into()),
+        })
+    }
+
     /// Fetches the service counters.
     ///
     /// # Errors

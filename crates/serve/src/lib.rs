@@ -16,6 +16,9 @@
 //!   optionally durable beside the store,
 //! * [`queue`] — the bounded, admission-controlled job queue that
 //!   coalesces identical requests and sheds load with retry-after,
+//! * [`policy`] — the `CSUP v1` race-suppression rules applied at
+//!   verdict-classification time, demoting known-benign races to
+//!   warnings,
 //! * [`server`] — the bounded-concurrency TCP daemon wiring the three
 //!   together over a replay worker pool, with peer FETCH for fleets,
 //! * [`router`] — the `clean-fleet` front that shards requests by
@@ -59,6 +62,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod policy;
 pub mod protocol;
 pub mod queue;
 pub mod router;
@@ -67,6 +71,7 @@ pub mod store;
 
 pub use cache::{Verdict, VerdictCache, VerdictKey};
 pub use client::Client;
+pub use policy::{PolicyError, Rule, SuppressionPolicy};
 pub use protocol::{Request, Response, StatsReply, WireRace};
 pub use queue::{Admission, JobQueue, JobState};
 pub use router::{Router, RouterConfig, RouterHandle};

@@ -24,8 +24,11 @@ use std::io::{self, Read, Write};
 /// Frame magic.
 pub const MAGIC: [u8; 4] = *b"CSRV";
 /// Protocol version carried in every frame. Version 2 added the FETCH /
-/// TRACE_DATA peer-replication frames and the fleet STATS counters.
-pub const VERSION: u8 = 2;
+/// TRACE_DATA peer-replication frames and the fleet STATS counters;
+/// version 3 added the POLICY suppression frames, the per-race
+/// `suppressed` flag in VERDICT bodies, and the coalesce/suppression
+/// STATS counters.
+pub const VERSION: u8 = 3;
 /// Hard cap on a frame body (64 MiB) — submissions beyond this are
 /// rejected before allocation, bounding per-connection memory.
 pub const MAX_BODY: usize = 64 << 20;
@@ -42,6 +45,8 @@ pub mod error_code {
     pub const UNKNOWN_JOB: u8 = 4;
     /// Internal server failure (I/O, replay error).
     pub const INTERNAL: u8 = 5;
+    /// A POLICY frame carried unparseable `CSUP` rules text.
+    pub const BAD_POLICY: u8 = 6;
 }
 
 /// A client-to-server frame.
@@ -78,6 +83,12 @@ pub enum Request {
         /// Content address of the wanted trace.
         digest: TraceDigest,
     },
+    /// Read or replace the server's `CSUP` suppression policy.
+    Policy {
+        /// `None` reads the active policy; `Some(text)` parses the text,
+        /// swaps it in, and persists it beside the store.
+        set: Option<String>,
+    },
 }
 
 /// One race in a verdict, in wire form (the lowest-address first race
@@ -92,16 +103,21 @@ pub struct WireRace {
     pub current: u16,
     /// Thread that performed the earlier conflicting access.
     pub previous: u16,
+    /// True if a `CSUP` suppression rule matched this race — it is
+    /// served as a *warning* rather than a failure.
+    pub suppressed: bool,
 }
 
 impl WireRace {
-    /// Converts an engine-reported race to wire form.
+    /// Converts an engine-reported race to wire form (unsuppressed; the
+    /// server flips [`WireRace::suppressed`] when a policy rule matches).
     pub fn from_found(r: &FoundRace) -> Self {
         WireRace {
             kind: r.kind,
             addr: r.addr as u64,
             current: r.current.raw(),
             previous: r.previous.raw(),
+            suppressed: false,
         }
     }
 
@@ -134,6 +150,9 @@ pub struct StatsReply {
     /// ANALYZE requests shed with retry-after (queue full or per-client
     /// cap exceeded).
     pub jobs_rejected: u64,
+    /// ANALYZE requests that attached to an identical in-flight job
+    /// instead of enqueueing a duplicate replay.
+    pub jobs_coalesced: u64,
     /// Traces currently resident in the store.
     pub store_traces: u64,
     /// Bytes currently resident in the store.
@@ -149,10 +168,13 @@ pub struct StatsReply {
     /// Cache hits served by verdicts reloaded from the persisted
     /// verdict log (warm-restart hits).
     pub cache_persist_hits: u64,
+    /// Races demoted to warnings by a matching `CSUP` suppression rule,
+    /// counted once per race per served verdict.
+    pub suppressed_hits: u64,
 }
 
 impl StatsReply {
-    const COUNTERS: usize = 13;
+    const COUNTERS: usize = 15;
 
     fn to_words(self) -> [u64; Self::COUNTERS] {
         [
@@ -163,12 +185,14 @@ impl StatsReply {
             self.cache_misses,
             self.jobs_completed,
             self.jobs_rejected,
+            self.jobs_coalesced,
             self.store_traces,
             self.store_bytes,
             self.store_evictions,
             self.forwards,
             self.fetches,
             self.cache_persist_hits,
+            self.suppressed_hits,
         ]
     }
 
@@ -181,12 +205,14 @@ impl StatsReply {
             cache_misses: w[4],
             jobs_completed: w[5],
             jobs_rejected: w[6],
-            store_traces: w[7],
-            store_bytes: w[8],
-            store_evictions: w[9],
-            forwards: w[10],
-            fetches: w[11],
-            cache_persist_hits: w[12],
+            jobs_coalesced: w[7],
+            store_traces: w[8],
+            store_bytes: w[9],
+            store_evictions: w[10],
+            forwards: w[11],
+            fetches: w[12],
+            cache_persist_hits: w[13],
+            suppressed_hits: w[14],
         }
     }
 
@@ -257,6 +283,14 @@ pub enum Response {
         /// The complete `CLTR` byte stream.
         trace: Vec<u8>,
     },
+    /// The active suppression policy, answering [`Request::Policy`]
+    /// (both the read and the set form — a set echoes what is now live).
+    Policy {
+        /// Number of parsed rules in the active policy.
+        rules: u64,
+        /// The policy source text (`CSUP v1` grammar).
+        text: String,
+    },
 }
 
 pub(crate) const OP_SUBMIT: u8 = 0x01;
@@ -265,6 +299,7 @@ const OP_STATUS: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
 const OP_FETCH: u8 = 0x06;
+const OP_POLICY: u8 = 0x07;
 
 const OP_SUBMITTED: u8 = 0x81;
 const OP_VERDICT: u8 = 0x82;
@@ -274,6 +309,7 @@ const OP_STATS_REPLY: u8 = 0x85;
 const OP_ERROR: u8 = 0x86;
 const OP_SHUTTING_DOWN: u8 = 0x87;
 const OP_TRACE_DATA: u8 = 0x88;
+const OP_POLICY_REPLY: u8 = 0x89;
 
 /// Engine wire codes (`EngineKind` ↔ u8).
 pub fn engine_to_wire(kind: EngineKind) -> u8 {
@@ -510,6 +546,18 @@ impl Request {
             Request::Stats => write_frame(w, OP_STATS, &[]),
             Request::Shutdown => write_frame(w, OP_SHUTDOWN, &[]),
             Request::Fetch { digest } => write_frame(w, OP_FETCH, &digest.to_bytes()),
+            Request::Policy { set } => {
+                // Body: one mode byte (0 = read, 1 = set) + rules text.
+                let mut body = Vec::with_capacity(1 + set.as_ref().map_or(0, String::len));
+                match set {
+                    None => body.push(0),
+                    Some(text) => {
+                        body.push(1);
+                        body.extend_from_slice(text.as_bytes());
+                    }
+                }
+                write_frame(w, OP_POLICY, &body)
+            }
         }
     }
 
@@ -539,6 +587,18 @@ impl Request {
             OP_SHUTDOWN => Request::Shutdown,
             OP_FETCH => Request::Fetch {
                 digest: b.digest()?,
+            },
+            OP_POLICY => match b.u8()? {
+                0 => {
+                    if !b.rest().is_empty() {
+                        return Err(bad("policy read carries no body"));
+                    }
+                    Request::Policy { set: None }
+                }
+                1 => Request::Policy {
+                    set: Some(String::from_utf8_lossy(b.rest()).into_owned()),
+                },
+                other => return Err(bad(format!("unknown policy mode {other}"))),
             },
             other => return Err(bad(format!("unknown request opcode {other:#04x}"))),
         };
@@ -585,7 +645,7 @@ impl Response {
                 races,
                 events,
             } => {
-                let mut body = Vec::with_capacity(30 + races.len() * 13);
+                let mut body = Vec::with_capacity(30 + races.len() * 14);
                 body.extend_from_slice(&digest.to_bytes());
                 body.push(engine_to_wire(*engine));
                 body.push(u8::from(*cached));
@@ -595,6 +655,7 @@ impl Response {
                     body.extend_from_slice(&r.addr.to_le_bytes());
                     body.extend_from_slice(&r.current.to_le_bytes());
                     body.extend_from_slice(&r.previous.to_le_bytes());
+                    body.push(u8::from(r.suppressed));
                 }
                 body.extend_from_slice(&events.to_le_bytes());
                 write_frame(w, OP_VERDICT, &body)
@@ -623,6 +684,12 @@ impl Response {
                 body.extend_from_slice(trace);
                 write_frame(w, OP_TRACE_DATA, &body)
             }
+            Response::Policy { rules, text } => {
+                let mut body = Vec::with_capacity(8 + text.len());
+                body.extend_from_slice(&rules.to_le_bytes());
+                body.extend_from_slice(text.as_bytes());
+                write_frame(w, OP_POLICY_REPLY, &body)
+            }
         }
     }
 
@@ -647,8 +714,8 @@ impl Response {
                 let engine = engine_from_wire(b.u8()?).ok_or_else(|| bad("unknown engine"))?;
                 let cached = b.u8()? != 0;
                 let count = b.u32()? as usize;
-                // 13 bytes per race: reject counts the body cannot hold.
-                if count > body.len() / 13 {
+                // 14 bytes per race: reject counts the body cannot hold.
+                if count > body.len() / 14 {
                     return Err(bad("race count exceeds frame body"));
                 }
                 let mut races = Vec::with_capacity(count);
@@ -659,6 +726,7 @@ impl Response {
                         addr: b.u64()?,
                         current: b.u16()?,
                         previous: b.u16()?,
+                        suppressed: b.u8()? != 0,
                     });
                 }
                 Response::Verdict {
@@ -691,6 +759,10 @@ impl Response {
                     trace: b.rest().to_vec(),
                 }
             }
+            OP_POLICY_REPLY => Response::Policy {
+                rules: b.u64()?,
+                text: String::from_utf8_lossy(b.rest()).into_owned(),
+            },
             other => return Err(bad(format!("unknown response opcode {other:#04x}"))),
         };
         b.finish()?;
@@ -737,6 +809,13 @@ mod tests {
         roundtrip_request(Request::Fetch {
             digest: TraceDigest(0xffee_ddcc_bbaa_0099_8877_6655_4433_2211),
         });
+        roundtrip_request(Request::Policy { set: None });
+        roundtrip_request(Request::Policy {
+            set: Some("CSUP v1\ndigest 000000000000000000000000000000ff\n".into()),
+        });
+        roundtrip_request(Request::Policy {
+            set: Some(String::new()),
+        });
     }
 
     #[test]
@@ -756,12 +835,14 @@ mod tests {
                     addr: 0xdead_beef,
                     current: 3,
                     previous: 1,
+                    suppressed: false,
                 },
                 WireRace {
                     kind: FullRaceKind::War,
                     addr: 64,
                     current: 0,
                     previous: 2,
+                    suppressed: true,
                 },
             ],
             events: 1 << 40,
@@ -783,12 +864,14 @@ mod tests {
             cache_misses: 5,
             jobs_completed: 6,
             jobs_rejected: 7,
-            store_traces: 8,
-            store_bytes: 9,
-            store_evictions: 10,
-            forwards: 11,
-            fetches: 12,
-            cache_persist_hits: 13,
+            jobs_coalesced: 8,
+            store_traces: 9,
+            store_bytes: 10,
+            store_evictions: 11,
+            forwards: 12,
+            fetches: 13,
+            cache_persist_hits: 14,
+            suppressed_hits: 15,
         }));
         roundtrip_response(Response::Error {
             code: error_code::BAD_TRACE,
@@ -802,6 +885,14 @@ mod tests {
         roundtrip_response(Response::TraceData {
             digest: TraceDigest(0),
             trace: vec![],
+        });
+        roundtrip_response(Response::Policy {
+            rules: 3,
+            text: "CSUP v1\naddr 0..ff waw\n".into(),
+        });
+        roundtrip_response(Response::Policy {
+            rules: 0,
+            text: String::new(),
         });
     }
 
@@ -824,6 +915,14 @@ mod tests {
         assert_eq!(m.forwards, 2);
         assert_eq!(m.cache_persist_hits, 5);
         assert_eq!(m.analyzes, 0);
+        let c = StatsReply {
+            jobs_coalesced: 4,
+            suppressed_hits: 6,
+            ..Default::default()
+        };
+        let m2 = m.merge(c);
+        assert_eq!(m2.jobs_coalesced, 4);
+        assert_eq!(m2.suppressed_hits, 6);
     }
 
     #[test]
@@ -876,6 +975,14 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, OP_VERDICT, &body).unwrap();
         assert!(Response::read(&mut buf.as_slice()).is_err());
+        // Policy frame with an unknown mode byte.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_POLICY, &[9]).unwrap();
+        assert!(Request::read(&mut buf.as_slice()).is_err());
+        // Policy read must not carry trailing text.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_POLICY, b"\x00junk").unwrap();
+        assert!(Request::read(&mut buf.as_slice()).is_err());
     }
 
     #[test]

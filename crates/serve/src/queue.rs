@@ -93,6 +93,7 @@ struct Inner {
     closed: bool,
     completed: u64,
     rejected: u64,
+    coalesced: u64,
 }
 
 /// The admission-controlled job queue.
@@ -149,6 +150,7 @@ impl JobQueue {
         if let Some(&id) = inner.in_flight.get(&key) {
             let record = inner.jobs.get_mut(&id).expect("in-flight job exists");
             if record.clients.iter().any(|c| c == client) {
+                inner.coalesced += 1;
                 return Admission::Admitted {
                     job: id,
                     new: false,
@@ -164,6 +166,7 @@ impl JobQueue {
             let record = inner.jobs.get_mut(&id).expect("in-flight job exists");
             record.clients.push(client.to_string());
             *inner.per_client.entry(client.to_string()).or_insert(0) += 1;
+            inner.coalesced += 1;
             return Admission::Admitted {
                 job: id,
                 new: false,
@@ -292,10 +295,12 @@ impl JobQueue {
         self.inner.lock().closed
     }
 
-    /// `(jobs_completed, jobs_rejected)` counters.
-    pub fn counters(&self) -> (u64, u64) {
+    /// `(jobs_completed, jobs_rejected, jobs_coalesced)` counters. A
+    /// coalesce is any admission that attached to an in-flight job
+    /// instead of enqueueing a duplicate replay.
+    pub fn counters(&self) -> (u64, u64, u64) {
         let inner = self.inner.lock();
-        (inner.completed, inner.rejected)
+        (inner.completed, inner.rejected, inner.coalesced)
     }
 }
 
@@ -344,7 +349,7 @@ mod tests {
         assert_eq!(second.id, b);
         q.complete(b, Err("boom".into()));
         assert_eq!(q.wait(b), Some(JobState::Failed("boom".into())));
-        assert_eq!(q.counters(), (2, 0));
+        assert_eq!(q.counters(), (2, 0, 0));
     }
 
     #[test]
@@ -365,6 +370,7 @@ mod tests {
             ),
             "attach also works while running"
         );
+        assert_eq!(q.counters().2, 2, "both attachments counted as coalesces");
         q.complete(a, done(1));
         // After completion the key is no longer in flight: a fresh
         // submission makes a new job.

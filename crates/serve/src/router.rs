@@ -206,6 +206,7 @@ impl RouterShared {
             }
             Request::Status { job } => self.route_status(job),
             Request::Stats => Response::Stats(self.aggregate_stats()),
+            Request::Policy { set } => self.route_policy(set),
             Request::Shutdown => {
                 // Fan the drain out to every backend. The router's own
                 // drain starts in `serve_connection` AFTER the reply is
@@ -277,6 +278,52 @@ impl RouterShared {
             code: error_code::INTERNAL,
             message: "no backend reachable for digest".into(),
         })
+    }
+
+    /// Routes a POLICY frame. A *set* must land on every backend —
+    /// suppression is a fleet-wide classification fact, and a node that
+    /// missed the update would serve races its siblings demote — so any
+    /// backend that refuses or is unreachable fails the whole set. A
+    /// *read* takes the first reachable backend's answer (sets keep the
+    /// fleet uniform, so any node's copy is authoritative).
+    fn route_policy(&self, set: Option<String>) -> Response {
+        let request = Request::Policy { set: set.clone() };
+        if set.is_some() {
+            let mut last_ok = None;
+            for idx in 0..self.backends.len() {
+                match self.forward(idx, &request) {
+                    Some(resp @ Response::Policy { .. }) => last_ok = Some(resp),
+                    Some(Response::Error { code, message }) => {
+                        return Response::Error { code, message }
+                    }
+                    Some(other) => {
+                        return Response::Error {
+                            code: error_code::INTERNAL,
+                            message: format!("backend {idx} refused the policy: {other:?}"),
+                        }
+                    }
+                    None => {
+                        return Response::Error {
+                            code: error_code::INTERNAL,
+                            message: format!("backend {idx} unreachable; policy not fleet-wide"),
+                        }
+                    }
+                }
+            }
+            return last_ok.unwrap_or(Response::Error {
+                code: error_code::INTERNAL,
+                message: "no backends".into(),
+            });
+        }
+        for idx in 0..self.backends.len() {
+            if let Some(resp) = self.forward(idx, &request) {
+                return resp;
+            }
+        }
+        Response::Error {
+            code: error_code::INTERNAL,
+            message: "no backend reachable for policy read".into(),
+        }
     }
 
     fn route_status(&self, job: u64) -> Response {

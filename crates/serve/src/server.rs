@@ -37,6 +37,7 @@
 
 use crate::cache::{Verdict, VerdictCache, VerdictKey};
 use crate::client::Client;
+use crate::policy::{SuppressionPolicy, POLICY_FILE};
 use crate::protocol::{
     error_code, read_frame_body, read_frame_header, Request, Response, StatsReply, WireRace,
     OP_SUBMIT,
@@ -92,6 +93,12 @@ pub struct ServerConfig {
     /// Persist the verdict cache to `verdicts.log` beside the store and
     /// reload it on startup, so warm restarts serve without replaying.
     pub persist_verdicts: bool,
+    /// Path of the `CSUP` suppression policy file. `None` uses
+    /// `policy.csup` under the store directory. The file is loaded at
+    /// startup (missing = empty policy) and rewritten atomically when a
+    /// `POLICY` frame installs new rules, so suppression survives
+    /// restarts.
+    pub policy_path: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -117,6 +124,7 @@ impl ServerConfig {
             acceptors: 32,
             io_timeout_millis: 30_000,
             persist_verdicts: true,
+            policy_path: None,
         }
     }
 
@@ -191,6 +199,13 @@ impl ServerConfig {
         self.persist_verdicts = persist;
         self
     }
+
+    /// Sets the suppression-policy file path (default: `policy.csup`
+    /// under the store directory).
+    pub fn policy_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.policy_path = Some(path.into());
+        self
+    }
 }
 
 /// Counters that live outside store and queue.
@@ -202,6 +217,7 @@ struct ServiceCounters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     fetches: AtomicU64,
+    suppressed_hits: AtomicU64,
 }
 
 /// State shared by every server thread.
@@ -211,6 +227,12 @@ struct Shared {
     cache: VerdictCache,
     queue: JobQueue,
     counters: ServiceCounters,
+    /// The active suppression policy. Swapped whole on a `POLICY` set;
+    /// verdict classification takes the lock only long enough to flag
+    /// the races of one response.
+    policy: Mutex<SuppressionPolicy>,
+    /// Where the policy persists across restarts.
+    policy_path: PathBuf,
     shards: usize,
     stream_threshold: u64,
     peers: Vec<String>,
@@ -235,7 +257,7 @@ struct Shared {
 impl Shared {
     fn stats_reply(&self) -> StatsReply {
         let store = self.store.stats();
-        let (jobs_completed, jobs_rejected) = self.queue.counters();
+        let (jobs_completed, jobs_rejected, jobs_coalesced) = self.queue.counters();
         StatsReply {
             submits: self.counters.submits.load(Ordering::Relaxed),
             submit_dedup_hits: self.counters.submit_dedup_hits.load(Ordering::Relaxed),
@@ -244,6 +266,7 @@ impl Shared {
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
             jobs_completed,
             jobs_rejected,
+            jobs_coalesced,
             store_traces: store.traces,
             store_bytes: store.bytes,
             store_evictions: store.evictions,
@@ -251,6 +274,7 @@ impl Shared {
             forwards: 0,
             fetches: self.counters.fetches.load(Ordering::Relaxed),
             cache_persist_hits: self.cache.persist_hits(),
+            suppressed_hits: self.counters.suppressed_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -392,9 +416,18 @@ impl Server {
             VerdictCache::new()
         };
         let acceptor_count = config.acceptors.max(1);
+        let policy_path = config
+            .policy_path
+            .clone()
+            .unwrap_or_else(|| config.store_dir.join(POLICY_FILE));
+        // A missing file is the empty policy; an unparseable one fails
+        // startup loudly rather than silently un-suppressing races.
+        let policy = SuppressionPolicy::load(&policy_path)?;
         let shared = Arc::new(Shared {
             store,
             cache,
+            policy: Mutex::new(policy),
+            policy_path,
             queue: JobQueue::new(config.queue_cap, config.per_client_cap, config.retry_millis),
             counters: ServiceCounters::default(),
             shards: config.shards,
@@ -481,17 +514,40 @@ fn error_response(code: u8, message: impl Into<String>) -> Response {
     }
 }
 
+/// Builds a VERDICT frame, classifying each race against the active
+/// suppression policy. Classification happens here — at serve time, not
+/// at cache-insert time — so the durable verdict cache stores raw replay
+/// facts and a policy reload retroactively reclassifies every cached
+/// verdict.
 fn verdict_response(
+    shared: &Shared,
     digest: TraceDigest,
     engine: EngineKind,
     cached: bool,
     v: &Verdict,
 ) -> Response {
+    let flags = shared.policy.lock().classify(digest, &v.races);
+    let suppressed = flags.iter().filter(|&&s| s).count() as u64;
+    if suppressed > 0 {
+        shared
+            .counters
+            .suppressed_hits
+            .fetch_add(suppressed, Ordering::Relaxed);
+    }
+    let races = v
+        .races
+        .iter()
+        .zip(&flags)
+        .map(|(r, &s)| WireRace {
+            suppressed: s,
+            ..WireRace::from_found(r)
+        })
+        .collect();
     Response::Verdict {
         digest,
         engine,
         cached,
-        races: v.races.iter().map(WireRace::from_found).collect(),
+        races,
         events: v.events,
     }
 }
@@ -684,13 +740,45 @@ fn handle_request(shared: &Shared, client: &str, request: Request) -> Response {
             shared.store.unpin(digest);
             response
         }
+        Request::Policy { set } => handle_policy(shared, set),
+    }
+}
+
+/// Reads or replaces the suppression policy. A set persists the new
+/// rules (atomic tmp + rename) *before* swapping them live, so a reply
+/// of success means a restart will come back with the same policy.
+fn handle_policy(shared: &Shared, set: Option<String>) -> Response {
+    match set {
+        None => {
+            let policy = shared.policy.lock();
+            Response::Policy {
+                rules: policy.len() as u64,
+                text: policy.text().to_string(),
+            }
+        }
+        Some(text) => {
+            let parsed = match SuppressionPolicy::parse(&text) {
+                Ok(p) => p,
+                Err(e) => return error_response(error_code::BAD_POLICY, e.to_string()),
+            };
+            if let Err(e) = parsed.save(&shared.policy_path) {
+                return error_response(
+                    error_code::INTERNAL,
+                    format!("persisting policy failed: {e}"),
+                );
+            }
+            let rules = parsed.len() as u64;
+            let text = parsed.text().to_string();
+            *shared.policy.lock() = parsed;
+            Response::Policy { rules, text }
+        }
     }
 }
 
 /// Builds the VERDICT frame for a finished job id.
 fn verdict_response_for_job(shared: &Shared, job: u64, v: &Verdict) -> Response {
     match shared.queue.job_key(job) {
-        Some(key) => verdict_response(key.digest, key.engine, false, v),
+        Some(key) => verdict_response(shared, key.digest, key.engine, false, v),
         None => error_response(error_code::UNKNOWN_JOB, format!("unknown job {job}")),
     }
 }
@@ -746,7 +834,7 @@ fn analyze(
     if let Some(v) = shared.cache.get(&key) {
         shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
         shared.store.unpin(digest);
-        return verdict_response(digest, engine, true, &v);
+        return verdict_response(shared, digest, engine, true, &v);
     }
     if !shared.store.contains(digest)
         && (shared.peers.is_empty() || !fetch_from_peers(shared, digest))
@@ -780,7 +868,7 @@ fn analyze(
                 return Response::Pending { job };
             }
             match shared.queue.wait(job) {
-                Some(JobState::Done(v)) => verdict_response(digest, engine, false, &v),
+                Some(JobState::Done(v)) => verdict_response(shared, digest, engine, false, &v),
                 Some(JobState::Failed(e)) => error_response(error_code::INTERNAL, e),
                 _ => error_response(error_code::INTERNAL, "job vanished"),
             }

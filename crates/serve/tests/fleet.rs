@@ -235,6 +235,130 @@ fn fleet_matches_single_node_and_direct_replay_with_kill() {
 }
 
 #[test]
+fn failover_under_load_keeps_serving_direct_replay_verdicts() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let dir = scratch("failover");
+    let corpus: Vec<Vec<u8>> = vec![
+        record(&dir, "streamcluster", true, 11),
+        record(&dir, "dedup", true, 12),
+    ];
+    let truth = ground_truth(&dir, &corpus);
+
+    let addrs = reserve_addrs(3);
+    let mut nodes = start_fleet(&dir, &addrs);
+    let router = Router::start(
+        RouterConfig::new(addrs.clone())
+            .connect_retries(1)
+            .retry_delay_millis(10),
+    )
+    .unwrap();
+    let router_addr = router.addr();
+
+    let mut seed_client = Client::connect(router_addr).unwrap();
+    for (trace, (digest, _)) in corpus.iter().zip(&truth) {
+        let (got, _) = submit(&mut seed_client, trace);
+        assert_eq!(got, *digest);
+    }
+
+    // 8 clients hammer analyzes for every digest under every engine in
+    // a loop while the main thread kills the racy digest's primary
+    // mid-stream. Every verdict any client receives — before, during,
+    // or after the kill — must equal the direct replay; a torn socket
+    // is the only tolerated failure, answered by a reconnect.
+    let truth = Arc::new(truth);
+    let stop = Arc::new(AtomicBool::new(false));
+    let killed = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let truth = Arc::clone(&truth);
+            let stop = Arc::clone(&stop);
+            let killed = Arc::clone(&killed);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(router_addr).unwrap();
+                let mut post_kill_passes = 0u32;
+                let mut attempts = 0u32;
+                // Run until stopped AND at least one full pass has
+                // succeeded after the kill — the failover must be
+                // provably visible to every client.
+                while !stop.load(Ordering::Acquire) || post_kill_passes == 0 {
+                    attempts += 1;
+                    assert!(
+                        attempts < 10_000,
+                        "worker {w}: no successful pass after the kill"
+                    );
+                    let was_killed = killed.load(Ordering::Acquire);
+                    let mut torn = false;
+                    'pass: for (digest, per_engine) in truth.iter() {
+                        for (engine, expect) in EngineKind::ALL.iter().zip(per_engine) {
+                            match client.analyze_with_retry(*digest, *engine, 50) {
+                                Ok(Response::Verdict {
+                                    digest: got, races, ..
+                                }) => {
+                                    assert_eq!(got, *digest);
+                                    let served: HashSet<_> =
+                                        races.into_iter().map(|r| r.to_found()).collect();
+                                    assert_eq!(
+                                        served,
+                                        *expect,
+                                        "worker {w}: verdict diverged from direct replay \
+                                         ({digest} under {})",
+                                        engine.name()
+                                    );
+                                }
+                                Ok(other) => panic!("worker {w}: unexpected {other:?}"),
+                                Err(_) => {
+                                    // Socket torn by the kill: reconnect,
+                                    // the pass does not count.
+                                    client = Client::connect(router_addr).unwrap();
+                                    torn = true;
+                                    break 'pass;
+                                }
+                            }
+                        }
+                    }
+                    if !torn && was_killed {
+                        post_kill_passes += 1;
+                    }
+                }
+                post_kill_passes
+            })
+        })
+        .collect();
+
+    // Let traffic flow, then kill the primary for the first digest.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let victim = primary_backend(truth[0].0, 3);
+    let dead = nodes.remove(victim);
+    dead.shutdown();
+    killed.store(true, Ordering::Release);
+    dead.join();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    stop.store(true, Ordering::Release);
+
+    for h in workers {
+        let passes = h.join().unwrap();
+        assert!(passes >= 1, "every client must complete a post-kill pass");
+    }
+
+    // The failover read landed on a node without the trace at least
+    // once, so the peer-FETCH path must have fired.
+    let mut client = Client::connect(router_addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.fetches >= 1,
+        "killing the primary must force a peer fetch, got {}",
+        stats.fetches
+    );
+
+    router.join();
+    for node in nodes {
+        node.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn router_tags_jobs_and_routes_status_polls() {
     let dir = scratch("status");
     let addrs = reserve_addrs(2);

@@ -19,6 +19,21 @@ use rand::{Rng, SeedableRng};
 
 const CELLS_PER_THREAD: usize = 16;
 
+/// Base seed for every generated program (`CLEAN_TEST_SEED`, default 0):
+/// test `i` of a loop runs seed `base + i`, so exporting a failure's
+/// printed seed replays that exact program as the first iteration.
+fn base_seed() -> u64 {
+    std::env::var("CLEAN_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Failure context naming the seed and the one-line repro command.
+fn repro(test: &str, seed: u64) -> String {
+    format!("seed {seed} [repro: CLEAN_TEST_SEED={seed} cargo test --test randomized {test}]")
+}
+
 /// One shared-memory operation of a generated program.
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -183,20 +198,23 @@ fn run_cfg(program: &Program, fast_path: bool) -> RunOutcome {
 
 #[test]
 fn random_race_free_programs_are_clean_and_deterministic() {
-    for seed in 0..12u64 {
+    let base = base_seed();
+    for i in 0..12u64 {
+        let seed = base.wrapping_add(i);
+        let ctx = repro(
+            "random_race_free_programs_are_clean_and_deterministic",
+            seed,
+        );
         let program = generate(seed, 5, 12);
         let a = run(&program);
         let o1 = a
             .result
-            .unwrap_or_else(|e| panic!("seed {seed}: unexpected exception {e}"));
-        assert_eq!(a.first_race, None, "seed {seed}: no race may be recorded");
+            .unwrap_or_else(|e| panic!("{ctx}: unexpected exception {e}"));
+        assert_eq!(a.first_race, None, "{ctx}: no race may be recorded");
         let b = run(&program);
         let o2 = b.result.unwrap();
-        assert_eq!(o1, o2, "seed {seed}: output must be deterministic");
-        assert_eq!(
-            a.digest, b.digest,
-            "seed {seed}: digest must be deterministic"
-        );
+        assert_eq!(o1, o2, "{ctx}: output must be deterministic");
+        assert_eq!(a.digest, b.digest, "{ctx}: digest must be deterministic");
     }
 }
 
@@ -209,41 +227,51 @@ fn fast_path_is_verdict_neutral_across_200_random_seeds() {
     // and on the exact first race (kind, address, size, thread pair)
     // when there is one. Deterministic execution makes the two runs
     // directly comparable: same program, same schedule, knobs aside.
-    for seed in 0..200u64 {
+    let base = base_seed();
+    for i in 0..200u64 {
+        let seed = base.wrapping_add(i);
+        let ctx = repro("fast_path_is_verdict_neutral_across_200_random_seeds", seed);
         let mut program = generate(seed, 3, 6);
-        if seed % 2 == 1 {
+        if i % 2 == 1 {
             program.collision = Some(seed as usize % 3);
         }
         let on = run_cfg(&program, true);
         let off = run_cfg(&program, false);
         match (&on.result, &off.result) {
             (Ok(a), Ok(b)) => {
-                assert_eq!(a, b, "seed {seed}: outputs diverged");
-                assert_eq!(on.digest, off.digest, "seed {seed}: digests diverged");
-                assert_eq!(on.first_race, None, "seed {seed}");
-                assert_eq!(off.first_race, None, "seed {seed}");
-                assert_eq!(seed % 2, 0, "seed {seed}: injected race not raised");
+                assert_eq!(a, b, "{ctx}: outputs diverged");
+                assert_eq!(on.digest, off.digest, "{ctx}: digests diverged");
+                assert_eq!(on.first_race, None, "{ctx}");
+                assert_eq!(off.first_race, None, "{ctx}");
+                assert_eq!(i % 2, 0, "{ctx}: injected race not raised");
             }
             (Err(_), Err(_)) => {
-                let a = on.first_race.expect("fast path recorded its race");
-                let b = off.first_race.expect("slow path recorded its race");
-                assert_eq!(a.kind, b.kind, "seed {seed}: race kind diverged");
-                assert_eq!(a.addr, b.addr, "seed {seed}: race address diverged");
-                assert_eq!(a.size, b.size, "seed {seed}: race size diverged");
+                let a = on
+                    .first_race
+                    .unwrap_or_else(|| panic!("{ctx}: fast path recorded no race"));
+                let b = off
+                    .first_race
+                    .unwrap_or_else(|| panic!("{ctx}: slow path recorded no race"));
+                assert_eq!(a.kind, b.kind, "{ctx}: race kind diverged");
+                assert_eq!(a.addr, b.addr, "{ctx}: race address diverged");
+                assert_eq!(a.size, b.size, "{ctx}: race size diverged");
                 assert_eq!(
                     (a.current_tid, a.previous_tid()),
                     (b.current_tid, b.previous_tid()),
-                    "seed {seed}: racing thread pair diverged"
+                    "{ctx}: racing thread pair diverged"
                 );
             }
-            (a, b) => panic!("seed {seed}: verdicts diverged: fast={a:?} slow={b:?}"),
+            (a, b) => panic!("{ctx}: verdicts diverged: fast={a:?} slow={b:?}"),
         }
     }
 }
 
 #[test]
 fn injected_collisions_raise_at_the_injected_location() {
-    for seed in 0..12u64 {
+    let base = base_seed();
+    for i in 0..12u64 {
+        let seed = base.wrapping_add(i);
+        let ctx = repro("injected_collisions_raise_at_the_injected_location", seed);
         let mut program = generate(seed, 5, 12);
         let phase = seed as usize % 5;
         program.collision = Some(phase);
@@ -253,28 +281,30 @@ fn injected_collisions_raise_at_the_injected_location() {
                 out.result,
                 Err(CleanError::Race(_)) | Err(CleanError::Poisoned)
             ),
-            "seed {seed}: injected WAW must raise, got {:?}",
+            "{ctx}: injected WAW must raise, got {:?}",
             out.result
         );
         // Location assertions: not merely *a* race, but *the* race we
         // injected — a WAW on the victim cell between the two colliding
         // writers. Workers get runtime tids 1..=threads (root is 0), so
         // program threads 0 and 1 are runtime tids 1 and 2.
-        let r = out.first_race.expect("seed {seed}: race report recorded");
+        let r = out
+            .first_race
+            .unwrap_or_else(|| panic!("{ctx}: no race report recorded"));
         assert_eq!(
             r.kind,
             RaceKind::WriteAfterWrite,
-            "seed {seed}: only writes touch the victim cell"
+            "{ctx}: only writes touch the victim cell"
         );
         assert_eq!(
             r.addr, out.victim_addr,
-            "seed {seed}: race must be on the victim cell, not collateral"
+            "{ctx}: race must be on the victim cell, not collateral"
         );
-        assert_eq!(r.size, 8, "seed {seed}: whole-cell access");
+        assert_eq!(r.size, 8, "{ctx}: whole-cell access");
         let (cur, prev) = (r.current_tid.index(), r.previous_tid().index());
         assert!(
             (cur == 1 && prev == 2) || (cur == 2 && prev == 1),
-            "seed {seed}: colliding tids must be the two injected writers, got \
+            "{ctx}: colliding tids must be the two injected writers, got \
              current {cur} previous {prev}"
         );
     }
