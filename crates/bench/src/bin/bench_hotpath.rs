@@ -11,14 +11,18 @@
 //!   per synchronization-free region (the redundancy the write filter
 //!   targets); headline "checked-write throughput" number.
 //! * `stream` — a sequential sweep over a working set larger than the
-//!   filter, where only the page cache can help.
+//!   filter, plus a per-thread hot accumulator rewritten every few
+//!   accesses (the loop-carried sum every real sweep has) — the sweep
+//!   itself defeats the filter, the accumulator is what it catches.
 //!
 //! **Offline**: a synthetic multi-thread trace (~1 GiB at the full
 //! profile) replayed through the CLEAN engine two ways — the naive
 //! baseline (`replay_file_sharded`: one worker per shard, each decoding
 //! the whole file) versus the work-stealing streaming pipeline
-//! (`replay_file_stealing`: decode once, mmap-backed, batches fanned to
-//! per-shard queues). Both must report identical races.
+//! (`replay_file_stealing`: chunk-table parallel decode off the shared
+//! mmap, pre-sharded batches fanned to per-shard queues). A decode-worker
+//! sweep (1, 2, 4) times the pipeline at each width; every run must
+//! report identical races.
 //!
 //! Results land in `BENCH_hotpath.json` (override with `--out`).
 //! `--check-baseline <file>` re-reads a checked-in result and fails the
@@ -30,7 +34,10 @@ use clean_bench::{env_reps, env_threads, fmt_pct, fmt_x, measure, trace_dir, Tab
 use clean_core::{
     CleanDetector, DetectorConfig, ThreadCheckState, ThreadId, TraceEvent, VectorClock,
 };
-use clean_trace::{replay_file_sharded, replay_file_stealing, scan_trace, EngineKind, TraceWriter};
+use clean_trace::{
+    replay_file_sharded, replay_file_stealing, replay_file_stealing_with, scan_trace, EngineKind,
+    TraceWriter,
+};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -105,6 +112,10 @@ struct Profile {
     access: usize,
     /// Sweeps per SFR: >1 creates the redundancy the filter exploits.
     revisits: usize,
+    /// Every `hot_every` sweep accesses, rewrite the thread's first word
+    /// — the loop-carried accumulator. 0 disables it. This is what gives
+    /// the filter something to catch on a streaming sweep.
+    hot_every: usize,
 }
 
 /// `sfr_local` fits the 128-slot filter without collisions (64 16-byte
@@ -119,6 +130,7 @@ const PROFILES: [Profile; 2] = [
         words: 64,
         access: 16,
         revisits: 32,
+        hot_every: 0,
     },
     Profile {
         name: "stream",
@@ -126,6 +138,7 @@ const PROFILES: [Profile; 2] = [
         words: 4096,
         access: 8,
         revisits: 1,
+        hot_every: 8,
     },
 ];
 
@@ -144,7 +157,9 @@ fn run_online_cell(
     ops_per_thread: u64,
     reps: usize,
 ) -> CellResult {
-    let phase_ops = (profile.words * profile.revisits) as u64;
+    let sweep_ops = profile.words * profile.revisits;
+    let hot_ops = sweep_ops.checked_div(profile.hot_every).unwrap_or(0);
+    let phase_ops = (sweep_ops + hot_ops) as u64;
     let phases = (ops_per_thread / phase_ops).max(1);
     let accesses = phases * phase_ops * threads as u64;
     let (best, snap) = measure(reps, || {
@@ -166,6 +181,7 @@ fn run_online_cell(
                     let mut state = ThreadCheckState::new();
                     let base = t * profile.region;
                     for _ in 0..phases {
+                        let mut since_hot = 0;
                         for _ in 0..profile.revisits {
                             for w in 0..profile.words {
                                 det.check_write_with(
@@ -176,6 +192,16 @@ fn run_online_cell(
                                     &mut state,
                                 )
                                 .expect("disjoint per-thread regions are race-free");
+                                since_hot += 1;
+                                if profile.hot_every > 0 && since_hot == profile.hot_every {
+                                    // The loop-carried accumulator: the
+                                    // thread's first word, rewritten over
+                                    // and over — filter food even when
+                                    // the sweep itself never revisits.
+                                    since_hot = 0;
+                                    det.check_write_with(&vc, tid, base, 8, &mut state)
+                                        .expect("own accumulator is race-free");
+                                }
                             }
                         }
                         // SFR boundary: epoch bump + stats drain + filter
@@ -295,6 +321,12 @@ struct OfflineResult {
     batches: u64,
     steals: u64,
     used_mmap: bool,
+    /// Decode workers the headline stealing run actually used.
+    decode_workers: u64,
+    /// Whether the trace's chunk table drove parallel decode.
+    used_table: bool,
+    /// `(decode_workers, seconds)` for the decode-width sweep.
+    decode_sweep: Vec<(usize, f64)>,
     races_found: usize,
     races_agree: bool,
 }
@@ -341,14 +373,30 @@ fn run_offline(target_bytes: u64, threads: usize) -> OfflineResult {
             .expect("work-stealing replay");
     let stealing_secs = t0.elapsed().as_secs_f64();
 
-    std::fs::remove_file(&path).ok();
-
     let races_agree = naive_races == steal_races;
     assert!(races_agree, "offline replay verdicts diverged");
     assert!(
         !steal_races.is_empty(),
         "the seeded WAW pair must be reported"
     );
+
+    // Decode-width sweep over the chunk-table parallel decoder: same
+    // replay, different numbers of decode workers, identical verdicts.
+    let mut decode_sweep = Vec::new();
+    for dw in [1usize, 2, 4] {
+        println!("  stealing replay with {dw} decode worker(s) ...");
+        let t0 = Instant::now();
+        let (races, s) =
+            replay_file_stealing_with(&path, EngineKind::Clean, shards, workers, dw, scan.threads)
+                .expect("decode-sweep replay");
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(races, steal_races, "decode sweep at {dw} diverged");
+        assert!(s.used_table, "synthetic trace must carry a chunk table");
+        decode_sweep.push((dw, secs));
+    }
+
+    std::fs::remove_file(&path).ok();
+
     OfflineResult {
         events,
         bytes,
@@ -359,6 +407,9 @@ fn run_offline(target_bytes: u64, threads: usize) -> OfflineResult {
         batches: stats.batches,
         steals: stats.steals,
         used_mmap: stats.used_mmap,
+        decode_workers: stats.decode_workers,
+        used_table: stats.used_table,
+        decode_sweep,
         races_found: steal_races.len(),
         races_agree,
     }
@@ -416,6 +467,17 @@ fn main() {
         let mut base_rate = 0.0;
         for cfg in &CONFIGS {
             let cell = run_online_cell(profile, cfg, threads, ops_per_thread, reps);
+            // Every profile carries *some* write redundancy (revisits or
+            // the hot accumulator): a filter that never engages means the
+            // knob is not wired through, not a hostile workload.
+            if cfg.write_filter {
+                assert!(
+                    cell.filter_hit_rate > 0.0,
+                    "{}/{}: write filter enabled but never hit",
+                    profile.name,
+                    cfg.name
+                );
+            }
             if cfg.name == "all_off" {
                 base_rate = cell.maccesses_per_sec;
             }
@@ -457,7 +519,7 @@ fn main() {
     let off = run_offline(offline_bytes, 4);
     let offline_speedup = off.naive_secs / off.stealing_secs;
     println!(
-        "  naive {:.2}s vs stealing {:.2}s -> {} ({} events, {:.0} MiB, {} batches, {} steals, {})\n",
+        "  naive {:.2}s vs stealing {:.2}s -> {} ({} events, {:.0} MiB, {} batches, {} steals, {}, {})\n",
         off.naive_secs,
         off.stealing_secs,
         fmt_x(offline_speedup),
@@ -466,11 +528,47 @@ fn main() {
         off.batches,
         off.steals,
         if off.used_mmap { "mmap" } else { "buffered" },
+        if off.used_table {
+            format!("table decode x{}", off.decode_workers)
+        } else {
+            "sequential decode".to_string()
+        },
     );
+    let mut sweep_at_4 = 0.0;
+    for &(dw, secs) in &off.decode_sweep {
+        let speedup = off.naive_secs / secs;
+        println!(
+            "  decode sweep: {dw} worker(s) {secs:.2}s -> {}",
+            fmt_x(speedup)
+        );
+        if dw == 4 {
+            sweep_at_4 = speedup;
+        }
+    }
+    println!();
+    if !small {
+        // The pre-table pipeline peaked at 1.57x on this trace; the
+        // chunk-table decoder must beat that, not just match it.
+        assert!(
+            sweep_at_4 > 1.57,
+            "offline speedup at 4 decode workers ({}) fell below the 1.57x pre-table baseline",
+            fmt_x(sweep_at_4)
+        );
+    }
 
     // ---- JSON report ----
+    let sweep_json: Vec<String> = off
+        .decode_sweep
+        .iter()
+        .map(|&(dw, secs)| {
+            format!(
+                "{{\"decode_workers\": {dw}, \"secs\": {secs:.3}, \"speedup\": {:.3}}}",
+                off.naive_secs / secs
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"hotpath\",\n  \"profile\": \"{}\",\n  \"threads\": {},\n  \"reps\": {},\n  \"online_speedup\": {:.3},\n  \"offline_speedup\": {:.3},\n  \"verdicts_diverged\": {},\n  \"online_profiles\": [\n{}\n  ],\n  \"offline\": {{\n    \"events\": {},\n    \"bytes\": {},\n    \"shards\": {},\n    \"workers\": {},\n    \"naive_secs\": {:.3},\n    \"stealing_secs\": {:.3},\n    \"batches\": {},\n    \"steals\": {},\n    \"used_mmap\": {},\n    \"races_found\": {},\n    \"races_agree\": {}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"hotpath\",\n  \"profile\": \"{}\",\n  \"threads\": {},\n  \"reps\": {},\n  \"online_speedup\": {:.3},\n  \"offline_speedup\": {:.3},\n  \"verdicts_diverged\": {},\n  \"online_profiles\": [\n{}\n  ],\n  \"offline\": {{\n    \"events\": {},\n    \"bytes\": {},\n    \"shards\": {},\n    \"workers\": {},\n    \"decode_workers\": {},\n    \"used_table\": {},\n    \"naive_secs\": {:.3},\n    \"stealing_secs\": {:.3},\n    \"batches\": {},\n    \"steals\": {},\n    \"used_mmap\": {},\n    \"races_found\": {},\n    \"races_agree\": {},\n    \"decode_sweep\": [\n      {}\n    ]\n  }}\n}}\n",
         if small { "small" } else { "full" },
         threads,
         reps,
@@ -482,6 +580,8 @@ fn main() {
         off.bytes,
         off.shards,
         off.workers,
+        off.decode_workers,
+        off.used_table,
         off.naive_secs,
         off.stealing_secs,
         off.batches,
@@ -489,6 +589,7 @@ fn main() {
         off.used_mmap,
         off.races_found,
         off.races_agree,
+        sweep_json.join(",\n      "),
     );
     std::fs::write(&out, &json).expect("write result JSON");
     println!("wrote {}", out.display());

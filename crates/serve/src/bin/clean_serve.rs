@@ -13,6 +13,7 @@
 //! clean-serve suppress list <addr>
 //! clean-serve suppress add <addr> <rule...>
 //! clean-serve suppress check <addr> <digest> [--engine E] [--retries N]
+//! clean-serve suppress prune <addr>
 //! clean-serve shutdown <addr>
 //! ```
 //!
@@ -21,6 +22,7 @@
 //! race(s), 1 = any other failure.
 
 use clean_serve::client::Client;
+use clean_serve::policy::SuppressionPolicy;
 use clean_serve::protocol::{Response, StatsReply};
 use clean_serve::server::{Server, ServerConfig};
 use clean_trace::{EngineKind, TraceDigest};
@@ -56,7 +58,8 @@ USAGE:
   clean-serve stats <addr>
       Print the service counters.
   clean-serve suppress list <addr>
-      Print the active CSUP suppression policy.
+      Print the active CSUP suppression policy, with the number of
+      races each rule has suppressed since it was installed.
   clean-serve suppress add <addr> <rule...>
       Append one rule (e.g. `digest <hex>`, `prefix <hex>`,
       `addr lo..hi [waw|raw|war]`) to the policy and push it live.
@@ -64,6 +67,10 @@ USAGE:
   clean-serve suppress check <addr> <digest> [--engine E] [--retries N]
       Analyze a digest and report how the active policy classifies it:
       races matched by a rule print as warnings and do not fail.
+  clean-serve suppress prune <addr>
+      Drop every rule with zero hits and push the pruned policy live
+      (resetting the hit counters). Against a fleet router the pruned
+      policy lands on every backend.
   clean-serve shutdown <addr>
       Ask the daemon to drain queued jobs and exit.
 
@@ -334,12 +341,19 @@ fn cmd_suppress(args: &[String]) -> Result<ExitCode, String> {
             };
             let mut client = connect(addr)?;
             match client.policy().map_err(rpc_err)? {
-                Response::Policy { rules, text } => {
+                Response::Policy { rules, hits, text } => {
                     println!("rules={rules}");
                     if !text.is_empty() {
                         print!("{text}");
                         if !text.ends_with('\n') {
                             println!();
+                        }
+                    }
+                    // The audit trail: races credited to each rule since
+                    // it was installed (first matching rule wins).
+                    if let Ok(policy) = SuppressionPolicy::parse(&text) {
+                        for (rule, hit) in policy.rules().iter().zip(&hits) {
+                            println!("hits={hit}  {}", rule.render());
                         }
                     }
                     Ok(ExitCode::SUCCESS)
@@ -383,8 +397,43 @@ fn cmd_suppress(args: &[String]) -> Result<ExitCode, String> {
                 other => Err(format!("unexpected reply: {other:?}")),
             }
         }
+        Some("prune") => {
+            let [_, addr] = args else {
+                return Err("usage: clean-serve suppress prune <addr>".into());
+            };
+            let mut client = connect(addr)?;
+            // Read-modify-write like `add`: fetch the live policy and its
+            // hit counters, drop every rule that never fired, push the
+            // survivors back. The set resets the counters, so a pruned
+            // policy starts a fresh audit window.
+            let Response::Policy { hits, text, .. } = client.policy().map_err(rpc_err)? else {
+                return Err("unexpected reply to policy read".into());
+            };
+            let policy = SuppressionPolicy::parse(&text)
+                .map_err(|e| format!("server sent an unparseable policy: {e}"))?;
+            let pruned = policy.prune(&hits);
+            let dropped = policy.rules().len() - pruned.rules().len();
+            if dropped == 0 {
+                println!(
+                    "rules={} dropped=0 (every rule has hits)",
+                    policy.rules().len()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            match client
+                .set_policy(pruned.text().to_string())
+                .map_err(rpc_err)?
+            {
+                Response::Policy { rules, .. } => {
+                    println!("rules={rules} dropped={dropped}");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Response::Error { code, message } => Err(format!("server error {code}: {message}")),
+                other => Err(format!("unexpected reply: {other:?}")),
+            }
+        }
         Some("check") => cmd_analyze(&args[1..]),
-        _ => Err("usage: clean-serve suppress <list|add|check> ...".into()),
+        _ => Err("usage: clean-serve suppress <list|add|check|prune> ...".into()),
     }
 }
 

@@ -187,6 +187,10 @@ fn parse_rule(tokens: &[&str], line: usize) -> Result<Rule, PolicyError> {
 pub struct SuppressionPolicy {
     text: String,
     rules: Vec<Rule>,
+    /// 1-based source line of each rule, parallel to `rules` — the
+    /// anchor that lets [`SuppressionPolicy::prune`] drop a rule's line
+    /// while keeping the header and standalone comments.
+    lines: Vec<usize>,
 }
 
 impl Default for SuppressionPolicy {
@@ -201,6 +205,7 @@ impl SuppressionPolicy {
         SuppressionPolicy {
             text: format!("{POLICY_HEADER}\n"),
             rules: Vec::new(),
+            lines: Vec::new(),
         }
     }
 
@@ -215,6 +220,7 @@ impl SuppressionPolicy {
             return Ok(Self::empty());
         }
         let mut rules = Vec::new();
+        let mut lines = Vec::new();
         let mut saw_header = false;
         for (i, raw) in text.lines().enumerate() {
             let line_no = i + 1;
@@ -234,12 +240,13 @@ impl SuppressionPolicy {
             }
             let tokens: Vec<&str> = line.split_ascii_whitespace().collect();
             rules.push(parse_rule(&tokens, line_no)?);
+            lines.push(line_no);
         }
         let mut text = text.to_string();
         if !text.ends_with('\n') {
             text.push('\n');
         }
-        Ok(SuppressionPolicy { text, rules })
+        Ok(SuppressionPolicy { text, rules, lines })
     }
 
     /// Loads a policy file; a missing file is the empty policy.
@@ -304,6 +311,60 @@ impl SuppressionPolicy {
             return vec![false; races.len()];
         }
         races.iter().map(|r| self.suppresses(digest, r)).collect()
+    }
+
+    /// Like [`SuppressionPolicy::classify`], additionally crediting each
+    /// suppressed race to the *first* rule that matched it by bumping
+    /// that rule's slot in `hits` (which must have one slot per rule).
+    /// First-match credit means a rule whose every match is already
+    /// covered by an earlier rule collects no hits — exactly the
+    /// redundancy [`SuppressionPolicy::prune`] exists to drop.
+    pub fn classify_with_hits(
+        &self,
+        digest: TraceDigest,
+        races: &[FoundRace],
+        hits: &mut [u64],
+    ) -> Vec<bool> {
+        debug_assert_eq!(hits.len(), self.rules.len());
+        races
+            .iter()
+            .map(
+                |race| match self.rules.iter().position(|r| r.matches(digest, race)) {
+                    Some(i) => {
+                        if let Some(h) = hits.get_mut(i) {
+                            *h += 1;
+                        }
+                        true
+                    }
+                    None => false,
+                },
+            )
+            .collect()
+    }
+
+    /// Returns a new policy with every zero-hit rule's source line
+    /// removed (`hits` is parallel to [`SuppressionPolicy::rules`]; a
+    /// missing slot counts as zero). The header and standalone comment
+    /// lines survive; a comment trailing a pruned rule goes with it.
+    pub fn prune(&self, hits: &[u64]) -> Self {
+        let dead: Vec<usize> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| hits.get(i).copied().unwrap_or(0) == 0)
+            .map(|(_, &line)| line)
+            .collect();
+        if dead.is_empty() {
+            return self.clone();
+        }
+        let mut text = String::with_capacity(self.text.len());
+        for (i, raw) in self.text.lines().enumerate() {
+            if !dead.contains(&(i + 1)) {
+                text.push_str(raw);
+                text.push('\n');
+            }
+        }
+        Self::parse(&text).expect("removing whole rule lines keeps the policy parseable")
     }
 
     /// Returns a new policy with `rule_line` appended (one rule in the
@@ -464,6 +525,48 @@ mod tests {
         fs::write(&path, "not a policy\n").unwrap();
         assert!(SuppressionPolicy::load(&path).is_err());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn classify_with_hits_credits_the_first_matching_rule() {
+        let d = TraceDigest(9);
+        // Rule 2 is fully shadowed by rule 1; rule 3 stands alone.
+        let p =
+            SuppressionPolicy::parse("CSUP v1\naddr 100..2ff\naddr 100..1ff waw\naddr 400..4ff\n")
+                .unwrap();
+        let mut hits = vec![0u64; p.len()];
+        let flags = p.classify_with_hits(
+            d,
+            &[
+                race(FullRaceKind::Waw, 0x150), // rule 1 (shadows rule 2)
+                race(FullRaceKind::Raw, 0x250), // rule 1
+                race(FullRaceKind::War, 0x450), // rule 3
+                race(FullRaceKind::Waw, 0x800), // no rule
+            ],
+            &mut hits,
+        );
+        assert_eq!(flags, vec![true, true, true, false]);
+        assert_eq!(hits, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn prune_drops_only_zero_hit_rule_lines() {
+        let text =
+            "CSUP v1\n# keep this note\naddr 100..2ff\naddr 100..1ff waw # shadowed\nprefix ab\n";
+        let p = SuppressionPolicy::parse(text).unwrap();
+        assert_eq!(p.len(), 3);
+        let pruned = p.prune(&[5, 0, 2]);
+        assert_eq!(pruned.len(), 2);
+        assert_eq!(
+            pruned.text(),
+            "CSUP v1\n# keep this note\naddr 100..2ff\nprefix ab\n"
+        );
+        // All-zero hits empty the rule set but keep the header.
+        let emptied = p.prune(&[0, 0, 0]);
+        assert!(emptied.is_empty());
+        assert!(emptied.text().contains(POLICY_HEADER));
+        // Nothing to drop: the policy comes back unchanged.
+        assert_eq!(p.prune(&[1, 1, 1]), p);
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub const MAGIC: [u8; 4] = *b"CSRV";
 /// TRACE_DATA peer-replication frames and the fleet STATS counters;
 /// version 3 added the POLICY suppression frames, the per-race
 /// `suppressed` flag in VERDICT bodies, and the coalesce/suppression
-/// STATS counters.
-pub const VERSION: u8 = 3;
+/// STATS counters; version 4 added per-rule hit counters to the POLICY
+/// reply (the audit trail behind `suppress prune`).
+pub const VERSION: u8 = 4;
 /// Hard cap on a frame body (64 MiB) — submissions beyond this are
 /// rejected before allocation, bounding per-connection memory.
 pub const MAX_BODY: usize = 64 << 20;
@@ -288,6 +289,10 @@ pub enum Response {
     Policy {
         /// Number of parsed rules in the active policy.
         rules: u64,
+        /// Races credited to each rule (first matching rule wins) since
+        /// the policy was installed, parallel to its rules in file
+        /// order. A POLICY set resets these to zero.
+        hits: Vec<u64>,
         /// The policy source text (`CSUP v1` grammar).
         text: String,
     },
@@ -684,9 +689,15 @@ impl Response {
                 body.extend_from_slice(trace);
                 write_frame(w, OP_TRACE_DATA, &body)
             }
-            Response::Policy { rules, text } => {
-                let mut body = Vec::with_capacity(8 + text.len());
+            Response::Policy { rules, hits, text } => {
+                if hits.len() as u64 != *rules {
+                    return Err(bad("policy reply needs one hit counter per rule"));
+                }
+                let mut body = Vec::with_capacity(8 + 8 * hits.len() + text.len());
                 body.extend_from_slice(&rules.to_le_bytes());
+                for h in hits {
+                    body.extend_from_slice(&h.to_le_bytes());
+                }
                 body.extend_from_slice(text.as_bytes());
                 write_frame(w, OP_POLICY_REPLY, &body)
             }
@@ -759,10 +770,22 @@ impl Response {
                     trace: b.rest().to_vec(),
                 }
             }
-            OP_POLICY_REPLY => Response::Policy {
-                rules: b.u64()?,
-                text: String::from_utf8_lossy(b.rest()).into_owned(),
-            },
+            OP_POLICY_REPLY => {
+                let rules = b.u64()?;
+                // 8 bytes per counter: reject counts the body cannot hold.
+                if rules > (body.len() / 8) as u64 {
+                    return Err(bad("policy rule count exceeds frame body"));
+                }
+                let mut hits = Vec::with_capacity(rules as usize);
+                for _ in 0..rules {
+                    hits.push(b.u64()?);
+                }
+                Response::Policy {
+                    rules,
+                    hits,
+                    text: String::from_utf8_lossy(b.rest()).into_owned(),
+                }
+            }
             other => return Err(bad(format!("unknown response opcode {other:#04x}"))),
         };
         b.finish()?;
@@ -888,10 +911,12 @@ mod tests {
         });
         roundtrip_response(Response::Policy {
             rules: 3,
+            hits: vec![5, 0, 1 << 33],
             text: "CSUP v1\naddr 0..ff waw\n".into(),
         });
         roundtrip_response(Response::Policy {
             rules: 0,
+            hits: vec![],
             text: String::new(),
         });
     }

@@ -44,7 +44,10 @@ use crate::protocol::{
 };
 use crate::queue::{Admission, JobQueue, JobState};
 use crate::store::{StoreError, TraceStore};
-use clean_trace::{read_trace, replay_file_stealing, replay_sharded, EngineKind, TraceDigest};
+use clean_trace::{
+    read_table, read_trace, replay_file_stealing, replay_sharded, scan_trace, EngineKind,
+    TraceDigest,
+};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read};
@@ -79,7 +82,12 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Traces at or above this many bytes replay via the streaming
     /// work-stealing engine instead of being read fully into memory.
+    /// Only consulted for v1 traces — v2 traces carry their exact event
+    /// count in the chunk table and use `stream_events` instead.
     pub stream_threshold: u64,
+    /// Traces at or above this many *events* (read from the v2 chunk
+    /// table in O(footer), no scan) replay via the streaming engine.
+    pub stream_events: u64,
     /// Addresses of peer `clean-serve` nodes to FETCH missing digests
     /// from before failing an ANALYZE. Empty = standalone node.
     pub peers: Vec<String>,
@@ -120,6 +128,7 @@ impl ServerConfig {
             workers: cores.clamp(1, 8),
             shards: cores.clamp(1, 8),
             stream_threshold: 8 << 20,
+            stream_events: 2_000_000,
             peers: Vec::new(),
             acceptors: 32,
             io_timeout_millis: 30_000,
@@ -170,6 +179,12 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the event-count streaming threshold (v2 traces).
+    pub fn stream_events(mut self, events: u64) -> Self {
+        self.stream_events = events;
+        self
+    }
+
     /// Sets the peer list for fleet replication.
     pub fn peers(mut self, peers: Vec<String>) -> Self {
         self.peers = peers;
@@ -208,6 +223,23 @@ impl ServerConfig {
     }
 }
 
+/// The live suppression policy plus its audit trail: one counter per
+/// rule, credited at classification time and reset whenever a `POLICY`
+/// set installs new rules. The counters feed the v4 POLICY reply and
+/// let `suppress prune` drop rules that never fired.
+#[derive(Debug)]
+struct ActivePolicy {
+    policy: SuppressionPolicy,
+    hits: Vec<u64>,
+}
+
+impl ActivePolicy {
+    fn new(policy: SuppressionPolicy) -> Self {
+        let hits = vec![0; policy.len()];
+        ActivePolicy { policy, hits }
+    }
+}
+
 /// Counters that live outside store and queue.
 #[derive(Debug, Default)]
 struct ServiceCounters {
@@ -230,11 +262,12 @@ struct Shared {
     /// The active suppression policy. Swapped whole on a `POLICY` set;
     /// verdict classification takes the lock only long enough to flag
     /// the races of one response.
-    policy: Mutex<SuppressionPolicy>,
+    policy: Mutex<ActivePolicy>,
     /// Where the policy persists across restarts.
     policy_path: PathBuf,
     shards: usize,
     stream_threshold: u64,
+    stream_events: u64,
     peers: Vec<String>,
     acceptors: usize,
     io_timeout: Option<Duration>,
@@ -289,12 +322,29 @@ impl Shared {
         let Some(path) = self.store.path_of(digest) else {
             return Err(format!("trace {digest} no longer in store"));
         };
+        // v2 traces carry their exact event count in the chunk-table
+        // footer (three small reads, no scan): split on events, the
+        // quantity that actually drives replay cost. v1 traces — and a
+        // trace whose table cannot be read — fall back to raw file size;
+        // a genuinely corrupt table then fails cleanly inside the replay.
         let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-        let verdict = if bytes >= self.stream_threshold {
+        let table = read_table(&path).ok().flatten();
+        let stream = match &table {
+            Some(table) => table.total_events >= self.stream_events,
+            None => bytes >= self.stream_threshold,
+        };
+        let verdict = if stream {
             let workers = self.shards.clamp(1, 4);
-            let (races, stats) =
-                replay_file_stealing(&path, engine, self.shards, workers, 2 * workers)
-                    .map_err(|e| e.to_string())?;
+            // Detector lanes must cover every thread in the trace. The
+            // v2 trailer records the count directly; v1 pays one scan
+            // pass before the replay.
+            let slots = match &table {
+                Some(table) => table.threads as usize,
+                None => scan_trace(&path).map_err(|e| e.to_string())?.threads,
+            }
+            .max(1);
+            let (races, stats) = replay_file_stealing(&path, engine, self.shards, workers, slots)
+                .map_err(|e| e.to_string())?;
             Verdict {
                 races,
                 events: stats.events,
@@ -426,12 +476,13 @@ impl Server {
         let shared = Arc::new(Shared {
             store,
             cache,
-            policy: Mutex::new(policy),
+            policy: Mutex::new(ActivePolicy::new(policy)),
             policy_path,
             queue: JobQueue::new(config.queue_cap, config.per_client_cap, config.retry_millis),
             counters: ServiceCounters::default(),
             shards: config.shards,
             stream_threshold: config.stream_threshold,
+            stream_events: config.stream_events,
             peers: config.peers.clone(),
             acceptors: acceptor_count,
             io_timeout: (config.io_timeout_millis > 0)
@@ -526,7 +577,11 @@ fn verdict_response(
     cached: bool,
     v: &Verdict,
 ) -> Response {
-    let flags = shared.policy.lock().classify(digest, &v.races);
+    let flags = {
+        let mut active = shared.policy.lock();
+        let ActivePolicy { policy, hits } = &mut *active;
+        policy.classify_with_hits(digest, &v.races, hits)
+    };
     let suppressed = flags.iter().filter(|&&s| s).count() as u64;
     if suppressed > 0 {
         shared
@@ -750,10 +805,11 @@ fn handle_request(shared: &Shared, client: &str, request: Request) -> Response {
 fn handle_policy(shared: &Shared, set: Option<String>) -> Response {
     match set {
         None => {
-            let policy = shared.policy.lock();
+            let active = shared.policy.lock();
             Response::Policy {
-                rules: policy.len() as u64,
-                text: policy.text().to_string(),
+                rules: active.policy.len() as u64,
+                hits: active.hits.clone(),
+                text: active.policy.text().to_string(),
             }
         }
         Some(text) => {
@@ -769,8 +825,11 @@ fn handle_policy(shared: &Shared, set: Option<String>) -> Response {
             }
             let rules = parsed.len() as u64;
             let text = parsed.text().to_string();
-            *shared.policy.lock() = parsed;
-            Response::Policy { rules, text }
+            // New rules start with a fresh audit trail.
+            let active = ActivePolicy::new(parsed);
+            let hits = active.hits.clone();
+            *shared.policy.lock() = active;
+            Response::Policy { rules, hits, text }
         }
     }
 }

@@ -102,7 +102,7 @@ fn suppression_demotes_matched_races_live_and_after_warm_restart() {
     );
     assert!(client.stats().unwrap().suppressed_hits >= 1);
     match client.policy().unwrap() {
-        Response::Policy { rules, text } => {
+        Response::Policy { rules, text, .. } => {
             assert_eq!(rules, 1);
             assert!(text.contains("addr 0x40..0x47 waw"));
         }
@@ -183,7 +183,7 @@ fn policy_set_through_the_router_lands_on_every_backend() {
     for addr in &addrs {
         let mut direct = Client::connect(addr.as_str()).unwrap();
         match direct.policy().unwrap() {
-            Response::Policy { rules, text } => {
+            Response::Policy { rules, text, .. } => {
                 assert_eq!(rules, 1, "backend {addr} missed the policy");
                 assert!(text.contains("addr 0x40..0x47"));
             }
@@ -202,6 +202,59 @@ fn policy_set_through_the_router_lands_on_every_backend() {
     for node in nodes {
         node.join();
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rule_hits_advance_and_prune_drops_the_dead_rule() {
+    let dir = scratch("prune");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let digest = submit(&mut client, racy_trace());
+
+    // Rule 1 covers the racy address; rule 2 can never fire.
+    let text = "CSUP v1\naddr 0x40..0x47\naddr 0xdead00..0xdeadff\n";
+    match client.set_policy(text).unwrap() {
+        Response::Policy { rules, hits, .. } => {
+            assert_eq!(rules, 2);
+            assert_eq!(hits, vec![0, 0], "a fresh policy starts at zero");
+        }
+        other => panic!("set_policy failed: {other:?}"),
+    }
+    let (_, flags) = verdict_flags(&mut client, digest);
+    let suppressed = flags.iter().filter(|&&s| s).count() as u64;
+    assert!(suppressed >= 1);
+
+    // The read reports per-rule credit: all of it on rule 1.
+    let (hits, live_text) = match client.policy().unwrap() {
+        Response::Policy { hits, text, .. } => (hits, text),
+        other => panic!("policy read failed: {other:?}"),
+    };
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0], suppressed);
+    assert_eq!(hits[1], 0);
+
+    // Prune client-side exactly as the CLI does: drop zero-hit rules,
+    // push the survivors. The set resets the audit window.
+    let policy = clean_serve::policy::SuppressionPolicy::parse(&live_text).unwrap();
+    let pruned = policy.prune(&hits);
+    assert_eq!(pruned.rules().len(), 1);
+    match client.set_policy(pruned.text()).unwrap() {
+        Response::Policy { rules, hits, text } => {
+            assert_eq!(rules, 1);
+            assert_eq!(hits, vec![0]);
+            assert!(text.contains("addr 0x40..0x47"));
+            assert!(!text.contains("0xdead00"), "dead rule must be gone");
+        }
+        other => panic!("prune set failed: {other:?}"),
+    }
+    // The surviving rule still classifies the cached verdict.
+    let (cached, flags) = verdict_flags(&mut client, digest);
+    assert!(cached);
+    assert!(flags.iter().all(|&s| s));
+
+    server.shutdown();
+    server.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! clean-analyze record --workload <name> [--racy] [--sim] [--threads N] [--seed N] --out <file>
-//! clean-analyze stats  <file>
+//! clean-analyze stats  [--quick] <file>
 //! clean-analyze digest <file>
 //! clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N]
-//!                      [--stream] [--workers N] <file>
+//!                      [--stream] [--workers N] [--decode-workers N]
+//!                      [--range A..B] <file>
 //! clean-analyze diff   [--shards N] <file>
 //! ```
 //!
@@ -16,8 +17,9 @@
 
 use clean_baselines::{FoundRace, FullRaceKind};
 use clean_trace::{
-    digest_file, read_trace, record_kernel_trace, record_sim_trace, replay_file_stealing,
-    replay_sharded, scan_trace, EngineKind, RecordOptions, TraceError, TraceStats,
+    digest_file, read_range, read_table, read_trace, record_kernel_trace, record_sim_trace,
+    replay_file_stealing_with, replay_sharded, scan_trace, EngineKind, RecordOptions, TraceError,
+    TraceStats,
 };
 use clean_workloads::TraceGenConfig;
 use std::collections::HashSet;
@@ -65,18 +67,26 @@ USAGE:
   clean-analyze record --workload <name> [--racy] [--sim] [--threads N] [--seed N] --out <file>
       Run a workload kernel (or generate its simulator trace with --sim)
       and stream the event trace to <file>.
-  clean-analyze stats <file>
+  clean-analyze stats [--quick] <file>
       Event, thread, lock, access-width and SFR-segment statistics.
+      With --quick on a v2 trace only the chunk table is read: event,
+      chunk and thread counts without decoding a single event.
   clean-analyze digest <file>
       Print the canonical 128-bit trace digest (the content address the
       serving layer's trace store uses; independent of chunking).
   clean-analyze replay [--engine all|clean|fasttrack|vcfull|tsan] [--shards N]
-                       [--stream] [--workers N] <file>
+                       [--stream] [--workers N] [--decode-workers N]
+                       [--range A..B] <file>
       Replay the trace through one engine (or all) over N address shards
       (default: available parallelism). With --stream the trace is not
-      loaded into memory: a single decode pass (mmap-backed when the
-      kernel allows) feeds batches to a work-stealing pool of --workers
-      replay threads.
+      loaded into memory: on v2 traces --decode-workers threads (default:
+      --workers) decode disjoint chunk ranges in parallel via the chunk
+      table (mmap-backed when the kernel allows), feeding pre-sharded
+      batches to a work-stealing pool of --workers replay threads; v1
+      traces stream through a sequential decode pass. With --range A..B
+      only events with trace indices in [A, B) are replayed (as a
+      standalone prefix: sync state before A is not reconstructed); on
+      v2 traces the table seeks straight to the covering chunks.
   clean-analyze diff [--shards N] <file>
       Cross-engine verdict comparison (e.g. the WAR races CLEAN skips).
 
@@ -199,11 +209,37 @@ fn cmd_record(rest: &[String]) -> Result<ExitCode, CliError> {
 }
 
 fn cmd_stats(rest: &[String]) -> Result<ExitCode, CliError> {
-    let [path] = rest else {
+    let mut args = rest.to_vec();
+    let quick = take_flag(&mut args, "--quick");
+    let [path] = &args[..] else {
         return Err("stats takes exactly one trace file".into());
     };
-    let events = read_trace(path).map_err(trace_err)?;
+    let table = read_table(path).map_err(trace_err)?;
     let bytes = std::fs::metadata(path).map(|m| m.len()).ok();
+    match &table {
+        Some(t) => println!(
+            "format v2: {} chunks, {} events, {} thread slots (from the chunk table)",
+            t.entries.len(),
+            t.total_events,
+            t.threads
+        ),
+        None => println!("format v1: no chunk table"),
+    }
+    if quick {
+        if let Some(t) = &table {
+            if let Some(b) = bytes {
+                let bpe = if t.total_events == 0 {
+                    0.0
+                } else {
+                    b as f64 / t.total_events as f64
+                };
+                println!("{b} bytes, {bpe:.2} B/event");
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
+        println!("note: --quick needs a v2 chunk table; falling back to a full decode");
+    }
+    let events = read_trace(path).map_err(trace_err)?;
     print!("{}", TraceStats::from_events(&events).render(bytes));
     Ok(ExitCode::SUCCESS)
 }
@@ -253,6 +289,19 @@ fn shards_from_args(args: &mut Vec<String>) -> Result<usize, String> {
     Ok(shards)
 }
 
+/// Parses an `A..B` event-index range.
+fn parse_range(v: &str) -> Result<std::ops::Range<u64>, String> {
+    let (a, b) = v
+        .split_once("..")
+        .ok_or_else(|| format!("bad --range {v:?} (want A..B)"))?;
+    let a: u64 = parse_num(a, "--range start")?;
+    let b: u64 = parse_num(b, "--range end")?;
+    if a >= b {
+        return Err(format!("--range {v:?} is empty (start must be below end)"));
+    }
+    Ok(a..b)
+}
+
 fn cmd_replay(rest: &[String]) -> Result<ExitCode, CliError> {
     let mut args = rest.to_vec();
     let engines = engines_from_arg(take_value(&mut args, "--engine")?)?;
@@ -265,19 +314,42 @@ fn cmd_replay(rest: &[String]) -> Result<ExitCode, CliError> {
     if workers == 0 {
         return Err("--workers must be at least 1".into());
     }
+    let decode_workers = match take_value(&mut args, "--decode-workers")? {
+        Some(v) => parse_num(&v, "--decode-workers")?,
+        None => workers,
+    };
+    if decode_workers == 0 {
+        return Err("--decode-workers must be at least 1".into());
+    }
+    let range = match take_value(&mut args, "--range")? {
+        Some(v) => Some(parse_range(&v)?),
+        None => None,
+    };
+    if stream && range.is_some() {
+        return Err("--range loads the slice into memory; drop --stream".into());
+    }
     let [path] = &args[..] else {
         return Err("replay takes exactly one trace file".into());
     };
     let events = if stream {
         None
+    } else if let Some(range) = &range {
+        let slice = read_range(path, range.clone()).map_err(trace_err)?;
+        println!(
+            "events {}..{}: {} in range (replayed as a standalone prefix)",
+            range.start,
+            range.end,
+            slice.len()
+        );
+        Some(slice)
     } else {
         Some(read_trace(path).map_err(trace_err)?)
     };
     let scan = if stream {
         let scan = scan_trace(path).map_err(trace_err)?;
         println!(
-            "{} events ({} bytes), {} shards, {} streaming workers",
-            scan.events, scan.bytes, shards, workers
+            "{} events ({} bytes), {} shards, {} streaming workers, {} decode workers",
+            scan.events, scan.bytes, shards, workers, decode_workers
         );
         Some(scan)
     } else {
@@ -294,14 +366,25 @@ fn cmd_replay(rest: &[String]) -> Result<ExitCode, CliError> {
         let (races, detail) = match (&events, &scan) {
             (Some(events), _) => (replay_sharded(events, kind, shards), String::new()),
             (None, Some(scan)) => {
-                let (races, stats) =
-                    replay_file_stealing(path, kind, shards, workers, scan.threads)
-                        .map_err(trace_err)?;
+                let (races, stats) = replay_file_stealing_with(
+                    path,
+                    kind,
+                    shards,
+                    workers,
+                    decode_workers,
+                    scan.threads,
+                )
+                .map_err(trace_err)?;
                 let detail = format!(
-                    " [{} batches, {} steals, {}]",
+                    " [{} batches, {} steals, {}, {}]",
                     stats.batches,
                     stats.steals,
-                    if stats.used_mmap { "mmap" } else { "buffered" }
+                    if stats.used_mmap { "mmap" } else { "buffered" },
+                    if stats.used_table {
+                        format!("table decode x{}", stats.decode_workers)
+                    } else {
+                        "sequential decode".to_string()
+                    }
                 );
                 (races, detail)
             }

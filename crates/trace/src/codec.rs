@@ -1,4 +1,5 @@
-//! The compact binary event codec (format `CLTR` version 1).
+//! The compact binary event codec (format `CLTR`, versions 1 and 2 —
+//! the event encoding is identical; version 2 adds a chunk table).
 //!
 //! Events serialize as a one-byte tag followed by LEB128 varints; memory
 //! addresses are delta-encoded against the *same thread's* previous
@@ -14,7 +15,14 @@ use clean_core::{ThreadId, TraceEvent};
 pub const MAGIC: [u8; 4] = *b"CLTR";
 
 /// Current format version, stored in the fifth byte of the stream.
-pub const FORMAT_VERSION: u8 = 1;
+/// Version 2 keeps the event encoding of version 1 byte-for-byte and
+/// appends a chunk-offset table after the end-of-stream marker (see
+/// [`table`](crate::table)).
+pub const FORMAT_VERSION: u8 = 2;
+
+/// The legacy tableless format version, still fully readable; writable
+/// via [`TraceWriter::new_v1`](crate::TraceWriter::new_v1).
+pub const FORMAT_V1: u8 = 1;
 
 /// Tag-byte kind values (bits 0..=2).
 const KIND_READ: u8 = 0;

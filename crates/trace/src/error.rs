@@ -34,6 +34,12 @@ pub enum TraceError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// A v2 chunk table is missing, truncated, corrupt, or inconsistent
+    /// with the stream it describes.
+    BadTable {
+        /// What was wrong.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -57,6 +63,9 @@ impl fmt::Display for TraceError {
             ),
             TraceError::Corrupt { chunk, reason } => {
                 write!(f, "chunk {chunk} corrupt: {reason}")
+            }
+            TraceError::BadTable { reason } => {
+                write!(f, "chunk table invalid: {reason}")
             }
         }
     }

@@ -52,6 +52,7 @@ mod reader;
 mod record;
 mod stats;
 mod stealing;
+pub mod table;
 mod writer;
 
 pub use analyze::{
@@ -62,12 +63,15 @@ pub use clean_core::{EventSink, TraceEvent};
 pub use digest::{digest_events, digest_file, Digester, TraceDigest};
 pub use error::{Result, TraceError};
 pub use mmap::{map_file, MappedTrace};
-pub use reader::{read_trace, TraceReader};
+pub use reader::{read_range, read_trace, TraceReader};
 pub use record::{record_kernel_trace, record_sim_trace, RecordOptions};
 pub use stats::TraceStats;
 pub use stealing::{
-    replay_file_sharded, replay_file_stealing, replay_stealing, scan_trace, ReplayStats, TraceScan,
+    replay_file_sharded, replay_file_stealing, replay_file_stealing_with, replay_stealing,
+    scan_trace, ReplayStats, TraceScan,
 };
+pub use table::{parse_table, read_table, ChunkEntry, ChunkTable, TABLE_MAGIC};
 pub use writer::{
-    encode_trace, write_trace, FileSink, TraceWriter, WriteSummary, DEFAULT_CHUNK_BYTES,
+    encode_trace, write_trace, write_trace_v1, FileSink, TraceWriter, WriteSummary,
+    DEFAULT_CHUNK_BYTES,
 };

@@ -1,11 +1,21 @@
 //! Streaming trace deserialization: [`TraceReader`] iterates events out
 //! of a `CLTR` stream chunk by chunk, validating framing and checksums.
+//!
+//! Both format versions decode here: v1 ends at the all-zero
+//! end-of-stream marker, while v2 additionally carries a chunk-table
+//! footer after the marker which the reader validates *strictly* —
+//! CRC, trailer magic, and entry-for-entry agreement with the chunks
+//! actually decoded. A v2 stream whose table is truncated or corrupted
+//! in any byte therefore fails to read, preserving the invariant that
+//! every single-bit flip and every truncation of a trace is detected.
 
-use crate::codec::{crc32, Decoder, FORMAT_VERSION, MAGIC};
+use crate::codec::{crc32, Decoder, FORMAT_V1, FORMAT_VERSION, MAGIC};
 use crate::error::{Result, TraceError};
+use crate::table::{parse_footer, read_table, ChunkEntry};
 use clean_core::TraceEvent;
 use std::fs::File;
-use std::io::{BufReader, Read};
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::ops::Range;
 use std::path::Path;
 
 /// Streaming reader of the `CLTR` binary trace format.
@@ -15,7 +25,7 @@ use std::path::Path;
 /// before any of its events are surfaced, so a corrupt chunk yields an
 /// error instead of garbage events. Reading continues past a fully
 /// consumed chunk into the next one; a clean end of stream at a chunk
-/// boundary ends iteration.
+/// boundary ends iteration (after footer validation, for v2 streams).
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     input: R,
@@ -30,6 +40,15 @@ pub struct TraceReader<R: Read> {
     chunk_index: u64,
     /// Set after an error or clean EOF: iteration is over.
     done: bool,
+    /// Stream format version (1 or 2).
+    version: u8,
+    /// Stream offset consumed so far (header + frames + payloads).
+    offset: u64,
+    /// Chunk entries observed while decoding, checked against the v2
+    /// footer at end of stream.
+    observed: Vec<ChunkEntry>,
+    /// Events in fully loaded chunks so far.
+    events_seen: u64,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -50,7 +69,7 @@ impl<R: Read> TraceReader<R> {
         if magic != MAGIC {
             return Err(TraceError::BadMagic(magic));
         }
-        if header[4] != FORMAT_VERSION {
+        if header[4] != FORMAT_V1 && header[4] != FORMAT_VERSION {
             return Err(TraceError::UnsupportedVersion(header[4]));
         }
         Ok(TraceReader {
@@ -61,12 +80,22 @@ impl<R: Read> TraceReader<R> {
             chunk_events_left: 0,
             chunk_index: 0,
             done: false,
+            version: header[4],
+            offset: header.len() as u64,
+            observed: Vec::new(),
+            events_seen: 0,
         })
     }
 
+    /// The stream's format version byte (1 or 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
     /// Loads and validates the next chunk. `Ok(false)` means the
-    /// end-of-stream marker (an all-zero frame) was reached. A plain EOF
-    /// — even at a chunk boundary — is a truncated stream: every intact
+    /// end-of-stream marker (an all-zero frame) was reached — and, for
+    /// v2 streams, that the chunk-table footer validated. A plain EOF —
+    /// even at a chunk boundary — is a truncated stream: every intact
     /// trace ends with the marker.
     fn load_chunk(&mut self) -> Result<bool> {
         let mut frame = [0u8; 12];
@@ -84,6 +113,10 @@ impl<R: Read> TraceReader<R> {
             }
         }
         if frame == [0u8; 12] {
+            self.offset += frame.len() as u64;
+            if self.version == FORMAT_VERSION {
+                self.verify_footer()?;
+            }
             return Ok(false);
         }
         let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
@@ -116,10 +149,43 @@ impl<R: Read> TraceReader<R> {
                 computed,
             });
         }
+        if self.version == FORMAT_VERSION {
+            self.observed.push(ChunkEntry {
+                offset: self.offset,
+                payload_len: payload_len as u32,
+                events,
+                first_event: self.events_seen,
+            });
+        }
+        self.offset += (frame.len() + payload_len) as u64;
+        self.events_seen += u64::from(events);
         self.pos = 0;
         self.chunk_events_left = events;
         self.dec.reset();
         Ok(true)
+    }
+
+    /// Reads and strictly validates the v2 footer after the end-of-stream
+    /// marker: trailer magic, CRC, and exact agreement between the table
+    /// entries and the chunks this reader actually decoded.
+    fn verify_footer(&mut self) -> Result<()> {
+        // parse_footer expects the EOS marker to precede the entries;
+        // the marker was already consumed, so re-prefix zeros.
+        let mut tail = vec![0u8; 12];
+        self.input.read_to_end(&mut tail)?;
+        let stream_len = self.offset + (tail.len() - 12) as u64;
+        let table = parse_footer(&tail, stream_len)?;
+        if table.entries != self.observed {
+            return Err(TraceError::BadTable {
+                reason: "table entries disagree with the decoded chunks",
+            });
+        }
+        if table.total_events != self.events_seen {
+            return Err(TraceError::BadTable {
+                reason: "table event total disagrees with the decoded stream",
+            });
+        }
+        Ok(())
     }
 
     fn next_event(&mut self) -> Result<Option<TraceEvent>> {
@@ -176,4 +242,89 @@ impl<R: Read> Iterator for TraceReader<R> {
 /// Reads a whole trace file into memory.
 pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>> {
     TraceReader::open(path)?.collect()
+}
+
+/// Reads the events with trace indices in `range` (clamped to the trace
+/// length) — random access built on the v2 chunk table.
+///
+/// On v2 traces only the chunks covering the range are read and decoded:
+/// the table locates the first covering chunk by binary search, the file
+/// is seeked straight to its offset, and decode stops at the end of the
+/// range. v1 traces (no table) fall back to a sequential skip/take scan.
+///
+/// # Errors
+///
+/// Propagates I/O and decode errors, including a corrupt chunk table.
+pub fn read_range(path: impl AsRef<Path>, range: Range<u64>) -> Result<Vec<TraceEvent>> {
+    let path = path.as_ref();
+    let Some(table) = read_table(path)? else {
+        // v1 fallback: decode from the start, keep the window.
+        let mut out = Vec::new();
+        for (i, ev) in TraceReader::open(path)?.enumerate() {
+            let ev = ev?;
+            let i = i as u64;
+            if i >= range.end {
+                break;
+            }
+            if i >= range.start {
+                out.push(ev);
+            }
+        }
+        return Ok(out);
+    };
+    let start = range.start.min(table.total_events);
+    let end = range.end.min(table.total_events);
+    if start >= end {
+        return Ok(Vec::new());
+    }
+    let first_chunk = table.locate(start).expect("start is within the trace");
+    let mut out = Vec::with_capacity((end - start) as usize);
+    let mut file = BufReader::new(File::open(path)?);
+    file.seek(SeekFrom::Start(table.entries[first_chunk].offset))?;
+    let mut dec = Decoder::new();
+    let mut payload = Vec::new();
+    for (ci, e) in table.entries.iter().enumerate().skip(first_chunk) {
+        if e.first_event >= end {
+            break;
+        }
+        let chunk = ci as u64;
+        let mut frame = [0u8; 12];
+        file.read_exact(&mut frame)
+            .map_err(|_| TraceError::Truncated { chunk })?;
+        let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+        let frame_events = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes"));
+        if payload_len != e.payload_len || frame_events != e.events {
+            return Err(TraceError::Corrupt {
+                chunk,
+                reason: "chunk frame disagrees with the chunk table",
+            });
+        }
+        payload.resize(payload_len as usize, 0);
+        file.read_exact(&mut payload)
+            .map_err(|_| TraceError::Truncated { chunk })?;
+        let computed = crc32(&payload);
+        if computed != stored_crc {
+            return Err(TraceError::ChecksumMismatch {
+                chunk,
+                stored: stored_crc,
+                computed,
+            });
+        }
+        dec.reset();
+        let mut input = &payload[..];
+        for j in 0..u64::from(e.events) {
+            let ev = dec
+                .decode(&mut input)
+                .map_err(|reason| TraceError::Corrupt { chunk, reason })?;
+            let idx = e.first_event + j;
+            if idx >= end {
+                break;
+            }
+            if idx >= start {
+                out.push(ev);
+            }
+        }
+    }
+    Ok(out)
 }

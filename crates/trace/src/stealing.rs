@@ -16,33 +16,47 @@
 //!   shard, each independently decoding the *whole* file through a
 //!   buffered [`TraceReader`]. Simple and exact, but the decode work is
 //!   multiplied by the shard count.
-//! * [`replay_file_stealing`] — the optimized file engine: a single
-//!   producer decodes the trace once (out of an [`mmap`](crate::mmap)
-//!   view when the kernel grants one, buffered reads otherwise) into
-//!   shared event batches; per-shard bounded queues with backpressure
-//!   feed workers that claim shards with a `try_lock` and steal any
-//!   shard whose home worker is busy. Per-shard batch order is FIFO, so
+//! * [`replay_file_stealing`] — the optimized file engine. On v2 traces
+//!   the [chunk table](crate::table) turns decode embarrassingly
+//!   parallel: N decode workers claim disjoint chunk *groups* (chunks
+//!   decode independently — encoder state resets at chunk boundaries),
+//!   decode them concurrently off the shared mmap (or per-worker file
+//!   handles), and a turn-taking sequencer pushes the finished groups in
+//!   stream order. Decoded events are *pre-sharded at decode time*:
+//!   memory events are clipped to their owning address granules and
+//!   routed only to the owning shard's queue, sync events to every
+//!   queue. Each shard then replays its own slice plus the shared sync
+//!   skeleton instead of scanning the full stream — the replay work per
+//!   shard drops by roughly the shard count, independent of core count.
+//!   v1 traces (no table) fall back to a single sequential decode
+//!   producer feeding the same pre-sharded queues. Per-shard batch
+//!   order is FIFO and group pushes are sequenced in stream order, so
 //!   the verdict is exactly the sequential one regardless of worker
-//!   count, steal pattern, or batch size.
+//!   count, decode-worker count, steal pattern, or batch size.
 
 use crate::analyze::{
     merge_shard_races, owned_runs, required_threads, shard_worker, sync_free_segments, EngineKind,
+    SHARD_GRANULE,
 };
-use crate::error::Result;
+use crate::codec::{crc32, Decoder};
+use crate::error::{Result, TraceError};
 use crate::mmap::map_file;
 use crate::reader::TraceReader;
+use crate::table::{parse_table, read_table, ChunkEntry};
 use clean_baselines::{FoundRace, TraceDetector};
 use clean_core::TraceEvent;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::io::Read;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::ops::Range;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-/// Events per producer batch in [`replay_file_stealing`]. Large enough
-/// to amortize queue locking, small enough that per-shard backpressure
-/// bounds memory at `shards * QUEUE_CAP * BATCH_EVENTS` events.
+/// Events per producer batch in [`replay_file_stealing`] — also the
+/// chunk-group sizing target for parallel decode. Large enough to
+/// amortize queue locking, small enough that per-shard backpressure
+/// bounds memory at roughly `shards * QUEUE_CAP * BATCH_EVENTS` events.
 const BATCH_EVENTS: usize = 64 * 1024;
 
 /// Maximum batches buffered per shard queue before the producer blocks.
@@ -64,6 +78,12 @@ pub struct ReplayStats {
     /// Whether the file engine read from an `mmap` view (`false` for
     /// in-memory engines and the buffered fallback).
     pub used_mmap: bool,
+    /// Decode threads used by the streaming file engine (1 on the
+    /// sequential fallback, 0 for the non-streaming engines).
+    pub decode_workers: u64,
+    /// Whether the streaming file engine decoded through the v2 chunk
+    /// table (parallel decode) rather than the sequential scan.
+    pub used_table: bool,
 }
 
 /// Result of one streaming pass over a trace file: the sizing facts the
@@ -78,7 +98,11 @@ pub struct TraceScan {
     pub bytes: u64,
 }
 
-/// Scans a trace file once, counting events and required thread slots.
+/// Scans a trace file, counting events and required thread slots.
+///
+/// On v2 traces this is O(footer): the chunk table records both totals,
+/// so no events are decoded. v1 traces fall back to a full sequential
+/// decode.
 ///
 /// The file engines take the slot count as a parameter instead of
 /// rescanning so that benchmark comparisons between them measure replay
@@ -86,10 +110,17 @@ pub struct TraceScan {
 ///
 /// # Errors
 ///
-/// Propagates I/O and decode errors.
+/// Propagates I/O and decode errors (including a corrupt v2 table).
 pub fn scan_trace(path: impl AsRef<Path>) -> Result<TraceScan> {
     let path = path.as_ref();
     let bytes = std::fs::metadata(path)?.len();
+    if let Some(table) = read_table(path)? {
+        return Ok(TraceScan {
+            events: table.total_events,
+            threads: table.threads as usize,
+            bytes,
+        });
+    }
     let mut events = 0u64;
     let mut max = 0u16;
     for ev in TraceReader::open(path)? {
@@ -148,6 +179,52 @@ fn process_event(
                 found.push((idx, race));
             }
         }
+    }
+}
+
+/// Routes one event into per-shard output lanes at decode time: memory
+/// events are clipped to maximal runs of consecutive same-shard granules
+/// and pushed only to the owning shards, sync events to every shard.
+/// Produces per shard exactly the clipped events [`process_event`] would
+/// feed that shard's detector, in the same order.
+fn shard_event(ev: &TraceEvent, idx: usize, shards: usize, out: &mut [Vec<(usize, TraceEvent)>]) {
+    let (addr, size) = match *ev {
+        TraceEvent::Read { addr, size, .. } | TraceEvent::Write { addr, size, .. } => (addr, size),
+        _ => {
+            for lane in out.iter_mut() {
+                lane.push((idx, *ev));
+            }
+            return;
+        }
+    };
+    let first = addr / SHARD_GRANULE;
+    let last = (addr + size - 1) / SHARD_GRANULE;
+    let mut g = first;
+    while g <= last {
+        let shard = g % shards;
+        // Extend over consecutive same-shard granules (only possible
+        // when shards == 1, but stay general) — mirrors `owned_runs`.
+        let mut end = g;
+        while end < last && (end + 1) % shards == shard {
+            end += 1;
+        }
+        let lo = addr.max(g * SHARD_GRANULE);
+        let hi = (addr + size).min((end + 1) * SHARD_GRANULE);
+        let clipped = match *ev {
+            TraceEvent::Read { tid, .. } => TraceEvent::Read {
+                tid,
+                addr: lo,
+                size: hi - lo,
+            },
+            TraceEvent::Write { tid, .. } => TraceEvent::Write {
+                tid,
+                addr: lo,
+                size: hi - lo,
+            },
+            _ => unreachable!("memory event"),
+        };
+        out[shard].push((idx, clipped));
+        g = end + 1;
     }
 }
 
@@ -214,6 +291,8 @@ pub fn replay_stealing(
         batches: shards as u64,
         steals: steals.load(Ordering::Relaxed),
         used_mmap: false,
+        decode_workers: 0,
+        used_table: false,
     };
     (races, stats)
 }
@@ -274,15 +353,15 @@ pub fn replay_file_sharded(
         batches: shards as u64,
         steals: 0,
         used_mmap: false,
+        decode_workers: 0,
+        used_table: false,
     };
     Ok((merge_shard_races(per_shard), stats))
 }
 
-/// One producer batch: `events[i]` is trace event `base + i`.
-struct Batch {
-    base: usize,
-    events: Vec<TraceEvent>,
-}
+/// One shard's slice of a producer batch: pre-clipped `(index, event)`
+/// pairs ready to feed the shard's detector verbatim.
+type ShardItems = Vec<(usize, TraceEvent)>;
 
 /// A shard's analysis state. The `Mutex` wrapping it *is* the shard
 /// claim: whichever worker holds it replays that shard's next batch.
@@ -291,12 +370,11 @@ struct ShardLane {
     found: Vec<(usize, FoundRace)>,
 }
 
-/// Queue state shared between the producer and all workers.
+/// Queue state shared between the producers and all workers.
 struct PipeState {
-    /// Per-shard FIFO of pending batches (each batch is pushed to every
-    /// shard — all shards replay the sync skeleton).
-    queues: Vec<VecDeque<Arc<Batch>>>,
-    /// Producer finished (successfully or not); no more pushes coming.
+    /// Per-shard FIFO of pending pre-sharded batches.
+    queues: Vec<VecDeque<ShardItems>>,
+    /// Producers finished (successfully or not); no more pushes coming.
     done: bool,
 }
 
@@ -310,6 +388,21 @@ struct Pipeline {
     space: Condvar,
     claims: Vec<Mutex<ShardLane>>,
     steals: AtomicU64,
+}
+
+/// Turn-taking state for parallel decode: group `g`'s decoder may push
+/// only once `turn == g`, so per-shard queue order equals stream order
+/// even though groups decode concurrently and out of order.
+struct Sequencer {
+    /// Next unclaimed group index.
+    next: AtomicUsize,
+    /// Index of the group allowed to push now.
+    turn: Mutex<usize>,
+    /// Signals waiters: `turn` advanced or `failed` set.
+    advanced: Condvar,
+    /// A decoder hit an error: everyone drains out instead of waiting
+    /// for a turn that will never come.
+    failed: AtomicBool,
 }
 
 impl Pipeline {
@@ -334,49 +427,100 @@ impl Pipeline {
         }
     }
 
-    /// Decodes the whole trace once, fanning batches out to every shard
-    /// queue. Returns `(events, batches)` produced.
-    fn produce<R: Read>(&self, reader: TraceReader<R>) -> Result<(u64, u64)> {
-        let mut base = 0usize;
+    /// Sequential decode fallback (v1 traces): decodes the whole trace
+    /// once in stream order, pre-sharding events into per-shard batches.
+    /// Returns `(events, batches)` produced.
+    fn produce_sequential<R: Read>(&self, reader: TraceReader<R>) -> Result<(u64, u64)> {
+        let mut idx = 0usize;
+        let mut in_group = 0usize;
         let mut batches = 0u64;
-        let mut buf: Vec<TraceEvent> = Vec::with_capacity(BATCH_EVENTS);
+        let mut group: Vec<ShardItems> = (0..self.shards).map(|_| Vec::new()).collect();
         for ev in reader {
-            buf.push(ev?);
-            if buf.len() == BATCH_EVENTS {
-                let events = std::mem::replace(&mut buf, Vec::with_capacity(BATCH_EVENTS));
-                self.push(Batch { base, events });
-                base += BATCH_EVENTS;
+            shard_event(&ev?, idx, self.shards, &mut group);
+            idx += 1;
+            in_group += 1;
+            if in_group == BATCH_EVENTS {
+                let full =
+                    std::mem::replace(&mut group, (0..self.shards).map(|_| Vec::new()).collect());
+                self.push_group(full);
                 batches += 1;
+                in_group = 0;
             }
         }
-        let total = (base + buf.len()) as u64;
-        if !buf.is_empty() {
-            self.push(Batch { base, events: buf });
+        if in_group > 0 {
+            self.push_group(group);
             batches += 1;
         }
-        Ok((total, batches))
+        Ok((idx as u64, batches))
     }
 
-    /// Queues one batch for every shard, blocking while any queue is at
+    /// Queues one batch per shard, blocking while any queue is at
     /// capacity (backpressure bounds decoded-but-unreplayed memory).
-    fn push(&self, batch: Batch) {
-        let batch = Arc::new(batch);
+    fn push_group(&self, group: Vec<ShardItems>) {
         let mut st = self.shared.lock();
         while st.queues.iter().any(|q| q.len() >= QUEUE_CAP) {
             self.space.wait(&mut st);
         }
-        for q in st.queues.iter_mut() {
-            q.push_back(Arc::clone(&batch));
+        for (q, items) in st.queues.iter_mut().zip(group) {
+            q.push_back(items);
         }
         drop(st);
         self.work.notify_all();
     }
 
-    /// Marks the producer finished (even on error) so workers drain the
+    /// Marks the producers finished (even on error) so workers drain the
     /// queues and exit instead of waiting forever.
     fn finish(&self) {
         self.shared.lock().done = true;
         self.work.notify_all();
+    }
+
+    /// One parallel-decode worker: claim the next chunk group, decode
+    /// and pre-shard it (concurrently with other decoders), then wait
+    /// for this group's turn and push. Returns events decoded by this
+    /// worker; the first decode error aborts every decoder.
+    fn run_decoder(
+        &self,
+        source: Source<'_>,
+        entries: &[ChunkEntry],
+        groups: &[Range<usize>],
+        seq: &Sequencer,
+    ) -> Result<u64> {
+        let mut handle = source.open()?;
+        let mut events = 0u64;
+        let mut scratch = Vec::new();
+        loop {
+            let g = seq.next.fetch_add(1, Ordering::Relaxed);
+            if g >= groups.len() || seq.failed.load(Ordering::Relaxed) {
+                return Ok(events);
+            }
+            let range = groups[g].clone();
+            let decoded = decode_group(&mut handle, entries, range, self.shards, &mut scratch);
+            let (group_items, n) = match decoded {
+                Ok(ok) => ok,
+                Err(e) => {
+                    seq.failed.store(true, Ordering::Relaxed);
+                    seq.advanced.notify_all();
+                    return Err(e);
+                }
+            };
+            {
+                let mut turn = seq.turn.lock();
+                while *turn != g {
+                    if seq.failed.load(Ordering::Relaxed) {
+                        return Ok(events);
+                    }
+                    seq.advanced.wait(&mut turn);
+                }
+            }
+            // Push outside the turn lock: order is already guaranteed
+            // (only this worker holds turn == g), and pushing may block
+            // on queue backpressure.
+            self.push_group(group_items);
+            events += n;
+            *seq.turn.lock() += 1;
+            seq.advanced.notify_all();
+        }
     }
 
     /// Worker loop: claim a shard with a pending batch (own shards
@@ -399,9 +543,9 @@ impl Pipeline {
                                 continue;
                             }
                             if let Some(lane) = self.claims[shard].try_lock() {
-                                let batch =
+                                let items =
                                     st.queues[shard].pop_front().expect("checked non-empty");
-                                task = Some((shard, batch, lane, pass == 1));
+                                task = Some((items, lane, pass == 1));
                                 break 'scan;
                             }
                         }
@@ -420,28 +564,137 @@ impl Pipeline {
                 }
             }
             self.space.notify_one();
-            let (shard, batch, mut lane, stolen) = task.expect("task set before loop exit");
+            let (items, mut lane, stolen) = task.expect("task set before loop exit");
             if stolen {
                 self.steals.fetch_add(1, Ordering::Relaxed);
             }
             let ShardLane { det, found } = &mut *lane;
-            for (off, ev) in batch.events.iter().enumerate() {
-                process_event(det, found, batch.base + off, ev, shard, self.shards);
+            for (idx, ev) in &items {
+                for race in det.process(ev) {
+                    found.push((*idx, race));
+                }
             }
         }
     }
 }
 
-/// The optimized parallel file engine: the trace is decoded once — from
-/// an `mmap` view when available, buffered reads otherwise — and
-/// streamed as shared batches through bounded per-shard queues to
-/// `workers` work-stealing replay threads. `slots` is the analysis
-/// thread capacity (see [`scan_trace`]).
-///
-/// Exactly matches [`replay_file_sharded`] and the in-memory engines
-/// for any shard/worker/batch combination: every shard still observes
-/// the full event stream in order, because batches are FIFO per shard
-/// and a shard's claim lock serializes its replay.
+/// Where decode workers read chunk bytes from.
+#[derive(Clone, Copy)]
+enum Source<'a> {
+    /// The whole stream is mapped: slice directly.
+    Mapped(&'a [u8]),
+    /// No mapping: each worker opens its own file handle.
+    Disk(&'a Path),
+}
+
+enum SourceHandle<'a> {
+    Mapped(&'a [u8]),
+    Disk(File),
+}
+
+impl<'a> Source<'a> {
+    fn open(self) -> Result<SourceHandle<'a>> {
+        Ok(match self {
+            Source::Mapped(bytes) => SourceHandle::Mapped(bytes),
+            Source::Disk(path) => SourceHandle::Disk(File::open(path)?),
+        })
+    }
+}
+
+impl SourceHandle<'_> {
+    /// The contiguous byte range `[start, end)` of the stream, read via
+    /// `scratch` on the disk path.
+    fn bytes<'b>(&'b mut self, start: u64, end: u64, scratch: &'b mut Vec<u8>) -> Result<&'b [u8]> {
+        match self {
+            SourceHandle::Mapped(bytes) => Ok(&bytes[start as usize..end as usize]),
+            SourceHandle::Disk(file) => {
+                scratch.resize((end - start) as usize, 0);
+                file.seek(SeekFrom::Start(start))?;
+                file.read_exact(scratch)?;
+                Ok(scratch)
+            }
+        }
+    }
+}
+
+/// Decodes one contiguous chunk group into pre-sharded batches,
+/// verifying each chunk's frame against its table entry and its CRC.
+fn decode_group(
+    handle: &mut SourceHandle<'_>,
+    entries: &[ChunkEntry],
+    range: Range<usize>,
+    shards: usize,
+    scratch: &mut Vec<u8>,
+) -> Result<(Vec<ShardItems>, u64)> {
+    let base = entries[range.start].offset;
+    let end = entries[range.end - 1].end_offset();
+    let bytes = handle.bytes(base, end, scratch)?;
+    let mut out: Vec<ShardItems> = (0..shards).map(|_| Vec::new()).collect();
+    let mut events = 0u64;
+    for ci in range {
+        let e = &entries[ci];
+        let chunk = ci as u64;
+        let rel = (e.offset - base) as usize;
+        let frame = &bytes[rel..rel + 12];
+        let payload = &bytes[rel + 12..rel + 12 + e.payload_len as usize];
+        let payload_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+        let frame_events = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes"));
+        if payload_len != e.payload_len || frame_events != e.events {
+            return Err(TraceError::Corrupt {
+                chunk,
+                reason: "chunk frame disagrees with the chunk table",
+            });
+        }
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            return Err(TraceError::ChecksumMismatch {
+                chunk,
+                stored: stored_crc,
+                computed,
+            });
+        }
+        let mut dec = Decoder::new();
+        let mut input = payload;
+        for j in 0..u64::from(e.events) {
+            let ev = dec
+                .decode(&mut input)
+                .map_err(|reason| TraceError::Corrupt { chunk, reason })?;
+            shard_event(&ev, (e.first_event + j) as usize, shards, &mut out);
+        }
+        if !input.is_empty() {
+            return Err(TraceError::Corrupt {
+                chunk,
+                reason: "payload longer than its event count",
+            });
+        }
+        events += u64::from(e.events);
+    }
+    Ok((out, events))
+}
+
+/// Splits the chunk list into contiguous groups of roughly
+/// [`BATCH_EVENTS`] events — the unit of parallel-decode claiming.
+fn chunk_groups(entries: &[ChunkEntry], target_events: usize) -> Vec<Range<usize>> {
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, e) in entries.iter().enumerate() {
+        acc += e.events as usize;
+        if acc >= target_events {
+            groups.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < entries.len() {
+        groups.push(start..entries.len());
+    }
+    groups
+}
+
+/// The optimized parallel file engine with the default decode-worker
+/// count (equal to `workers`). See [`replay_file_stealing_with`].
 ///
 /// # Errors
 ///
@@ -457,19 +710,105 @@ pub fn replay_file_stealing(
     workers: usize,
     slots: usize,
 ) -> Result<(Vec<FoundRace>, ReplayStats)> {
+    replay_file_stealing_with(path, kind, shards, workers, workers, slots)
+}
+
+/// The optimized parallel file engine: on v2 traces, `decode_workers`
+/// threads claim disjoint chunk groups via the chunk table and decode
+/// them concurrently — off a shared mmap view when available, per-worker
+/// file handles otherwise — pre-sharding events into bounded per-shard
+/// queues replayed by `workers` work-stealing threads. v1 traces (no
+/// table) fall back to one sequential decode producer feeding the same
+/// queues. `slots` is the analysis thread capacity (see [`scan_trace`]).
+///
+/// Exactly matches [`replay_file_sharded`] and the in-memory engines for
+/// any shard/worker/decode-worker combination: group pushes are
+/// sequenced in stream order, batches are FIFO per shard, and a shard's
+/// claim lock serializes its replay, so every shard observes exactly the
+/// clipped event stream of the sequential engine.
+///
+/// A corrupt or truncated v2 chunk table yields a clean
+/// [`TraceError::BadTable`] — never a verdict.
+///
+/// # Errors
+///
+/// Propagates I/O and decode errors.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`, `workers == 0`, `decode_workers == 0`, or a
+/// worker thread panics.
+pub fn replay_file_stealing_with(
+    path: impl AsRef<Path>,
+    kind: EngineKind,
+    shards: usize,
+    workers: usize,
+    decode_workers: usize,
+    slots: usize,
+) -> Result<(Vec<FoundRace>, ReplayStats)> {
     assert!(shards > 0, "need at least one shard");
     assert!(workers > 0, "need at least one worker");
+    assert!(decode_workers > 0, "need at least one decode worker");
     let path = path.as_ref();
     let mapped = map_file(path)?;
+    let table = match &mapped {
+        Some(m) => parse_table(m.bytes())?,
+        None => read_table(path)?,
+    };
     let pipe = Pipeline::new(kind, slots, shards);
-    let produced = crossbeam::thread::scope(|scope| {
+    let produced: Result<(u64, u64, u64)> = crossbeam::thread::scope(|scope| {
         for w in 0..workers {
             let pipe = &pipe;
             scope.spawn(move |_| pipe.run_worker(w, workers));
         }
-        let result = match &mapped {
-            Some(m) => TraceReader::new(m.bytes()).and_then(|r| pipe.produce(r)),
-            None => TraceReader::open(path).and_then(|r| pipe.produce(r)),
+        let result = match &table {
+            Some(table) if !table.entries.is_empty() => {
+                let entries = &table.entries[..];
+                let groups = chunk_groups(entries, BATCH_EVENTS);
+                let decoders = decode_workers.min(groups.len());
+                let source = match &mapped {
+                    Some(m) => Source::Mapped(m.bytes()),
+                    None => Source::Disk(path),
+                };
+                let seq = Sequencer {
+                    next: AtomicUsize::new(0),
+                    turn: Mutex::new(0),
+                    advanced: Condvar::new(),
+                    failed: AtomicBool::new(false),
+                };
+                let (groups, seq, pipe) = (&groups, &seq, &pipe);
+                // Nested scope: decoder borrows (`groups`, `seq`) are
+                // locals of this arm, so they cannot ride the outer
+                // worker scope.
+                let first_err = crossbeam::thread::scope(|dscope| {
+                    let handles: Vec<_> = (0..decoders)
+                        .map(|_| {
+                            dscope.spawn(move |_| pipe.run_decoder(source, entries, groups, seq))
+                        })
+                        .collect();
+                    let mut first_err = None;
+                    for h in handles {
+                        if let Err(e) = h.join().expect("decode worker panicked") {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                    first_err
+                })
+                .expect("decode scope panicked");
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok((table.total_events, groups.len() as u64, decoders as u64)),
+                }
+            }
+            Some(_) => Ok((0, 0, 0)), // empty v2 trace: nothing to decode
+            None => {
+                // v1: sequential scan fallback, still pre-sharded.
+                let r = match &mapped {
+                    Some(m) => TraceReader::new(m.bytes()).and_then(|r| pipe.produce_sequential(r)),
+                    None => TraceReader::open(path).and_then(|r| pipe.produce_sequential(r)),
+                };
+                r.map(|(events, batches)| (events, batches, 1))
+            }
         };
         // Even on a decode error: workers must drain and exit before
         // the scope can join them.
@@ -477,7 +816,7 @@ pub fn replay_file_stealing(
         result
     })
     .expect("streaming replay scope panicked");
-    let (events, batches) = produced?;
+    let (events, batches, decoders) = produced?;
     let per_shard: Vec<_> = pipe
         .claims
         .into_iter()
@@ -488,6 +827,8 @@ pub fn replay_file_stealing(
         batches,
         steals: pipe.steals.load(Ordering::Relaxed),
         used_mmap: mapped.is_some(),
+        decode_workers: decoders,
+        used_table: table.is_some(),
     };
     Ok((merge_shard_races(per_shard), stats))
 }
@@ -496,7 +837,7 @@ pub fn replay_file_stealing(
 mod tests {
     use super::*;
     use crate::analyze::replay_sequential;
-    use crate::write_trace;
+    use crate::writer::{write_trace, write_trace_v1};
     use clean_core::ThreadId;
 
     fn t(i: u16) -> ThreadId {
@@ -578,8 +919,61 @@ mod tests {
                     assert_eq!(fast, seq, "stealing {kind}/{shards}/{workers}");
                     assert_eq!(fstats.events, events.len() as u64);
                     assert!(fstats.batches >= 1);
+                    assert!(fstats.used_table, "v2 trace should decode via the table");
                 }
             }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_decode_agrees_across_decode_worker_counts() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "clean-trace-stealing-pd-{}.cltr",
+            std::process::id()
+        ));
+        let events = mixed_trace();
+        // Tiny chunks force many chunk groups so decode parallelism and
+        // the sequencer actually engage on a small trace.
+        let mut wtr = crate::TraceWriter::create(&path).unwrap().chunk_bytes(64);
+        for e in &events {
+            wtr.write_event(e).unwrap();
+        }
+        wtr.finish().unwrap();
+        let scan = scan_trace(&path).unwrap();
+        for kind in EngineKind::ALL {
+            let seq = replay_sequential(&events, kind);
+            for decode_workers in [1, 2, 4, 7] {
+                let (races, stats) =
+                    replay_file_stealing_with(&path, kind, 4, 2, decode_workers, scan.threads)
+                        .unwrap();
+                assert_eq!(races, seq, "{kind}/decode {decode_workers}");
+                assert_eq!(stats.events, events.len() as u64);
+                assert!(stats.used_table);
+                assert!(stats.decode_workers >= 1);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_traces_replay_via_the_sequential_fallback() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "clean-trace-stealing-v1-{}.cltr",
+            std::process::id()
+        ));
+        let events = mixed_trace();
+        write_trace_v1(&path, &events).unwrap();
+        let scan = scan_trace(&path).unwrap();
+        assert_eq!(scan.events, events.len() as u64);
+        for kind in EngineKind::ALL {
+            let seq = replay_sequential(&events, kind);
+            let (races, stats) = replay_file_stealing(&path, kind, 4, 2, scan.threads).unwrap();
+            assert_eq!(races, seq, "v1 {kind}");
+            assert!(!stats.used_table);
+            assert_eq!(stats.decode_workers, 1);
         }
         std::fs::remove_file(&path).ok();
     }

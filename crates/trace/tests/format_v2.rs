@@ -1,0 +1,212 @@
+//! CLTR v2 compatibility and robustness tests.
+//!
+//! Satellite checks for the v2 chunk table:
+//!
+//! * **Backward compatibility** — a v1 trace read through every decode
+//!   path ([`TraceReader`], [`replay_sharded`], [`replay_file_stealing`])
+//!   produces identical verdicts and an identical digest to its v2
+//!   rewrite. The table is framing, not content.
+//! * **Footer robustness** — truncating or corrupting any byte of the
+//!   chunk-table footer yields a clean [`TraceError`], never a wrong
+//!   verdict and never a panic.
+
+use clean_core::{LockId, ThreadId, TraceEvent};
+use clean_trace::{
+    digest_events, digest_file, read_range, read_table, read_trace, replay_file_stealing,
+    replay_sharded, scan_trace, write_trace, write_trace_v1, EngineKind, TraceReader, TABLE_MAGIC,
+};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// Per-test scratch directory under the system temp dir (the repo has no
+/// tempfile dependency; this mirrors the other integration tests).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clean-format-v2-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic mixed workload with real races: unsynchronised
+/// writes to shared addresses, lock-protected sections, and fork/join
+/// edges, spread across enough addresses to exercise several shards.
+fn racy_events() -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    events.push(TraceEvent::Fork {
+        parent: ThreadId::new(0),
+        child: ThreadId::new(1),
+    });
+    events.push(TraceEvent::Fork {
+        parent: ThreadId::new(0),
+        child: ThreadId::new(2),
+    });
+    for i in 0..400u64 {
+        let tid = ThreadId::new((i % 3) as u16);
+        let addr = ((i * 37) % 64) as usize * 8;
+        if i % 5 == 0 {
+            // Per-thread locks: sync events in the stream, but no
+            // cross-thread happens-before edges that would hide races.
+            let lock = (i % 3) as LockId;
+            events.push(TraceEvent::Acquire { tid, lock });
+            events.push(TraceEvent::Write {
+                tid,
+                addr: 16384 + addr,
+                size: 8,
+            });
+            events.push(TraceEvent::Release { tid, lock });
+        } else if i % 3 == 0 {
+            events.push(TraceEvent::Read { tid, addr, size: 4 });
+        } else {
+            events.push(TraceEvent::Write { tid, addr, size: 4 });
+        }
+    }
+    events.push(TraceEvent::Join {
+        parent: ThreadId::new(0),
+        child: ThreadId::new(1),
+    });
+    events.push(TraceEvent::Join {
+        parent: ThreadId::new(0),
+        child: ThreadId::new(2),
+    });
+    events
+}
+
+fn trailer_magic(path: &Path) -> [u8; 4] {
+    let bytes = std::fs::read(path).unwrap();
+    bytes[bytes.len() - 4..].try_into().unwrap()
+}
+
+/// Satellite 1: a v1 trace and its v2 rewrite agree on every decode
+/// path — same events, same digest, same verdicts from both the
+/// in-memory sharded replay and the streaming stealing replay.
+#[test]
+fn v1_and_v2_rewrites_agree_on_verdicts_and_digest() {
+    let dir = scratch("compat");
+    let v1 = dir.join("trace.v1.cltr");
+    let v2 = dir.join("trace.v2.cltr");
+    let events = racy_events();
+    write_trace_v1(&v1, &events).unwrap();
+    write_trace(&v2, &events).unwrap();
+
+    // v1 carries no table or trailer magic; v2 carries both.
+    assert!(read_table(&v1).unwrap().is_none());
+    let table = read_table(&v2).unwrap().expect("v2 trace has a table");
+    assert_eq!(table.total_events, events.len() as u64);
+    assert_ne!(trailer_magic(&v1), TABLE_MAGIC);
+    assert_eq!(trailer_magic(&v2), TABLE_MAGIC);
+
+    // TraceReader: byte-identical event streams.
+    assert_eq!(TraceReader::open(&v1).unwrap().version(), 1);
+    assert_eq!(TraceReader::open(&v2).unwrap().version(), 2);
+    let ev1 = read_trace(&v1).unwrap();
+    let ev2 = read_trace(&v2).unwrap();
+    assert_eq!(ev1, events);
+    assert_eq!(ev2, events);
+
+    // The digest covers events, not framing: both files and the
+    // in-memory stream agree.
+    let reference = digest_events(&events);
+    assert_eq!(digest_file(&v1).unwrap(), reference);
+    assert_eq!(digest_file(&v2).unwrap(), reference);
+
+    // Identical verdicts through both replay engines on every path.
+    let scan1 = scan_trace(&v1).unwrap();
+    let scan2 = scan_trace(&v2).unwrap();
+    assert_eq!(scan1.events, scan2.events);
+    assert_eq!(scan1.threads, scan2.threads);
+    for kind in [EngineKind::Clean, EngineKind::FastTrack] {
+        let sharded = replay_sharded(&events, kind, 4);
+        let (s1, st1) = replay_file_stealing(&v1, kind, 4, 2, scan1.threads).unwrap();
+        let (s2, st2) = replay_file_stealing(&v2, kind, 4, 2, scan2.threads).unwrap();
+        assert!(!sharded.is_empty(), "workload must contain races");
+        assert_eq!(s1, sharded);
+        assert_eq!(s2, sharded);
+        // v1 decodes via the sequential fallback, v2 via the table.
+        assert!(!st1.used_table);
+        assert_eq!(st1.decode_workers, 1);
+        assert!(st2.used_table);
+    }
+
+    // Random access agrees between the table path and the v1 fallback.
+    let window = 100..250;
+    assert_eq!(
+        read_range(&v1, window.clone()).unwrap(),
+        &events[100..250],
+        "v1 sequential fallback window"
+    );
+    assert_eq!(
+        read_range(&v2, window).unwrap(),
+        &events[100..250],
+        "v2 table-seek window"
+    );
+}
+
+/// The footer region of a v2 file: everything after the end-of-stream
+/// marker. Corruptions here must never change verdicts silently.
+fn footer_start(bytes: &[u8]) -> usize {
+    let count = u32::from_le_bytes(
+        bytes[bytes.len() - 24..bytes.len() - 20]
+            .try_into()
+            .unwrap(),
+    );
+    bytes.len() - 24 - 24 * count as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite 2: flip any bit of the footer, or truncate inside it —
+    /// every decode path either errors cleanly or (for paths that do not
+    /// consult the table) still produces the correct verdicts. Never a
+    /// wrong verdict, never a panic.
+    #[test]
+    fn corrupt_chunk_table_never_changes_verdicts(
+        chunk in 24usize..512,
+        frac in 0.0f64..1.0,
+        bit in 0u8..8,
+        truncate in proptest::bool::ANY,
+    ) {
+        let dir = scratch("corrupt");
+        let path = dir.join(format!("trace-{chunk}-{bit}-{truncate}.cltr"));
+        let events = racy_events();
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            let mut w = clean_trace::TraceWriter::new(file).unwrap().chunk_bytes(chunk);
+            for e in &events {
+                w.write_event(e).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let expected = replay_sharded(&events, EngineKind::Clean, 4);
+        prop_assert!(!expected.is_empty());
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let footer = footer_start(&bytes);
+        let span = bytes.len() - footer;
+        if truncate {
+            // Cut somewhere inside the footer (always losing >= 1 byte).
+            let keep = footer + ((span - 1) as f64 * frac) as usize;
+            bytes.truncate(keep);
+        } else {
+            let pos = footer + ((span - 1) as f64 * frac) as usize;
+            bytes[pos] ^= 1 << bit;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict paths: a damaged footer is a clean error.
+        prop_assert!(read_trace(&path).is_err(), "strict reader must reject");
+        prop_assert!(TraceReader::new(&bytes[..]).unwrap().collect::<Result<Vec<_>, _>>().is_err());
+
+        // Replay paths: either a clean TraceError or the exact verdicts —
+        // never silently wrong, and no panics anywhere.
+        if let Ok((races, _)) = replay_file_stealing(&path, EngineKind::Clean, 4, 2, 8) {
+            prop_assert_eq!(races, expected.clone());
+        }
+        if let Ok(scan) = scan_trace(&path) {
+            prop_assert_eq!(scan.events, events.len() as u64);
+            prop_assert_eq!(scan.threads, 3);
+        }
+        if let Ok(slice) = read_range(&path, 10..20) {
+            prop_assert_eq!(slice, &events[10..20]);
+        }
+    }
+}
