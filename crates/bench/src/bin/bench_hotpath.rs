@@ -15,6 +15,13 @@
 //!   accesses (the loop-carried sum every real sweep has) — the sweep
 //!   itself defeats the filter, the accumulator is what it catches.
 //!
+//! **Plan**: checked-write throughput with a compiled static check plan
+//! installed versus without, per action class — `plan_private` (whole
+//! footprint provably elidable), `plan_stride` (range-coalesced filter
+//! entries recover the filter-defeating sweep), `plan_batch` (wide
+//! accesses through the chunked epoch-compare loop). Headline
+//! `plan_speedup` is the `plan_private` ratio.
+//!
 //! **Offline**: a synthetic multi-thread trace (~1 GiB at the full
 //! profile) replayed through the CLEAN engine two ways — the naive
 //! baseline (`replay_file_sharded`: one worker per shard, each decoding
@@ -32,7 +39,8 @@
 
 use clean_bench::{env_reps, env_threads, fmt_pct, fmt_x, measure, trace_dir, Table};
 use clean_core::{
-    CleanDetector, DetectorConfig, ThreadCheckState, ThreadId, TraceEvent, VectorClock,
+    CheckPlan, CleanDetector, CompiledPlan, DetectorConfig, PlanAction, PlanEntry,
+    ThreadCheckState, ThreadId, TraceEvent, VectorClock, Witness,
 };
 use clean_trace::{
     replay_file_sharded, replay_file_stealing, replay_file_stealing_with, scan_trace, EngineKind,
@@ -40,6 +48,7 @@ use clean_trace::{
 };
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One knob setting of the online ablation.
@@ -225,6 +234,165 @@ fn run_online_cell(
         maccesses_per_sec: accesses as f64 / best.as_secs_f64() / 1e6,
         filter_hit_rate: snap.filter_hits as f64 / snap.total_checked() as f64,
     }
+}
+
+/// One static-check-plan workload shape: each thread sweeps its own
+/// disjoint `region`-byte slice `revisits` times per SFR, and the whole
+/// footprint is covered by plan entries of one action class. Throughput
+/// is measured with the plan installed versus without (both under the
+/// `all_on` fast-path knobs), isolating what each plan action buys.
+struct PlanProfile {
+    name: &'static str,
+    /// Per-thread heap slice (also the base stride between threads).
+    region: usize,
+    /// Words touched per sweep.
+    words: usize,
+    /// Bytes per access.
+    access: usize,
+    /// Sweeps per SFR.
+    revisits: usize,
+    /// The action class covering every thread's region.
+    action: PlanAction,
+}
+
+/// `plan_private` is the thread-private-heavy shape (every check provably
+/// elidable); `plan_stride` is the filter-defeating sequential sweep the
+/// range-coalesced filter entries recover (32 KiB of 8-byte words evicts
+/// the 128 direct-mapped slots long before a revisit); `plan_batch`
+/// routes wide accesses through the chunked epoch-compare loop.
+const PLAN_PROFILES: [PlanProfile; 3] = [
+    PlanProfile {
+        name: "plan_private",
+        region: 4096,
+        words: 64,
+        access: 16,
+        revisits: 32,
+        action: PlanAction::Elide,
+    },
+    PlanProfile {
+        name: "plan_stride",
+        region: 32768,
+        words: 4096,
+        access: 8,
+        revisits: 4,
+        action: PlanAction::Coalesce,
+    },
+    PlanProfile {
+        name: "plan_batch",
+        region: 32768,
+        words: 512,
+        access: 64,
+        revisits: 4,
+        action: PlanAction::Batch,
+    },
+];
+
+/// Builds the compiled plan covering every thread's region with the
+/// profile's action class (elide entries carry the per-owner witness).
+fn plan_for(profile: &PlanProfile, threads: usize) -> Arc<CompiledPlan> {
+    let entries = (0..threads)
+        .map(|t| {
+            let lo = t * profile.region;
+            let witness = match profile.action {
+                PlanAction::Elide => Some(Witness {
+                    owner: t as u32,
+                    observed: (profile.words * profile.revisits) as u64,
+                    foreign: 0,
+                }),
+                _ => None,
+            };
+            PlanEntry {
+                lo,
+                hi: lo + profile.region,
+                action: profile.action,
+                witness,
+            }
+        })
+        .collect();
+    let compiled = CheckPlan { entries }
+        .compile()
+        .expect("bench plans carry sound witnesses");
+    Arc::new(compiled)
+}
+
+/// Runs one plan profile with or without the plan installed (all other
+/// fast-path knobs on) and returns Macc/s of the best of `reps` runs.
+fn run_plan_cell(
+    profile: &PlanProfile,
+    plan: Option<Arc<CompiledPlan>>,
+    threads: usize,
+    ops_per_thread: u64,
+    reps: usize,
+) -> f64 {
+    let sweep_ops = (profile.words * profile.revisits) as u64;
+    let phases = (ops_per_thread / sweep_ops).max(1);
+    let accesses = phases * sweep_ops * threads as u64;
+    let (best, snap) = measure(reps, || {
+        let det = CleanDetector::new(
+            threads * profile.region,
+            DetectorConfig::new().check_plan(plan.clone()),
+        );
+        let det = &det;
+        let layout = det.layout();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    let tid = ThreadId::new(t as u16);
+                    let mut vc = VectorClock::new(threads, layout);
+                    let mut state = ThreadCheckState::new();
+                    let base = t * profile.region;
+                    for _ in 0..phases {
+                        for _ in 0..profile.revisits {
+                            for w in 0..profile.words {
+                                det.check_write_with(
+                                    &vc,
+                                    tid,
+                                    base + w * profile.access,
+                                    profile.access,
+                                    &mut state,
+                                )
+                                .expect("disjoint per-thread regions are race-free");
+                            }
+                        }
+                        vc.increment(tid).expect("phase count below rollover");
+                        det.drain_check_state(tid, &mut state);
+                        state.on_epoch_increment();
+                    }
+                });
+            }
+        });
+        det.stats()
+    });
+    // Elided checks are skipped by design, never lost: what was not
+    // checked must be accounted for by the elision counter.
+    assert_eq!(
+        snap.total_checked() + snap.plan_elided,
+        accesses,
+        "{}: every access is either checked or provably elided",
+        profile.name
+    );
+    assert_eq!(snap.races_reported, 0, "workload is race-free");
+    if let Some(p) = &plan {
+        match profile.action {
+            PlanAction::Elide => assert_eq!(
+                snap.plan_elided, accesses,
+                "{}: the whole footprint is elidable",
+                profile.name
+            ),
+            PlanAction::Batch => assert!(
+                snap.plan_batched > 0,
+                "{}: batch spans must route through the chunked compare",
+                profile.name
+            ),
+            PlanAction::Coalesce => assert!(
+                snap.filter_hits > 0,
+                "{}: coalesced ranges must answer revisited sweeps",
+                profile.name
+            ),
+        }
+        let _ = p;
+    }
+    accesses as f64 / best.as_secs_f64() / 1e6
 }
 
 /// Deterministic synthetic trace for the offline comparison: `threads`
@@ -514,6 +682,33 @@ fn main() {
         ));
     }
 
+    // ---- static check-plan ablation ----
+    println!("static check plan (plan-on vs plan-off, all_on knobs):");
+    let mut t = Table::new(&["profile", "plan-off Macc/s", "plan-on Macc/s", "speedup"]);
+    let mut json_plans = Vec::new();
+    let mut plan_speedup = 0.0;
+    for profile in &PLAN_PROFILES {
+        let plan = plan_for(profile, threads);
+        let off_rate = run_plan_cell(profile, None, threads, ops_per_thread, reps);
+        let on_rate = run_plan_cell(profile, Some(plan), threads, ops_per_thread, reps);
+        let speedup = on_rate / off_rate;
+        if profile.name == "plan_private" {
+            plan_speedup = speedup;
+        }
+        t.row(vec![
+            profile.name.into(),
+            format!("{off_rate:.1}"),
+            format!("{on_rate:.1}"),
+            fmt_x(speedup),
+        ]);
+        json_plans.push(format!(
+            "    {{\"name\": \"{}\", \"plan_off_maccesses_per_sec\": {off_rate:.3}, \"plan_on_maccesses_per_sec\": {on_rate:.3}, \"speedup\": {speedup:.3}}}",
+            profile.name
+        ));
+    }
+    t.print();
+    println!();
+
     // ---- offline replay comparison ----
     println!("offline replay (CLEAN engine):");
     let off = run_offline(offline_bytes, 4);
@@ -568,14 +763,16 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"hotpath\",\n  \"profile\": \"{}\",\n  \"threads\": {},\n  \"reps\": {},\n  \"online_speedup\": {:.3},\n  \"offline_speedup\": {:.3},\n  \"verdicts_diverged\": {},\n  \"online_profiles\": [\n{}\n  ],\n  \"offline\": {{\n    \"events\": {},\n    \"bytes\": {},\n    \"shards\": {},\n    \"workers\": {},\n    \"decode_workers\": {},\n    \"used_table\": {},\n    \"naive_secs\": {:.3},\n    \"stealing_secs\": {:.3},\n    \"batches\": {},\n    \"steals\": {},\n    \"used_mmap\": {},\n    \"races_found\": {},\n    \"races_agree\": {},\n    \"decode_sweep\": [\n      {}\n    ]\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"hotpath\",\n  \"profile\": \"{}\",\n  \"threads\": {},\n  \"reps\": {},\n  \"online_speedup\": {:.3},\n  \"offline_speedup\": {:.3},\n  \"plan_speedup\": {:.3},\n  \"verdicts_diverged\": {},\n  \"online_profiles\": [\n{}\n  ],\n  \"plan_profiles\": [\n{}\n  ],\n  \"offline\": {{\n    \"events\": {},\n    \"bytes\": {},\n    \"shards\": {},\n    \"workers\": {},\n    \"decode_workers\": {},\n    \"used_table\": {},\n    \"naive_secs\": {:.3},\n    \"stealing_secs\": {:.3},\n    \"batches\": {},\n    \"steals\": {},\n    \"used_mmap\": {},\n    \"races_found\": {},\n    \"races_agree\": {},\n    \"decode_sweep\": [\n      {}\n    ]\n  }}\n}}\n",
         if small { "small" } else { "full" },
         threads,
         reps,
         online_speedup,
         offline_speedup,
+        plan_speedup,
         !off.races_agree,
         json_profiles.join(",\n"),
+        json_plans.join(",\n"),
         off.events,
         off.bytes,
         off.shards,
@@ -594,9 +791,10 @@ fn main() {
     std::fs::write(&out, &json).expect("write result JSON");
     println!("wrote {}", out.display());
     println!(
-        "headline: online (sfr_local all_on vs all_off) {}, offline (stealing+mmap vs naive) {}",
+        "headline: online (sfr_local all_on vs all_off) {}, offline (stealing+mmap vs naive) {}, plan (plan_private on vs off) {}",
         fmt_x(online_speedup),
-        fmt_x(offline_speedup)
+        fmt_x(offline_speedup),
+        fmt_x(plan_speedup)
     );
 
     // ---- regression gate ----
@@ -604,10 +802,12 @@ fn main() {
         let text = std::fs::read_to_string(&base).expect("read baseline JSON");
         let base_online = json_f64(&text, "online_speedup").expect("baseline online_speedup");
         let base_offline = json_f64(&text, "offline_speedup").expect("baseline offline_speedup");
+        let base_plan = json_f64(&text, "plan_speedup").expect("baseline plan_speedup");
         let mut failed = false;
         for (what, now, was) in [
             ("online_speedup", online_speedup, base_online),
             ("offline_speedup", offline_speedup, base_offline),
+            ("plan_speedup", plan_speedup, base_plan),
         ] {
             let floor = was * 0.8;
             let verdict = if now < floor { "REGRESSED" } else { "ok" };

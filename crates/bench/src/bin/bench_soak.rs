@@ -18,9 +18,12 @@
 //! * unexpected-error rate above `--max-error-rate` (default 1%),
 //! * any verdict divergence,
 //! * no suppressed verdict observed after the policy flip,
-//! * hot-analyze p99 above `--p99-limit-ms`, or — against the
-//!   `hot_p99_micros` recorded in `--check-baseline FILE` — above one
-//!   log2 bucket of quantization headroom plus 25% plus a 2 ms floor.
+//! * hot-analyze p99 above `--p99-limit-ms`, or
+//! * a per-class p99 regression against `--check-baseline FILE`: each of
+//!   the `hot_p99_micros`, `cold_p99_micros` and `dup_p99_micros` keys
+//!   recorded there gates its class (hot re-analyze, cold submit,
+//!   duplicate submit) at one log2 bucket of quantization headroom plus
+//!   25% plus a 2 ms floor.
 //!
 //! The schedule derives from one seed (`--seed` / `CLEAN_TEST_SEED`);
 //! failures print the one-line repro command.
@@ -616,6 +619,9 @@ fn main() {
     };
     let hot_hist = &classes[0].hist;
     let hot_p99 = hot_hist.quantile(0.99);
+    // OpClass::ALL order: hot_analyze, cold_submit, dup_submit, ...
+    let cold_p99 = classes[1].hist.quantile(0.99);
+    let dup_p99 = classes[2].hist.quantile(0.99);
 
     let stats = seed_client.stats().expect("final fleet stats");
     match seed_client.policy().expect("final policy read") {
@@ -686,6 +692,7 @@ fn main() {
          \"nodes\": {},\n  \"clients\": {},\n  \"total_ops\": {},\n  \
          \"ops_per_sec\": {:.1},\n  \"error_rate\": {:.6},\n  \"divergences\": {},\n  \
          \"suppressed_verdict_races\": {},\n  \"hot_p99_micros\": {},\n  \
+         \"cold_p99_micros\": {},\n  \"dup_p99_micros\": {},\n  \
          \"jobs_coalesced\": {},\n  \"jobs_rejected\": {},\n  \"forwards\": {},\n  \
          \"fetches\": {},\n  \"store_evictions\": {},\n  \"suppressed_hits\": {},\n  \
          \"classes\": {{\n{class_json}  }}\n}}\n",
@@ -699,6 +706,8 @@ fn main() {
         divergences,
         suppressed_seen,
         hot_p99,
+        cold_p99,
+        dup_p99,
         stats.jobs_coalesced,
         stats.jobs_rejected,
         stats.forwards,
@@ -737,21 +746,29 @@ fn main() {
     if let Some(baseline_path) = &args.check_baseline {
         let text = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
-        let baseline = json_u64(&text, "hot_p99_micros")
-            .unwrap_or_else(|| panic!("no hot_p99_micros in {}", baseline_path.display()));
         // Quantiles are log2-bucket upper bounds, so the smallest real
-        // step above the baseline is a 2x bucket jump. Allow one bucket
+        // step above a baseline is a 2x bucket jump. Allow one bucket
         // of quantization headroom, then 25% + a 2 ms absolute floor on
         // top; a genuine regression (2+ buckets) still trips the gate.
-        let bucket_up = 2 * (baseline + 1) - 1;
-        let ceiling = bucket_up + bucket_up / 4 + 2_000;
-        if hot_p99 > ceiling {
-            failures.push(format!(
-                "hot-analyze p99 {hot_p99}us regressed past {ceiling}us \
-                 (baseline {baseline}us + one log2 bucket + 25% + 2ms)"
-            ));
-        } else {
-            println!("baseline check ok: p99 {hot_p99}us <= {ceiling}us");
+        // Each latency-sensitive class gates independently: a cold-path
+        // regression must not hide behind a healthy hot path.
+        for (what, key, p99) in [
+            ("hot-analyze", "hot_p99_micros", hot_p99),
+            ("cold-submit", "cold_p99_micros", cold_p99),
+            ("dup-submit", "dup_p99_micros", dup_p99),
+        ] {
+            let baseline = json_u64(&text, key)
+                .unwrap_or_else(|| panic!("no {key} in {}", baseline_path.display()));
+            let bucket_up = 2 * (baseline + 1) - 1;
+            let ceiling = bucket_up + bucket_up / 4 + 2_000;
+            if p99 > ceiling {
+                failures.push(format!(
+                    "{what} p99 {p99}us regressed past {ceiling}us \
+                     (baseline {baseline}us + one log2 bucket + 25% + 2ms)"
+                ));
+            } else {
+                println!("baseline check ok: {what} p99 {p99}us <= {ceiling}us");
+            }
         }
     }
 

@@ -20,7 +20,7 @@ fn timed(
 ) -> (f64, f64) {
     let mut uniform_frac = 1.0;
     let (d, _) = measure(reps, || {
-        let rt = CleanRuntime::new(cfg);
+        let rt = CleanRuntime::new(cfg.clone());
         run_benchmark(b, &rt, &KernelParams::new().threads(threads).scale(scale))
             .expect("race-free benchmark must complete");
         if let Some(det) = rt.stats().detector {
@@ -52,7 +52,7 @@ fn main() {
             .heap_size(1 << 23)
             .max_threads(16)
             .det_sync(false);
-        let (t_novec, _) = timed(b, threads, scale, reps, det_cfg.vectorized(false));
+        let (t_novec, _) = timed(b, threads, scale, reps, det_cfg.clone().vectorized(false));
         let (t_vec, uniform) = timed(b, threads, scale, reps, det_cfg.vectorized(true));
         let (s_novec, s_vec) = (t_novec / t_base, t_vec / t_base);
         novec.push(s_novec);

@@ -39,7 +39,9 @@ use crate::filter::ThreadCheckState;
 use crate::report::{AccessKind, RaceReport};
 use crate::shadow::{ShadowMemory, ShadowPageCache};
 use crate::stats::{DetectorStats, StatsShard, StatsSnapshot};
+use clean_plan::{CompiledPlan, PlanDecision};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// How concurrent race checks are kept atomic (Section 4.3 vs the
 /// lock-based strawman of Section 3.2).
@@ -69,7 +71,7 @@ const LOCK_STRIPES: usize = 64;
 pub const DEFAULT_STATS_SHARDS: usize = 8;
 
 /// Configuration of the software race detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectorConfig {
     /// Epoch bit layout (clock width is the Table 1 knob).
     pub layout: EpochLayout,
@@ -98,6 +100,13 @@ pub struct DetectorConfig {
     /// Number of cache-line-padded statistics shards; 1 reproduces the
     /// fully shared (contended) counter layout.
     pub stats_shards: usize,
+    /// Optional compiled static check plan consumed by the `*_with`
+    /// entry points. Per planned range the detector elides provably
+    /// thread-private checks (guarded: only the witness owner skips;
+    /// foreign threads take the full check), routes strided sweeps
+    /// through growable coalesced filter ranges, or runs the chunked
+    /// batched epoch-compare loop. `None` (the default) changes nothing.
+    pub check_plan: Option<Arc<CompiledPlan>>,
 }
 
 impl DetectorConfig {
@@ -112,6 +121,7 @@ impl DetectorConfig {
             page_cache: true,
             deferred_stats: true,
             stats_shards: DEFAULT_STATS_SHARDS,
+            check_plan: None,
         }
     }
 
@@ -163,6 +173,14 @@ impl DetectorConfig {
     pub fn sharded_stats(self, on: bool) -> Self {
         self.stats_shards(if on { DEFAULT_STATS_SHARDS } else { 1 })
     }
+
+    /// Installs (or clears) the compiled static check plan consumed by
+    /// the `*_with` entry points. Plans only compile after validation,
+    /// so an unsound plan can never reach this knob.
+    pub fn check_plan(mut self, plan: Option<Arc<CompiledPlan>>) -> Self {
+        self.check_plan = plan;
+        self
+    }
 }
 
 impl Default for DetectorConfig {
@@ -176,6 +194,7 @@ impl Default for DetectorConfig {
 trait ShadowOps {
     fn load(&mut self, addr: usize) -> Epoch;
     fn range_uniform(&mut self, addr: usize, len: usize) -> Option<Epoch>;
+    fn range_uniform_batched(&mut self, addr: usize, len: usize) -> Option<Epoch>;
     fn compare_exchange(&mut self, addr: usize, expected: Epoch, new: Epoch) -> Result<(), Epoch>;
     fn compare_exchange_range(
         &mut self,
@@ -196,6 +215,10 @@ impl ShadowOps for Uncached<'_> {
     #[inline]
     fn range_uniform(&mut self, addr: usize, len: usize) -> Option<Epoch> {
         self.0.range_uniform(addr, len)
+    }
+    #[inline]
+    fn range_uniform_batched(&mut self, addr: usize, len: usize) -> Option<Epoch> {
+        self.0.range_uniform_batched(addr, len)
     }
     #[inline]
     fn compare_exchange(&mut self, addr: usize, expected: Epoch, new: Epoch) -> Result<(), Epoch> {
@@ -226,6 +249,11 @@ impl ShadowOps for Cached<'_> {
     #[inline]
     fn range_uniform(&mut self, addr: usize, len: usize) -> Option<Epoch> {
         self.shadow.range_uniform_cached(addr, len, self.cache)
+    }
+    #[inline]
+    fn range_uniform_batched(&mut self, addr: usize, len: usize) -> Option<Epoch> {
+        self.shadow
+            .range_uniform_batched_cached(addr, len, self.cache)
     }
     #[inline]
     fn compare_exchange(&mut self, addr: usize, expected: Epoch, new: Epoch) -> Result<(), Epoch> {
@@ -283,10 +311,11 @@ impl CleanDetector {
     /// Creates a detector covering `data_size` bytes of shared program
     /// data.
     pub fn new(data_size: usize, config: DetectorConfig) -> Self {
+        let stats = DetectorStats::with_shards(config.stats_shards);
         CleanDetector {
             shadow: ShadowMemory::new(data_size),
             config,
-            stats: DetectorStats::with_shards(config.stats_shards),
+            stats,
             check_locks: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
         }
     }
@@ -305,7 +334,14 @@ impl CleanDetector {
 
     /// The detector's configuration.
     pub fn config(&self) -> DetectorConfig {
-        self.config
+        self.config.clone()
+    }
+
+    /// The decision of the installed check plan for `[addr, addr+size)`,
+    /// if a plan is installed and a range fully contains the access.
+    #[inline]
+    fn plan_decision(&self, addr: usize, size: usize) -> Option<PlanDecision> {
+        self.config.check_plan.as_ref()?.lookup(addr, size)
     }
 
     /// The epoch layout in use.
@@ -375,7 +411,15 @@ impl CleanDetector {
         DetectorStats::bump(&shard.reads_checked);
         DetectorStats::add(&shard.bytes_checked, size as u64);
         let _guard = self.check_guard(addr);
-        self.read_body(&mut Uncached(&self.shadow), shard, vc, tid, addr, size)
+        self.read_body(
+            &mut Uncached(&self.shadow),
+            shard,
+            vc,
+            tid,
+            addr,
+            size,
+            false,
+        )
     }
 
     /// [`check_read`](Self::check_read) through the per-thread fast-path
@@ -395,14 +439,27 @@ impl CleanDetector {
         state: &mut ThreadCheckState,
     ) -> Result<(), RaceReport> {
         debug_assert!(size > 0);
-        if self.config.write_filter
-            && state.filter.covers(
-                addr,
-                size,
-                vc.write_epoch(tid).raw(),
-                self.shadow.generation(),
-            )
-        {
+        let decision = self.plan_decision(addr, size);
+        if let Some(PlanDecision::Elide { owner }) = decision {
+            // The plan's witness proves the range thread-private to
+            // `owner` for the planned execution; the dynamic guard keeps
+            // every *other* thread on the full check path.
+            if u32::from(tid.raw()) == owner {
+                if self.config.deferred_stats {
+                    state.pending.plan_elided += 1;
+                } else {
+                    DetectorStats::bump(&self.shard(tid).plan_elided);
+                }
+                return Ok(());
+            }
+        }
+        let epoch_raw = vc.write_epoch(tid).raw();
+        let generation = self.shadow.generation();
+        let filter_hit = self.config.write_filter
+            && (state.filter.covers(addr, size, epoch_raw, generation)
+                || (matches!(decision, Some(PlanDecision::Coalesce))
+                    && state.filter.covers_range(addr, size, epoch_raw, generation)));
+        if filter_hit {
             // Every covered byte still holds this thread's current epoch,
             // so the read trivially happens-after the last write. With
             // deferred stats the hit path touches no shared state at all.
@@ -418,6 +475,7 @@ impl CleanDetector {
             }
             return Ok(());
         }
+        let batched = matches!(decision, Some(PlanDecision::Batch));
         let shard = self.shard(tid);
         DetectorStats::bump(&shard.reads_checked);
         DetectorStats::add(&shard.bytes_checked, size as u64);
@@ -427,12 +485,21 @@ impl CleanDetector {
                 shadow: &self.shadow,
                 cache: &mut state.page_cache,
             };
-            self.read_body(&mut ops, shard, vc, tid, addr, size)
+            self.read_body(&mut ops, shard, vc, tid, addr, size, batched)
         } else {
-            self.read_body(&mut Uncached(&self.shadow), shard, vc, tid, addr, size)
+            self.read_body(
+                &mut Uncached(&self.shadow),
+                shard,
+                vc,
+                tid,
+                addr,
+                size,
+                batched,
+            )
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn read_body<S: ShadowOps>(
         &self,
         shadow: &mut S,
@@ -441,11 +508,20 @@ impl CleanDetector {
         tid: ThreadId,
         addr: usize,
         size: usize,
+        batched: bool,
     ) -> Result<(), RaceReport> {
         if self.config.vectorized && size > 1 {
             // Section 4.4: vector-load all epochs; if they are all equal it
             // suffices to test one (there is a race on all bytes or none).
-            if let Some(e) = shadow.range_uniform(addr, size) {
+            // Plan-batched spans take the chunked compare loop instead of
+            // the scalar-acquire walk; verdicts are identical.
+            let uniform = if batched {
+                DetectorStats::bump(&shard.plan_batched);
+                shadow.range_uniform_batched(addr, size)
+            } else {
+                shadow.range_uniform(addr, size)
+            };
+            if let Some(e) = uniform {
                 DetectorStats::bump(&shard.uniform_fast_path);
                 if vc.races_with(e) {
                     return Err(self.report(shard, AccessKind::Read, vc, tid, addr, size, e));
@@ -500,6 +576,7 @@ impl CleanDetector {
             addr,
             size,
             new_epoch,
+            false,
         )
     }
 
@@ -521,10 +598,31 @@ impl CleanDetector {
         state: &mut ThreadCheckState,
     ) -> Result<(), RaceReport> {
         debug_assert!(size > 0);
+        let decision = self.plan_decision(addr, size);
+        if let Some(PlanDecision::Elide { owner }) = decision {
+            // Witness-backed thread-private range: the owner's write can
+            // neither race nor be raced against within the planned
+            // execution, so both the check and the epoch publication are
+            // skipped. Foreign threads fall through to the full check.
+            if u32::from(tid.raw()) == owner {
+                if self.config.deferred_stats {
+                    state.pending.plan_elided += 1;
+                } else {
+                    DetectorStats::bump(&self.shard(tid).plan_elided);
+                }
+                return Ok(());
+            }
+        }
         let new_epoch = vc.write_epoch(tid);
         let generation = self.shadow.generation();
-        if self.config.write_filter && state.filter.covers(addr, size, new_epoch.raw(), generation)
-        {
+        let coalesce = matches!(decision, Some(PlanDecision::Coalesce));
+        let filter_hit = self.config.write_filter
+            && (state.filter.covers(addr, size, new_epoch.raw(), generation)
+                || (coalesce
+                    && state
+                        .filter
+                        .covers_range(addr, size, new_epoch.raw(), generation)));
+        if filter_hit {
             // Every covered byte already holds exactly `new_epoch`: the
             // full check would pass and take the Figure 2 line 5 skip.
             if self.config.deferred_stats {
@@ -539,6 +637,7 @@ impl CleanDetector {
             }
             return Ok(());
         }
+        let batched = matches!(decision, Some(PlanDecision::Batch));
         let shard = self.shard(tid);
         DetectorStats::bump(&shard.writes_checked);
         DetectorStats::add(&shard.bytes_checked, size as u64);
@@ -548,7 +647,7 @@ impl CleanDetector {
                 shadow: &self.shadow,
                 cache: &mut state.page_cache,
             };
-            self.write_body(&mut ops, shard, vc, tid, addr, size, new_epoch)
+            self.write_body(&mut ops, shard, vc, tid, addr, size, new_epoch, batched)
         } else {
             self.write_body(
                 &mut Uncached(&self.shadow),
@@ -558,12 +657,22 @@ impl CleanDetector {
                 addr,
                 size,
                 new_epoch,
+                batched,
             )
         };
         if result.is_ok() && self.config.write_filter {
             // The full check passed: all bytes now hold `new_epoch` under
             // `generation`, which is exactly the filter's validity claim.
-            state.filter.insert(addr, size, new_epoch.raw(), generation);
+            // Plan-coalesced sweeps record into the growable range table
+            // so the *next* stride extends the entry instead of evicting
+            // a direct-mapped slot.
+            if coalesce {
+                state
+                    .filter
+                    .insert_coalesced(addr, size, new_epoch.raw(), generation);
+            } else {
+                state.filter.insert(addr, size, new_epoch.raw(), generation);
+            }
         }
         result
     }
@@ -578,9 +687,16 @@ impl CleanDetector {
         addr: usize,
         size: usize,
         new_epoch: Epoch,
+        batched: bool,
     ) -> Result<(), RaceReport> {
         if self.config.vectorized && size > 1 {
-            if let Some(e) = shadow.range_uniform(addr, size) {
+            let uniform = if batched {
+                DetectorStats::bump(&shard.plan_batched);
+                shadow.range_uniform_batched(addr, size)
+            } else {
+                shadow.range_uniform(addr, size)
+            };
+            if let Some(e) = uniform {
                 DetectorStats::bump(&shard.uniform_fast_path);
                 if vc.races_with(e) {
                     return Err(self.report(shard, AccessKind::Write, vc, tid, addr, size, e));
@@ -702,6 +818,7 @@ impl CleanDetector {
         DetectorStats::add(&shard.writes_checked, p.writes_checked);
         DetectorStats::add(&shard.bytes_checked, p.bytes_checked);
         DetectorStats::add(&shard.filter_hits, p.filter_hits);
+        DetectorStats::add(&shard.plan_elided, p.plan_elided);
     }
 
     /// The epoch currently recorded for data byte `addr` (test/diagnostic
@@ -1110,6 +1227,126 @@ mod tests {
             assert_eq!(det.epoch_at(2 * PAGE_EPOCHS - 1), vc0.write_epoch(t0));
             assert_eq!(det.epoch_at(2 * PAGE_EPOCHS + 4), vc0.write_epoch(t0));
         }
+    }
+
+    fn plan_of(entries: Vec<clean_plan::PlanEntry>) -> Arc<CompiledPlan> {
+        Arc::new(clean_plan::CheckPlan { entries }.compile().unwrap())
+    }
+
+    fn elide_entry(lo: usize, hi: usize, owner: u32) -> clean_plan::PlanEntry {
+        clean_plan::PlanEntry {
+            lo,
+            hi,
+            action: clean_plan::PlanAction::Elide,
+            witness: Some(clean_plan::Witness {
+                owner,
+                observed: 1,
+                foreign: 0,
+            }),
+        }
+    }
+
+    fn action_entry(lo: usize, hi: usize, action: clean_plan::PlanAction) -> clean_plan::PlanEntry {
+        clean_plan::PlanEntry {
+            lo,
+            hi,
+            action,
+            witness: None,
+        }
+    }
+
+    #[test]
+    fn plan_elide_skips_owner_but_not_foreign_threads() {
+        let cfg = DetectorConfig::new().check_plan(Some(plan_of(vec![elide_entry(0, 0x100, 0)])));
+        let det = CleanDetector::new(1 << 16, cfg);
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let mut vc0 = VectorClock::new(2, det.layout());
+        let vc1 = VectorClock::new(2, det.layout());
+        let mut st0 = ThreadCheckState::new();
+        let mut st1 = ThreadCheckState::new();
+        vc0.increment(t0).unwrap();
+        // Owner accesses inside the range: fully elided — no check, no
+        // publication, no shared-stat traffic until drained.
+        det.check_write_with(&vc0, t0, 0x10, 8, &mut st0).unwrap();
+        det.check_read_with(&vc0, t0, 0x10, 8, &mut st0).unwrap();
+        assert_eq!(st0.pending.plan_elided, 2);
+        assert_eq!(det.epoch_at(0x10), Epoch::ZERO, "no publication");
+        assert_eq!(det.stats().total_checked(), 0);
+        det.drain_check_state(t0, &mut st0);
+        assert_eq!(det.stats().plan_elided, 2);
+        // A foreign thread in the same range takes the full check path.
+        det.check_write_with(&vc1, t1, 0x10, 8, &mut st1).unwrap();
+        assert_eq!(det.epoch_at(0x10), vc1.write_epoch(t1));
+        assert_eq!(det.stats().writes_checked, 1);
+        // Owner accesses outside the planned footprint are checked.
+        det.check_write_with(&vc0, t0, 0x200, 8, &mut st0).unwrap();
+        assert_eq!(det.epoch_at(0x200), vc0.write_epoch(t0));
+    }
+
+    #[test]
+    fn plan_coalesce_covers_a_whole_sweep_with_one_range() {
+        let cfg = DetectorConfig::new().check_plan(Some(plan_of(vec![action_entry(
+            0,
+            0x1000,
+            clean_plan::PlanAction::Coalesce,
+        )])));
+        let det = CleanDetector::new(1 << 16, cfg);
+        let t0 = ThreadId::new(0);
+        let mut vc = VectorClock::new(1, det.layout());
+        vc.increment(t0).unwrap();
+        let mut st = ThreadCheckState::new();
+        // A strided sweep: each write extends one growable range entry.
+        for i in 0..512 {
+            det.check_write_with(&vc, t0, i * 8, 8, &mut st).unwrap();
+        }
+        // A re-read of the ENTIRE swept region is a single filter hit —
+        // the direct-mapped slots could at best cover one 8-byte stride.
+        det.check_read_with(&vc, t0, 0, 4096, &mut st).unwrap();
+        assert_eq!(st.pending.filter_hits, 1);
+        det.drain_check_state(t0, &mut st);
+        let s = det.stats();
+        assert_eq!(s.filter_hits, 1);
+        // Shadow state matches what the unplanned path would leave.
+        assert_eq!(det.epoch_at(0), vc.write_epoch(t0));
+        assert_eq!(det.epoch_at(4095), vc.write_epoch(t0));
+    }
+
+    #[test]
+    fn plan_batch_keeps_verdicts_and_counts_batched_spans() {
+        let plan = plan_of(vec![action_entry(0, 0x1000, clean_plan::PlanAction::Batch)]);
+        for planned in [false, true] {
+            let cfg = DetectorConfig::new().check_plan(planned.then(|| Arc::clone(&plan)));
+            let det = CleanDetector::new(1 << 16, cfg);
+            let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+            let mut vc0 = VectorClock::new(2, det.layout());
+            let vc1 = VectorClock::new(2, det.layout());
+            let mut st0 = ThreadCheckState::new();
+            let mut st1 = ThreadCheckState::new();
+            vc0.increment(t0).unwrap();
+            det.check_write_with(&vc0, t0, 0x40, 64, &mut st0).unwrap();
+            let race = det
+                .check_read_with(&vc1, t1, 0x40, 64, &mut st1)
+                .unwrap_err();
+            assert_eq!(race.kind, RaceKind::ReadAfterWrite);
+            assert_eq!(race.addr, 0x40);
+            assert_eq!(det.stats().plan_batched > 0, planned);
+        }
+    }
+
+    #[test]
+    fn accesses_straddling_plan_ranges_take_the_unplanned_path() {
+        // Elide range ends at 0x100; an access straddling out of it gets
+        // no decision and is fully checked — even for the owner.
+        let cfg = DetectorConfig::new().check_plan(Some(plan_of(vec![elide_entry(0, 0x100, 0)])));
+        let det = CleanDetector::new(1 << 16, cfg);
+        let t0 = ThreadId::new(0);
+        let mut vc = VectorClock::new(1, det.layout());
+        vc.increment(t0).unwrap();
+        let mut st = ThreadCheckState::new();
+        det.check_write_with(&vc, t0, 0xfc, 8, &mut st).unwrap();
+        assert_eq!(st.pending.plan_elided, 0);
+        assert_eq!(det.epoch_at(0xfc), vc.write_epoch(t0));
+        assert_eq!(det.stats().writes_checked, 1);
     }
 
     #[test]

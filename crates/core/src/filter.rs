@@ -26,6 +26,11 @@ use crate::shadow::ShadowPageCache;
 /// thread — small enough to stay L1-resident next to the thread's stack.
 pub const FILTER_SLOTS: usize = 128;
 
+/// Number of growable *range* slots used for plan-coalesced sweeps. A
+/// strided writer occupies exactly one range slot per planned region, so
+/// a handful suffice.
+pub const RANGE_SLOTS: usize = 8;
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Slot {
     base: usize,
@@ -37,6 +42,20 @@ struct Slot {
     generation: u64,
 }
 
+/// A growable published range for plan-coalesced strided sweeps. Unlike
+/// the direct-mapped [`Slot`]s (whose index is a function of the access
+/// address, so a sweep thrashes one slot per 8-byte step), a range slot
+/// *extends* when the thread's next write starts exactly where the last
+/// one ended — the defining shape of a sequential sweep.
+#[derive(Debug, Clone, Copy, Default)]
+struct RangeSlot {
+    base: usize,
+    /// Exclusive end; `base == end` marks an empty slot.
+    end: usize,
+    epoch: u32,
+    generation: u64,
+}
+
 /// A direct-mapped per-thread table of byte ranges the thread has already
 /// published under its current epoch.
 ///
@@ -45,12 +64,17 @@ struct Slot {
 #[derive(Debug)]
 pub struct SfrWriteFilter {
     slots: [Slot; FILTER_SLOTS],
+    ranges: [RangeSlot; RANGE_SLOTS],
+    /// Round-robin victim cursor for range-slot allocation.
+    range_victim: usize,
 }
 
 impl Default for SfrWriteFilter {
     fn default() -> Self {
         SfrWriteFilter {
             slots: [Slot::default(); FILTER_SLOTS],
+            ranges: [RangeSlot::default(); RANGE_SLOTS],
+            range_victim: 0,
         }
     }
 }
@@ -98,12 +122,60 @@ impl SfrWriteFilter {
         };
     }
 
+    /// Returns true if `[addr, addr + size)` is fully covered by a
+    /// *range* slot published under exactly (`epoch_raw`, `generation`).
+    /// Same soundness argument as [`covers`](Self::covers); the entries
+    /// are just associatively probed and growable.
+    #[inline]
+    pub fn covers_range(&self, addr: usize, size: usize, epoch_raw: u32, generation: u64) -> bool {
+        self.ranges.iter().any(|r| {
+            r.end > r.base
+                && r.epoch == epoch_raw
+                && r.generation == generation
+                && r.base <= addr
+                && addr + size <= r.end
+        })
+    }
+
+    /// Records a publication in the range table: extends an existing
+    /// slot when the write starts exactly at its end (the sequential
+    /// sweep case), otherwise claims a fresh slot round-robin.
+    ///
+    /// Same contract as [`insert`](Self::insert): call only after a
+    /// successful, complete write check.
+    #[inline]
+    pub fn insert_coalesced(&mut self, addr: usize, size: usize, epoch_raw: u32, generation: u64) {
+        let Some(end) = addr.checked_add(size) else {
+            return;
+        };
+        for r in &mut self.ranges {
+            if r.end > r.base && r.epoch == epoch_raw && r.generation == generation {
+                if r.end == addr {
+                    r.end = end;
+                    return;
+                }
+                if r.base <= addr && end <= r.end {
+                    return; // already covered
+                }
+            }
+        }
+        self.ranges[self.range_victim] = RangeSlot {
+            base: addr,
+            end,
+            epoch: epoch_raw,
+            generation,
+        };
+        self.range_victim = (self.range_victim + 1) % RANGE_SLOTS;
+    }
+
     /// Empties the filter. Called on every epoch increment (sync
     /// operation); entries would self-invalidate via their epoch tag
     /// anyway, so this is hygiene, not a soundness requirement.
     #[inline]
     pub fn clear(&mut self) {
         self.slots = [Slot::default(); FILTER_SLOTS];
+        self.ranges = [RangeSlot::default(); RANGE_SLOTS];
+        self.range_victim = 0;
     }
 }
 
@@ -128,13 +200,19 @@ pub struct PendingStats {
     /// Filter hits (always `reads_checked + writes_checked` here; kept
     /// separate so draining is a blind field-wise add).
     pub filter_hits: u64,
+    /// Checks skipped under a compiled plan's elide ranges, not yet
+    /// drained.
+    pub plan_elided: u64,
 }
 
 impl PendingStats {
     /// True when there is nothing to drain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.filter_hits == 0 && self.reads_checked == 0 && self.writes_checked == 0
+        self.filter_hits == 0
+            && self.reads_checked == 0
+            && self.writes_checked == 0
+            && self.plan_elided == 0
     }
 }
 
@@ -241,5 +319,49 @@ mod tests {
         st.filter.insert(64, 8, 3, 0);
         st.on_epoch_increment();
         assert!(!st.filter.covers(64, 8, 3, 0));
+    }
+
+    #[test]
+    fn range_slot_grows_with_a_sequential_sweep() {
+        let mut f = SfrWriteFilter::new();
+        // A 512-byte strided sweep occupies ONE range slot and the whole
+        // swept prefix stays covered — the shape direct-mapped slots
+        // cannot express (each insert would clobber a different slot).
+        for i in 0..64 {
+            f.insert_coalesced(i * 8, 8, 7, 0);
+        }
+        assert!(f.covers_range(0, 512, 7, 0), "entire sweep covered");
+        assert!(f.covers_range(8, 8, 7, 0), "early step still covered");
+        assert!(!f.covers_range(512, 8, 7, 0), "past the sweep");
+        assert!(!f.covers_range(0, 8, 8, 0), "epoch mismatch");
+        assert!(!f.covers_range(0, 8, 7, 1), "generation mismatch");
+    }
+
+    #[test]
+    fn range_slots_evict_round_robin() {
+        let mut f = SfrWriteFilter::new();
+        for k in 0..RANGE_SLOTS + 1 {
+            f.insert_coalesced(k * 0x10000, 8, 7, 0);
+        }
+        assert!(!f.covers_range(0, 8, 7, 0), "oldest range evicted");
+        assert!(f.covers_range(RANGE_SLOTS * 0x10000, 8, 7, 0));
+    }
+
+    #[test]
+    fn covered_reinsert_does_not_burn_a_slot() {
+        let mut f = SfrWriteFilter::new();
+        f.insert_coalesced(0, 64, 7, 0);
+        f.insert_coalesced(8, 8, 7, 0); // already covered: no-op
+        f.insert_coalesced(0x10000, 8, 7, 0);
+        assert!(f.covers_range(0, 64, 7, 0));
+        assert!(f.covers_range(0x10000, 8, 7, 0));
+    }
+
+    #[test]
+    fn clear_empties_range_slots_too() {
+        let mut f = SfrWriteFilter::new();
+        f.insert_coalesced(0, 64, 7, 0);
+        f.clear();
+        assert!(!f.covers_range(0, 8, 7, 0));
     }
 }

@@ -69,9 +69,17 @@ pub use detector::{
     AtomicityMode, CleanDetector, DetectorConfig, DEFAULT_STATS_SHARDS, WIDE_CAS_EPOCHS,
 };
 pub use epoch::{Epoch, EpochLayout, ThreadId};
-pub use filter::{PendingStats, SfrWriteFilter, ThreadCheckState, FILTER_SLOTS};
+pub use filter::{PendingStats, SfrWriteFilter, ThreadCheckState, FILTER_SLOTS, RANGE_SLOTS};
 pub use report::{AccessKind, RaceKind, RaceReport};
 pub use rollover::RolloverCoordinator;
-pub use shadow::{ShadowMemory, ShadowPageCache, ShadowStats, PAGE_EPOCHS};
+pub use shadow::{ShadowMemory, ShadowPageCache, ShadowStats, BATCH_CHUNK, PAGE_EPOCHS};
 pub use stats::{DetectorStats, StatsShard, StatsSnapshot};
 pub use trace_event::{EventSink, LockId, TraceEvent};
+
+// The static check-plan subsystem lives in its own leaf crate
+// (`clean-plan`); re-export the detector-facing types so consumers can
+// build and install plans without a separate dependency.
+pub use clean_plan::{
+    CheckPlan, CompiledPlan, Coverage, PlanAction, PlanDecision, PlanEntry, PlanError,
+    PlanObserver, Witness,
+};

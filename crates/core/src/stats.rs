@@ -42,6 +42,12 @@ pub struct StatsShard {
     /// (the software analogue of the paper's Section 5 LLC-ownership
     /// redundant-check elimination).
     pub filter_hits: AtomicU64,
+    /// Checks skipped because a compiled check plan proved the range
+    /// thread-private for the accessing thread.
+    pub plan_elided: AtomicU64,
+    /// Multi-byte accesses resolved by the plan-directed chunked
+    /// (batched) epoch-compare loop.
+    pub plan_batched: AtomicU64,
 }
 
 /// Thread-safe counters accumulated by the detector, sharded by thread.
@@ -79,6 +85,10 @@ pub struct StatsSnapshot {
     pub races_reported: u64,
     /// Checks answered by the SFR write-set filter.
     pub filter_hits: u64,
+    /// Checks skipped under a compiled plan's elide ranges.
+    pub plan_elided: u64,
+    /// Accesses resolved by the plan-directed chunked compare loop.
+    pub plan_batched: u64,
 }
 
 impl StatsSnapshot {
@@ -142,6 +152,8 @@ impl DetectorStats {
             s.cas_conflicts += shard.cas_conflicts.load(Ordering::Relaxed);
             s.races_reported += shard.races_reported.load(Ordering::Relaxed);
             s.filter_hits += shard.filter_hits.load(Ordering::Relaxed);
+            s.plan_elided += shard.plan_elided.load(Ordering::Relaxed);
+            s.plan_batched += shard.plan_batched.load(Ordering::Relaxed);
         }
         s
     }

@@ -1,6 +1,7 @@
 //! Runtime configuration — the experiment knobs of Section 6.
 
-use clean_core::{AtomicityMode, EpochLayout};
+use clean_core::{AtomicityMode, CompiledPlan, EpochLayout};
+use std::sync::Arc;
 
 /// Configuration of a [`CleanRuntime`](crate::CleanRuntime).
 ///
@@ -27,7 +28,7 @@ use clean_core::{AtomicityMode, EpochLayout};
 ///     .det_sync(true);
 /// assert_eq!(cfg.max_threads, 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct RuntimeConfig {
     /// Size of the shared heap in bytes.
@@ -63,6 +64,10 @@ pub struct RuntimeConfig {
     /// Spread detector statistics over cache-line-padded per-thread
     /// shards instead of one contended set of counters.
     pub sharded_stats: bool,
+    /// Optional compiled static check plan (derive with
+    /// `clean-analyze plan` or [`clean_core::PlanObserver`]): per-range
+    /// check elision, coalesced filtering, and batched compare spans.
+    pub check_plan: Option<Arc<CompiledPlan>>,
 }
 
 impl RuntimeConfig {
@@ -81,6 +86,7 @@ impl RuntimeConfig {
             page_cache: true,
             deferred_stats: true,
             sharded_stats: true,
+            check_plan: None,
         }
     }
 
@@ -160,6 +166,12 @@ impl RuntimeConfig {
     /// statistics.
     pub fn deferred_stats(mut self, on: bool) -> Self {
         self.deferred_stats = on;
+        self
+    }
+
+    /// Installs (or clears) a compiled static check plan.
+    pub fn check_plan(mut self, plan: Option<Arc<CompiledPlan>>) -> Self {
+        self.check_plan = plan;
         self
     }
 }

@@ -243,7 +243,8 @@ impl CleanRuntime {
                     .write_filter(config.write_filter)
                     .page_cache(config.page_cache)
                     .deferred_stats(config.deferred_stats)
-                    .sharded_stats(config.sharded_stats),
+                    .sharded_stats(config.sharded_stats)
+                    .check_plan(config.check_plan.clone()),
             )
         });
         CleanRuntime {
@@ -271,7 +272,7 @@ impl CleanRuntime {
 
     /// The runtime's configuration.
     pub fn config(&self) -> RuntimeConfig {
-        self.inner.config
+        self.inner.config.clone()
     }
 
     /// Allocates a typed array in the shared heap.

@@ -300,7 +300,7 @@ fn clock_rollover_reset_preserves_correctness() {
         .max_threads(4)
         .layout(EpochLayout::with_clock_bits(6));
     let run_once = || {
-        let rt = CleanRuntime::new(cfg);
+        let rt = CleanRuntime::new(cfg.clone());
         let a = rt.alloc_array::<u32>(8).unwrap();
         let m = rt.create_mutex();
         let out = rt

@@ -81,6 +81,10 @@ pub struct VmConfig {
     pub write_filter: bool,
     /// Enable the detector's thread-local shadow-page cache.
     pub page_cache: bool,
+    /// Optional compiled static check plan installed in the VM's
+    /// detector — the exploration differential runs corpus programs with
+    /// a derived plan on and off and demands identical verdicts.
+    pub check_plan: Option<Arc<clean_core::CompiledPlan>>,
 }
 
 impl Default for VmConfig {
@@ -92,6 +96,7 @@ impl Default for VmConfig {
             stop_on_race: false,
             write_filter: true,
             page_cache: true,
+            check_plan: None,
         }
     }
 }
@@ -1203,7 +1208,8 @@ pub fn run_schedule(
         DetectorConfig::new()
             .layout(layout)
             .write_filter(cfg.write_filter)
-            .page_cache(cfg.page_cache),
+            .page_cache(cfg.page_cache)
+            .check_plan(cfg.check_plan.clone()),
     );
     let (yield_tx, yield_rx) = channel::<usize>();
     let (root_grant_tx, root_grant_rx) = channel::<()>();

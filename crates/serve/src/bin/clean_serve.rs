@@ -62,15 +62,17 @@ USAGE:
       races each rule has suppressed since it was installed.
   clean-serve suppress add <addr> <rule...>
       Append one rule (e.g. `digest <hex>`, `prefix <hex>`,
-      `addr lo..hi [waw|raw|war]`) to the policy and push it live.
+      `addr lo..hi [waw|raw|war]`, each optionally with a trailing
+      `expires=<unix-secs>` deadline) to the policy and push it live.
       Against a fleet router the new policy lands on every backend.
   clean-serve suppress check <addr> <digest> [--engine E] [--retries N]
       Analyze a digest and report how the active policy classifies it:
       races matched by a rule print as warnings and do not fail.
   clean-serve suppress prune <addr>
-      Drop every rule with zero hits and push the pruned policy live
-      (resetting the hit counters). Against a fleet router the pruned
-      policy lands on every backend.
+      Drop every rule with zero hits, plus every rule whose expires=
+      deadline has passed (hits do not keep an aged-out rule alive), and
+      push the pruned policy live (resetting the hit counters). Against
+      a fleet router the pruned policy lands on every backend.
   clean-serve shutdown <addr>
       Ask the daemon to drain queued jobs and exit.
 

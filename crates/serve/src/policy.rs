@@ -28,6 +28,16 @@
 //! share a seeded prefix corpus); `addr` rules suppress races on an
 //! inclusive address range, optionally narrowed to one race kind
 //! (`waw` / `raw` / `war`).
+//!
+//! Any rule may carry a trailing `expires=<unix-secs>` token — an
+//! absolute deadline after which the rule stops matching (suppressions
+//! should be revisited, not immortal). Aged-out rules are skipped at
+//! classification time and dropped by `suppress prune` regardless of
+//! their hit counts:
+//!
+//! ```text
+//! addr 1000..1fff waw expires=1790000000   # re-triage after the fix ships
+//! ```
 
 use clean_baselines::{FoundRace, FullRaceKind};
 use clean_trace::TraceDigest;
@@ -134,6 +144,35 @@ fn parse_hex_addr(s: &str, line: usize, what: &str) -> Result<u64, PolicyError> 
     u64::from_str_radix(s, 16).map_err(|_| err(line, format!("bad {what} address {s:?}")))
 }
 
+/// Seconds since the Unix epoch — the clock `expires=` deadlines are
+/// measured against.
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Splits a trailing `expires=<unix-secs>` token off a rule's tokens.
+fn split_expiry<'a>(
+    tokens: &'a [&'a str],
+    line: usize,
+) -> Result<(&'a [&'a str], Option<u64>), PolicyError> {
+    match tokens.split_last() {
+        Some((last, rest)) if last.starts_with("expires=") => {
+            let v = &last["expires=".len()..];
+            let secs = v.parse().map_err(|_| {
+                err(
+                    line,
+                    format!("bad expires deadline {v:?} (want unix seconds)"),
+                )
+            })?;
+            Ok((rest, Some(secs)))
+        }
+        _ => Ok((tokens, None)),
+    }
+}
+
 fn parse_rule(tokens: &[&str], line: usize) -> Result<Rule, PolicyError> {
     match tokens {
         ["digest", hex] => {
@@ -191,6 +230,9 @@ pub struct SuppressionPolicy {
     /// anchor that lets [`SuppressionPolicy::prune`] drop a rule's line
     /// while keeping the header and standalone comments.
     lines: Vec<usize>,
+    /// Absolute `expires=` deadline of each rule (unix seconds),
+    /// parallel to `rules`; `None` never ages out.
+    expires: Vec<Option<u64>>,
 }
 
 impl Default for SuppressionPolicy {
@@ -206,6 +248,7 @@ impl SuppressionPolicy {
             text: format!("{POLICY_HEADER}\n"),
             rules: Vec::new(),
             lines: Vec::new(),
+            expires: Vec::new(),
         }
     }
 
@@ -221,6 +264,7 @@ impl SuppressionPolicy {
         }
         let mut rules = Vec::new();
         let mut lines = Vec::new();
+        let mut expires = Vec::new();
         let mut saw_header = false;
         for (i, raw) in text.lines().enumerate() {
             let line_no = i + 1;
@@ -239,14 +283,21 @@ impl SuppressionPolicy {
                 continue;
             }
             let tokens: Vec<&str> = line.split_ascii_whitespace().collect();
-            rules.push(parse_rule(&tokens, line_no)?);
+            let (tokens, deadline) = split_expiry(&tokens, line_no)?;
+            rules.push(parse_rule(tokens, line_no)?);
             lines.push(line_no);
+            expires.push(deadline);
         }
         let mut text = text.to_string();
         if !text.ends_with('\n') {
             text.push('\n');
         }
-        Ok(SuppressionPolicy { text, rules, lines })
+        Ok(SuppressionPolicy {
+            text,
+            rules,
+            lines,
+            expires,
+        })
     }
 
     /// Loads a policy file; a missing file is the empty policy.
@@ -300,24 +351,56 @@ impl SuppressionPolicy {
         self.rules.is_empty()
     }
 
-    /// Whether any rule suppresses `race` found in trace `digest`.
+    /// Each rule's `expires=` deadline (unix seconds), parallel to
+    /// [`SuppressionPolicy::rules`]; `None` never ages out.
+    pub fn expiries(&self) -> &[Option<u64>] {
+        &self.expires
+    }
+
+    /// Whether rule `i` is still live at time `now` (unix seconds).
+    fn live(&self, i: usize, now: u64) -> bool {
+        self.expires
+            .get(i)
+            .copied()
+            .flatten()
+            .is_none_or(|d| now < d)
+    }
+
+    /// Whether any live rule suppresses `race` found in trace `digest`.
     pub fn suppresses(&self, digest: TraceDigest, race: &FoundRace) -> bool {
-        self.rules.iter().any(|r| r.matches(digest, race))
+        self.suppresses_at(digest, race, unix_now())
+    }
+
+    /// [`SuppressionPolicy::suppresses`] at an explicit time (unix
+    /// seconds) — aged-out rules never match.
+    pub fn suppresses_at(&self, digest: TraceDigest, race: &FoundRace, now: u64) -> bool {
+        self.rules
+            .iter()
+            .enumerate()
+            .any(|(i, r)| self.live(i, now) && r.matches(digest, race))
     }
 
     /// Per-race suppression flags for a whole verdict, in order.
     pub fn classify(&self, digest: TraceDigest, races: &[FoundRace]) -> Vec<bool> {
+        self.classify_at(digest, races, unix_now())
+    }
+
+    /// [`SuppressionPolicy::classify`] at an explicit time.
+    pub fn classify_at(&self, digest: TraceDigest, races: &[FoundRace], now: u64) -> Vec<bool> {
         if self.rules.is_empty() {
             return vec![false; races.len()];
         }
-        races.iter().map(|r| self.suppresses(digest, r)).collect()
+        races
+            .iter()
+            .map(|r| self.suppresses_at(digest, r, now))
+            .collect()
     }
 
     /// Like [`SuppressionPolicy::classify`], additionally crediting each
-    /// suppressed race to the *first* rule that matched it by bumping
-    /// that rule's slot in `hits` (which must have one slot per rule).
-    /// First-match credit means a rule whose every match is already
-    /// covered by an earlier rule collects no hits — exactly the
+    /// suppressed race to the *first* live rule that matched it by
+    /// bumping that rule's slot in `hits` (which must have one slot per
+    /// rule). First-match credit means a rule whose every match is
+    /// already covered by an earlier rule collects no hits — exactly the
     /// redundancy [`SuppressionPolicy::prune`] exists to drop.
     pub fn classify_with_hits(
         &self,
@@ -325,33 +408,57 @@ impl SuppressionPolicy {
         races: &[FoundRace],
         hits: &mut [u64],
     ) -> Vec<bool> {
+        self.classify_with_hits_at(digest, races, hits, unix_now())
+    }
+
+    /// [`SuppressionPolicy::classify_with_hits`] at an explicit time —
+    /// aged-out rules neither match nor collect hits.
+    pub fn classify_with_hits_at(
+        &self,
+        digest: TraceDigest,
+        races: &[FoundRace],
+        hits: &mut [u64],
+        now: u64,
+    ) -> Vec<bool> {
         debug_assert_eq!(hits.len(), self.rules.len());
         races
             .iter()
-            .map(
-                |race| match self.rules.iter().position(|r| r.matches(digest, race)) {
-                    Some(i) => {
+            .map(|race| {
+                let hit = self
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .find(|(i, r)| self.live(*i, now) && r.matches(digest, race));
+                match hit {
+                    Some((i, _)) => {
                         if let Some(h) = hits.get_mut(i) {
                             *h += 1;
                         }
                         true
                     }
                     None => false,
-                },
-            )
+                }
+            })
             .collect()
     }
 
     /// Returns a new policy with every zero-hit rule's source line
     /// removed (`hits` is parallel to [`SuppressionPolicy::rules`]; a
-    /// missing slot counts as zero). The header and standalone comment
-    /// lines survive; a comment trailing a pruned rule goes with it.
+    /// missing slot counts as zero), along with every rule whose
+    /// `expires=` deadline has passed — hits do not keep an aged-out
+    /// rule alive. The header and standalone comment lines survive; a
+    /// comment trailing a pruned rule goes with it.
     pub fn prune(&self, hits: &[u64]) -> Self {
+        self.prune_at(hits, unix_now())
+    }
+
+    /// [`SuppressionPolicy::prune`] at an explicit time (unix seconds).
+    pub fn prune_at(&self, hits: &[u64], now: u64) -> Self {
         let dead: Vec<usize> = self
             .lines
             .iter()
             .enumerate()
-            .filter(|&(i, _)| hits.get(i).copied().unwrap_or(0) == 0)
+            .filter(|&(i, _)| hits.get(i).copied().unwrap_or(0) == 0 || !self.live(i, now))
             .map(|(_, &line)| line)
             .collect();
         if dead.is_empty() {
@@ -567,6 +674,68 @@ mod tests {
         assert!(emptied.text().contains(POLICY_HEADER));
         // Nothing to drop: the policy comes back unchanged.
         assert_eq!(p.prune(&[1, 1, 1]), p);
+    }
+
+    #[test]
+    fn expired_rules_stop_matching_but_text_survives() {
+        let d = TraceDigest(3);
+        let text = "CSUP v1\naddr 100..1ff expires=1000\naddr 300..3ff\n";
+        let p = SuppressionPolicy::parse(text).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.expiries(), &[Some(1000), None]);
+        assert_eq!(p.text(), text, "expires token survives the round trip");
+        let r = race(FullRaceKind::Waw, 0x150);
+        assert!(p.suppresses_at(d, &r, 999), "live before the deadline");
+        assert!(!p.suppresses_at(d, &r, 1000), "deadline itself is expired");
+        assert!(!p.suppresses_at(d, &r, 5000));
+        // The unexpired rule keeps working at any time.
+        assert!(p.suppresses_at(d, &race(FullRaceKind::Raw, 0x350), 5000));
+    }
+
+    #[test]
+    fn expiry_applies_to_every_rule_kind_and_rejects_bad_deadlines() {
+        let d = TraceDigest(0xab << 120);
+        let text =
+            format!("CSUP v1\ndigest {d}\nprefix ab expires=50\naddr 0..ff waw expires=60\n");
+        let p = SuppressionPolicy::parse(&text).unwrap();
+        assert_eq!(p.expiries(), &[None, Some(50), Some(60)]);
+        assert!(SuppressionPolicy::parse("CSUP v1\nprefix ab expires=soon\n").is_err());
+        assert!(SuppressionPolicy::parse("CSUP v1\naddr 0..ff expires=-3\n").is_err());
+    }
+
+    #[test]
+    fn classify_with_hits_skips_expired_rules_and_credits_the_next_live_match() {
+        let d = TraceDigest(11);
+        // Rule 1 expired; rule 2 covers the same range and must both
+        // suppress and collect the credit rule 1 no longer can.
+        let p = SuppressionPolicy::parse(
+            "CSUP v1\naddr 100..1ff expires=10\naddr 100..1ff\naddr 400..4ff expires=10\n",
+        )
+        .unwrap();
+        let mut hits = vec![0u64; p.len()];
+        let flags = p.classify_with_hits_at(
+            d,
+            &[
+                race(FullRaceKind::Waw, 0x150), // rule 1 dead → rule 2
+                race(FullRaceKind::War, 0x450), // rule 3 dead, nothing else
+            ],
+            &mut hits,
+            100,
+        );
+        assert_eq!(flags, vec![true, false]);
+        assert_eq!(hits, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn prune_drops_aged_out_rules_regardless_of_hits() {
+        let text = "CSUP v1\naddr 100..1ff expires=10 # old\naddr 300..3ff\n";
+        let p = SuppressionPolicy::parse(text).unwrap();
+        // Rule 1 collected hits before it aged out; prune drops it anyway.
+        let pruned = p.prune_at(&[7, 3], 100);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned.text(), "CSUP v1\naddr 300..3ff\n");
+        // Before the deadline the same hits keep both rules.
+        assert_eq!(p.prune_at(&[7, 3], 5), p);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!                      [--stream] [--workers N] [--decode-workers N]
 //!                      [--range A..B] <file>
 //! clean-analyze diff   [--shards N] <file>
+//! clean-analyze plan   [--granule N] [--out <file>] <file>
 //! ```
 //!
 //! Exit codes let scripts branch without parsing stdout: 0 = success (no
@@ -21,7 +22,7 @@ use clean_trace::{
     replay_file_stealing_with, replay_sharded, scan_trace, EngineKind, RecordOptions, TraceError,
     TraceStats,
 };
-use clean_workloads::TraceGenConfig;
+use clean_workloads::{derive_plan_from_trace, TraceGenConfig};
 use std::collections::HashSet;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -89,6 +90,13 @@ USAGE:
       v2 traces the table seeks straight to the covering chunks.
   clean-analyze diff [--shards N] <file>
       Cross-engine verdict comparison (e.g. the WAR races CLEAN skips).
+  clean-analyze plan [--granule N] [--out <file>] <file>
+      Derive a static check plan (CPLN v1) from the trace's observed
+      access pattern: thread-private ranges become elide entries (with
+      their soundness witness), strided shared writers coalesce, and the
+      remaining shared spans batch. Prints the coverage split; with
+      --out the plan is saved for loading via the runtime's check_plan
+      knob. --granule sets the derivation granule in bytes (default 64).
 
 EXIT CODES:
   0   success; for replay: no race found
@@ -105,6 +113,7 @@ fn main() -> ExitCode {
         Some("digest") => cmd_digest(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -412,6 +421,35 @@ fn cmd_replay(rest: &[String]) -> Result<ExitCode, CliError> {
         any_race |= !races.is_empty();
     }
     Ok(verdict_code(any_race))
+}
+
+fn cmd_plan(rest: &[String]) -> Result<ExitCode, CliError> {
+    let mut args = rest.to_vec();
+    let granule = match take_value(&mut args, "--granule")? {
+        Some(v) => parse_num(&v, "--granule")?,
+        None => 0usize,
+    };
+    let out = take_value(&mut args, "--out")?;
+    let [path] = &args[..] else {
+        return Err("plan takes exactly one trace file".into());
+    };
+    let events = read_trace(path).map_err(trace_err)?;
+    let (plan, coverage) = derive_plan_from_trace(&events, granule);
+    // Derived plans always carry sound witnesses; compiling re-checks
+    // the invariant the loader enforces on untrusted plan files.
+    plan.compile()
+        .map_err(|e| CliError::Other(format!("derived plan failed validation: {e}")))?;
+    println!(
+        "{} events, {} plan entries",
+        events.len(),
+        plan.entries.len()
+    );
+    println!("{}", coverage.render());
+    if let Some(out) = &out {
+        plan.save(out).map_err(|e| e.to_string())?;
+        println!("saved CPLN v1 plan to {out}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn race_set(races: &[FoundRace]) -> HashSet<FoundRace> {

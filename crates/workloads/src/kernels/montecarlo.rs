@@ -16,6 +16,11 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
     let prices = rt.alloc_array::<f64>(options)?;
     let total = rt.alloc_array::<f64>(1)?;
     let probe = rt.alloc_array::<u32>(2)?;
+    // Instrumented per-thread private scratch (the profile's private/stack
+    // fraction): worker t only ever touches its own span, so a derived
+    // check plan can prove these checks elidable.
+    let cells = p.private_cells;
+    let scratch = rt.alloc_array::<f64>((threads * cells).max(1))?;
     let rlock = rt.create_mutex();
     let cpa = p.compute_per_access;
     let params = *p;
@@ -36,6 +41,13 @@ pub(crate) fn run(rt: &CleanRuntime, p: &KernelParams) -> Result<u64> {
                 let lo = t * per;
                 let hi = ((t + 1) * per).min(options);
                 let mut local_sum = 0.0f64;
+                let scratch_lo = t * cells;
+                for i in 0..cells {
+                    c.write(&scratch, scratch_lo + i, (t * cells + i) as f64)?;
+                }
+                for i in 0..cells {
+                    local_sum += c.read(&scratch, scratch_lo + i)? * 1e-12;
+                }
                 let mut rng = KernelRng::new(params.seed ^ (t as u64) << 32);
                 for i in lo..hi {
                     let spot = c.read(&inputs, i * 2)?;

@@ -37,11 +37,13 @@
 
 mod kernels;
 mod params;
+mod plan;
 mod profiles;
 mod tracegen;
 
 pub use kernels::{run_kernel, KernelKind};
 pub use params::{KernelParams, Scale};
+pub use plan::{derive_benchmark_plan, derive_plan_from_trace, plan_from_trace};
 pub use profiles::{
     benchmark, race_free_benchmarks, racy_benchmarks, simulated_benchmarks, BenchProfile, Suite,
     SyncRate, BENCHMARKS,
@@ -68,9 +70,14 @@ pub fn run_benchmark(
     // Rollover-prone benchmarks synchronize often enough on native inputs
     // to exhaust their clocks (Table 1); model that with extra lock work.
     let boost = base + if profile.rollover_prone { 4 } else { 0 };
+    // Instrumented private scratch scaled from the profile's private/stack
+    // fraction, in whole 64-byte granules so a derived check plan can
+    // prove the per-thread spans elidable.
+    let private = ((profile.private_fraction * 256.0) as usize).next_multiple_of(64);
     let p = params
         .compute_per_access(profile.compute_per_access)
-        .sync_boost(boost);
+        .sync_boost(boost)
+        .private_cells(private);
     run_kernel(profile.kernel, rt, &p)
 }
 

@@ -48,6 +48,12 @@ pub struct KernelParams {
     /// overhead of fmm/radiosity/fluidanimate and the Table 1 rollover
     /// selectivity).
     pub sync_boost: u32,
+    /// Instrumented thread-private scratch cells per worker (0 = none).
+    /// Models each profile's private/stack fraction with *checked*
+    /// accesses that only their owning thread ever touches — the
+    /// footprint a static check plan can prove elidable (`run_benchmark`
+    /// sets this from `BenchProfile::private_fraction`).
+    pub private_cells: usize,
 }
 
 impl KernelParams {
@@ -60,6 +66,7 @@ impl KernelParams {
             racy: false,
             compute_per_access: 8,
             sync_boost: 0,
+            private_cells: 0,
         }
     }
 
@@ -96,6 +103,12 @@ impl KernelParams {
     /// Sets the synchronization-rate boost.
     pub fn sync_boost(mut self, n: u32) -> Self {
         self.sync_boost = n;
+        self
+    }
+
+    /// Sets the instrumented private-scratch cells per worker.
+    pub fn private_cells(mut self, n: usize) -> Self {
+        self.private_cells = n;
         self
     }
 }

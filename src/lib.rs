@@ -20,6 +20,8 @@
 //!
 //! * [`core`]: epochs, vector clocks, shadow memory, the Figure 2 race
 //!   check, rollover coordination ([`clean_core`]),
+//! * [`plan`]: the CPLN static check-plan format — elide/coalesce/batch
+//!   ranges with soundness witnesses — and its compiler ([`clean_plan`]),
 //! * [`sync`]: deterministic mutex/barrier/condvar and thread registry
 //!   ([`clean_sync`]),
 //! * [`runtime`]: the software-only CLEAN runtime — monitored threads,
@@ -61,6 +63,7 @@
 
 pub use clean_baselines as baselines;
 pub use clean_core as core;
+pub use clean_plan as plan;
 pub use clean_runtime as runtime;
 pub use clean_sched as sched;
 pub use clean_serve as serve;

@@ -12,8 +12,9 @@
 //! Everything about a generated program, including its thread count, is
 //! an explicit function of the seed — nothing depends on the OS schedule.
 
-use clean::core::RaceKind;
+use clean::core::{RaceKind, TraceEvent};
 use clean::runtime::{CleanError, CleanRuntime, RaceReport, RuntimeConfig, SharedArray};
+use clean::workloads::plan_from_trace;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,6 +120,8 @@ struct RunOutcome {
     digest: u64,
     first_race: Option<RaceReport>,
     victim_addr: usize,
+    /// The event trace, when the config asked for recording.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 fn run(program: &Program) -> RunOutcome {
@@ -126,15 +129,20 @@ fn run(program: &Program) -> RunOutcome {
 }
 
 fn run_cfg(program: &Program, fast_path: bool) -> RunOutcome {
-    let threads = program.threads;
-    let rt = CleanRuntime::new(
+    run_with(
+        program,
         RuntimeConfig::new()
             .heap_size(1 << 16)
             .max_threads(8)
             .write_filter(fast_path)
             .page_cache(fast_path)
             .sharded_stats(fast_path),
-    );
+    )
+}
+
+fn run_with(program: &Program, cfg: RuntimeConfig) -> RunOutcome {
+    let threads = program.threads;
+    let rt = CleanRuntime::new(cfg);
     let cells: SharedArray<u64> = rt.alloc_array(threads * CELLS_PER_THREAD).unwrap();
     let counter: SharedArray<u64> = rt.alloc_array(1).unwrap();
     let victim: SharedArray<u64> = rt.alloc_array(1).unwrap();
@@ -193,6 +201,7 @@ fn run_cfg(program: &Program, fast_path: bool) -> RunOutcome {
         digest: rt.stats().digest(),
         first_race: rt.first_race(),
         victim_addr,
+        trace: rt.recorded_trace(),
     }
 }
 
@@ -262,6 +271,77 @@ fn fast_path_is_verdict_neutral_across_200_random_seeds() {
                 );
             }
             (a, b) => panic!("{ctx}: verdicts diverged: fast={a:?} slow={b:?}"),
+        }
+    }
+}
+
+#[test]
+fn derived_check_plans_are_verdict_neutral_across_200_random_seeds() {
+    // A derived check plan may only change *which* accesses run through
+    // the full Figure 2 check — elided, coalesced, and batched ranges
+    // must never change what the execution concludes. For 200 generated
+    // programs — half race-free, half with an injected WAW — a
+    // profiling run with plans off records a trace, a plan is derived
+    // from that trace, and the same program re-runs with the plan
+    // installed: verdicts, outputs, digests, and the exact first race
+    // (kind, address, size, thread pair) must all agree. The soundness
+    // hinge is that the racing granule always shows foreign accesses in
+    // the recorded trace, so it is never classified elidable.
+    let base = base_seed();
+    for i in 0..200u64 {
+        let seed = base.wrapping_add(i);
+        let ctx = repro(
+            "derived_check_plans_are_verdict_neutral_across_200_random_seeds",
+            seed,
+        );
+        let mut program = generate(seed, 3, 6);
+        if i % 2 == 1 {
+            program.collision = Some(seed as usize % 3);
+        }
+        let off = run_with(
+            &program,
+            RuntimeConfig::new()
+                .heap_size(1 << 16)
+                .max_threads(8)
+                .record_trace(true),
+        );
+        let events = off
+            .trace
+            .as_ref()
+            .unwrap_or_else(|| panic!("{ctx}: profiling run recorded no trace"));
+        let (plan, _coverage) = plan_from_trace(events, 0);
+        let on = run_with(
+            &program,
+            RuntimeConfig::new()
+                .heap_size(1 << 16)
+                .max_threads(8)
+                .check_plan(Some(plan)),
+        );
+        match (&on.result, &off.result) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "{ctx}: outputs diverged");
+                assert_eq!(on.digest, off.digest, "{ctx}: digests diverged");
+                assert_eq!(on.first_race, None, "{ctx}");
+                assert_eq!(off.first_race, None, "{ctx}");
+                assert_eq!(i % 2, 0, "{ctx}: injected race not raised");
+            }
+            (Err(_), Err(_)) => {
+                let a = on
+                    .first_race
+                    .unwrap_or_else(|| panic!("{ctx}: plan-on run recorded no race"));
+                let b = off
+                    .first_race
+                    .unwrap_or_else(|| panic!("{ctx}: plan-off run recorded no race"));
+                assert_eq!(a.kind, b.kind, "{ctx}: race kind diverged");
+                assert_eq!(a.addr, b.addr, "{ctx}: race address diverged");
+                assert_eq!(a.size, b.size, "{ctx}: race size diverged");
+                assert_eq!(
+                    (a.current_tid, a.previous_tid()),
+                    (b.current_tid, b.previous_tid()),
+                    "{ctx}: racing thread pair diverged"
+                );
+            }
+            (a, b) => panic!("{ctx}: verdicts diverged: plan-on={a:?} plan-off={b:?}"),
         }
     }
 }
