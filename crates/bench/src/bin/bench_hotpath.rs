@@ -22,6 +22,12 @@
 //! accesses through the chunked epoch-compare loop). Headline
 //! `plan_speedup` is the `plan_private` ratio.
 //!
+//! **Obs**: the observability-bridge ablation — the `sfr_local` shape
+//! under the all-on knobs with and without a `DetectorObs` counters
+//! bundle attached. The bridge mirrors only at SFR drains, so attaching
+//! it must cost under 2% throughput; detached it is one untaken branch
+//! per drain (0%, asserted by construction, reported for the record).
+//!
 //! **Offline**: a synthetic multi-thread trace (~1 GiB at the full
 //! profile) replayed through the CLEAN engine two ways — the naive
 //! baseline (`replay_file_sharded`: one worker per shard, each decoding
@@ -39,7 +45,7 @@
 
 use clean_bench::{env_reps, env_threads, fmt_pct, fmt_x, measure, trace_dir, Table};
 use clean_core::{
-    CheckPlan, CleanDetector, CompiledPlan, DetectorConfig, PlanAction, PlanEntry,
+    CheckPlan, CleanDetector, CompiledPlan, DetectorConfig, DetectorObs, PlanAction, PlanEntry,
     ThreadCheckState, ThreadId, TraceEvent, VectorClock, Witness,
 };
 use clean_trace::{
@@ -158,13 +164,17 @@ struct CellResult {
 }
 
 /// Runs one profile under one knob config and returns the throughput of
-/// the best of `reps` timed repetitions.
+/// the best of `reps` timed repetitions. When `obs_registry` is set, a
+/// [`DetectorObs`] counters bundle on that registry is attached to the
+/// detector (the observability-ablation cells); `None` leaves the
+/// detector exactly as shipped.
 fn run_online_cell(
     profile: &Profile,
     cfg: &KnobConfig,
     threads: usize,
     ops_per_thread: u64,
     reps: usize,
+    obs_registry: Option<&clean_obs::Registry>,
 ) -> CellResult {
     let sweep_ops = profile.words * profile.revisits;
     let hot_ops = sweep_ops.checked_div(profile.hot_every).unwrap_or(0);
@@ -172,7 +182,7 @@ fn run_online_cell(
     let phases = (ops_per_thread / phase_ops).max(1);
     let accesses = phases * phase_ops * threads as u64;
     let (best, snap) = measure(reps, || {
-        let det = CleanDetector::new(
+        let mut det = CleanDetector::new(
             threads * profile.region,
             DetectorConfig::new()
                 .write_filter(cfg.write_filter)
@@ -180,6 +190,9 @@ fn run_online_cell(
                 .sharded_stats(cfg.sharded_stats)
                 .deferred_stats(cfg.deferred_stats),
         );
+        if let Some(registry) = obs_registry {
+            det.attach_obs(DetectorObs::new(registry));
+        }
         let det = &det;
         let layout = det.layout();
         std::thread::scope(|s| {
@@ -309,9 +322,12 @@ fn plan_for(profile: &PlanProfile, threads: usize) -> Arc<CompiledPlan> {
             }
         })
         .collect();
-    let compiled = CheckPlan { entries }
-        .compile()
-        .expect("bench plans carry sound witnesses");
+    let compiled = CheckPlan {
+        profile: None,
+        entries,
+    }
+    .compile()
+    .expect("bench plans carry sound witnesses");
     Arc::new(compiled)
 }
 
@@ -634,7 +650,7 @@ fn main() {
         let mut cells = Vec::new();
         let mut base_rate = 0.0;
         for cfg in &CONFIGS {
-            let cell = run_online_cell(profile, cfg, threads, ops_per_thread, reps);
+            let cell = run_online_cell(profile, cfg, threads, ops_per_thread, reps, None);
             // Every profile carries *some* write redundancy (revisits or
             // the hot accumulator): a filter that never engages means the
             // knob is not wired through, not a hostile workload.
@@ -681,6 +697,66 @@ fn main() {
             cfg_json.join(",\n      ")
         ));
     }
+
+    // ---- observability ablation ----
+    // The detector obs bridge mirrors counters only at SFR drains (and
+    // race reports), never per access, so attaching it must cost under
+    // 2% on the drain-heaviest shape; detached, the check path is the
+    // shipped code plus one untaken branch per drain — 0% by
+    // construction, reported as such.
+    println!("observability bridge (obs-on vs obs-off, sfr_local all_on knobs):");
+    let all_on = CONFIGS.last().expect("all_on is last");
+    let obs_registry = clean_obs::Registry::new();
+    // The true cost is a handful of counter ops per multi-thousand-access
+    // SFR drain — far below run-to-run machine drift. Alternate the two
+    // arms across rounds and take each arm's best so slow frequency or
+    // thermal drift hits both sides equally instead of whichever arm ran
+    // second.
+    let mut obs_off = run_online_cell(&PROFILES[0], all_on, threads, ops_per_thread, reps, None);
+    let mut obs_on = run_online_cell(
+        &PROFILES[0],
+        all_on,
+        threads,
+        ops_per_thread,
+        reps,
+        Some(&obs_registry),
+    );
+    for _ in 1..3 {
+        let off = run_online_cell(&PROFILES[0], all_on, threads, ops_per_thread, reps, None);
+        if off.maccesses_per_sec > obs_off.maccesses_per_sec {
+            obs_off = off;
+        }
+        let on = run_online_cell(
+            &PROFILES[0],
+            all_on,
+            threads,
+            ops_per_thread,
+            reps,
+            Some(&obs_registry),
+        );
+        if on.maccesses_per_sec > obs_on.maccesses_per_sec {
+            obs_on = on;
+        }
+    }
+    let obs_snap = obs_registry.snapshot();
+    assert!(
+        obs_snap.counter("detector_sfr_drains", &[]).unwrap_or(0) > 0,
+        "obs-on cell must actually mirror drains into the registry"
+    );
+    // Best-of over interleaved rounds already filters scheduler noise;
+    // any residual negative cost is noise, clamp it.
+    let obs_cost = (1.0 - obs_on.maccesses_per_sec / obs_off.maccesses_per_sec).max(0.0);
+    println!(
+        "  obs-off {:.1} Macc/s vs obs-on {:.1} Macc/s -> {:.2}% attach cost (budget 2%), 0% detached\n",
+        obs_off.maccesses_per_sec,
+        obs_on.maccesses_per_sec,
+        obs_cost * 100.0
+    );
+    assert!(
+        obs_cost < 0.02,
+        "attaching DetectorObs cost {:.2}% throughput, over the 2% budget",
+        obs_cost * 100.0
+    );
 
     // ---- static check-plan ablation ----
     println!("static check plan (plan-on vs plan-off, all_on knobs):");
@@ -763,13 +839,16 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"hotpath\",\n  \"profile\": \"{}\",\n  \"threads\": {},\n  \"reps\": {},\n  \"online_speedup\": {:.3},\n  \"offline_speedup\": {:.3},\n  \"plan_speedup\": {:.3},\n  \"verdicts_diverged\": {},\n  \"online_profiles\": [\n{}\n  ],\n  \"plan_profiles\": [\n{}\n  ],\n  \"offline\": {{\n    \"events\": {},\n    \"bytes\": {},\n    \"shards\": {},\n    \"workers\": {},\n    \"decode_workers\": {},\n    \"used_table\": {},\n    \"naive_secs\": {:.3},\n    \"stealing_secs\": {:.3},\n    \"batches\": {},\n    \"steals\": {},\n    \"used_mmap\": {},\n    \"races_found\": {},\n    \"races_agree\": {},\n    \"decode_sweep\": [\n      {}\n    ]\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"hotpath\",\n  \"profile\": \"{}\",\n  \"threads\": {},\n  \"reps\": {},\n  \"online_speedup\": {:.3},\n  \"offline_speedup\": {:.3},\n  \"plan_speedup\": {:.3},\n  \"obs\": {{\n    \"off_maccesses_per_sec\": {:.3},\n    \"on_maccesses_per_sec\": {:.3},\n    \"on_cost\": {:.4},\n    \"off_cost\": 0.0\n  }},\n  \"verdicts_diverged\": {},\n  \"online_profiles\": [\n{}\n  ],\n  \"plan_profiles\": [\n{}\n  ],\n  \"offline\": {{\n    \"events\": {},\n    \"bytes\": {},\n    \"shards\": {},\n    \"workers\": {},\n    \"decode_workers\": {},\n    \"used_table\": {},\n    \"naive_secs\": {:.3},\n    \"stealing_secs\": {:.3},\n    \"batches\": {},\n    \"steals\": {},\n    \"used_mmap\": {},\n    \"races_found\": {},\n    \"races_agree\": {},\n    \"decode_sweep\": [\n      {}\n    ]\n  }}\n}}\n",
         if small { "small" } else { "full" },
         threads,
         reps,
         online_speedup,
         offline_speedup,
         plan_speedup,
+        obs_off.maccesses_per_sec,
+        obs_on.maccesses_per_sec,
+        obs_cost,
         !off.races_agree,
         json_profiles.join(",\n"),
         json_plans.join(",\n"),
@@ -791,10 +870,11 @@ fn main() {
     std::fs::write(&out, &json).expect("write result JSON");
     println!("wrote {}", out.display());
     println!(
-        "headline: online (sfr_local all_on vs all_off) {}, offline (stealing+mmap vs naive) {}, plan (plan_private on vs off) {}",
+        "headline: online (sfr_local all_on vs all_off) {}, offline (stealing+mmap vs naive) {}, plan (plan_private on vs off) {}, obs attach cost {:.2}%",
         fmt_x(online_speedup),
         fmt_x(offline_speedup),
-        fmt_x(plan_speedup)
+        fmt_x(plan_speedup),
+        obs_cost * 100.0
     );
 
     // ---- regression gate ----

@@ -19,11 +19,15 @@
 //!
 //! The run fails if the STATS counters disagree with the regime (a hot
 //! round that misses the cache means memoization broke) or if a racy
-//! trace yields no races. Results land in `BENCH_serve.json` (override
-//! with `--out`); `--small` selects the quick CI profile. `CLEAN_THREADS`
-//! scales the client fan-out.
+//! trace yields no races. The daemon's `METRICS` exposition is fetched
+//! alongside STATS in both the single-node and fleet phases and must
+//! agree with it counter-for-counter — the bench validates the
+//! observability wire, not just the service. Results land in
+//! `BENCH_serve.json` (override with `--out`); `--small` selects the
+//! quick CI profile. `CLEAN_THREADS` scales the client fan-out.
 
 use clean_bench::{env_threads, fmt_pct, trace_dir, Table};
+use clean_obs::Snapshot;
 use clean_serve::client::Client;
 use clean_serve::protocol::Response;
 use clean_serve::router::{Router, RouterConfig};
@@ -211,6 +215,32 @@ fn main() {
     let resubmit_count = clients * corpus.len();
 
     let stats = seed_client.stats().expect("final stats");
+    // The METRICS exposition must tell the same story as the STATS
+    // wire reply: same registry cells, two renderings.
+    let metrics = Snapshot::parse(&seed_client.metrics().expect("final METRICS"))
+        .expect("parse METRICS exposition");
+    assert_eq!(
+        metrics.counter("cache_hits", &[]),
+        Some(stats.cache_hits),
+        "METRICS cache_hits must match STATS"
+    );
+    assert_eq!(
+        metrics.counter("cache_misses", &[]),
+        Some(stats.cache_misses),
+        "METRICS cache_misses must match STATS"
+    );
+    assert_eq!(
+        metrics.counter("submits", &[]),
+        Some(stats.submits),
+        "METRICS submits must match STATS"
+    );
+    let analyze_hist = metrics
+        .hist("serve_latency_micros", &[("verb", "analyze")])
+        .expect("analyze latency histogram in METRICS");
+    assert!(
+        analyze_hist.count() as usize >= hot_verdicts,
+        "every hot analyze must land in the service latency histogram"
+    );
     server.shutdown();
     server.join();
 
@@ -313,6 +343,27 @@ fn main() {
     let fleet_secs = t0.elapsed().as_secs_f64();
 
     let fleet_stats = fleet_client.stats().expect("fleet stats");
+    // The router's merged exposition: node-stamped backend snapshots
+    // plus its own counters. Cross-node sums must agree with the
+    // merged STATS reply, and the hot phase must have reused pooled
+    // backend connections instead of dialing per forward.
+    let fleet_metrics = Snapshot::parse(&fleet_client.metrics().expect("fleet METRICS"))
+        .expect("parse fleet METRICS exposition");
+    assert_eq!(
+        fleet_metrics.counter_family_total("cache_misses"),
+        fleet_stats.cache_misses,
+        "node-summed METRICS cache_misses must match merged STATS"
+    );
+    assert_eq!(
+        fleet_metrics.counter_family_total("submits"),
+        fleet_stats.submits,
+        "node-summed METRICS submits must match merged STATS"
+    );
+    let fleet_pool_hits = fleet_metrics.counter_family_total("router_pool_hits");
+    assert!(
+        fleet_pool_hits > 0,
+        "the fleet hot phase must reuse pooled backend connections"
+    );
     assert_eq!(
         fleet_stats.store_traces as usize,
         corpus.len() * 2,
@@ -372,7 +423,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"serve\",\n  \"profile\": \"{}\",\n  \"clients\": {},\n  \"rounds\": {},\n  \"corpus_traces\": {},\n  \"corpus_bytes\": {},\n  \"cold_submit_secs\": {:.4},\n  \"cold_analyze_secs\": {:.4},\n  \"hot_analyze_secs\": {:.4},\n  \"resubmit_secs\": {:.4},\n  \"hot_verdicts_per_sec\": {:.1},\n  \"cache_hit_rate\": {:.4},\n  \"submit_dedup_hits\": {},\n  \"jobs_completed\": {},\n  \"jobs_rejected\": {},\n  \"warm_restart_secs\": {:.4},\n  \"warm_persist_hits\": {},\n  \"fleet_nodes\": {},\n  \"fleet_hot_secs\": {:.4},\n  \"fleet_hot_verdicts_per_sec\": {:.1},\n  \"fleet_forwards\": {},\n  \"fleet_store_traces\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"serve\",\n  \"profile\": \"{}\",\n  \"clients\": {},\n  \"rounds\": {},\n  \"corpus_traces\": {},\n  \"corpus_bytes\": {},\n  \"cold_submit_secs\": {:.4},\n  \"cold_analyze_secs\": {:.4},\n  \"hot_analyze_secs\": {:.4},\n  \"resubmit_secs\": {:.4},\n  \"hot_verdicts_per_sec\": {:.1},\n  \"cache_hit_rate\": {:.4},\n  \"submit_dedup_hits\": {},\n  \"jobs_completed\": {},\n  \"jobs_rejected\": {},\n  \"warm_restart_secs\": {:.4},\n  \"warm_persist_hits\": {},\n  \"fleet_nodes\": {},\n  \"fleet_hot_secs\": {:.4},\n  \"fleet_hot_verdicts_per_sec\": {:.1},\n  \"fleet_forwards\": {},\n  \"fleet_pool_hits\": {},\n  \"fleet_store_traces\": {}\n}}\n",
         if small { "small" } else { "full" },
         clients,
         rounds,
@@ -393,6 +444,7 @@ fn main() {
         fleet_secs,
         hot_verdicts as f64 / fleet_secs,
         fleet_stats.forwards,
+        fleet_pool_hits,
         fleet_stats.store_traces,
     );
     std::fs::write(&out, &json).expect("write result JSON");

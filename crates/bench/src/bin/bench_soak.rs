@@ -11,19 +11,26 @@
 //!
 //! Every verdict observed by any worker is checked against a direct
 //! `replay_sharded` ground truth — the soak fails on a single
-//! divergence. Per-class latencies land in mergeable log2 histograms;
-//! the run writes `BENCH_soak.json` (override with `--out`) and exits
-//! nonzero when an SLO gate trips:
+//! divergence. Worker-side stats land in a `clean-obs` registry
+//! (per-class `soak_ops_total` counters, `soak_client_micros`
+//! histograms, a `divergence_total` counter), and the latency SLO
+//! gates read the server-side `serve_latency_micros` histograms out of
+//! the fleet's own `METRICS` exposition — the soak validates the
+//! observability path itself, not a private client-side timer. The run
+//! writes `BENCH_soak.json` (override with `--out`), optionally the
+//! merged `CMET v1` exposition (`--metrics-out FILE`, for CI greps),
+//! and exits nonzero when an SLO gate trips:
 //!
 //! * unexpected-error rate above `--max-error-rate` (default 1%),
 //! * any verdict divergence,
 //! * no suppressed verdict observed after the policy flip,
-//! * hot-analyze p99 above `--p99-limit-ms`, or
+//! * an empty or request-free fleet METRICS exposition,
+//! * hot-analyze (server-side ANALYZE) p99 above `--p99-limit-ms`, or
 //! * a per-class p99 regression against `--check-baseline FILE`: each of
 //!   the `hot_p99_micros`, `cold_p99_micros` and `dup_p99_micros` keys
-//!   recorded there gates its class (hot re-analyze, cold submit,
-//!   duplicate submit) at one log2 bucket of quantization headroom plus
-//!   25% plus a 2 ms floor.
+//!   recorded there gates its class (ANALYZE, cold SUBMIT, deduplicated
+//!   SUBMIT — server-side service latency) at one log2 bucket of
+//!   quantization headroom plus 25% plus a 2 ms floor.
 //!
 //! The schedule derives from one seed (`--seed` / `CLEAN_TEST_SEED`);
 //! failures print the one-line repro command.
@@ -33,8 +40,9 @@ use clean_bench::soak::{
     env_seed, synth_events, synth_trace, LogHistogram, OpClass, SplitMix64, TrafficMix,
 };
 use clean_bench::{env_threads, trace_dir};
+use clean_obs::{Counter, Hist, Registry, Snapshot};
 use clean_serve::client::Client;
-use clean_serve::protocol::Response;
+use clean_serve::protocol::{Response, MAGIC, VERSION};
 use clean_serve::router::{Router, RouterConfig};
 use clean_serve::server::{Server, ServerConfig, ServerHandle};
 use clean_trace::{
@@ -113,17 +121,45 @@ fn reserve_addrs(n: usize) -> Vec<String> {
         .collect()
 }
 
-#[derive(Clone)]
-struct ClassStats {
-    ok: u64,
-    err: u64,
-    hist: LogHistogram,
+/// Pre-registered metric handles for one worker: the op loop records
+/// through these without ever touching the registry mutex. Handles are
+/// keyed by name, so every worker's cells share the same counters.
+struct WorkerCells {
+    /// Per-class ok counters, indexed like [`OpClass::ALL`].
+    ok: [Counter; 5],
+    /// Per-class unexpected-error counters.
+    err: [Counter; 5],
+    /// Per-class client-observed round-trip latency.
+    hist: [Hist; 5],
+    /// Verdicts that disagreed with the replay ground truth.
+    divergences: Counter,
+    /// Races demoted to warnings across all observed verdicts.
+    suppressed: Counter,
+}
+
+impl WorkerCells {
+    fn new(registry: &Registry) -> Self {
+        let labeled = |outcome: &str| {
+            OpClass::ALL.map(|c| {
+                registry.counter_with(
+                    "soak_ops_total",
+                    &[("class", c.name()), ("outcome", outcome)],
+                )
+            })
+        };
+        WorkerCells {
+            ok: labeled("ok"),
+            err: labeled("err"),
+            hist: OpClass::ALL
+                .map(|c| registry.hist_with("soak_client_micros", &[("class", c.name())])),
+            divergences: registry.counter("divergence_total"),
+            suppressed: registry.counter("soak_suppressed_verdict_races"),
+        }
+    }
 }
 
 struct WorkerReport {
-    classes: [ClassStats; 5],
-    divergences: u64,
-    suppressed_seen: u64,
+    cells: WorkerCells,
     samples: Vec<String>,
 }
 
@@ -134,6 +170,7 @@ struct Shared<'a> {
     stop: &'a AtomicBool,
     policy_active: &'a AtomicBool,
     cold_counter: &'a AtomicU64,
+    registry: &'a Registry,
     suppress_digest: TraceDigest,
     seed: u64,
 }
@@ -156,9 +193,10 @@ fn served_set(races: &[clean_serve::protocol::WireRace]) -> HashSet<FoundRace> {
     races.iter().map(|r| r.to_found()).collect()
 }
 
-/// One worker: schedules ops from the shared mix until `stop`, keeping
-/// private stats so the hot path takes no locks.
-fn run_worker(shared: &Shared<'_>, worker: usize) -> WorkerReport {
+/// One worker: schedules ops from the shared mix until `stop`,
+/// recording outcomes through pre-registered metric handles so the hot
+/// path takes no locks. Returns its failure samples.
+fn run_worker(shared: &Shared<'_>, worker: usize) -> Vec<String> {
     let mut rng = SplitMix64::new(
         shared
             .seed
@@ -166,13 +204,7 @@ fn run_worker(shared: &Shared<'_>, worker: usize) -> WorkerReport {
     );
     let mix = TrafficMix::default();
     let mut report = WorkerReport {
-        classes: std::array::from_fn(|_| ClassStats {
-            ok: 0,
-            err: 0,
-            hist: LogHistogram::new(),
-        }),
-        divergences: 0,
-        suppressed_seen: 0,
+        cells: WorkerCells::new(shared.registry),
         samples: Vec::new(),
     };
     let mut client: Option<Client> = None;
@@ -188,14 +220,14 @@ fn run_worker(shared: &Shared<'_>, worker: usize) -> WorkerReport {
             OpClass::SlowLoris => op_slow_loris(shared),
         };
         let micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        let stats = &mut report.classes[class_index(class)];
+        let idx = class_index(class);
         match outcome {
             Ok(()) => {
-                stats.ok += 1;
-                stats.hist.record(micros);
+                report.cells.ok[idx].inc();
+                report.cells.hist[idx].record(micros);
             }
             Err(msg) => {
-                stats.err += 1;
+                report.cells.err[idx].inc();
                 // A failed round trip poisons request/response framing.
                 client = None;
                 if report.samples.len() < 5 {
@@ -204,7 +236,7 @@ fn run_worker(shared: &Shared<'_>, worker: usize) -> WorkerReport {
             }
         }
     }
-    report
+    report.samples
 }
 
 fn op_hot_analyze(
@@ -234,7 +266,7 @@ fn op_hot_analyze(
             }
             let served = served_set(&races);
             if served != trace.truth[engine_idx] {
-                report.divergences += 1;
+                report.cells.divergences.inc();
                 if report.samples.len() < 5 {
                     report.samples.push(format!(
                         "DIVERGENCE {} {}: served {} races, truth {}",
@@ -246,9 +278,9 @@ fn op_hot_analyze(
                 }
             }
             let suppressed = races.iter().filter(|r| r.suppressed).count() as u64;
-            report.suppressed_seen += suppressed;
+            report.cells.suppressed.add(suppressed);
             if expect_suppressed && suppressed == 0 {
-                report.divergences += 1;
+                report.cells.divergences.inc();
                 if report.samples.len() < 5 {
                     report.samples.push(format!(
                         "SUPPRESSION MISS {}: policy active but no race demoted",
@@ -293,7 +325,7 @@ fn op_cold_submit(
     {
         Response::Verdict { races, .. } => {
             if served_set(&races) != truth {
-                report.divergences += 1;
+                report.cells.divergences.inc();
                 if report.samples.len() < 5 {
                     report.samples.push(format!(
                         "DIVERGENCE synthetic seed {cold_seed}: served {} races, truth {}",
@@ -354,23 +386,41 @@ fn expect_rejection(stream: TcpStream, context: &str) -> Result<(), String> {
     }
 }
 
+/// The 0x03 STATUS opcode, used where a hostile frame needs a real verb
+/// so only the poisoned field is at fault.
+const OP_STATUS_BYTE: u8 = 0x03;
+
+/// Builds a CSRV frame header (+ body) from explicit parts, so hostile
+/// frames track the live protocol [`VERSION`] instead of hard-coding a
+/// stale one (a version bump must not silently turn every shape into
+/// the same version-mismatch rejection).
+fn raw_frame(magic: &[u8; 4], version: u8, opcode: u8, len: u32, body: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(10 + body.len());
+    frame.extend_from_slice(magic);
+    frame.push(version);
+    frame.push(opcode);
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(body);
+    frame
+}
+
 fn op_bad_frame(shared: &Shared<'_>, rng: &mut SplitMix64) -> Result<(), String> {
     let mut stream =
         TcpStream::connect(shared.target).map_err(|e| format!("bad-frame connect: {e}"))?;
     let shape = rng.below(4);
-    let frame: &[u8] = match shape {
+    let frame: Vec<u8> = match shape {
         // Wrong magic.
-        0 => b"XSRV\x03\x03\x00\x00\x00\x00",
+        0 => raw_frame(b"XSRV", VERSION, OP_STATUS_BYTE, 0, &[]),
         // Wrong protocol version.
-        1 => b"CSRV\x63\x03\x00\x00\x00\x00",
+        1 => raw_frame(&MAGIC, VERSION.wrapping_add(0x60), OP_STATUS_BYTE, 0, &[]),
         // Unknown opcode.
-        2 => b"CSRV\x03\x7f\x00\x00\x00\x00",
+        2 => raw_frame(&MAGIC, VERSION, 0x7f, 0, &[]),
         // Lying length: STATUS promises 8 body bytes, delivers 3.
-        _ => b"CSRV\x03\x03\x08\x00\x00\x00abc",
+        _ => raw_frame(&MAGIC, VERSION, OP_STATUS_BYTE, 8, b"abc"),
     };
     // The peer may reject and reset before the write finishes; that is
     // a success for this op, not a transport failure.
-    let _ = stream.write_all(frame);
+    let _ = stream.write_all(&frame);
     let _ = stream.flush();
     if shape == 3 {
         let _ = stream.shutdown(std::net::Shutdown::Write);
@@ -383,10 +433,26 @@ fn op_slow_loris(shared: &Shared<'_>) -> Result<(), String> {
         TcpStream::connect(shared.target).map_err(|e| format!("slow-loris connect: {e}"))?;
     // Half a header, then silence: the server's I/O timeout must reap
     // this connection instead of letting it camp on an acceptor.
-    let _ = stream.write_all(b"CSRV\x03");
+    let _ = stream.write_all(&[MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], VERSION]);
     let _ = stream.flush();
     std::thread::sleep(Duration::from_millis(2 * IO_TIMEOUT_MILLIS));
     expect_rejection(stream, "slow-loris")
+}
+
+/// Folds every histogram of family `name` whose metric key carries all
+/// `needles` (label fragments like `verb="analyze"`) into one — the
+/// cross-node merge of one labeled histogram out of the router's
+/// node-stamped exposition.
+fn fleet_hist(snap: &Snapshot, name: &str, needles: &[&str]) -> LogHistogram {
+    let mut out = LogHistogram::new();
+    for (key, hist) in &snap.hists {
+        let of_family =
+            key == name || (key.starts_with(name) && key[name.len()..].starts_with('{'));
+        if of_family && needles.iter().all(|n| key.contains(n)) {
+            out.merge(hist);
+        }
+    }
+    out
 }
 
 /// Minimal positive-integer field extraction from our own JSON output.
@@ -404,6 +470,7 @@ struct Args {
     clients: usize,
     seed: u64,
     out: PathBuf,
+    metrics_out: Option<PathBuf>,
     check_baseline: Option<PathBuf>,
     max_error_rate: f64,
     p99_limit_ms: Option<f64>,
@@ -416,13 +483,15 @@ fn parse_args() -> Args {
         clients: env_threads(),
         seed: env_seed(0xC1EA_50A4),
         out: PathBuf::from("BENCH_soak.json"),
+        metrics_out: None,
         check_baseline: None,
         max_error_rate: 0.01,
         p99_limit_ms: None,
     };
     let mut it = std::env::args().skip(1);
     let usage = "usage: bench_soak [--secs N] [--nodes N] [--clients N] [--seed N] \
-                 [--out FILE] [--check-baseline FILE] [--max-error-rate F] [--p99-limit-ms F]";
+                 [--out FILE] [--metrics-out FILE] [--check-baseline FILE] \
+                 [--max-error-rate F] [--p99-limit-ms F]";
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         it.next().unwrap_or_else(|| {
             eprintln!("{flag} needs a value\n{usage}");
@@ -436,6 +505,9 @@ fn parse_args() -> Args {
             "--clients" => args.clients = next(&mut it, "--clients").parse().expect("--clients"),
             "--seed" => args.seed = next(&mut it, "--seed").parse().expect("--seed"),
             "--out" => args.out = PathBuf::from(next(&mut it, "--out")),
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(next(&mut it, "--metrics-out")));
+            }
             "--check-baseline" => {
                 args.check_baseline = Some(PathBuf::from(next(&mut it, "--check-baseline")));
             }
@@ -538,18 +610,26 @@ fn main() {
     let stop = AtomicBool::new(false);
     let policy_active = AtomicBool::new(false);
     let cold_counter = AtomicU64::new(1);
+    // The harness registry: every worker records through it, and the
+    // key gates below read it back as a snapshot. Registering the gate
+    // counters up front guarantees they appear (as zeros) in the
+    // exposition even if no worker ever bumps them.
+    let registry = Registry::new();
+    let _ = registry.counter("divergence_total");
+    let _ = registry.counter("soak_suppressed_verdict_races");
     let shared = Shared {
         target,
         corpus: &corpus,
         stop: &stop,
         policy_active: &policy_active,
         cold_counter: &cold_counter,
+        registry: &registry,
         suppress_digest: target_trace.digest,
         seed: args.seed,
     };
 
     let t0 = Instant::now();
-    let reports: Vec<WorkerReport> = std::thread::scope(|s| {
+    let worker_samples: Vec<Vec<String>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.clients)
             .map(|w| {
                 let shared = &shared;
@@ -584,44 +664,69 @@ fn main() {
     });
     let elapsed = t0.elapsed().as_secs_f64();
 
-    // ---- fold the per-worker stats ----
-    let mut classes: Vec<ClassStats> = (0..5)
-        .map(|_| ClassStats {
-            ok: 0,
-            err: 0,
-            hist: LogHistogram::new(),
+    // ---- read the per-worker stats back out of the registry ----
+    let soak_snap = registry.snapshot();
+    let class_stats: Vec<(u64, u64, LogHistogram)> = OpClass::ALL
+        .iter()
+        .map(|class| {
+            let count = |outcome| {
+                soak_snap
+                    .counter(
+                        "soak_ops_total",
+                        &[("class", class.name()), ("outcome", outcome)],
+                    )
+                    .unwrap_or(0)
+            };
+            let hist = soak_snap
+                .hist("soak_client_micros", &[("class", class.name())])
+                .cloned()
+                .unwrap_or_default();
+            (count("ok"), count("err"), hist)
         })
         .collect();
-    let mut divergences = 0u64;
-    let mut suppressed_seen = 0u64;
+    let divergences = soak_snap.counter("divergence_total", &[]).unwrap_or(0);
+    let suppressed_seen = soak_snap
+        .counter("soak_suppressed_verdict_races", &[])
+        .unwrap_or(0);
     let mut samples: Vec<String> = Vec::new();
-    for report in &reports {
-        for (fold, c) in classes.iter_mut().zip(&report.classes) {
-            fold.ok += c.ok;
-            fold.err += c.err;
-            fold.hist.merge(&c.hist);
-        }
-        divergences += report.divergences;
-        suppressed_seen += report.suppressed_seen;
-        for s in &report.samples {
+    for worker in &worker_samples {
+        for s in worker {
             if samples.len() < 10 {
                 samples.push(s.clone());
             }
         }
     }
-    let total_ok: u64 = classes.iter().map(|c| c.ok).sum();
-    let total_err: u64 = classes.iter().map(|c| c.err).sum();
+    let total_ok: u64 = class_stats.iter().map(|(ok, _, _)| ok).sum();
+    let total_err: u64 = class_stats.iter().map(|(_, err, _)| err).sum();
     let total_ops = total_ok + total_err;
     let error_rate = if total_ops == 0 {
         1.0
     } else {
         total_err as f64 / total_ops as f64
     };
-    let hot_hist = &classes[0].hist;
-    let hot_p99 = hot_hist.quantile(0.99);
-    // OpClass::ALL order: hot_analyze, cold_submit, dup_submit, ...
-    let cold_p99 = classes[1].hist.quantile(0.99);
-    let dup_p99 = classes[2].hist.quantile(0.99);
+
+    // ---- the latency SLO source: the fleet's own METRICS wire ----
+    // One exposition fetched through the router covers every node; the
+    // p99 gates below read the server-side service histograms out of
+    // it, so a broken observability path fails the soak outright.
+    let metrics_text = seed_client.metrics().expect("final fleet METRICS");
+    let fleet_snap = Snapshot::parse(&metrics_text).expect("parse fleet METRICS exposition");
+    let hot_srv = fleet_hist(&fleet_snap, "serve_latency_micros", &["verb=\"analyze\""]);
+    let cold_srv = fleet_hist(
+        &fleet_snap,
+        "serve_latency_micros",
+        &["verb=\"submit\"", "dedup=\"false\""],
+    );
+    let dup_srv = fleet_hist(
+        &fleet_snap,
+        "serve_latency_micros",
+        &["verb=\"submit\"", "dedup=\"true\""],
+    );
+    let hot_p99 = hot_srv.quantile(0.99);
+    let cold_p99 = cold_srv.quantile(0.99);
+    let dup_p99 = dup_srv.quantile(0.99);
+    let requests_total = fleet_snap.counter_family_total("serve_requests_total");
+    let pool_hits = fleet_snap.counter_family_total("router_pool_hits");
 
     let stats = seed_client.stats().expect("final fleet stats");
     match seed_client.policy().expect("final policy read") {
@@ -642,15 +747,15 @@ fn main() {
     let mut table = clean_bench::Table::new(&[
         "class", "ops", "errors", "p50us", "p99us", "p999us", "maxus",
     ]);
-    for (class, c) in OpClass::ALL.iter().zip(&classes) {
+    for (class, (ok, err, hist)) in OpClass::ALL.iter().zip(&class_stats) {
         table.row(vec![
             class.name().into(),
-            c.ok.to_string(),
-            c.err.to_string(),
-            c.hist.quantile(0.50).to_string(),
-            c.hist.quantile(0.99).to_string(),
-            c.hist.quantile(0.999).to_string(),
-            c.hist.max_micros().to_string(),
+            ok.to_string(),
+            err.to_string(),
+            hist.quantile(0.50).to_string(),
+            hist.quantile(0.99).to_string(),
+            hist.quantile(0.999).to_string(),
+            hist.max_micros().to_string(),
         ]);
     }
     table.print();
@@ -662,7 +767,7 @@ fn main() {
     );
     println!(
         "fleet counters: coalesced {}, shed {}, forwards {}, fetches {}, \
-         evictions {}, suppressed_hits {}",
+         evictions {}, suppressed_hits {}, requests {requests_total}, pool hits {pool_hits}",
         stats.jobs_coalesced,
         stats.jobs_rejected,
         stats.forwards,
@@ -670,20 +775,25 @@ fn main() {
         stats.store_evictions,
         stats.suppressed_hits
     );
+    println!(
+        "server-side p99 (from METRICS): analyze {hot_p99}us over {} samples, \
+         cold submit {cold_p99}us, dup submit {dup_p99}us",
+        hot_srv.count()
+    );
 
     let mut class_json = String::new();
-    for (i, (class, c)) in OpClass::ALL.iter().zip(&classes).enumerate() {
+    for (i, (class, (ok, err, hist))) in OpClass::ALL.iter().zip(&class_stats).enumerate() {
         class_json.push_str(&format!(
             "    \"{}\": {{\"ops\": {}, \"errors\": {}, \"p50_micros\": {}, \
              \"p99_micros\": {}, \"p999_micros\": {}, \"max_micros\": {}, \"mean_micros\": {}}}{}\n",
             class.name(),
-            c.ok,
-            c.err,
-            c.hist.quantile(0.50),
-            c.hist.quantile(0.99),
-            c.hist.quantile(0.999),
-            c.hist.max_micros(),
-            c.hist.mean_micros(),
+            ok,
+            err,
+            hist.quantile(0.50),
+            hist.quantile(0.99),
+            hist.quantile(0.999),
+            hist.max_micros(),
+            hist.mean_micros(),
             if i + 1 < OpClass::ALL.len() { "," } else { "" },
         ));
     }
@@ -695,6 +805,7 @@ fn main() {
          \"cold_p99_micros\": {},\n  \"dup_p99_micros\": {},\n  \
          \"jobs_coalesced\": {},\n  \"jobs_rejected\": {},\n  \"forwards\": {},\n  \
          \"fetches\": {},\n  \"store_evictions\": {},\n  \"suppressed_hits\": {},\n  \
+         \"serve_requests_total\": {requests_total},\n  \"router_pool_hits\": {pool_hits},\n  \
          \"classes\": {{\n{class_json}  }}\n}}\n",
         args.seed,
         args.secs,
@@ -717,9 +828,24 @@ fn main() {
     );
     std::fs::write(&args.out, &json).expect("write result JSON");
     println!("wrote {}", args.out.display());
+    if let Some(path) = &args.metrics_out {
+        // One `CMET v1` exposition holding both sides of the soak: the
+        // node-stamped fleet metrics and the harness's own counters
+        // (divergence_total included, zero or not) — what CI greps.
+        let mut combined = fleet_snap.clone();
+        combined.merge(&soak_snap);
+        std::fs::write(path, combined.render(&[])).expect("write metrics exposition");
+        println!("wrote {}", path.display());
+    }
 
     // ---- SLO gates ----
     let mut failures: Vec<String> = Vec::new();
+    if requests_total == 0 {
+        failures.push("fleet METRICS exposition reported zero serve_requests_total".into());
+    }
+    if hot_srv.count() == 0 {
+        failures.push("fleet METRICS exposition carried no analyze latency samples".into());
+    }
     if error_rate > args.max_error_rate {
         failures.push(format!(
             "error rate {error_rate:.4} exceeds ceiling {:.4}",
@@ -785,7 +911,7 @@ fn main() {
     }
     println!(
         "\nheadline: {:.0} mixed ops/s sustained for {elapsed:.0}s with \
-         p99 hot latency {}us and zero divergence",
+         server-side p99 analyze latency {}us (read off the METRICS wire) and zero divergence",
         total_ops as f64 / elapsed,
         hot_p99
     );

@@ -229,6 +229,9 @@ mod tests {
     #[test]
     fn cached_trace_records_once_and_replays() {
         let dir = std::env::temp_dir().join(format!("clean-bench-store-{}", std::process::id()));
+        // Pid reuse can resurrect a stale dir from a killed run; start
+        // from a known-empty store or the entry counts below lie.
+        std::fs::remove_dir_all(&dir).ok();
         let opts = RecordOptions {
             threads: 2,
             racy: true,

@@ -1,14 +1,16 @@
 //! Building blocks for the `bench_soak` mixed-traffic soak harness.
 //!
-//! Everything here is dependency-free on purpose — the soak run needs a
-//! latency histogram, a seedable random stream, a traffic-mix sampler,
-//! and a synthetic trace generator, and pulling a crate in for any of
-//! them would couple the SLO gates to code the repo does not control.
+//! Everything here is in-repo on purpose — the soak run needs a latency
+//! histogram, a seedable random stream, a traffic-mix sampler, and a
+//! synthetic trace generator, and pulling an external crate in for any
+//! of them would couple the SLO gates to code the repo does not
+//! control.
 //!
-//! * [`LogHistogram`] — fixed 64-bucket log2 histogram over microsecond
-//!   latencies; mergeable across worker threads, quantiles answered as
-//!   bucket upper bounds (so a reported p99 is conservative, never
-//!   optimistic).
+//! * [`LogHistogram`] — re-exported from `clean-obs`, where the
+//!   original soak histogram now lives as the stack-wide canonical
+//!   shape: fixed 64-bucket log2 over microsecond latencies, mergeable
+//!   across worker threads, quantiles answered as bucket upper bounds
+//!   (so a reported p99 is conservative, never optimistic).
 //! * [`SplitMix64`] — the classic 64-bit mixing PRNG; one `u64` of state,
 //!   deterministic, good enough to schedule traffic.
 //! * [`OpClass`] / [`TrafficMix`] — the five soak operation classes and
@@ -22,6 +24,8 @@
 
 use clean_core::{ThreadId, TraceEvent};
 use clean_trace::encode_trace;
+
+pub use clean_obs::{LogHistogram, HISTOGRAM_BUCKETS};
 
 /// Reads the soak/test base seed (`CLEAN_TEST_SEED`, else `default`).
 pub fn env_seed(default: u64) -> u64 {
@@ -62,105 +66,6 @@ impl SplitMix64 {
         // Multiply-shift rejection-free mapping; bias is < 2^-64 * n,
         // irrelevant for traffic scheduling.
         ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
-    }
-}
-
-/// Bucket count of [`LogHistogram`] — one bucket per power of two of
-/// microseconds, so bucket 63 absorbs everything above ~292 years.
-pub const HISTOGRAM_BUCKETS: usize = 64;
-
-/// A fixed-bucket log2 latency histogram over microseconds.
-///
-/// `record(v)` lands `v` in bucket `floor(log2(max(v, 1)))`; a quantile
-/// is answered as its bucket's inclusive upper bound, clamped to the
-/// true observed maximum. Merging is element-wise addition, so worker
-/// threads keep private histograms and the harness folds them at the
-/// end without locks.
-#[derive(Debug, Clone)]
-pub struct LogHistogram {
-    buckets: [u64; HISTOGRAM_BUCKETS],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LogHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LogHistogram {
-            buckets: [0; HISTOGRAM_BUCKETS],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    fn bucket(micros: u64) -> usize {
-        // floor(log2(max(v, 1))): 0..=1 µs → bucket 0, 2..=3 → 1, ...
-        63 - (micros | 1).leading_zeros() as usize
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, micros: u64) {
-        self.buckets[Self::bucket(micros)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(micros);
-        self.max = self.max.max(micros);
-    }
-
-    /// Folds `other` into `self`.
-    pub fn merge(&mut self, other: &LogHistogram) {
-        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
-            *b += o;
-        }
-        self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest recorded sample, in microseconds.
-    pub fn max_micros(&self) -> u64 {
-        self.max
-    }
-
-    /// Arithmetic-mean latency in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> u64 {
-        self.sum.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) as a conservative upper bound in
-    /// microseconds: the inclusive top of the first bucket whose
-    /// cumulative count reaches `ceil(q * count)`, clamped to the true
-    /// maximum. Returns 0 for an empty histogram.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let upper = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return upper.min(self.max);
-            }
-        }
-        self.max
     }
 }
 

@@ -66,7 +66,8 @@ mod trace_event;
 
 pub use clock::{ClockRolloverError, VectorClock};
 pub use detector::{
-    AtomicityMode, CleanDetector, DetectorConfig, DEFAULT_STATS_SHARDS, WIDE_CAS_EPOCHS,
+    AtomicityMode, CleanDetector, DetectorConfig, DetectorObs, DEFAULT_STATS_SHARDS,
+    WIDE_CAS_EPOCHS,
 };
 pub use epoch::{Epoch, EpochLayout, ThreadId};
 pub use filter::{PendingStats, SfrWriteFilter, ThreadCheckState, FILTER_SLOTS, RANGE_SLOTS};
@@ -81,5 +82,5 @@ pub use trace_event::{EventSink, LockId, TraceEvent};
 // build and install plans without a separate dependency.
 pub use clean_plan::{
     CheckPlan, CompiledPlan, Coverage, PlanAction, PlanDecision, PlanEntry, PlanError,
-    PlanObserver, Witness,
+    PlanObserver, PlanProfile, Witness,
 };

@@ -1,0 +1,83 @@
+//! Property tests for the registry under concurrency: N threads
+//! hammering counters and histograms must snapshot to exactly the sum
+//! of what was recorded, and the exposition must round-trip it.
+
+use clean_obs::{LogHistogram, Registry, Snapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_increments_snapshot_to_exact_sums(
+        threads in 1usize..8,
+        per_thread in 1u64..2_000,
+        bump in 1u64..5,
+    ) {
+        let reg = Arc::new(Registry::new());
+        let counter = reg.counter("hits");
+        let labeled = reg.counter_with("hits_by", &[("class", "hot")]);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let counter = counter.clone();
+                let labeled = labeled.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        counter.add(bump);
+                        labeled.inc();
+                    }
+                });
+            }
+        });
+        let want = threads as u64 * per_thread;
+        prop_assert_eq!(counter.value(), want * bump);
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.counters.get("hits").copied(), Some(want * bump));
+        prop_assert_eq!(snap.counter("hits_by", &[("class", "hot")]), Some(want));
+    }
+
+    #[test]
+    fn concurrent_hist_records_match_sequential_merge(
+        samples in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 1..200), 1..6),
+    ) {
+        let reg = Arc::new(Registry::new());
+        let hist = reg.hist("lat");
+        std::thread::scope(|s| {
+            for chunk in &samples {
+                let hist = hist.clone();
+                s.spawn(move || {
+                    for &v in chunk {
+                        hist.record(v);
+                    }
+                });
+            }
+        });
+        let mut expect = LogHistogram::new();
+        for chunk in &samples {
+            for &v in chunk {
+                expect.record(v);
+            }
+        }
+        prop_assert_eq!(hist.snapshot(), expect);
+    }
+
+    #[test]
+    fn exposition_round_trips_arbitrary_registries(
+        counters in prop::collection::vec(0u64..u64::MAX / 2, 0..8),
+        samples in prop::collection::vec(0u64..10_000_000, 0..64),
+    ) {
+        let reg = Registry::new();
+        for (i, v) in counters.iter().enumerate() {
+            reg.counter(&format!("counter_{i}")).add(*v);
+        }
+        let h = reg.hist_with("lat", &[("verb", "analyze"), ("node", "0")]);
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let text = snap.render(&["event 0 test detail".to_string()]);
+        let parsed = Snapshot::parse(&text).unwrap();
+        prop_assert_eq!(parsed, snap);
+    }
+}

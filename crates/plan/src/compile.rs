@@ -102,6 +102,7 @@ mod tests {
 
     fn plan() -> CompiledPlan {
         CheckPlan {
+            profile: None,
             entries: vec![
                 PlanEntry {
                     lo: 0x1000,

@@ -13,8 +13,8 @@
 //! * every other shared granule → **batch**, routed through the
 //!   chunked epoch-compare loop.
 
-use crate::{CheckPlan, PlanAction, PlanEntry, Witness};
-use std::collections::{BTreeMap, HashMap};
+use crate::{CheckPlan, PlanAction, PlanEntry, PlanProfile, Witness};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Default derivation granule in bytes. Ownership and stride are
 /// tracked per granule; plan ranges are unions of whole granules.
@@ -114,6 +114,7 @@ pub struct PlanObserver {
     granule: usize,
     granules: BTreeMap<usize, Granule>,
     last_write_end: HashMap<u32, usize>,
+    tids: HashSet<u32>,
     observed: u64,
 }
 
@@ -131,6 +132,7 @@ impl PlanObserver {
             granule,
             granules: BTreeMap::new(),
             last_write_end: HashMap::new(),
+            tids: HashSet::new(),
             observed: 0,
         }
     }
@@ -146,6 +148,7 @@ impl PlanObserver {
             return;
         }
         self.observed += 1;
+        self.tids.insert(tid);
         let sequential = is_write && self.last_write_end.get(&tid) == Some(&addr);
         if is_write {
             self.last_write_end.insert(tid, addr.saturating_add(size));
@@ -172,6 +175,17 @@ impl PlanObserver {
     /// Observed access count so far.
     pub fn observed(&self) -> u64 {
         self.observed
+    }
+
+    /// The derivation footprint accumulated so far — what
+    /// [`derive`](Self::derive) stamps into the plan.
+    pub fn profile(&self) -> PlanProfile {
+        PlanProfile {
+            granule: self.granule,
+            granules: self.granules.len() as u64,
+            events: self.observed,
+            threads: self.tids.len() as u32,
+        }
     }
 
     fn classify(g: &Granule) -> Class {
@@ -256,7 +270,13 @@ impl PlanObserver {
                 }
             }
         }
-        (CheckPlan { entries }, coverage)
+        (
+            CheckPlan {
+                entries,
+                profile: Some(self.profile()),
+            },
+            coverage,
+        )
     }
 }
 

@@ -67,6 +67,61 @@ pub const PLAN_HEADER: &str = "CPLN v1";
 /// Default plan file extension.
 pub const PLAN_EXT: &str = "cpln";
 
+/// Relative mismatch above which a stamped plan counts as stale against
+/// a freshly derived footprint (see [`CheckPlan::audit_freshness`]).
+pub const STALE_THRESHOLD: f64 = 0.5;
+
+/// The derivation footprint stamped into a plan file: how big the
+/// observed execution was when the plan was derived. A plan applied to
+/// an execution whose footprint diverges wildly from the stamp is
+/// *suspect* — still sound (elision is dynamically guarded per owner
+/// thread), but likely planning for the wrong workload, so its elide and
+/// coalesce ranges degrade to dead weight. [`CheckPlan::audit_freshness`]
+/// turns that divergence into a loud warning and a `plan_stale` metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanProfile {
+    /// Derivation granule in bytes.
+    pub granule: usize,
+    /// Distinct granules touched by the observed execution.
+    pub granules: u64,
+    /// Observed access events folded into the derivation.
+    pub events: u64,
+    /// Distinct threads observed accessing data.
+    pub threads: u32,
+}
+
+impl PlanProfile {
+    /// Canonical single-line rendering (no newline), as stored in the
+    /// `CPLN v1` text after the header:
+    /// `profile granule=64 granules=128 events=4096 threads=2`.
+    pub fn render(&self) -> String {
+        format!(
+            "profile granule={} granules={} events={} threads={}",
+            self.granule, self.granules, self.events, self.threads
+        )
+    }
+
+    /// Worst relative mismatch between this stamp and `current` across
+    /// the footprint quantities, in `[0, 1]`. A granule difference is
+    /// reported as a full mismatch (1.0): profiles derived at different
+    /// granules are not comparable granule-for-granule.
+    pub fn mismatch(&self, current: &PlanProfile) -> f64 {
+        if self.granule != current.granule {
+            return 1.0;
+        }
+        fn rel(a: u64, b: u64) -> f64 {
+            let hi = a.max(b);
+            if hi == 0 {
+                return 0.0;
+            }
+            (hi - a.min(b)) as f64 / hi as f64
+        }
+        rel(self.granules, current.granules)
+            .max(rel(self.events, current.events))
+            .max(rel(u64::from(self.threads), u64::from(current.threads)))
+    }
+}
+
 /// What the detector should do with checks inside a plan range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanAction {
@@ -261,6 +316,9 @@ fn parse_entry(tokens: &[&str], line: usize) -> Result<PlanEntry, PlanError> {
 pub struct CheckPlan {
     /// The planned ranges, in file order.
     pub entries: Vec<PlanEntry>,
+    /// Derivation footprint stamp, if the deriver recorded one. Absent
+    /// on hand-written or pre-stamp plan files; never required.
+    pub profile: Option<PlanProfile>,
 }
 
 impl CheckPlan {
@@ -281,6 +339,7 @@ impl CheckPlan {
             return Ok(Self::empty());
         }
         let mut entries = Vec::new();
+        let mut profile = None;
         let mut saw_header = false;
         for (i, raw) in text.lines().enumerate() {
             let line_no = i + 1;
@@ -299,21 +358,68 @@ impl CheckPlan {
                 continue;
             }
             let tokens: Vec<&str> = line.split_ascii_whitespace().collect();
+            if tokens.first() == Some(&"profile") {
+                if profile.is_some() {
+                    return Err(perr(line_no, "duplicate profile directive"));
+                }
+                let [_, granule, granules, events, threads] = tokens[..] else {
+                    return Err(perr(
+                        line_no,
+                        "profile needs granule=<n> granules=<n> events=<n> threads=<n>",
+                    ));
+                };
+                profile = Some(PlanProfile {
+                    granule: parse_kv(granule, "granule", line_no)? as usize,
+                    granules: parse_kv(granules, "granules", line_no)?,
+                    events: parse_kv(events, "events", line_no)?,
+                    threads: parse_kv(threads, "threads", line_no)? as u32,
+                });
+                continue;
+            }
             entries.push(parse_entry(&tokens, line_no)?);
         }
-        let plan = CheckPlan { entries };
+        let plan = CheckPlan { entries, profile };
         plan.validate()?;
         Ok(plan)
     }
 
-    /// Canonical text rendering, header included.
+    /// Canonical text rendering, header (and profile stamp) included.
     pub fn render(&self) -> String {
         let mut out = format!("{PLAN_HEADER}\n");
+        if let Some(p) = &self.profile {
+            out.push_str(&p.render());
+            out.push('\n');
+        }
         for e in &self.entries {
             out.push_str(&e.render());
             out.push('\n');
         }
         out
+    }
+
+    /// Compares this plan's derivation stamp against a freshly derived
+    /// footprint. Returns a human-readable staleness warning — and bumps
+    /// the global `plan_stale` counter — when the worst relative
+    /// mismatch exceeds [`STALE_THRESHOLD`]; returns `None` for fresh,
+    /// comparable, or unstamped plans. Staleness never makes a plan
+    /// unsound (elision is per-owner guarded at check time); it makes it
+    /// *useless*, which is worth shouting about rather than silently
+    /// running with dead ranges.
+    pub fn audit_freshness(&self, current: &PlanProfile) -> Option<String> {
+        let stamped = self.profile.as_ref()?;
+        let mismatch = stamped.mismatch(current);
+        if mismatch <= STALE_THRESHOLD {
+            return None;
+        }
+        clean_obs::global().counter("plan_stale").inc();
+        Some(format!(
+            "stale check plan: derivation stamp [{}] diverges {:.0}% from the \
+             current footprint [{}]; the plan still guards soundly but its \
+             ranges likely miss — re-derive it for this workload",
+            stamped.render(),
+            100.0 * mismatch,
+            current.render(),
+        ))
     }
 
     /// Loads a plan file. Unlike suppression policies a *missing* plan
@@ -449,6 +555,7 @@ mod tests {
     #[test]
     fn round_trips_through_text() {
         let plan = CheckPlan {
+            profile: None,
             entries: vec![
                 elide(0x1000, 0x2000, 2),
                 PlanEntry {
@@ -467,6 +574,78 @@ mod tests {
         };
         let text = plan.render();
         assert_eq!(CheckPlan::parse(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn profile_stamp_round_trips() {
+        let plan = CheckPlan {
+            profile: Some(PlanProfile {
+                granule: 64,
+                granules: 128,
+                events: 4096,
+                threads: 2,
+            }),
+            entries: vec![elide(0x1000, 0x2000, 2)],
+        };
+        let text = plan.render();
+        assert!(text.contains("profile granule=64 granules=128 events=4096 threads=2"));
+        assert_eq!(CheckPlan::parse(&text).unwrap(), plan);
+        // Pre-stamp files (no profile line) still parse, to None.
+        assert_eq!(
+            CheckPlan::parse("CPLN v1\nbatch 0..10\n").unwrap().profile,
+            None
+        );
+        // A second stamp is an error, not a silent overwrite.
+        let twice = format!(
+            "CPLN v1\n{}\n{}\n",
+            plan.profile.unwrap().render(),
+            plan.profile.unwrap().render()
+        );
+        assert!(CheckPlan::parse(&twice).is_err());
+    }
+
+    #[test]
+    fn audit_freshness_flags_divergent_footprints() {
+        let stamped = PlanProfile {
+            granule: 64,
+            granules: 100,
+            events: 10_000,
+            threads: 4,
+        };
+        let plan = CheckPlan {
+            profile: Some(stamped),
+            entries: vec![elide(0, 0x1000, 0)],
+        };
+        // Identical and mildly drifted footprints are fresh.
+        assert_eq!(plan.audit_freshness(&stamped), None);
+        let drifted = PlanProfile {
+            events: 14_000,
+            ..stamped
+        };
+        assert_eq!(plan.audit_freshness(&drifted), None);
+        // A footprint 10x the stamp is loudly stale.
+        let grown = PlanProfile {
+            granules: 1_000,
+            events: 100_000,
+            ..stamped
+        };
+        let warning = plan.audit_freshness(&grown).unwrap();
+        assert!(warning.contains("stale check plan"), "{warning}");
+        assert!(
+            clean_obs::global()
+                .snapshot()
+                .counter("plan_stale", &[])
+                .unwrap()
+                >= 1
+        );
+        // A different derivation granule is always stale…
+        let regranuled = PlanProfile {
+            granule: 8,
+            ..stamped
+        };
+        assert!(plan.audit_freshness(&regranuled).is_some());
+        // …and an unstamped plan has nothing to audit.
+        assert_eq!(CheckPlan::empty().audit_freshness(&stamped), None);
     }
 
     #[test]
@@ -499,6 +678,7 @@ mod tests {
     #[test]
     fn overlaps_and_empty_ranges_are_rejected() {
         let plan = CheckPlan {
+            profile: None,
             entries: vec![PlanEntry {
                 lo: 0x100,
                 hi: 0x100,
@@ -508,6 +688,7 @@ mod tests {
         };
         assert!(matches!(plan.validate(), Err(PlanError::EmptyRange { .. })));
         let plan = CheckPlan {
+            profile: None,
             entries: vec![
                 PlanEntry {
                     lo: 0x100,
@@ -532,6 +713,7 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let path = dir.join("kernel.cpln");
         let plan = CheckPlan {
+            profile: None,
             entries: vec![elide(0x40, 0x80, 0)],
         };
         plan.save(&path).unwrap();

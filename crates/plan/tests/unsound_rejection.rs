@@ -22,6 +22,7 @@ fn arb_action() -> impl Strategy<Value = PlanAction> {
 fn sound_plan() -> impl Strategy<Value = CheckPlan> {
     proptest::collection::vec((arb_range(), arb_action(), 0u32..8, 1u64..1 << 30), 1..8).prop_map(
         |ranges| CheckPlan {
+            profile: None,
             entries: ranges
                 .into_iter()
                 .enumerate()
@@ -94,7 +95,7 @@ proptest! {
                 Some(Witness { owner, observed: 0, foreign: 0 })
             },
         };
-        let plan = CheckPlan { entries: vec![entry] };
+        let plan = CheckPlan { profile: None, entries: vec![entry] };
         prop_assert!(matches!(plan.validate(), Err(PlanError::UnsoundElide { .. })));
         prop_assert!(plan.compile().is_err());
     }

@@ -234,7 +234,7 @@ impl CleanRuntime {
             config.layout.max_threads()
         );
         let detector = config.detection.then(|| {
-            CleanDetector::new(
+            let mut det = CleanDetector::new(
                 config.heap_size,
                 DetectorConfig::new()
                     .layout(config.layout)
@@ -245,7 +245,11 @@ impl CleanRuntime {
                     .deferred_stats(config.deferred_stats)
                     .sharded_stats(config.sharded_stats)
                     .check_plan(config.check_plan.clone()),
-            )
+            );
+            if config.detector_obs {
+                det.attach_obs(clean_core::DetectorObs::global());
+            }
+            det
         });
         CleanRuntime {
             inner: Arc::new(RuntimeInner {

@@ -10,6 +10,7 @@
 //!                    [--base-port P] [--serve-bin PATH] [--max-bytes N]
 //!                    [--replication N]
 //! clean-fleet status <addr>
+//! clean-fleet metrics <addr>
 //! ```
 //!
 //! `route` fronts already-running backends; `spawn` launches N
@@ -42,6 +43,11 @@ USAGE:
       then route to them. A SHUTDOWN frame drains the whole fleet.
   clean-fleet status <addr>
       Print aggregated fleet counters from a router address.
+  clean-fleet metrics <addr>
+      Print the fleet-wide `CMET v1` metrics merge from a router
+      address: every backend's counters, gauges, and histograms under
+      `node=\"<i>\"` labels, plus the router's own under
+      `node=\"router\"`, plus each node's recent-event journal.
 
 EXIT CODES:
   0  success
@@ -54,6 +60,7 @@ fn main() -> ExitCode {
         Some("route") => cmd_route(&args[1..]),
         Some("spawn") => cmd_spawn(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -257,5 +264,21 @@ fn cmd_status(args: &[String]) -> Result<ExitCode, String> {
         Client::connect(addr.as_str()).map_err(|e| format!("connect to {addr} failed: {e}"))?;
     let stats = client.stats().map_err(|e| format!("request failed: {e}"))?;
     print_stats(&stats);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, String> {
+    let [addr] = args else {
+        return Err("usage: clean-fleet metrics <addr>".into());
+    };
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    let text = client
+        .metrics()
+        .map_err(|e| format!("request failed: {e}"))?;
+    print!("{text}");
+    if !text.ends_with('\n') {
+        println!();
+    }
     Ok(ExitCode::SUCCESS)
 }

@@ -10,6 +10,7 @@
 //!                     [--no-wait] [--retries N]
 //! clean-serve status  <addr> <job>
 //! clean-serve stats   <addr>
+//! clean-serve metrics <addr>
 //! clean-serve suppress list <addr>
 //! clean-serve suppress add <addr> <rule...>
 //! clean-serve suppress check <addr> <digest> [--engine E] [--retries N]
@@ -57,6 +58,10 @@ USAGE:
       Poll a job id from a --no-wait analyze.
   clean-serve stats <addr>
       Print the service counters.
+  clean-serve metrics <addr>
+      Print the `CMET v1` metrics exposition: counters, gauges,
+      latency histograms, and the recent-event journal. Against a
+      fleet router this is the node-labeled fleet-wide merge.
   clean-serve suppress list <addr>
       Print the active CSUP suppression policy, with the number of
       races each rule has suppressed since it was installed.
@@ -90,6 +95,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("suppress") => cmd_suppress(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("--help" | "-h") | None => {
@@ -332,6 +338,19 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     let mut client = connect(addr)?;
     let stats = client.stats().map_err(rpc_err)?;
     print_stats(&stats);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, String> {
+    let [addr] = args else {
+        return Err("usage: clean-serve metrics <addr>".into());
+    };
+    let mut client = connect(addr)?;
+    let text = client.metrics().map_err(rpc_err)?;
+    print!("{text}");
+    if !text.ends_with('\n') {
+        println!();
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -166,6 +166,22 @@ impl Client {
         }
     }
 
+    /// Fetches the `CMET v1` metrics exposition. Against a router this
+    /// is the fleet-wide merge with `node` labels.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a non-METRICS reply.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected METRICS reply, got {other:?}"),
+            )),
+        }
+    }
+
     /// Asks the server to drain and exit.
     ///
     /// # Errors

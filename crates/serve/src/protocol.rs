@@ -28,8 +28,9 @@ pub const MAGIC: [u8; 4] = *b"CSRV";
 /// version 3 added the POLICY suppression frames, the per-race
 /// `suppressed` flag in VERDICT bodies, and the coalesce/suppression
 /// STATS counters; version 4 added per-rule hit counters to the POLICY
-/// reply (the audit trail behind `suppress prune`).
-pub const VERSION: u8 = 4;
+/// reply (the audit trail behind `suppress prune`); version 5 added the
+/// METRICS frames carrying the `CMET v1` text exposition.
+pub const VERSION: u8 = 5;
 /// Hard cap on a frame body (64 MiB) — submissions beyond this are
 /// rejected before allocation, bounding per-connection memory.
 pub const MAX_BODY: usize = 64 << 20;
@@ -90,6 +91,10 @@ pub enum Request {
         /// swaps it in, and persists it beside the store.
         set: Option<String>,
     },
+    /// Fetch the full metrics exposition (`CMET v1` text). A router
+    /// answers with its backends' expositions merged under `node`
+    /// labels plus its own router-local metrics.
+    Metrics,
 }
 
 /// One race in a verdict, in wire form (the lowest-address first race
@@ -284,6 +289,13 @@ pub enum Response {
         /// The complete `CLTR` byte stream.
         trace: Vec<u8>,
     },
+    /// The metrics exposition, answering [`Request::Metrics`]: UTF-8
+    /// `CMET v1` text (see `clean_obs::Snapshot`), including journal
+    /// events as comment lines.
+    Metrics {
+        /// The exposition text, starting with the `# CMET v1` header.
+        text: String,
+    },
     /// The active suppression policy, answering [`Request::Policy`]
     /// (both the read and the set form — a set echoes what is now live).
     Policy {
@@ -305,6 +317,7 @@ const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
 const OP_FETCH: u8 = 0x06;
 const OP_POLICY: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 
 const OP_SUBMITTED: u8 = 0x81;
 const OP_VERDICT: u8 = 0x82;
@@ -315,6 +328,7 @@ const OP_ERROR: u8 = 0x86;
 const OP_SHUTTING_DOWN: u8 = 0x87;
 const OP_TRACE_DATA: u8 = 0x88;
 const OP_POLICY_REPLY: u8 = 0x89;
+const OP_METRICS_REPLY: u8 = 0x8A;
 
 /// Engine wire codes (`EngineKind` ↔ u8).
 pub fn engine_to_wire(kind: EngineKind) -> u8 {
@@ -563,6 +577,7 @@ impl Request {
                 }
                 write_frame(w, OP_POLICY, &body)
             }
+            Request::Metrics => write_frame(w, OP_METRICS, &[]),
         }
     }
 
@@ -605,6 +620,7 @@ impl Request {
                 },
                 other => return Err(bad(format!("unknown policy mode {other}"))),
             },
+            OP_METRICS => Request::Metrics,
             other => return Err(bad(format!("unknown request opcode {other:#04x}"))),
         };
         b.finish()?;
@@ -689,6 +705,7 @@ impl Response {
                 body.extend_from_slice(trace);
                 write_frame(w, OP_TRACE_DATA, &body)
             }
+            Response::Metrics { text } => write_frame(w, OP_METRICS_REPLY, text.as_bytes()),
             Response::Policy { rules, hits, text } => {
                 if hits.len() as u64 != *rules {
                     return Err(bad("policy reply needs one hit counter per rule"));
@@ -770,6 +787,9 @@ impl Response {
                     trace: b.rest().to_vec(),
                 }
             }
+            OP_METRICS_REPLY => Response::Metrics {
+                text: String::from_utf8_lossy(b.rest()).into_owned(),
+            },
             OP_POLICY_REPLY => {
                 let rules = b.u64()?;
                 // 8 bytes per counter: reject counts the body cannot hold.
@@ -839,6 +859,7 @@ mod tests {
         roundtrip_request(Request::Policy {
             set: Some(String::new()),
         });
+        roundtrip_request(Request::Metrics);
     }
 
     #[test]
@@ -917,6 +938,12 @@ mod tests {
         roundtrip_response(Response::Policy {
             rules: 0,
             hits: vec![],
+            text: String::new(),
+        });
+        roundtrip_response(Response::Metrics {
+            text: "# CMET v1\ncounter serve_requests_total 9\n".into(),
+        });
+        roundtrip_response(Response::Metrics {
             text: String::new(),
         });
     }

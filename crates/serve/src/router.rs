@@ -32,11 +32,27 @@
 //!
 //! `STATS` fans out to every backend, sums the counters field-wise
 //! (skipping unreachable nodes), and adds the router's own `forwards`
-//! count. `SHUTDOWN` fans out to every backend and then drains the
-//! router itself.
+//! count. `METRICS` fans out likewise, but merges the backends' `CMET`
+//! expositions under `node="<idx>"` labels (the router's own metrics
+//! carry `node="router"`). `SHUTDOWN` fans out to every backend and
+//! then drains the router itself.
+//!
+//! # Connection pooling
+//!
+//! Forwarding used to dial a fresh TCP connection per frame, which
+//! dominated hot-path fan-out cost. The router now keeps a small
+//! per-backend pool of parked connections: a forward checks one out
+//! (`router_pool_hits`), falls back to a fresh dial when the pool is
+//! empty or the parked connection died (`router_pool_misses`), and
+//! parks the connection back afterwards. Parked connections are reaped
+//! after an idle period well below the backend's 30 s I/O timeout, so
+//! a reused connection is rarely half-closed — and when it is, the
+//! failed call simply falls through to the fresh-dial path.
 
 use crate::client::Client;
 use crate::protocol::{error_code, Request, Response, StatsReply};
+use crate::server::{verb_of, Obs};
+use clean_obs::{Snapshot, Stage};
 use clean_trace::{Digester, TraceDigest, TraceReader};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -45,7 +61,11 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Parked connections kept per backend. Small on purpose: each parked
+/// connection occupies one acceptor on the backend until reaped.
+const POOL_CAP: usize = 4;
 
 /// Bit position of the backend tag in a router-issued job id.
 const JOB_TAG_SHIFT: u32 = 56;
@@ -103,11 +123,17 @@ pub struct RouterConfig {
     pub acceptors: usize,
     /// Per-client-connection I/O timeout in milliseconds (0 = none).
     pub io_timeout_millis: u64,
+    /// How long a parked backend connection may idle before the pool
+    /// reaps it, in milliseconds. 0 disables pooling (dial-per-forward,
+    /// the pre-pool behavior). Keep this well under the backend I/O
+    /// timeout so reuse rarely races the backend closing the socket.
+    pub pool_idle_millis: u64,
 }
 
 impl RouterConfig {
     /// Defaults: loopback ephemeral port, replication 2, 3 connect
-    /// retries 50 ms apart, 32 acceptors, 30 s I/O timeout.
+    /// retries 50 ms apart, 32 acceptors, 30 s I/O timeout, 10 s pool
+    /// idle reap.
     pub fn new(backends: Vec<String>) -> Self {
         RouterConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -117,6 +143,7 @@ impl RouterConfig {
             retry_delay_millis: 50,
             acceptors: 32,
             io_timeout_millis: 30_000,
+            pool_idle_millis: 10_000,
         }
     }
 
@@ -155,6 +182,19 @@ impl RouterConfig {
         self.io_timeout_millis = millis;
         self
     }
+
+    /// Sets the backend-pool idle reap period (0 disables pooling).
+    pub fn pool_idle_millis(mut self, millis: u64) -> Self {
+        self.pool_idle_millis = millis;
+        self
+    }
+}
+
+/// One parked backend connection.
+#[derive(Debug)]
+struct PooledConn {
+    client: Client,
+    parked_at: Instant,
 }
 
 #[derive(Debug)]
@@ -165,8 +205,17 @@ struct RouterShared {
     retry_delay: Duration,
     acceptors: usize,
     io_timeout: Option<Duration>,
-    /// Request frames forwarded to backends.
-    forwards: AtomicU64,
+    /// Parked backend connections, one pool per backend. `None` when
+    /// pooling is disabled.
+    pools: Option<Vec<Mutex<Vec<PooledConn>>>>,
+    pool_idle: Duration,
+    /// Request frames forwarded to backends (registry-backed).
+    forwards: clean_obs::Counter,
+    /// Forwards served by a parked connection.
+    pool_hits: clean_obs::Counter,
+    /// Forwards that had to dial a fresh connection.
+    pool_misses: clean_obs::Counter,
+    obs: Obs,
     draining: AtomicBool,
     drain_flag: Mutex<bool>,
     drain_cv: Condvar,
@@ -176,17 +225,65 @@ struct RouterShared {
 }
 
 impl RouterShared {
-    /// Connects to backend `idx`, retrying connect failures, and runs
-    /// one request round trip. `None` means the backend is unreachable
-    /// or died mid-call.
+    /// Pops a live parked connection for backend `idx`, reaping any
+    /// that idled past the reap period (a long-parked connection is
+    /// likely half-closed by the backend's I/O timeout anyway).
+    fn checkout(&self, idx: usize) -> Option<Client> {
+        let pools = self.pools.as_ref()?;
+        let mut pool = pools[idx].lock();
+        while let Some(parked) = pool.pop() {
+            if parked.parked_at.elapsed() < self.pool_idle {
+                return Some(parked.client);
+            }
+        }
+        None
+    }
+
+    /// Parks a connection for reuse (dropped if the pool is full).
+    fn park(&self, idx: usize, client: Client) {
+        let Some(pools) = self.pools.as_ref() else {
+            return;
+        };
+        let mut pool = pools[idx].lock();
+        pool.retain(|p| p.parked_at.elapsed() < self.pool_idle);
+        if pool.len() < POOL_CAP {
+            pool.push(PooledConn {
+                client,
+                parked_at: Instant::now(),
+            });
+        }
+    }
+
+    /// Runs one request round trip against backend `idx`: a parked
+    /// connection when one is live, otherwise a fresh dial with connect
+    /// retries. `None` means the backend is unreachable or died
+    /// mid-call. Connections never park after a SHUTDOWN forward — the
+    /// backend is about to close them.
     fn forward(&self, idx: usize, request: &Request) -> Option<Response> {
+        let poolable = !matches!(request, Request::Shutdown);
+        if let Some(mut client) = self.checkout(idx) {
+            // A parked connection the backend closed fails the call
+            // cleanly; fall through to the fresh-dial path below.
+            if let Ok(response) = client.call(request) {
+                self.pool_hits.inc();
+                self.forwards.inc();
+                if poolable {
+                    self.park(idx, client);
+                }
+                return Some(response);
+            }
+        }
+        self.pool_misses.inc();
         let addr = &self.backends[idx];
         let mut attempts = 0;
         loop {
             match Client::connect(addr.as_str()) {
                 Ok(mut client) => {
                     let response = client.call(request).ok()?;
-                    self.forwards.fetch_add(1, Ordering::Relaxed);
+                    self.forwards.inc();
+                    if poolable {
+                        self.park(idx, client);
+                    }
                     return Some(response);
                 }
                 Err(_) if attempts < self.connect_retries => {
@@ -206,6 +303,7 @@ impl RouterShared {
             }
             Request::Status { job } => self.route_status(job),
             Request::Stats => Response::Stats(self.aggregate_stats()),
+            Request::Metrics => self.aggregate_metrics(),
             Request::Policy { set } => self.route_policy(set),
             Request::Shutdown => {
                 // Fan the drain out to every backend. The router's own
@@ -224,7 +322,11 @@ impl RouterShared {
     /// address before any backend sees the frame), then writes the trace
     /// to the primary and its replica predecessors.
     fn route_submit(&self, trace: Vec<u8>) -> Response {
-        let digest = match digest_of(&trace) {
+        // Digest-based backend selection is the router's "shard" stage.
+        let shard_span = self.obs.spans.as_ref().map(|s| s.start(Stage::Shard));
+        let digest = digest_of(&trace);
+        drop(shard_span);
+        let digest = match digest {
             Some(d) => d,
             None => {
                 return Response::Error {
@@ -271,7 +373,11 @@ impl RouterShared {
                 // Anything else — verdict, retry-after, trace data,
                 // error — is the backend's answer and passes through.
                 Some(resp) => return resp,
-                None => {}
+                None => {
+                    self.obs
+                        .journal
+                        .record("failover", format!("backend={idx} digest={digest}"));
+                }
             }
         }
         last.unwrap_or(Response::Error {
@@ -353,7 +459,7 @@ impl RouterShared {
     /// router's own forward count.
     fn aggregate_stats(&self) -> StatsReply {
         let mut merged = StatsReply {
-            forwards: self.forwards.load(Ordering::Relaxed),
+            forwards: self.forwards.value(),
             ..StatsReply::default()
         };
         for idx in 0..self.backends.len() {
@@ -362,6 +468,36 @@ impl RouterShared {
             }
         }
         merged
+    }
+
+    /// Fans METRICS out to every backend and merges the expositions:
+    /// each backend's metrics are stamped `node="<idx>"`, the router's
+    /// own metrics `node="router"`, and counters/gauges/histograms fold
+    /// by their labeled keys — so per-node values stay separable while
+    /// one exposition answers for the whole fleet. Backend journal
+    /// events ride along as `node=<idx>`-prefixed comment lines.
+    fn aggregate_metrics(&self) -> Response {
+        let mut merged = self.obs.registry.snapshot().with_label("node", "router");
+        let mut comments = self.obs.journal.render();
+        for idx in 0..self.backends.len() {
+            let node = idx.to_string();
+            let Some(Response::Metrics { text }) = self.forward(idx, &Request::Metrics) else {
+                comments.push(format!("node {idx} unreachable for metrics"));
+                continue;
+            };
+            for line in text.lines() {
+                if let Some(event) = line.strip_prefix("# event ") {
+                    comments.push(format!("event node={idx} {event}"));
+                }
+            }
+            match Snapshot::parse(&text) {
+                Ok(snap) => merged.merge(&snap.with_label("node", &node)),
+                Err(e) => comments.push(format!("node {idx} exposition unparseable: {e}")),
+            }
+        }
+        Response::Metrics {
+            text: merged.render(&comments),
+        }
     }
 }
 
@@ -463,15 +599,28 @@ impl Router {
             )?;
         let addr = listener.local_addr()?;
         let acceptor_count = config.acceptors.max(1);
+        let obs = Obs::new(true);
+        let forwards = obs.registry.counter("forwards");
+        let pool_hits = obs.registry.counter("router_pool_hits");
+        let pool_misses = obs.registry.counter("router_pool_misses");
         let shared = Arc::new(RouterShared {
-            backends: config.backends.clone(),
             replication: config.replication.max(1),
             connect_retries: config.connect_retries,
             retry_delay: Duration::from_millis(config.retry_delay_millis),
             acceptors: acceptor_count,
             io_timeout: (config.io_timeout_millis > 0)
                 .then(|| Duration::from_millis(config.io_timeout_millis)),
-            forwards: AtomicU64::new(0),
+            pools: (config.pool_idle_millis > 0).then(|| {
+                (0..config.backends.len())
+                    .map(|_| Mutex::new(Vec::new()))
+                    .collect()
+            }),
+            pool_idle: Duration::from_millis(config.pool_idle_millis),
+            backends: config.backends.clone(),
+            forwards,
+            pool_hits,
+            pool_misses,
+            obs,
             draining: AtomicBool::new(false),
             drain_flag: Mutex::new(false),
             drain_cv: Condvar::new(),
@@ -554,8 +703,13 @@ fn serve_connection(stream: TcpStream, shared: &RouterShared) {
             let _ = Response::ShuttingDown.write(&mut writer);
             break;
         }
+        let started = Instant::now();
+        let verb = verb_of(&request);
         let is_shutdown = matches!(request, Request::Shutdown);
         let response = shared.handle(request);
+        shared
+            .obs
+            .record_request(verb, None, started.elapsed().as_micros() as u64);
         let write_ok = response.write(&mut writer).is_ok();
         if is_shutdown {
             begin_drain(shared);

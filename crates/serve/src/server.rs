@@ -44,6 +44,7 @@ use crate::protocol::{
 };
 use crate::queue::{Admission, JobQueue, JobState};
 use crate::store::{StoreError, TraceStore};
+use clean_obs::{Counter, Journal, Registry, Stage, StageSpans};
 use clean_trace::{
     read_table, read_trace, replay_file_stealing, replay_sharded, scan_trace, EngineKind,
     TraceDigest,
@@ -56,7 +57,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// File name of the durable verdict log, under the store directory.
 pub const VERDICT_LOG: &str = "verdicts.log";
@@ -107,6 +108,13 @@ pub struct ServerConfig {
     /// `POLICY` frame installs new rules, so suppression survives
     /// restarts.
     pub policy_path: Option<PathBuf>,
+    /// Record per-stage timing spans (decode / check / verdict /
+    /// store-insert / peer-fetch) into the metrics registry. Off means
+    /// the span bundle is never constructed — every call site pays one
+    /// `Option` branch and nothing else, the `write_filter` knob idiom.
+    /// Counters and the journal stay on either way (relaxed atomics at
+    /// request granularity).
+    pub obs_spans: bool,
 }
 
 impl ServerConfig {
@@ -134,6 +142,7 @@ impl ServerConfig {
             io_timeout_millis: 30_000,
             persist_verdicts: true,
             policy_path: None,
+            obs_spans: true,
         }
     }
 
@@ -221,6 +230,12 @@ impl ServerConfig {
         self.policy_path = Some(path.into());
         self
     }
+
+    /// Enables or disables per-stage timing spans.
+    pub fn obs_spans(mut self, on: bool) -> Self {
+        self.obs_spans = on;
+        self
+    }
 }
 
 /// The live suppression policy plus its audit trail: one counter per
@@ -240,16 +255,73 @@ impl ActivePolicy {
     }
 }
 
-/// Counters that live outside store and queue.
-#[derive(Debug, Default)]
+/// Counters that live outside store and queue, backed by the metrics
+/// registry — the STATS wire reply and the METRICS exposition read the
+/// same cells.
+#[derive(Debug)]
 struct ServiceCounters {
-    submits: AtomicU64,
-    submit_dedup_hits: AtomicU64,
-    analyzes: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    fetches: AtomicU64,
-    suppressed_hits: AtomicU64,
+    submits: Counter,
+    submit_dedup_hits: Counter,
+    analyzes: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    fetches: Counter,
+    suppressed_hits: Counter,
+}
+
+impl ServiceCounters {
+    fn new(registry: &Registry) -> Self {
+        ServiceCounters {
+            submits: registry.counter("submits"),
+            submit_dedup_hits: registry.counter("submit_dedup_hits"),
+            analyzes: registry.counter("analyzes"),
+            cache_hits: registry.counter("cache_hits"),
+            cache_misses: registry.counter("cache_misses"),
+            fetches: registry.counter("fetches"),
+            suppressed_hits: registry.counter("suppressed_hits"),
+        }
+    }
+}
+
+/// An observability bundle shared by the daemon and the router: the
+/// metrics registry, the event journal, and (when the spans knob is on)
+/// the per-stage timing histograms.
+#[derive(Debug)]
+pub(crate) struct Obs {
+    pub(crate) registry: Registry,
+    pub(crate) journal: Journal,
+    pub(crate) spans: Option<StageSpans>,
+}
+
+impl Obs {
+    pub(crate) fn new(spans_on: bool) -> Self {
+        let registry = Registry::new();
+        let spans = spans_on.then(|| StageSpans::new(&registry, "serve_stage_micros"));
+        Obs {
+            registry,
+            journal: Journal::default(),
+            spans,
+        }
+    }
+
+    /// Counts one handled request and records its service latency,
+    /// keyed by verb (and dedup outcome for submissions, so the soak
+    /// harness can separate cold from duplicate submits server-side).
+    pub(crate) fn record_request(&self, verb: &'static str, dedup: Option<bool>, micros: u64) {
+        self.registry
+            .counter_with("serve_requests_total", &[("verb", verb)])
+            .inc();
+        let hist = match dedup {
+            Some(d) => self.registry.hist_with(
+                "serve_latency_micros",
+                &[("verb", verb), ("dedup", if d { "true" } else { "false" })],
+            ),
+            None => self
+                .registry
+                .hist_with("serve_latency_micros", &[("verb", verb)]),
+        };
+        hist.record(micros);
+    }
 }
 
 /// State shared by every server thread.
@@ -259,6 +331,7 @@ struct Shared {
     cache: VerdictCache,
     queue: JobQueue,
     counters: ServiceCounters,
+    obs: Obs,
     /// The active suppression policy. Swapped whole on a `POLICY` set;
     /// verdict classification takes the lock only long enough to flag
     /// the races of one response.
@@ -292,11 +365,11 @@ impl Shared {
         let store = self.store.stats();
         let (jobs_completed, jobs_rejected, jobs_coalesced) = self.queue.counters();
         StatsReply {
-            submits: self.counters.submits.load(Ordering::Relaxed),
-            submit_dedup_hits: self.counters.submit_dedup_hits.load(Ordering::Relaxed),
-            analyzes: self.counters.analyzes.load(Ordering::Relaxed),
-            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            submits: self.counters.submits.value(),
+            submit_dedup_hits: self.counters.submit_dedup_hits.value(),
+            analyzes: self.counters.analyzes.value(),
+            cache_hits: self.counters.cache_hits.value(),
+            cache_misses: self.counters.cache_misses.value(),
             jobs_completed,
             jobs_rejected,
             jobs_coalesced,
@@ -305,10 +378,31 @@ impl Shared {
             store_evictions: store.evictions,
             // A plain daemon forwards nothing; the router owns this one.
             forwards: 0,
-            fetches: self.counters.fetches.load(Ordering::Relaxed),
+            fetches: self.counters.fetches.value(),
             cache_persist_hits: self.cache.persist_hits(),
-            suppressed_hits: self.counters.suppressed_hits.load(Ordering::Relaxed),
+            suppressed_hits: self.counters.suppressed_hits.value(),
         }
+    }
+
+    /// Renders the `CMET v1` exposition: the registry snapshot, plus
+    /// the store/queue/cache counters (which own their cells elsewhere)
+    /// overlaid under their STATS names, plus the journal as comments.
+    fn metrics_text(&self) -> String {
+        let mut snap = self.obs.registry.snapshot();
+        let store = self.store.stats();
+        let (jobs_completed, jobs_rejected, jobs_coalesced) = self.queue.counters();
+        snap.counters
+            .insert("jobs_completed".into(), jobs_completed);
+        snap.counters.insert("jobs_rejected".into(), jobs_rejected);
+        snap.counters
+            .insert("jobs_coalesced".into(), jobs_coalesced);
+        snap.counters
+            .insert("store_evictions".into(), store.evictions);
+        snap.counters
+            .insert("cache_persist_hits".into(), self.cache.persist_hits());
+        snap.gauges.insert("store_traces".into(), store.traces);
+        snap.gauges.insert("store_bytes".into(), store.bytes);
+        snap.render(&self.obs.journal.render())
     }
 
     /// Replays `digest` under `engine` — the worker body.
@@ -322,6 +416,7 @@ impl Shared {
         let Some(path) = self.store.path_of(digest) else {
             return Err(format!("trace {digest} no longer in store"));
         };
+        let _check_span = self.obs.spans.as_ref().map(|s| s.start(Stage::Check));
         // v2 traces carry their exact event count in the chunk-table
         // footer (three small reads, no scan): split on events, the
         // quantity that actually drives replay cost. v1 traces — and a
@@ -473,13 +568,16 @@ impl Server {
         // A missing file is the empty policy; an unparseable one fails
         // startup loudly rather than silently un-suppressing races.
         let policy = SuppressionPolicy::load(&policy_path)?;
+        let obs = Obs::new(config.obs_spans);
+        let counters = ServiceCounters::new(&obs.registry);
         let shared = Arc::new(Shared {
             store,
             cache,
             policy: Mutex::new(ActivePolicy::new(policy)),
             policy_path,
             queue: JobQueue::new(config.queue_cap, config.per_client_cap, config.retry_millis),
-            counters: ServiceCounters::default(),
+            counters,
+            obs,
             shards: config.shards,
             stream_threshold: config.stream_threshold,
             stream_events: config.stream_events,
@@ -565,6 +663,21 @@ fn error_response(code: u8, message: impl Into<String>) -> Response {
     }
 }
 
+/// Stable `verb` label value for a request (the `serve_requests_total`
+/// key space).
+pub(crate) fn verb_of(request: &Request) -> &'static str {
+    match request {
+        Request::Submit { .. } => "submit",
+        Request::Analyze { .. } => "analyze",
+        Request::Status { .. } => "status",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+        Request::Fetch { .. } => "fetch",
+        Request::Policy { .. } => "policy",
+        Request::Metrics => "metrics",
+    }
+}
+
 /// Builds a VERDICT frame, classifying each race against the active
 /// suppression policy. Classification happens here — at serve time, not
 /// at cache-insert time — so the durable verdict cache stores raw replay
@@ -582,12 +695,14 @@ fn verdict_response(
         let ActivePolicy { policy, hits } = &mut *active;
         policy.classify_with_hits(digest, &v.races, hits)
     };
+    let _verdict_span = shared.obs.spans.as_ref().map(|s| s.start(Stage::Verdict));
     let suppressed = flags.iter().filter(|&&s| s).count() as u64;
     if suppressed > 0 {
+        shared.counters.suppressed_hits.add(suppressed);
         shared
-            .counters
-            .suppressed_hits
-            .fetch_add(suppressed, Ordering::Relaxed);
+            .obs
+            .journal
+            .record("suppression", format!("digest={digest} races={suppressed}"));
     }
     let races = v
         .races
@@ -641,23 +756,34 @@ fn serve_connection(stream: TcpStream, peer: SocketAddr, shared: &Shared) {
                 // Protocol error (bad magic/version, or a mid-frame
                 // stall): report and drop the connection — the stream
                 // position is unreliable.
+                shared.obs.journal.record("bad_frame", e.to_string());
                 let _ = error_response(error_code::BAD_FRAME, e.to_string()).write(&mut writer);
                 break;
             }
             Err(_) => break,
         };
+        let started = Instant::now();
         // SUBMIT bodies stream straight into the store; every other
         // request body is small and buffered.
         if header.opcode == OP_SUBMIT {
             let (response, framing_intact) = handle_submit_stream(shared, &mut reader, header.len);
+            let dedup = match &response {
+                Response::Submitted { dedup, .. } => Some(*dedup),
+                _ => None,
+            };
+            shared
+                .obs
+                .record_request("submit", dedup, started.elapsed().as_micros() as u64);
             if response.write(&mut writer).is_err() || !framing_intact {
                 break;
             }
             continue;
         }
+        let decode_span = shared.obs.spans.as_ref().map(|s| s.start(Stage::Decode));
         let body = match read_frame_body(&mut reader, header.len) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.obs.journal.record("bad_frame", e.to_string());
                 let _ = error_response(error_code::BAD_FRAME, e.to_string()).write(&mut writer);
                 break;
             }
@@ -666,12 +792,18 @@ fn serve_connection(stream: TcpStream, peer: SocketAddr, shared: &Shared) {
         let request = match Request::from_frame(header.opcode, &body) {
             Ok(req) => req,
             Err(e) => {
+                shared.obs.journal.record("bad_frame", e.to_string());
                 let _ = error_response(error_code::BAD_FRAME, e.to_string()).write(&mut writer);
                 break;
             }
         };
+        drop(decode_span);
+        let verb = verb_of(&request);
         let is_shutdown = matches!(request, Request::Shutdown);
         let response = handle_request(shared, &client, request);
+        shared
+            .obs
+            .record_request(verb, None, started.elapsed().as_micros() as u64);
         let write_ok = response.write(&mut writer).is_ok();
         if is_shutdown {
             // Drain only after the reply is on the wire: `join()` closes
@@ -695,14 +827,26 @@ fn handle_submit_stream(shared: &Shared, reader: &mut impl Read, len: usize) -> 
         let drained = io::copy(&mut (&mut *reader).take(len as u64), &mut io::sink());
         return (Response::ShuttingDown, drained.ok() == Some(len as u64));
     }
-    match shared.store.insert_stream(reader, len as u64, None) {
+    let evictions_before = shared.store.stats().evictions;
+    let insert_span = shared
+        .obs
+        .spans
+        .as_ref()
+        .map(|s| s.start(Stage::StoreInsert));
+    let inserted = shared.store.insert_stream(reader, len as u64, None);
+    drop(insert_span);
+    match inserted {
         Ok(stored) => {
-            shared.counters.submits.fetch_add(1, Ordering::Relaxed);
+            shared.counters.submits.inc();
             if stored.dedup {
-                shared
-                    .counters
-                    .submit_dedup_hits
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.submit_dedup_hits.inc();
+            }
+            let evicted = shared.store.stats().evictions - evictions_before;
+            if evicted > 0 {
+                shared.obs.journal.record(
+                    "eviction",
+                    format!("count={evicted} after digest={}", stored.digest),
+                );
             }
             (
                 Response::Submitted {
@@ -744,12 +888,9 @@ fn handle_request(shared: &Shared, client: &str, request: Request) -> Response {
             }
             match shared.store.insert(&trace) {
                 Ok(stored) => {
-                    shared.counters.submits.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.submits.inc();
                     if stored.dedup {
-                        shared
-                            .counters
-                            .submit_dedup_hits
-                            .fetch_add(1, Ordering::Relaxed);
+                        shared.counters.submit_dedup_hits.inc();
                     }
                     Response::Submitted {
                         digest: stored.digest,
@@ -765,7 +906,7 @@ fn handle_request(shared: &Shared, client: &str, request: Request) -> Response {
             engine,
             wait,
         } => {
-            shared.counters.analyzes.fetch_add(1, Ordering::Relaxed);
+            shared.counters.analyzes.inc();
             analyze(shared, client, digest, engine, wait)
         }
         Request::Status { job } => match shared.queue.status(job) {
@@ -796,6 +937,9 @@ fn handle_request(shared: &Shared, client: &str, request: Request) -> Response {
             response
         }
         Request::Policy { set } => handle_policy(shared, set),
+        Request::Metrics => Response::Metrics {
+            text: shared.metrics_text(),
+        },
     }
 }
 
@@ -847,6 +991,7 @@ fn verdict_response_for_job(shared: &Shared, job: u64, v: &Verdict) -> Response 
 /// before the analysis that wanted it runs. Returns true once the trace
 /// is resident locally.
 fn fetch_from_peers(shared: &Shared, digest: TraceDigest) -> bool {
+    let _fetch_span = shared.obs.spans.as_ref().map(|s| s.start(Stage::PeerFetch));
     for peer in &shared.peers {
         let Ok(mut client) = Client::connect(peer.as_str()) else {
             continue;
@@ -866,7 +1011,7 @@ fn fetch_from_peers(shared: &Shared, digest: TraceDigest) -> bool {
             .insert_stream(&mut &trace[..], trace.len() as u64, Some(digest))
             .is_ok()
         {
-            shared.counters.fetches.fetch_add(1, Ordering::Relaxed);
+            shared.counters.fetches.inc();
             return true;
         }
     }
@@ -891,7 +1036,7 @@ fn analyze(
     // to be peer-fetched). Check the cache before touching the store.
     let key = VerdictKey { digest, engine };
     if let Some(v) = shared.cache.get(&key) {
-        shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.counters.cache_hits.inc();
         shared.store.unpin(digest);
         return verdict_response(shared, digest, engine, true, &v);
     }
@@ -904,10 +1049,14 @@ fn analyze(
             format!("trace {digest} not in store; SUBMIT it first"),
         );
     }
-    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    shared.counters.cache_misses.inc();
     match shared.queue.submit(key, client) {
         Admission::Rejected { retry_millis } => {
             shared.store.unpin(digest);
+            shared
+                .obs
+                .journal
+                .record("retry_after", format!("client={client} digest={digest}"));
             Response::RetryAfter {
                 millis: retry_millis,
             }

@@ -4,6 +4,7 @@
 //! including after one backend is killed and its digests come back via
 //! peer FETCH from the surviving replica.
 
+use clean_obs::Snapshot;
 use clean_serve::client::Client;
 use clean_serve::protocol::{error_code, Response};
 use clean_serve::router::{primary_backend, Router, RouterConfig};
@@ -349,6 +350,108 @@ fn failover_under_load_keeps_serving_direct_replay_verdicts() {
         stats.fetches >= 1,
         "killing the primary must force a peer fetch, got {}",
         stats.fetches
+    );
+
+    router.join();
+    for node in nodes {
+        node.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn router_metrics_merge_equals_per_backend_snapshots() {
+    let dir = scratch("metrics");
+    let corpus: Vec<Vec<u8>> = vec![
+        record(&dir, "dedup", true, 21),
+        record(&dir, "fft", false, 22),
+        record(&dir, "streamcluster", true, 23),
+    ];
+
+    let addrs = reserve_addrs(3);
+    let nodes = start_fleet(&dir, &addrs);
+    let router = Router::start(RouterConfig::new(addrs.clone())).unwrap();
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    let mut digests = Vec::new();
+    for trace in &corpus {
+        let (digest, _) = submit(&mut client, trace);
+        digests.push(digest);
+    }
+    // Analyze each digest twice so the verdict cache both misses and
+    // hits at least once per digest.
+    for &digest in &digests {
+        for _ in 0..2 {
+            let Response::Verdict { .. } = client
+                .analyze_with_retry(digest, EngineKind::Clean, 50)
+                .unwrap()
+            else {
+                panic!("expected verdict for {digest}");
+            };
+        }
+    }
+
+    // Snapshot order matters: a METRICS request counts itself into the
+    // *next* exposition, so fetch every backend directly first, then
+    // the router's merge, and compare only counters METRICS-verb
+    // traffic cannot move.
+    let backends: Vec<Snapshot> = addrs
+        .iter()
+        .map(|addr| {
+            let mut direct = Client::connect(addr.as_str()).unwrap();
+            Snapshot::parse(&direct.metrics().unwrap()).unwrap()
+        })
+        .collect();
+    let merged = Snapshot::parse(&client.metrics().unwrap()).unwrap();
+
+    for name in ["submits", "analyzes", "cache_hits", "cache_misses"] {
+        let mut sum = 0;
+        for (i, backend) in backends.iter().enumerate() {
+            let direct = backend.counter(name, &[]).unwrap_or(0);
+            let node = i.to_string();
+            assert_eq!(
+                merged.counter(name, &[("node", &node)]).unwrap_or(0),
+                direct,
+                "{name} for node {i} must survive the merge unchanged"
+            );
+            sum += direct;
+        }
+        assert_eq!(
+            merged.counter_family_total(name),
+            sum,
+            "{name} family total must be the sum over backends"
+        );
+    }
+    // Same invariant for a multi-label key: the merge only adds the
+    // node label, never disturbs the existing ones.
+    for (i, backend) in backends.iter().enumerate() {
+        let node = i.to_string();
+        assert_eq!(
+            merged.counter(
+                "serve_requests_total",
+                &[("node", &node), ("verb", "submit")]
+            ),
+            backend.counter("serve_requests_total", &[("verb", "submit")]),
+            "submit request count for node {i}"
+        );
+    }
+
+    // Ground-truth totals: 3 submits x replication 2 land on the nodes,
+    // and each digest's second analyze hits the verdict cache.
+    assert_eq!(merged.counter_family_total("submits"), 6);
+    assert!(merged.counter_family_total("cache_hits") >= 3);
+    assert!(merged.counter_family_total("analyzes") >= merged.counter_family_total("cache_hits"));
+
+    // The router's own counters ride along under node="router".
+    let forwards = merged
+        .counter("forwards", &[("node", "router")])
+        .expect("router forwards counter");
+    assert!(forwards >= 6, "forwards: {forwards}");
+    assert!(
+        merged
+            .counter("router_pool_hits", &[("node", "router")])
+            .is_some(),
+        "pool-hit counter must be exposed even when zero"
     );
 
     router.join();

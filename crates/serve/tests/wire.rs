@@ -4,6 +4,7 @@
 //! connection drops.
 
 use clean_core::{ThreadId, TraceEvent};
+use clean_obs::{Snapshot, EXPOSITION_HEADER};
 use clean_serve::client::Client;
 use clean_serve::protocol::{error_code, Request, Response, MAGIC, VERSION};
 use clean_serve::server::{Server, ServerConfig};
@@ -229,6 +230,64 @@ fn idle_connection_outlives_the_io_timeout() {
         Response::read(&mut sock).unwrap().unwrap(),
         Response::Stats(_)
     ));
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_over_raw_socket_round_trips_the_exposition() {
+    let dir = scratch("metrics");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+
+    // One submission so the exposition has counted traffic to show.
+    let events = [0u16, 1].map(|t| TraceEvent::Write {
+        tid: ThreadId::new(t),
+        addr: 128,
+        size: 8,
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let Response::Submitted { .. } = client.submit(encode_trace(&events).unwrap()).unwrap() else {
+        panic!("submit failed");
+    };
+
+    // Hand-rolled METRICS frame: opcode 0x08, empty body.
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(0x08);
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    sock.write_all(&frame).unwrap();
+    match Response::read(&mut sock).unwrap().unwrap() {
+        Response::Metrics { text } => {
+            assert!(
+                text.starts_with(EXPOSITION_HEADER),
+                "exposition must lead with the CMET header, got {:?}",
+                text.lines().next()
+            );
+            let snap = Snapshot::parse(&text).unwrap();
+            assert_eq!(snap.counter("submits", &[]), Some(1));
+            assert_eq!(
+                snap.counter("serve_requests_total", &[("verb", "submit")]),
+                Some(1)
+            );
+            let lat = snap
+                .hist(
+                    "serve_latency_micros",
+                    &[("verb", "submit"), ("dedup", "false")],
+                )
+                .expect("submit latency histogram");
+            assert_eq!(lat.count(), 1);
+            // The text form is lossless: parse → render → parse fixes.
+            let again = Snapshot::parse(&snap.render(&[])).unwrap();
+            assert_eq!(again, snap);
+        }
+        other => panic!("expected METRICS reply, got {other:?}"),
+    }
+
+    // The typed client path reads the same exposition.
+    let typed = Snapshot::parse(&client.metrics().unwrap()).unwrap();
+    assert_eq!(typed.counter("submits", &[]), Some(1));
     server.join();
     let _ = std::fs::remove_dir_all(&dir);
 }

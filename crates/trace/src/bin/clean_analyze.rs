@@ -8,7 +8,7 @@
 //!                      [--stream] [--workers N] [--decode-workers N]
 //!                      [--range A..B] <file>
 //! clean-analyze diff   [--shards N] <file>
-//! clean-analyze plan   [--granule N] [--out <file>] <file>
+//! clean-analyze plan   [--granule N] [--out <file>] [--against <plan>] <file>
 //! ```
 //!
 //! Exit codes let scripts branch without parsing stdout: 0 = success (no
@@ -90,13 +90,17 @@ USAGE:
       v2 traces the table seeks straight to the covering chunks.
   clean-analyze diff [--shards N] <file>
       Cross-engine verdict comparison (e.g. the WAR races CLEAN skips).
-  clean-analyze plan [--granule N] [--out <file>] <file>
+  clean-analyze plan [--granule N] [--out <file>] [--against <plan>] <file>
       Derive a static check plan (CPLN v1) from the trace's observed
       access pattern: thread-private ranges become elide entries (with
       their soundness witness), strided shared writers coalesce, and the
       remaining shared spans batch. Prints the coverage split; with
       --out the plan is saved for loading via the runtime's check_plan
       knob. --granule sets the derivation granule in bytes (default 64).
+      Saved plans carry a derivation-footprint stamp (granule, granule,
+      event and thread counts); --against <plan> audits an existing plan
+      file's stamp against this trace's footprint and warns loudly (and
+      bumps the plan_stale metric) when they diverge beyond 50%.
 
 EXIT CODES:
   0   success; for replay: no race found
@@ -430,6 +434,7 @@ fn cmd_plan(rest: &[String]) -> Result<ExitCode, CliError> {
         None => 0usize,
     };
     let out = take_value(&mut args, "--out")?;
+    let against = take_value(&mut args, "--against")?;
     let [path] = &args[..] else {
         return Err("plan takes exactly one trace file".into());
     };
@@ -445,6 +450,20 @@ fn cmd_plan(rest: &[String]) -> Result<ExitCode, CliError> {
         plan.entries.len()
     );
     println!("{}", coverage.render());
+    if let Some(against) = &against {
+        let old = clean_core::CheckPlan::load(against)
+            .map_err(|e| CliError::Other(format!("load {against}: {e}")))?;
+        let current = plan
+            .profile
+            .expect("derived plans always carry a footprint stamp");
+        match old.audit_freshness(&current) {
+            Some(warning) => eprintln!("WARNING: {against}: {warning}"),
+            None if old.profile.is_none() => {
+                println!("{against}: no footprint stamp to audit (pre-stamp plan file)");
+            }
+            None => println!("{against}: stamp is fresh against this trace"),
+        }
+    }
     if let Some(out) = &out {
         plan.save(out).map_err(|e| e.to_string())?;
         println!("saved CPLN v1 plan to {out}");
